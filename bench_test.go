@@ -1,0 +1,246 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section IV). Each benchmark runs the corresponding experiment at a
+// CI-friendly scale and reports the reproduced quantities as custom metrics
+// (speedups, sensitivities, densities), so `go test -bench=. -benchmem`
+// doubles as a results sheet. cmd/experiments runs the same experiments at
+// larger scales with full rendering.
+package gpclust_test
+
+import (
+	"testing"
+
+	"gpclust/internal/bench"
+	"gpclust/internal/core"
+	"gpclust/internal/gos"
+	"gpclust/internal/graph"
+)
+
+// benchOptions trims the trial counts so a single benchmark iteration stays
+// in seconds; cmd/experiments uses the paper's c1=200/c2=100.
+func benchOptions() core.Options {
+	o := core.DefaultOptions()
+	o.C1, o.C2 = 50, 25
+	return o
+}
+
+// BenchmarkTable1_20KGraph reproduces Table I's 20K-sequence row: serial
+// pClust vs gpClust on the 20K-shaped similarity graph.
+func BenchmarkTable1_20KGraph(b *testing.B) {
+	o := benchOptions()
+	o.UseFullSort = true // the paper's literal Algorithm 1 implementation
+	g, _ := graph.Planted(bench.Paper20KConfig(0.5))
+	b.ResetTimer()
+	var row *bench.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = bench.RunTable1Row("20K", g, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.TotalSpeedup, "total-speedup-X")
+	b.ReportMetric(row.GPUSpeedup, "gpu-speedup-X")
+	b.ReportMetric(row.GPU.Timings.GPUNs/1e9, "gpu-sec")
+	b.ReportMetric(row.Serial.Timings.TotalNs/1e9, "serial-sec")
+}
+
+// BenchmarkTable1_2MGraph reproduces Table I's 2M-sequence row at 1/100
+// scale; the GPU-part speedup grows with workload exactly as the paper's
+// 44.86X → 373.71X progression (the occupancy effect of Section IV-C).
+func BenchmarkTable1_2MGraph(b *testing.B) {
+	o := benchOptions()
+	o.UseFullSort = true
+	g, _ := graph.Planted(bench.Paper2MConfig(0.01))
+	b.ResetTimer()
+	var row *bench.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = bench.RunTable1Row("2M", g, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.TotalSpeedup, "total-speedup-X")
+	b.ReportMetric(row.GPUSpeedup, "gpu-speedup-X")
+	b.ReportMetric(row.GPU.Timings.D2HNs/1e9, "d2h-sec")
+}
+
+// BenchmarkTable2_GraphStats reproduces Table II: building and measuring
+// the 2M-shaped input similarity graph.
+func BenchmarkTable2_GraphStats(b *testing.B) {
+	var st graph.Stats
+	for i := 0; i < b.N; i++ {
+		st = bench.RunTable2(0.01)
+	}
+	b.ReportMetric(st.AvgDegree, "avg-degree")
+	b.ReportMetric(st.StdDegree, "std-degree")
+	b.ReportMetric(float64(st.LargestCC), "largest-cc")
+}
+
+func runQualityBench(b *testing.B, scale float64) *bench.QualityResult {
+	b.Helper()
+	var q *bench.QualityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		q, err = bench.RunQuality(scale, bench.QualityOptions(), gos.DefaultOptions(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return q
+}
+
+// BenchmarkTable3_Quality reproduces Table III: PPV/NPV/SP/SE of gpClust and
+// the GOS k-neighbor baseline against the planted benchmark families.
+func BenchmarkTable3_Quality(b *testing.B) {
+	q := runQualityBench(b, 0.005)
+	b.ReportMetric(100*q.GPClust.PPV(), "gpclust-PPV-%")
+	b.ReportMetric(100*q.GPClust.Sensitivity(), "gpclust-SE-%")
+	b.ReportMetric(100*q.GOS.PPV(), "gos-PPV-%")
+	b.ReportMetric(100*q.GOS.Sensitivity(), "gos-SE-%")
+}
+
+// BenchmarkTable4_Partitions reproduces Table IV: partition statistics and
+// cluster densities for benchmark, GOS and gpClust.
+func BenchmarkTable4_Partitions(b *testing.B) {
+	q := runQualityBench(b, 0.005)
+	b.ReportMetric(float64(q.GPClustStats.Groups), "gpclust-groups")
+	b.ReportMetric(float64(q.GOSStats.Groups), "gos-groups")
+	b.ReportMetric(float64(q.BenchStats.Groups), "bench-groups")
+	b.ReportMetric(q.GPClustDensity, "gpclust-density")
+	b.ReportMetric(q.GOSDensity, "gos-density")
+	b.ReportMetric(q.BenchDensity, "bench-density")
+}
+
+// BenchmarkFig5a_GroupSizeDist reproduces Figure 5(a): the group-size
+// histograms of the two partitions.
+func BenchmarkFig5a_GroupSizeDist(b *testing.B) {
+	q := runQualityBench(b, 0.005)
+	total := 0
+	for _, c := range q.GroupHistGPClust {
+		total += c
+	}
+	b.ReportMetric(float64(total), "gpclust-groups≥20")
+	total = 0
+	for _, c := range q.GroupHistGOS {
+		total += c
+	}
+	b.ReportMetric(float64(total), "gos-groups≥20")
+}
+
+// BenchmarkFig5b_SeqDist reproduces Figure 5(b): the per-bin sequence
+// counts of the two partitions.
+func BenchmarkFig5b_SeqDist(b *testing.B) {
+	q := runQualityBench(b, 0.005)
+	var total int64
+	for _, c := range q.SeqHistGPClust {
+		total += c
+	}
+	b.ReportMetric(float64(total), "gpclust-seqs")
+	total = 0
+	for _, c := range q.SeqHistGOS {
+		total += c
+	}
+	b.ReportMetric(float64(total), "gos-seqs")
+}
+
+// BenchmarkLargeScale_PacificOcean reproduces the headline demonstration:
+// the 11M-vertex / 640M-edge Pacific Ocean graph (scaled), "in about 94
+// minutes".
+func BenchmarkLargeScale_PacificOcean(b *testing.B) {
+	o := benchOptions()
+	o.UseFullSort = true
+	var r *bench.LargeScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.RunLargeScale(0.001, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Minutes, "virtual-minutes")
+	b.ReportMetric(float64(r.Stats.Edges), "edges")
+}
+
+// BenchmarkAblation_AsyncTransfer quantifies the paper's future-work claim
+// that asynchronous transfers hide the Data_g→c overhead.
+func BenchmarkAblation_AsyncTransfer(b *testing.B) {
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblateAsync(0.004, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Value, "sync-sec")
+	b.ReportMetric(rows[2].Value, "async-sec")
+	b.ReportMetric(rows[3].Value, "saved-sec")
+}
+
+// BenchmarkAblation_BatchSize sweeps Algorithm 2's device batch budget.
+func BenchmarkAblation_BatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblateBatchSize(0.1, benchOptions(), []int{0, 100_000, 20_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_FullSort compares the fused top-s kernel with the
+// literal segmented-sort-then-select of Algorithm 1.
+func BenchmarkAblation_FullSort(b *testing.B) {
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblateFullSort(0.1, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Value, "fused-gpu-sec")
+	b.ReportMetric(rows[1].Value, "fullsort-gpu-sec")
+}
+
+// BenchmarkAblation_ShingleParams sweeps (s1, c1), the sensitivity knobs of
+// Section IV-D.
+func BenchmarkAblation_ShingleParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblateShingleParams(0.002, bench.QualityOptions(), 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_ReportModes compares Phase III's two reporting options.
+func BenchmarkAblation_ReportModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblateReportModes(0.1, benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_GOSK sweeps the GOS baseline's fixed k.
+func BenchmarkAblation_GOSK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblateGOSK(0.002, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_GPUAggregation measures the beyond-paper extension that
+// moves shingle-key computation and tuple sorting onto the device.
+func BenchmarkAblation_GPUAggregation(b *testing.B) {
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblateGPUAggregation(0.1, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Value, "cpu-agg-sec")
+	b.ReportMetric(rows[1].Value, "gpu-agg-sec")
+}

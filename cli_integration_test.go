@@ -1,0 +1,153 @@
+package gpclust_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into dir and returns its path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIPipeline drives the complete command-line toolchain: generate a
+// synthetic metagenome, build its homology graph, cluster it on the
+// simulated GPU, and score the clusters against the ground truth.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	genseq := buildTool(t, dir, "genseq")
+	pgraph := buildTool(t, dir, "pgraph")
+	gpclust := buildTool(t, dir, "gpclust")
+	quality := buildTool(t, dir, "quality")
+
+	fasta := filepath.Join(dir, "orfs.fa")
+	truth := filepath.Join(dir, "truth.tsv")
+	graphF := filepath.Join(dir, "graph.txt")
+	clusters := filepath.Join(dir, "clusters.txt")
+
+	run(t, genseq, "-mode", "seqs", "-n", "300", "-fasta", fasta, "-truth", truth)
+	if fi, err := os.Stat(fasta); err != nil || fi.Size() == 0 {
+		t.Fatalf("genseq produced no FASTA: %v", err)
+	}
+
+	out := run(t, pgraph, "-in", fasta, "-out", graphF)
+	if !strings.Contains(out, "edges") {
+		t.Fatalf("pgraph output unexpected: %s", out)
+	}
+
+	out = run(t, gpclust, "-in", graphF, "-backend", "gpu",
+		"-c1", "40", "-c2", "20", "-out", clusters)
+	if !strings.Contains(out, "clusters") || !strings.Contains(out, "virtual clock") {
+		t.Fatalf("gpclust output unexpected: %s", out)
+	}
+
+	out = run(t, quality, "-clusters", clusters, "-truth", truth,
+		"-graph", graphF, "-minsize", "5", "-column", "superfamily")
+	if !strings.Contains(out, "PPV=") || !strings.Contains(out, "density") {
+		t.Fatalf("quality output unexpected: %s", out)
+	}
+
+	// Serial and GPU backends must print identical cluster files.
+	serialClusters := filepath.Join(dir, "serial.txt")
+	run(t, gpclust, "-in", graphF, "-backend", "serial",
+		"-c1", "40", "-c2", "20", "-out", serialClusters)
+	a, err := os.ReadFile(clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(serialClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("serial and GPU CLI runs produced different cluster files")
+	}
+}
+
+// TestCLIGraphModeAndBinary exercises genseq's graph mode, the binary graph
+// format and the multi-GPU / gpuagg / profile / trace flags.
+func TestCLIGraphModeAndBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	genseq := buildTool(t, dir, "genseq")
+	gpclust := buildTool(t, dir, "gpclust")
+
+	graphBin := filepath.Join(dir, "graph.bin")
+	truth := filepath.Join(dir, "truth.tsv")
+	run(t, genseq, "-mode", "graph", "-n", "1500", "-graph", graphBin, "-truth", truth)
+
+	traceF := filepath.Join(dir, "trace.json")
+	out := run(t, gpclust, "-in", graphBin, "-backend", "gpu",
+		"-c1", "30", "-c2", "15", "-gpuagg", "-profile", "-trace", traceF,
+		"-out", filepath.Join(dir, "c1.txt"))
+	if !strings.Contains(out, "kernel profile") || !strings.Contains(out, "sort_pairs64") {
+		t.Fatalf("profile output missing kernels: %s", out)
+	}
+	if fi, err := os.Stat(traceF); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+
+	out = run(t, gpclust, "-in", graphBin, "-backend", "gpu",
+		"-c1", "30", "-c2", "15", "-ngpu", "2", "-out", filepath.Join(dir, "c2.txt"))
+	if !strings.Contains(out, "clusters") {
+		t.Fatalf("multi-gpu run output unexpected: %s", out)
+	}
+	a, _ := os.ReadFile(filepath.Join(dir, "c1.txt"))
+	b, _ := os.ReadFile(filepath.Join(dir, "c2.txt"))
+	if string(a) != string(b) {
+		t.Fatal("gpuagg and multi-gpu runs produced different clusterings")
+	}
+
+	// Serial decomposed backend agrees too (statistically different random
+	// realization, but the run must succeed and produce a valid file).
+	out = run(t, gpclust, "-in", graphBin, "-backend", "serial", "-workers", "2",
+		"-c1", "30", "-c2", "15", "-out", filepath.Join(dir, "c3.txt"))
+	if !strings.Contains(out, "clusters") {
+		t.Fatalf("decomposed run output unexpected: %s", out)
+	}
+}
+
+// TestCLIExperiments smoke-tests the experiment driver's cheapest paths.
+func TestCLIExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	experiments := buildTool(t, dir, "experiments")
+
+	out := run(t, experiments, "-exp", "table2", "-scale2m", "0.002")
+	if !strings.Contains(out, "Table II") {
+		t.Fatalf("table2 output unexpected: %s", out)
+	}
+	out = run(t, experiments, "-exp", "table3",
+		"-scalequality", "0.002", "-c1", "40", "-c2", "20", "-minsize", "10")
+	if !strings.Contains(out, "Table III") {
+		t.Fatalf("table3 output unexpected: %s", out)
+	}
+}

@@ -1,0 +1,100 @@
+// Command genseq generates synthetic inputs: either a metagenomic ORF data
+// set (FASTA + ground-truth family table) standing in for the paper's GOS
+// sequences, or a planted-dense-subgraph similarity graph directly.
+//
+// Usage:
+//
+//	genseq -mode seqs  -n 2000  -fasta orfs.fa -truth truth.tsv
+//	genseq -mode graph -n 20000 -graph graph.txt -truth truth.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"gpclust/internal/graph"
+	"gpclust/internal/seq"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "seqs", "what to generate: seqs|graph")
+		n         = flag.Int("n", 2000, "number of sequences / vertices")
+		seed      = flag.Int64("seed", 1, "random seed")
+		fastaPath = flag.String("fasta", "", "FASTA output path (mode=seqs)")
+		graphPath = flag.String("graph", "", "graph output path (mode=graph; .bin suffix selects binary)")
+		truthPath = flag.String("truth", "", "ground-truth TSV output path (id, family, superfamily)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "seqs":
+		cfg := seq.DefaultMetagenomeConfig(*n)
+		cfg.Seed = *seed
+		m, err := seq.GenerateMetagenome(cfg)
+		fatal(err)
+		if *fastaPath == "" {
+			fatal(seq.WriteFASTA(os.Stdout, m.Seqs))
+		} else {
+			f, err := os.Create(*fastaPath)
+			fatal(err)
+			fatal(seq.WriteFASTA(f, m.Seqs))
+			fatal(f.Close())
+		}
+		if *truthPath != "" {
+			fatal(writeTruth(*truthPath, m.Family, m.SuperFamily))
+		}
+		fmt.Fprintf(os.Stderr, "genseq: %d sequences, %d families, %d super-families\n",
+			len(m.Seqs), m.NumFamilies, m.NumSupers)
+	case "graph":
+		cfg := graph.DefaultPlantedConfig(*n)
+		cfg.Seed = *seed
+		g, gt := graph.Planted(cfg)
+		if *graphPath == "" {
+			fatal(graph.WriteEdgeList(os.Stdout, g))
+		} else {
+			f, err := os.Create(*graphPath)
+			fatal(err)
+			if len(*graphPath) > 4 && (*graphPath)[len(*graphPath)-4:] == ".bin" {
+				fatal(graph.WriteBinary(f, g))
+			} else {
+				fatal(graph.WriteEdgeList(f, g))
+			}
+			fatal(f.Close())
+		}
+		if *truthPath != "" {
+			fatal(writeTruth(*truthPath, gt.Family, gt.SuperFamily))
+		}
+		st := graph.ComputeStats(g)
+		fmt.Fprintf(os.Stderr, "genseq: %s\n", st)
+	default:
+		fmt.Fprintf(os.Stderr, "genseq: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func writeTruth(path string, family, super []int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	fmt.Fprintln(bw, "id\tfamily\tsuperfamily")
+	for i := range family {
+		fmt.Fprintf(bw, "%d\t%d\t%d\n", i, family[i], super[i])
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genseq:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module gpclust
+
+go 1.22

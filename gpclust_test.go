@@ -1,0 +1,97 @@
+package gpclust_test
+
+import (
+	"reflect"
+	"testing"
+
+	"gpclust"
+)
+
+// TestPublicAPIPipeline exercises the whole public surface end to end:
+// generate a metagenome, build its homology graph, cluster it serially, on
+// the simulated GPU, and with the GOS baseline, then score everything
+// against the planted benchmark.
+func TestPublicAPIPipeline(t *testing.T) {
+	mg, err := gpclust.GenerateMetagenome(gpclust.DefaultMetagenomeConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, pst, err := gpclust.BuildHomologyGraph(mg.Seqs, gpclust.DefaultPGraphConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst.Edges == 0 {
+		t.Fatal("homology graph has no edges")
+	}
+
+	opts := gpclust.DefaultOptions()
+	opts.C1, opts.C2 = 30, 15 // test speed
+
+	serial, err := gpclust.Cluster(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpclust.NewK20()
+	gpu, err := gpclust.ClusterGPU(g, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Clustering, gpu.Clustering) {
+		t.Fatal("serial and GPU clusterings differ through the public API")
+	}
+
+	gosClusters, err := gpclust.ClusterGOS(g, gpclust.GOSOptions{K: 3, RequireEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gosClusters) == 0 {
+		t.Fatal("GOS baseline returned nothing")
+	}
+
+	n := g.NumVertices()
+	bench := mg.SuperFamily
+	minSize := 5
+	oursL := gpclust.LabelsFromClusters(serial.Clustering.Clusters, n, minSize)
+	gosL := gpclust.LabelsFromClusters(gosClusters, n, minSize)
+	ours := gpclust.PairConfusion(oursL, bench, n)
+	gosC := gpclust.PairConfusion(gosL, bench, n)
+	if ours.PPV() < 0.8 {
+		t.Errorf("gpClust PPV = %.2f, want ≥ 0.8 on planted data", ours.PPV())
+	}
+	if ours.TP == 0 || gosC.TP+gosC.FN == 0 {
+		t.Fatal("degenerate confusion matrices")
+	}
+
+	mean, _ := gpclust.DensityStats(g, serial.Clustering.ClustersOfSizeAtLeast(minSize))
+	if mean <= 0 {
+		t.Fatal("non-positive mean cluster density")
+	}
+}
+
+func TestPublicGraphHelpers(t *testing.T) {
+	b := gpclust.NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	st := gpclust.ComputeGraphStats(g)
+	if st.Vertices != 3 || st.Edges != 2 || st.LargestCC != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if gpclust.Density(g, []uint32{0, 1, 2}) != 2.0/3 {
+		t.Fatal("density through facade wrong")
+	}
+}
+
+func TestDeviceFacade(t *testing.T) {
+	cfg := gpclust.K20Config()
+	if cfg.TotalCores() != 2496 {
+		t.Fatalf("K20 core count = %d", cfg.TotalCores())
+	}
+	if _, err := gpclust.NewDevice(gpclust.DeviceConfig{}); err == nil {
+		t.Fatal("zero device config accepted")
+	}
+	dev := gpclust.NewK20()
+	if dev.FreeMemory() != 5<<30 {
+		t.Fatalf("fresh K20 free memory = %d", dev.FreeMemory())
+	}
+}

@@ -1,0 +1,153 @@
+package align
+
+// Params configures Smith–Waterman alignment. Affine gaps: opening a gap
+// costs GapOpen, each further position GapExtend (both positive penalties).
+type Params struct {
+	GapOpen   int
+	GapExtend int
+}
+
+// DefaultParams returns the conventional BLOSUM62 pairing (11, 1).
+func DefaultParams() Params { return Params{GapOpen: 11, GapExtend: 1} }
+
+// Result describes a local alignment.
+type Result struct {
+	Score int
+	// AStart/AEnd and BStart/BEnd delimit the aligned regions (half-open).
+	AStart, AEnd int
+	BStart, BEnd int
+	// Matches and Length give the identity statistics of the alignment path.
+	Matches int
+	Length  int
+}
+
+// Identity returns the fraction of identical residues along the alignment.
+func (r Result) Identity() float64 {
+	if r.Length == 0 {
+		return 0
+	}
+	return float64(r.Matches) / float64(r.Length)
+}
+
+// ScoreOnly computes the optimal local alignment score of a and b with
+// linear memory (two rows of the Gotoh recurrence). It is the hot path of
+// homology-graph construction, where only the score decides edge inclusion.
+func ScoreOnly(a, b []byte, p Params) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	const negInf = -1 << 30
+	n := len(b)
+	h := make([]int, n+1) // H[i-1][j] rolling
+	e := make([]int, n+1) // E[i][j]: gap in a
+	for j := range e {
+		e[j] = negInf
+	}
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		diag := 0 // H[i-1][j-1]
+		f := negInf
+		for j := 1; j <= n; j++ {
+			e[j] = max2(e[j]-p.GapExtend, h[j]-p.GapOpen-p.GapExtend)
+			f = max2(f-p.GapExtend, h[j-1]-p.GapOpen-p.GapExtend)
+			score := diag + Score(a[i-1], b[j-1])
+			if score < 0 {
+				score = 0
+			}
+			score = max2(score, max2(e[j], f))
+			if score < 0 {
+				score = 0
+			}
+			diag = h[j]
+			h[j] = score
+			if score > best {
+				best = score
+			}
+		}
+	}
+	return best
+}
+
+// Align computes the optimal local alignment with full traceback. Memory is
+// O(len(a)·len(b)); use ScoreOnly for bulk screening.
+func Align(a, b []byte, p Params) Result {
+	if len(a) == 0 || len(b) == 0 {
+		return Result{}
+	}
+	const negInf = -1 << 30
+	m, n := len(a), len(b)
+	idx := func(i, j int) int { return i*(n+1) + j }
+	h := make([]int32, (m+1)*(n+1))
+	eArr := make([]int32, (m+1)*(n+1))
+	fArr := make([]int32, (m+1)*(n+1))
+	for j := 0; j <= n; j++ {
+		eArr[idx(0, j)] = negInf
+	}
+	for i := 0; i <= m; i++ {
+		fArr[idx(i, 0)] = negInf
+	}
+	best, bi, bj := int32(0), 0, 0
+	for i := 1; i <= m; i++ {
+		eArr[idx(i, 0)] = negInf
+		for j := 1; j <= n; j++ {
+			e := max2i32(eArr[idx(i, j-1)]-int32(p.GapExtend), h[idx(i, j-1)]-int32(p.GapOpen+p.GapExtend))
+			f := max2i32(fArr[idx(i-1, j)]-int32(p.GapExtend), h[idx(i-1, j)]-int32(p.GapOpen+p.GapExtend))
+			s := h[idx(i-1, j-1)] + int32(Score(a[i-1], b[j-1]))
+			v := max2i32(0, max2i32(s, max2i32(e, f)))
+			h[idx(i, j)] = v
+			eArr[idx(i, j)] = e
+			fArr[idx(i, j)] = f
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	res := Result{Score: int(best), AEnd: bi, BEnd: bj}
+	// Traceback from the maximum to the first zero cell.
+	i, j := bi, bj
+	for i > 0 && j > 0 && h[idx(i, j)] > 0 {
+		v := h[idx(i, j)]
+		switch {
+		case v == h[idx(i-1, j-1)]+int32(Score(a[i-1], b[j-1])):
+			if a[i-1] == b[j-1] {
+				res.Matches++
+			}
+			res.Length++
+			i--
+			j--
+		case v == eArr[idx(i, j)]:
+			// gap in a: walk left while extending
+			for j > 0 && h[idx(i, j)] == eArr[idx(i, j)] &&
+				eArr[idx(i, j)] == eArr[idx(i, j-1)]-int32(p.GapExtend) {
+				res.Length++
+				j--
+			}
+			res.Length++
+			j--
+		default:
+			for i > 0 && h[idx(i, j)] == fArr[idx(i, j)] &&
+				fArr[idx(i, j)] == fArr[idx(i-1, j)]-int32(p.GapExtend) {
+				res.Length++
+				i--
+			}
+			res.Length++
+			i--
+		}
+	}
+	res.AStart, res.BStart = i, j
+	return res
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max2i32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

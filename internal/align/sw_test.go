@@ -1,0 +1,203 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlosum62Symmetric(t *testing.T) {
+	for i := 0; i < AlphabetSize; i++ {
+		for j := 0; j < AlphabetSize; j++ {
+			if Blosum62[i][j] != Blosum62[j][i] {
+				t.Fatalf("BLOSUM62[%c][%c] = %d != BLOSUM62[%c][%c] = %d",
+					Alphabet[i], Alphabet[j], Blosum62[i][j],
+					Alphabet[j], Alphabet[i], Blosum62[j][i])
+			}
+		}
+	}
+}
+
+func TestBlosum62DiagonalPositive(t *testing.T) {
+	for i := 0; i < AlphabetSize-1; i++ { // X excluded
+		if Blosum62[i][i] <= 0 {
+			t.Errorf("self score of %c = %d, want > 0", Alphabet[i], Blosum62[i][i])
+		}
+	}
+}
+
+func TestBlosum62KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'W', 'W', 11}, {'A', 'A', 4}, {'W', 'P', -4},
+		{'I', 'V', 3}, {'R', 'K', 2}, {'C', 'C', 9},
+		{'a', 'a', 4},                  // lowercase accepted
+		{'Z', 'A', -1}, {'*', '*', -1}, // unknowns score as X
+	}
+	for _, c := range cases {
+		if got := Score(c.a, c.b); got != c.want {
+			t.Errorf("Score(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValidateSequence(t *testing.T) {
+	if err := ValidateSequence([]byte("ACDEFGHIKLMNPQRSTVWYX")); err != nil {
+		t.Fatalf("valid sequence rejected: %v", err)
+	}
+	if err := ValidateSequence([]byte("ACDB")); err == nil {
+		t.Fatal("B accepted (not in our alphabet)")
+	}
+	if err := ValidateSequence([]byte("AC*D")); err == nil {
+		t.Fatal("* accepted")
+	}
+}
+
+func TestScoreOnlyIdentical(t *testing.T) {
+	s := []byte("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ")
+	want := 0
+	for _, c := range s {
+		want += Score(c, c)
+	}
+	if got := ScoreOnly(s, s, DefaultParams()); got != want {
+		t.Fatalf("self alignment score = %d, want %d", got, want)
+	}
+}
+
+func TestScoreOnlyDisjoint(t *testing.T) {
+	// Alignments never go negative: unrelated sequences floor at the best
+	// single-residue match.
+	a := []byte("PPPPPPPP")
+	b := []byte("GGGGGGGG")
+	if got := ScoreOnly(a, b, DefaultParams()); got != 0 {
+		t.Fatalf("score of unalignable pair = %d, want 0", got)
+	}
+}
+
+func TestScoreOnlyLocalness(t *testing.T) {
+	// A conserved core inside unrelated flanks must score the core.
+	core := []byte("WWWCCCWWW")
+	coreScore := ScoreOnly(core, core, DefaultParams())
+	a := append(append([]byte("PPPPPP"), core...), []byte("GGGGGG")...)
+	b := append(append([]byte("KKKKKK"), core...), []byte("TTTTTT")...)
+	got := ScoreOnly(a, b, DefaultParams())
+	if got < coreScore {
+		t.Fatalf("embedded core scores %d, want ≥ %d", got, coreScore)
+	}
+}
+
+func TestScoreOnlyEmpty(t *testing.T) {
+	if ScoreOnly(nil, []byte("AAA"), DefaultParams()) != 0 {
+		t.Fatal("empty query should score 0")
+	}
+	if ScoreOnly([]byte("AAA"), nil, DefaultParams()) != 0 {
+		t.Fatal("empty subject should score 0")
+	}
+}
+
+func TestScoreSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seedA, seedB int64) bool {
+		a := randomSeq(rng, 5+int(seedA%40+40)%40)
+		b := randomSeq(rng, 5+int(seedB%40+40)%40)
+		p := DefaultParams()
+		return ScoreOnly(a, b, p) == ScoreOnly(b, a, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignMatchesScoreOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := DefaultParams()
+	for trial := 0; trial < 60; trial++ {
+		a := randomSeq(rng, 10+rng.Intn(60))
+		b := mutate(rng, a, 0.2)
+		full := Align(a, b, p)
+		fast := ScoreOnly(a, b, p)
+		if full.Score != fast {
+			t.Fatalf("trial %d: Align score %d != ScoreOnly %d", trial, full.Score, fast)
+		}
+		if full.AStart > full.AEnd || full.BStart > full.BEnd {
+			t.Fatalf("trial %d: inverted alignment bounds %+v", trial, full)
+		}
+		if full.AEnd > len(a) || full.BEnd > len(b) {
+			t.Fatalf("trial %d: bounds outside sequences %+v", trial, full)
+		}
+	}
+}
+
+func TestAlignIdentity(t *testing.T) {
+	s := []byte("MKTAYIAKQRQISFVKSHFSRQ")
+	r := Align(s, s, DefaultParams())
+	if r.Identity() != 1.0 {
+		t.Fatalf("self identity = %v, want 1.0", r.Identity())
+	}
+	if r.Length != len(s) || r.Matches != len(s) {
+		t.Fatalf("self alignment length/matches = %d/%d, want %d", r.Length, r.Matches, len(s))
+	}
+	if r.AStart != 0 || r.AEnd != len(s) {
+		t.Fatalf("self alignment span [%d,%d), want [0,%d)", r.AStart, r.AEnd, len(s))
+	}
+}
+
+func TestAlignGapHandling(t *testing.T) {
+	a := []byte("WWWWCCCCWWWW")
+	b := []byte("WWWWCCCCKKKWWWW") // 3-residue insertion
+	r := Align(a, b, DefaultParams())
+	wantNoGap := ScoreOnly([]byte("WWWWCCCC"), []byte("WWWWCCCC"), DefaultParams())
+	if r.Score < wantNoGap {
+		t.Fatalf("gapped alignment score %d below contiguous-core score %d", r.Score, wantNoGap)
+	}
+	// Gap-spanning alignment: the full 12+3 path scores
+	// 12 matches - open - 3 extends; verify it is chosen over the core when
+	// beneficial.
+	full := 0
+	for _, c := range a {
+		full += Score(c, c)
+	}
+	p := DefaultParams()
+	wantGapped := full - p.GapOpen - 3*p.GapExtend
+	if wantGapped > wantNoGap && r.Score != wantGapped {
+		t.Fatalf("score = %d, want gapped path %d", r.Score, wantGapped)
+	}
+}
+
+func TestAlignEmpty(t *testing.T) {
+	r := Align(nil, []byte("AAA"), DefaultParams())
+	if r.Score != 0 || r.Length != 0 {
+		t.Fatalf("empty alignment = %+v", r)
+	}
+}
+
+func randomSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = Alphabet[rng.Intn(20)]
+	}
+	return s
+}
+
+func mutate(rng *rand.Rand, s []byte, rate float64) []byte {
+	out := append([]byte{}, s...)
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = Alphabet[rng.Intn(20)]
+		}
+	}
+	return out
+}
+
+func BenchmarkScoreOnly100x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSeq(rng, 100)
+	y := mutate(rng, x, 0.3)
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScoreOnly(x, y, p)
+	}
+}

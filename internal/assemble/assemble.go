@@ -1,0 +1,255 @@
+// Package assemble implements a greedy overlap assembler for shotgun reads
+// — the "assembled" step of the paper's data-preparation pipeline ("The
+// resulting environmental sequence DNA data can be assembled, annotated for
+// genetic regions and subsequently translated into six frames", Section I).
+// It is a deliberately classical greedy suffix–prefix merger in the
+// Celera/phrap tradition (the paper cites Myers et al.'s whole-genome
+// shotgun assembly): reads are seeded into contigs and extended while an
+// exact overlap of at least MinOverlap bases exists, considering both
+// strands.
+package assemble
+
+import (
+	"fmt"
+	"sort"
+
+	"gpclust/internal/seq"
+)
+
+// Config controls assembly.
+type Config struct {
+	// MinOverlap is the suffix–prefix overlap (bases) required to merge a
+	// read into a contig. The k-base anchor seed must match exactly.
+	MinOverlap int
+	// MismatchRate is the tolerated fraction of mismatching bases in the
+	// verified overlap beyond the anchor (sequencing errors); 0 demands
+	// exact overlaps.
+	MismatchRate float64
+	// MaxContigReads caps reads per contig as a mis-assembly guard
+	// (0 = unlimited).
+	MaxContigReads int
+}
+
+// DefaultConfig returns Sanger-style settings: 40-base overlaps tolerating
+// up to 2% mismatches (≈3× the typical per-read error rate, since both
+// overlapping reads contribute errors).
+func DefaultConfig() Config { return Config{MinOverlap: 40, MismatchRate: 0.02} }
+
+// Contig is one assembled sequence.
+type Contig struct {
+	ID    string
+	DNA   []byte
+	Reads int // number of reads merged into the contig
+}
+
+// kmerKey hashes w bases with FNV-1a.
+func kmerKey(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// oriented is one strand of one read.
+type oriented struct {
+	read int
+	dna  []byte
+}
+
+// Assemble merges the reads into contigs. Deterministic: reads are seeded
+// in input order and candidate extensions are tried in index order. Reads
+// shorter than MinOverlap are passed through as single-read contigs.
+func Assemble(reads []seq.ShotgunRead, cfg Config) ([]Contig, error) {
+	if cfg.MinOverlap < 16 {
+		return nil, fmt.Errorf("assemble: MinOverlap %d too small to be specific", cfg.MinOverlap)
+	}
+	k := cfg.MinOverlap
+
+	// Index both orientations of every read by their prefix k-mer.
+	var orients []oriented
+	prefixIdx := make(map[uint64][]int32)
+	for i, r := range reads {
+		if len(r.DNA) >= k {
+			for _, dna := range [][]byte{r.DNA, seq.ReverseComplement(r.DNA)} {
+				orients = append(orients, oriented{read: i, dna: dna})
+				key := kmerKey(dna[:k])
+				prefixIdx[key] = append(prefixIdx[key], int32(len(orients)-1))
+			}
+		}
+	}
+
+	maxRead := 0
+	for _, r := range reads {
+		if len(r.DNA) > maxRead {
+			maxRead = len(r.DNA)
+		}
+	}
+
+	used := make([]bool, len(reads))
+	var contigs []Contig
+	for i, r := range reads {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		if len(r.DNA) < k {
+			contigs = append(contigs, Contig{
+				ID: fmt.Sprintf("contig%05d", len(contigs)), DNA: r.DNA, Reads: 1,
+			})
+			continue
+		}
+		contig := append([]byte{}, r.DNA...)
+		nReads := 1
+		// Extend rightward greedily.
+		for cfg.MaxContigReads == 0 || nReads < cfg.MaxContigReads {
+			ext := extendRight(contig, k, maxRead, cfg.MismatchRate, orients, prefixIdx, used)
+			contig = ext.merged
+			nReads += ext.absorbed
+			if ext.extended == 0 {
+				break
+			}
+		}
+		// Extend leftward by extending the reverse complement rightward.
+		rc := seq.ReverseComplement(contig)
+		for cfg.MaxContigReads == 0 || nReads < cfg.MaxContigReads {
+			ext := extendRight(rc, k, maxRead, cfg.MismatchRate, orients, prefixIdx, used)
+			rc = ext.merged
+			nReads += ext.absorbed
+			if ext.extended == 0 {
+				break
+			}
+		}
+		contig = seq.ReverseComplement(rc)
+		contigs = append(contigs, Contig{
+			ID: fmt.Sprintf("contig%05d", len(contigs)), DNA: contig, Reads: nReads,
+		})
+	}
+	// Longest first for deterministic, useful ordering.
+	sort.SliceStable(contigs, func(a, b int) bool { return len(contigs[a].DNA) > len(contigs[b].DNA) })
+	for i := range contigs {
+		contigs[i].ID = fmt.Sprintf("contig%05d", i)
+	}
+	return contigs, nil
+}
+
+// extension reports one rightward pass's outcome: the (possibly grown)
+// contig, how many reads it absorbed (contained + merged), and how many new
+// bases the best merge contributed.
+type extension struct {
+	merged   []byte
+	absorbed int
+	extended int
+}
+
+// extendRight scans the contig's suffix for unused reads whose prefix
+// anchors there with an exact k-base seed and verifies the remaining
+// overlap within the mismatch budget. Reads fully contained in the contig
+// are absorbed in place; among reads extending past the end, the one
+// contributing the most new bases wins. Overlaps up to the longest read
+// length are considered.
+func extendRight(contig []byte, k, maxRead int, mismatchRate float64, orients []oriented, prefixIdx map[uint64][]int32, used []bool) extension {
+	res := extension{merged: contig}
+	if len(contig) < k {
+		return res
+	}
+	lowest := len(contig) - maxRead
+	if lowest < 0 {
+		lowest = 0
+	}
+	bestRead := -1
+	var bestMerged []byte
+	for p := len(contig) - k; p >= lowest; p-- {
+		key := kmerKey(contig[p : p+k])
+		for _, oi := range prefixIdx[key] {
+			o := orients[oi]
+			if used[o.read] {
+				continue
+			}
+			tail := contig[p:]
+			if len(o.dna) <= len(tail) {
+				// Fully contained: absorb if it matches in place.
+				if withinMismatchBudget(o.dna, tail[:len(o.dna)], mismatchRate) {
+					used[o.read] = true
+					res.absorbed++
+				}
+				continue
+			}
+			if !withinMismatchBudget(o.dna[:len(tail)], tail, mismatchRate) {
+				continue
+			}
+			gain := len(o.dna) - len(tail)
+			if bestRead < 0 || gain > res.extended {
+				bestRead = o.read
+				res.extended = gain
+				bestMerged = append(append([]byte{}, contig...), o.dna[len(tail):]...)
+			}
+		}
+	}
+	if bestRead >= 0 {
+		used[bestRead] = true
+		res.absorbed++
+		res.merged = bestMerged
+	}
+	return res
+}
+
+// withinMismatchBudget reports whether two equal-length base strings differ
+// in at most rate × length positions (and never in more than they could
+// under an early exit).
+func withinMismatchBudget(a, b []byte, rate float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	budget := int(rate * float64(len(a)))
+	mism := 0
+	for i := range a {
+		if a[i] != b[i] {
+			mism++
+			if mism > budget {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// N50 returns the standard assembly-contiguity statistic: the length L such
+// that contigs of length ≥ L cover half the assembled bases.
+func N50(contigs []Contig) int {
+	total := 0
+	lens := make([]int, len(contigs))
+	for i, c := range contigs {
+		lens[i] = len(c.DNA)
+		total += len(c.DNA)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	run := 0
+	for _, l := range lens {
+		run += l
+		if 2*run >= total {
+			return l
+		}
+	}
+	return 0
+}
+
+// ORFs extracts putative proteins from the contigs by six-frame
+// translation, feeding the rest of the pipeline.
+func ORFs(contigs []Contig, minLen int) []seq.Sequence {
+	var out []seq.Sequence
+	for _, c := range contigs {
+		for oi, orf := range seq.SixFrameORFs(c.DNA, minLen) {
+			out = append(out, seq.Sequence{
+				ID:       fmt.Sprintf("%s_orf%d_f%d", c.ID, oi, orf.Frame),
+				Residues: orf.Peptide,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package assemble
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gpclust/internal/seq"
+)
+
+func randomDNA(rng *rand.Rand, n int) []byte {
+	alpha := []byte("ACGT")
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alpha[rng.Intn(4)]
+	}
+	return out
+}
+
+// shred cuts a source sequence into overlapping error-free reads.
+func shred(src []byte, readLen, step int) []seq.ShotgunRead {
+	var reads []seq.ShotgunRead
+	for start := 0; start < len(src); start += step {
+		end := start + readLen
+		if end > len(src) {
+			end = len(src)
+		}
+		reads = append(reads, seq.ShotgunRead{
+			ID:  string(rune('a' + len(reads))),
+			DNA: append([]byte{}, src[start:end]...),
+		})
+		if end == len(src) {
+			break
+		}
+	}
+	return reads
+}
+
+func TestAssembleReconstructsSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := randomDNA(rng, 1200)
+	reads := shred(src, 300, 200) // 100-base overlaps
+	cfg := DefaultConfig()
+	contigs, err := Assemble(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 {
+		t.Fatalf("%d contigs from perfectly overlapping reads, want 1", len(contigs))
+	}
+	got := contigs[0].DNA
+	if !bytes.Equal(got, src) && !bytes.Equal(got, seq.ReverseComplement(src)) {
+		t.Fatalf("contig of %d bases does not reconstruct the %d-base source", len(got), len(src))
+	}
+	if contigs[0].Reads != len(reads) {
+		t.Fatalf("contig merged %d reads, want %d", contigs[0].Reads, len(reads))
+	}
+}
+
+func TestAssembleHandlesStrandFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randomDNA(rng, 900)
+	reads := shred(src, 300, 200)
+	// Flip every other read to the opposite strand.
+	for i := range reads {
+		if i%2 == 1 {
+			reads[i].DNA = seq.ReverseComplement(reads[i].DNA)
+		}
+	}
+	contigs, err := Assemble(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 {
+		t.Fatalf("%d contigs with strand flips, want 1", len(contigs))
+	}
+	got := contigs[0].DNA
+	if !bytes.Equal(got, src) && !bytes.Equal(got, seq.ReverseComplement(src)) {
+		t.Fatal("strand-flipped reads not reassembled to the source")
+	}
+}
+
+func TestAssembleKeepsUnrelatedApart(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomDNA(rng, 600)
+	b := randomDNA(rng, 600)
+	reads := append(shred(a, 250, 150), shred(b, 250, 150)...)
+	contigs, err := Assemble(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 2 {
+		t.Fatalf("%d contigs from two unrelated sources, want 2", len(contigs))
+	}
+}
+
+func TestAssembleShortReadsPassThrough(t *testing.T) {
+	reads := []seq.ShotgunRead{{ID: "x", DNA: []byte("ACGTACGT")}}
+	contigs, err := Assemble(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 || !bytes.Equal(contigs[0].DNA, reads[0].DNA) {
+		t.Fatal("short read not passed through")
+	}
+}
+
+func TestAssembleValidation(t *testing.T) {
+	if _, err := Assemble(nil, Config{MinOverlap: 4}); err == nil {
+		t.Fatal("tiny MinOverlap accepted")
+	}
+}
+
+func TestAssembleDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	src := randomDNA(rng, 2000)
+	reads := shred(src, 300, 180)
+	c1, err := Assemble(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Assemble(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != len(c2) {
+		t.Fatal("nondeterministic contig count")
+	}
+	for i := range c1 {
+		if !bytes.Equal(c1[i].DNA, c2[i].DNA) {
+			t.Fatal("nondeterministic contigs")
+		}
+	}
+}
+
+func TestN50(t *testing.T) {
+	contigs := []Contig{
+		{DNA: make([]byte, 100)},
+		{DNA: make([]byte, 300)},
+		{DNA: make([]byte, 600)},
+	}
+	// total 1000; sorted desc 600, 300: 600 covers 600 ≥ 500 → N50 = 600
+	if got := N50(contigs); got != 600 {
+		t.Fatalf("N50 = %d, want 600", got)
+	}
+	if N50(nil) != 0 {
+		t.Fatal("empty N50 not 0")
+	}
+}
+
+// End to end: assembling simulated shotgun reads must improve contiguity
+// (longer contigs than reads) and still yield ORFs aligning to the planted
+// proteins.
+func TestAssemblePipeline(t *testing.T) {
+	cfg := seq.DefaultMetagenomeConfig(40)
+	cfg.AncestorLenMin, cfg.AncestorLenMax = 100, 140
+	m, err := seq.GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := seq.DefaultShotgunConfig()
+	sc.ReadLen = 240
+	sc.Coverage = 5
+	sc.ErrorRate = 0 // exact-overlap assembler: error-free reads
+	reads, err := seq.SimulateShotgun(m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contigs, err := Assemble(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+	if n50 := N50(contigs); n50 <= sc.ReadLen {
+		t.Fatalf("N50 = %d not above read length %d; assembly gained nothing", n50, sc.ReadLen)
+	}
+	orfs := ORFs(contigs, 60)
+	if len(orfs) == 0 {
+		t.Fatal("no ORFs from contigs")
+	}
+}
+
+func TestAssembleToleratesSequencingErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	src := randomDNA(rng, 1500)
+	reads := shred(src, 300, 200)
+	// Sprinkle realistic errors outside the anchor regions.
+	for i := range reads {
+		for j := range reads[i].DNA {
+			if rng.Float64() < 0.004 {
+				reads[i].DNA[j] = "ACGT"[rng.Intn(4)]
+			}
+		}
+	}
+	contigs, err := Assemble(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n50 := N50(contigs); n50 <= 300 {
+		t.Fatalf("N50 = %d with error tolerance, want above read length", n50)
+	}
+	// Strict exact-overlap mode should do worse on the same reads.
+	strict := DefaultConfig()
+	strict.MismatchRate = 0
+	strictContigs, err := Assemble(reads, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strictContigs) < len(contigs) {
+		t.Fatalf("exact mode produced fewer contigs (%d) than tolerant mode (%d)",
+			len(strictContigs), len(contigs))
+	}
+}
+
+func TestWithinMismatchBudget(t *testing.T) {
+	a := []byte("ACGTACGTACGTACGTACGT")
+	b := append([]byte{}, a...)
+	if !withinMismatchBudget(a, b, 0) {
+		t.Fatal("identical strings rejected")
+	}
+	b[2] = 'T' // a[2] is 'G'
+	if withinMismatchBudget(a, b, 0) {
+		t.Fatal("mismatch accepted at zero budget")
+	}
+	if !withinMismatchBudget(a, b, 0.05) {
+		t.Fatal("1/20 mismatch rejected at 5% budget")
+	}
+	if withinMismatchBudget(a, a[:10], 1) {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// FuzzAssemble: arbitrary read sets must never panic, and output contigs
+// must collectively contain every input base (reads are never lost).
+func FuzzAssemble(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"), 3)
+	f.Add([]byte("A"), 1)
+	f.Add([]byte(""), 2)
+	f.Fuzz(func(t *testing.T, pool []byte, nReads int) {
+		if nReads < 1 || nReads > 20 || len(pool) > 4096 {
+			return
+		}
+		// Normalize to ACGT and slice into reads.
+		alpha := []byte("ACGT")
+		dna := make([]byte, len(pool))
+		for i, c := range pool {
+			dna[i] = alpha[int(c)%4]
+		}
+		var reads []seq.ShotgunRead
+		for i := 0; i < nReads; i++ {
+			lo := i * len(dna) / nReads
+			hi := (i + 2) * len(dna) / nReads // overlapping windows
+			if hi > len(dna) {
+				hi = len(dna)
+			}
+			if lo >= hi {
+				continue
+			}
+			reads = append(reads, seq.ShotgunRead{
+				ID: "r", DNA: append([]byte{}, dna[lo:hi]...),
+			})
+		}
+		contigs, err := Assemble(reads, DefaultConfig())
+		if err != nil {
+			t.Fatalf("assemble failed: %v", err)
+		}
+		totalIn := 0
+		for _, r := range reads {
+			totalIn += len(r.DNA)
+		}
+		totalOut := 0
+		for _, c := range contigs {
+			totalOut += len(c.DNA)
+			if c.Reads < 1 {
+				t.Fatal("contig with no reads")
+			}
+		}
+		if len(reads) > 0 && len(contigs) == 0 {
+			t.Fatal("reads vanished")
+		}
+		if totalOut > totalIn {
+			t.Fatalf("contigs have %d bases from %d input bases", totalOut, totalIn)
+		}
+	})
+}

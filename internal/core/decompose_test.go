@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"gpclust/internal/graph"
+)
+
+func TestClusterByComponentPartition(t *testing.T) {
+	g, _ := plantedTestGraph(800, 43)
+	res, err := ClusterByComponent(g, testOptions(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact partition of the vertex set.
+	seen := make([]bool, g.NumVertices())
+	for _, cl := range res.Clustering.Clusters {
+		if len(cl) == 0 {
+			t.Fatal("empty cluster")
+		}
+		for j, v := range cl {
+			if seen[v] {
+				t.Fatalf("vertex %d in two clusters", v)
+			}
+			seen[v] = true
+			if j > 0 && cl[j-1] >= v {
+				t.Fatal("cluster members not sorted")
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("vertex %d missing", v)
+		}
+	}
+}
+
+func TestClusterByComponentRespectsComponents(t *testing.T) {
+	g, _ := plantedTestGraph(600, 47)
+	labels, _ := graph.ConnectedComponents(g)
+	res, err := ClusterByComponent(g, testOptions(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range res.Clustering.Clusters {
+		for _, v := range cl[1:] {
+			if labels[v] != labels[cl[0]] {
+				t.Fatalf("cluster spans connected components %d and %d", labels[cl[0]], labels[v])
+			}
+		}
+	}
+}
+
+func TestClusterByComponentQualityMatchesGlobal(t *testing.T) {
+	// The decomposed run is a different random realization but must find
+	// the same dense structure: compare cluster-size profiles.
+	g, gt := plantedTestGraph(700, 53)
+	o := testOptions()
+	global, err := ClusterSerial(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decomposed, err := ClusterByComponent(g, o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigG := global.Clustering.ClustersOfSizeAtLeast(8)
+	bigD := decomposed.Clustering.ClustersOfSizeAtLeast(8)
+	if len(bigD) == 0 {
+		t.Fatal("decomposed run found no clusters of size ≥ 8")
+	}
+	ratio := float64(len(bigD)) / float64(len(bigG))
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("decomposed found %d big clusters vs global %d; profiles diverge", len(bigD), len(bigG))
+	}
+	// Both must be pure at the super-family level.
+	for _, cl := range bigD {
+		counts := map[int32]int{}
+		for _, v := range cl {
+			counts[gt.SuperFamily[v]]++
+		}
+		best := 0
+		for f, c := range counts {
+			if f >= 0 && c > best {
+				best = c
+			}
+		}
+		if float64(best) < 0.7*float64(len(cl)) {
+			t.Errorf("decomposed cluster of %d impure: best super covers %d", len(cl), best)
+		}
+	}
+}
+
+func TestClusterByComponentSingletons(t *testing.T) {
+	g := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}}) // 3 singletons
+	res, err := ClusterByComponent(g, testOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clustering.N != 5 {
+		t.Fatalf("N = %d", res.Clustering.N)
+	}
+	if len(res.Clustering.Clusters) < 4 {
+		t.Fatalf("%d clusters, want ≥ 4 (singletons preserved)", len(res.Clustering.Clusters))
+	}
+}
+
+func TestClusterByComponentWorkerInvariance(t *testing.T) {
+	g, _ := plantedTestGraph(400, 59)
+	o := testOptions()
+	r1, err := ClusterByComponent(g, o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := ClusterByComponent(g, o, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Clustering.Clusters) != len(r4.Clustering.Clusters) {
+		t.Fatalf("cluster count differs across worker counts: %d vs %d",
+			len(r1.Clustering.Clusters), len(r4.Clustering.Clusters))
+	}
+	for i := range r1.Clustering.Clusters {
+		a, b := r1.Clustering.Clusters[i], r4.Clustering.Clusters[i]
+		if len(a) != len(b) {
+			t.Fatal("cluster sizes differ across worker counts")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("cluster membership differs across worker counts")
+			}
+		}
+	}
+}

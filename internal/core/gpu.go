@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+
+	"gpclust/internal/gpusim"
+	"gpclust/internal/graph"
+	"gpclust/internal/minwise"
+	"gpclust/internal/thrust"
+)
+
+// ClusterGPU runs the gpClust CPU–GPU pipeline of Section III-C and
+// Algorithm 2: the CPU loads the graph and partitions it into batches of
+// adjacency lists sized to the device memory; each batch is moved to the
+// device once and shingled for all c trials (per trial: a transform() hash
+// kernel, a segmented top-s selection, and a device→host transfer of the
+// shingles); the CPU aggregates the shingles — merging partial results of
+// lists split across batches — into the next-level shingle graph, repeats
+// for the second level, and reports dense subgraphs.
+//
+// The device's virtual clock provides the Table I component breakdown; the
+// clustering itself is bit-identical to ClusterSerial for the same Options
+// (verified by tests).
+func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	fam1, fam2 := o.families()
+	acct := &cpuAccount{}
+	res := &Result{Backend: "gpu"}
+
+	dev.Reset()
+
+	// "CPU initiate[s] the task by loading graph into HM" (Algorithm 2).
+	acct.diskBytes = graphDiskBytes(g)
+	dev.AdvanceHost(acct.diskNs())
+
+	in := FromGraph(g)
+	gi, err := runPassGPU(dev, in, fam1, o.S1, o, acct, &res.Pass1)
+	if err != nil {
+		return nil, fmt.Errorf("core: first-level shingling: %w", err)
+	}
+
+	// "CPU aggregates sglsH into a graph" — the filter is part of shingle
+	// graph preparation.
+	beforeAgg := acct.aggOps
+	pass2In := gi.filterMinLen(o.S2)
+	acct.aggOps += int64(len(gi.Data))
+	res.Pass1.SharedLists = pass2In.NumLists()
+	dev.AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
+
+	gii, err := runPassGPU(dev, pass2In, fam2, o.S2, o, acct, &res.Pass2)
+	if err != nil {
+		return nil, fmt.Errorf("core: second-level shingling: %w", err)
+	}
+
+	// "final data aggregation on CPU ... CPU reports dense subgraphs".
+	beforeReport := acct.reportOps
+	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
+	dev.AdvanceHost(float64(acct.reportOps-beforeReport) * ReportNsPerOp)
+
+	dev.Synchronize()
+	m := dev.Metrics()
+	res.Timings = Timings{
+		CPUNs:    acct.aggNs() + acct.reportNs(),
+		GPUNs:    m.KernelTimeNs,
+		H2DNs:    m.H2DTimeNs,
+		D2HNs:    m.D2HTimeNs,
+		DiskIONs: acct.diskNs(),
+		TotalNs:  dev.HostTime(),
+	}
+	return res, nil
+}
+
+// batchPiece is one device segment: a whole list or a contiguous piece of a
+// list that had to be split across batches.
+type batchPiece struct {
+	list   int   // index into the pass input SegGraph
+	lo, hi int64 // element range within that list
+}
+
+func (p batchPiece) words() int { return int(p.hi - p.lo) }
+
+// isWhole reports whether the piece covers its entire list.
+func (p batchPiece) isWhole(sg *SegGraph) bool {
+	return p.lo == 0 && p.hi == sg.Offsets[p.list+1]-sg.Offsets[p.list]
+}
+
+// batchPlan is one device batch of adjacency-list pieces.
+type batchPlan struct {
+	pieces []batchPiece
+	words  int
+}
+
+// planBatches partitions the pass input into batches whose device footprint
+// fits the word budget, splitting individual lists only when a single list
+// alone exceeds it. The footprint is sized conservatively for the async
+// pipeline's double buffering — per data word, the data buffer plus two
+// hashed copies; per piece, an offset word plus two s-word output slots —
+// and, when gpuAggregate is set, for the aggregation pipeline's extra
+// per-piece buffers (owner, flag, key halves, value, packed records).
+func planBatches(in *SegGraph, s int, budgetWords int, gpuAggregate bool) ([]batchPlan, error) {
+	perPieceOverhead := 2 * (s + 2)
+	if gpuAggregate {
+		perPieceOverhead += 9
+	}
+	minBudget := 3*1 + perPieceOverhead + 2
+	if budgetWords < minBudget {
+		return nil, fmt.Errorf("core: batch budget of %d words cannot hold any list", budgetWords)
+	}
+	// Largest data footprint a single piece may have.
+	maxPieceWords := (budgetWords - perPieceOverhead - 2) / 3
+	if maxPieceWords < 1 {
+		maxPieceWords = 1
+	}
+
+	var plans []batchPlan
+	cur := batchPlan{}
+	cost := 0
+	flush := func() {
+		if len(cur.pieces) > 0 {
+			plans = append(plans, cur)
+			cur = batchPlan{}
+			cost = 0
+		}
+	}
+	for i := 0; i < in.NumLists(); i++ {
+		listLen := int(in.Offsets[i+1] - in.Offsets[i])
+		lo := 0
+		for lo < listLen || listLen == 0 {
+			n := listLen - lo
+			if n > maxPieceWords {
+				n = maxPieceWords
+			}
+			pieceCost := 3*n + perPieceOverhead
+			if cost+pieceCost > budgetWords {
+				flush()
+			}
+			cur.pieces = append(cur.pieces, batchPiece{list: i, lo: int64(lo), hi: int64(lo + n)})
+			cur.words += n
+			cost += pieceCost
+			lo += n
+			if listLen == 0 {
+				break
+			}
+		}
+	}
+	flush()
+	return plans, nil
+}
+
+// pendingShingle accumulates the per-trial partial minima of a list split
+// across batches; the CPU merges each new piece's partial result into it
+// ("a subsequent data aggregation on the CPU side will ... merge the
+// different copies of shingles into one correct copy for the split
+// adjacency list").
+type pendingShingle struct {
+	perTrial [][]uint32 // c slices of ≤ s ascending minima
+}
+
+// mergeTopS merges a piece's sentinel-padded ascending minima into the
+// accumulated ascending minima, keeping at most s values.
+func mergeTopS(acc []uint32, piece []uint32, s int) []uint32 {
+	merged := make([]uint32, 0, s)
+	i, j := 0, 0
+	for len(merged) < s {
+		var take uint32
+		switch {
+		case i < len(acc) && (j >= len(piece) || acc[i] <= piece[j]):
+			take = acc[i]
+			i++
+		case j < len(piece):
+			take = piece[j]
+			j++
+		default:
+			return merged
+		}
+		if take == thrust.TopSSentinel {
+			continue
+		}
+		merged = append(merged, take)
+	}
+	return merged
+}
+
+// runPassGPU executes one shingling pass (Algorithm 1 inside Algorithm 2's
+// batch loop) on the device and aggregates the result into the next-level
+// shingle graph on the CPU.
+func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
+	o Options, acct *cpuAccount, stats *PassStats) (*SegGraph, error) {
+
+	stats.Lists = in.NumLists()
+	stats.Elements = int64(len(in.Data))
+	c := fam.Size()
+	tuplesByTrial := make([][]tuple, c)
+	var sortedByTrial [][][]tuple
+	if o.GPUAggregate {
+		sortedByTrial = make([][][]tuple, c)
+	}
+
+	if in.NumLists() == 0 {
+		return buildShingleGraph(tuplesByTrial, acct, stats), nil
+	}
+	for i := 0; i < in.NumLists(); i++ {
+		if int(in.Offsets[i+1]-in.Offsets[i]) < s {
+			stats.SkippedShort++
+		}
+	}
+
+	budget := o.BatchWords
+	if budget == 0 {
+		// data + hash copies, offsets and output must all fit with slack.
+		budget = int(dev.FreeMemory() / gpusim.WordBytes * 3 / 4)
+	}
+	plans, err := planBatches(in, s, budget, o.GPUAggregate)
+	if err != nil {
+		return nil, err
+	}
+	stats.Batches = len(plans)
+
+	pending := make(map[int]*pendingShingle)
+	splitLists := make(map[int]bool)
+	for _, p := range plans {
+		for _, pc := range p.pieces {
+			if !pc.isWhole(in) {
+				splitLists[pc.list] = true
+			}
+		}
+	}
+	stats.SplitLists = len(splitLists)
+
+	for _, plan := range plans {
+		if err := runBatch(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats); err != nil {
+			return nil, err
+		}
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("core: %d split lists never completed", len(pending))
+	}
+
+	beforeAgg := acct.aggOps
+	var out *SegGraph
+	if o.GPUAggregate {
+		out = buildShingleGraphPresorted(sortedByTrial, tuplesByTrial, acct, stats)
+	} else {
+		out = buildShingleGraph(tuplesByTrial, acct, stats)
+	}
+	dev.AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
+	return out, nil
+}
+
+// runBatch moves one batch of adjacency-list pieces to the device, runs all
+// c shingling trials on it, and streams the shingle results back for CPU
+// aggregation. With o.AsyncTransfer the trials are double-buffered across
+// two streams so transfers and the next trial's kernels overlap CPU
+// aggregation; otherwise every step is synchronous, like the Thrust
+// implementation the paper describes.
+func runBatch(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int, o Options,
+	plan batchPlan, tuplesByTrial [][]tuple, sortedByTrial [][][]tuple,
+	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats) error {
+
+	numPieces := len(plan.pieces)
+	// Assemble the batch's contiguous data and offsets on the host.
+	hostData := make([]uint32, 0, plan.words)
+	hostOff := make([]uint32, numPieces+1)
+	for pi, pc := range plan.pieces {
+		base := in.Offsets[pc.list]
+		hostData = append(hostData, in.Data[base+pc.lo:base+pc.hi]...)
+		hostOff[pi+1] = uint32(len(hostData))
+	}
+	acct.aggOps += int64(len(hostData) + numPieces)
+	dev.AdvanceHost(float64(len(hostData)+numPieces) * AggregateNsPerOp)
+
+	dataBuf, err := dev.Malloc(len(hostData))
+	if err != nil {
+		return err
+	}
+	defer dataBuf.Free()
+	offBuf, err := dev.Malloc(numPieces + 1)
+	if err != nil {
+		return err
+	}
+	defer offBuf.Free()
+	if err := dev.CopyH2D(dataBuf, 0, hostData); err != nil {
+		return err
+	}
+	if err := dev.CopyH2D(offBuf, 0, hostOff); err != nil {
+		return err
+	}
+	segs := thrust.Segments{Offsets: offBuf, NumSegs: numPieces}
+
+	c := fam.Size()
+	processTrial := func(trial int, hostOut []uint32) {
+		before := acct.aggOps
+		emitTrialTuples(in, plan, s, trial, c, hostOut, tuplesByTrial, pending, acct, stats)
+		dev.AdvanceHost(float64(acct.aggOps-before) * AggregateNsPerOp)
+	}
+
+	switch {
+	case o.GPUAggregate:
+		return runTrialsGPUAgg(dev, in, plan, segs, fam, s, o, dataBuf, len(hostData),
+			tuplesByTrial, sortedByTrial, pending, acct, stats)
+	case o.AsyncTransfer:
+		return runTrialsAsync(dev, dataBuf, segs, fam, s, o, len(hostData), numPieces, processTrial)
+	default:
+		return runTrialsSync(dev, dataBuf, segs, fam, s, o, len(hostData), numPieces, processTrial)
+	}
+}
+
+// runTrialsSync is the paper's synchronous pipeline: per trial, hash
+// transform, segmented top-s (or full sort), synchronous D2H, then CPU
+// aggregation — "the data movement operations are implemented using
+// synchronous mechanism, and the overhead ... is unavoidable".
+func runTrialsSync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segments,
+	fam minwise.Family, s int, o Options, dataWords, numPieces int,
+	processTrial func(int, []uint32)) error {
+
+	hashBuf, err := dev.Malloc(dataWords)
+	if err != nil {
+		return err
+	}
+	defer hashBuf.Free()
+	outBuf, err := dev.Malloc(numPieces * s)
+	if err != nil {
+		return err
+	}
+	defer outBuf.Free()
+	// The trial's hash-pair constants <A_j, B_j> travel to the device each
+	// iteration (the functor state of the thrust::transform call).
+	paramsBuf, err := dev.Malloc(2)
+	if err != nil {
+		return err
+	}
+	defer paramsBuf.Free()
+	hostOut := make([]uint32, numPieces*s)
+
+	for trial, h := range fam.Pairs {
+		if err := dev.CopyH2D(paramsBuf, 0, []uint32{uint32(h.A), uint32(h.B)}); err != nil {
+			return err
+		}
+		if err := thrust.TransformHash(dev, dataBuf, hashBuf, dataWords, h.A, h.B, minwise.Prime); err != nil {
+			return err
+		}
+		if err := topSKernel(dev, nil, hashBuf, segs, s, outBuf, o.UseFullSort); err != nil {
+			return err
+		}
+		if err := dev.CopyD2H(hostOut, outBuf, 0); err != nil {
+			return err
+		}
+		processTrial(trial, hostOut)
+	}
+	return nil
+}
+
+// runTrialsAsync double-buffers the per-trial device resources across two
+// streams: while trial t's shingles transfer back and are aggregated on the
+// CPU, trial t+1's kernels already run — the asynchronous operation the
+// paper names as the path to better performance (Sections III-C, V).
+func runTrialsAsync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segments,
+	fam minwise.Family, s int, o Options, dataWords, numPieces int,
+	processTrial func(int, []uint32)) error {
+
+	type lane struct {
+		hash, out, params *gpusim.Buffer
+		stream            *gpusim.Stream
+		host              []uint32
+		inFlight          int // trial index, -1 when idle
+	}
+	lanes := make([]*lane, 2)
+	for i := range lanes {
+		hash, err := dev.Malloc(dataWords)
+		if err != nil {
+			return err
+		}
+		out, err := dev.Malloc(numPieces * s)
+		if err != nil {
+			hash.Free()
+			return err
+		}
+		params, err := dev.Malloc(2)
+		if err != nil {
+			hash.Free()
+			out.Free()
+			return err
+		}
+		lanes[i] = &lane{
+			hash: hash, out: out, params: params,
+			stream:   dev.NewStream(),
+			host:     make([]uint32, numPieces*s),
+			inFlight: -1,
+		}
+	}
+	defer func() {
+		for _, l := range lanes {
+			l.hash.Free()
+			l.out.Free()
+			l.params.Free()
+		}
+	}()
+
+	drain := func(l *lane) {
+		if l.inFlight >= 0 {
+			l.stream.Synchronize()
+			processTrial(l.inFlight, l.host)
+			l.inFlight = -1
+		}
+	}
+
+	for trial, h := range fam.Pairs {
+		l := lanes[trial%2]
+		drain(l)
+		if err := dev.CopyH2DAsync(l.stream, l.params, 0, []uint32{uint32(h.A), uint32(h.B)}); err != nil {
+			return err
+		}
+		if err := thrust.TransformHashOnStream(dev, l.stream, dataBuf, l.hash, dataWords, h.A, h.B, minwise.Prime); err != nil {
+			return err
+		}
+		if err := topSKernel(dev, l.stream, l.hash, segs, s, l.out, o.UseFullSort); err != nil {
+			return err
+		}
+		if err := dev.CopyD2HAsync(l.stream, l.host, l.out, 0); err != nil {
+			return err
+		}
+		l.inFlight = trial
+	}
+	for _, l := range lanes {
+		drain(l)
+	}
+	return nil
+}
+
+// topSKernel produces each segment's ascending top-s minima, either with the
+// fused selection kernel or — UseFullSort, Algorithm 1 taken literally —
+// a full segmented sort followed by a gather of each segment's head.
+func topSKernel(dev *gpusim.Device, st *gpusim.Stream, hashBuf *gpusim.Buffer,
+	segs thrust.Segments, s int, outBuf *gpusim.Buffer, useFullSort bool) error {
+	if !useFullSort {
+		return thrust.SegmentedTopSOnStream(dev, st, hashBuf, segs, s, outBuf)
+	}
+	if st != nil {
+		return fmt.Errorf("core: UseFullSort is not supported with AsyncTransfer (SegmentedSort mutates the shared hash buffer)")
+	}
+	if err := thrust.SegmentedSort(dev, hashBuf, segs); err != nil {
+		return err
+	}
+	// Gather the first s elements of each (now sorted) segment.
+	const bd = 256
+	grid := (segs.NumSegs + bd - 1) / bd
+	dev.NextKernelName("gather_top_s")
+	return dev.Launch(grid, bd, func(ctx *gpusim.ThreadCtx) {
+		seg := ctx.GlobalID()
+		if seg >= segs.NumSegs {
+			return
+		}
+		off := segs.Offsets.Words()
+		lo, hi := int(off[seg]), int(off[seg+1])
+		n := hi - lo
+		dst := outBuf.Words()[seg*s : (seg+1)*s]
+		take := n
+		if take > s {
+			take = s
+		}
+		copy(dst[:take], hashBuf.Words()[lo:lo+take])
+		for i := take; i < s; i++ {
+			dst[i] = thrust.TopSSentinel
+		}
+		ctx.GlobalRead(segs.Offsets, seg, 2, 1)
+		ctx.GlobalRead(hashBuf, lo, take, 1)
+		ctx.GlobalWrite(outBuf, seg*s, s, 1)
+		ctx.Ops(s + 2)
+	})
+}
+
+// emitTrialTuples converts one trial's device output into <shingle, owner>
+// tuples, stashing and merging the partial minima of split lists.
+func emitTrialTuples(in *SegGraph, plan batchPlan, s, trial, c int, hostOut []uint32,
+	tuplesByTrial [][]tuple, pending map[int]*pendingShingle,
+	acct *cpuAccount, stats *PassStats) {
+
+	for pi, pc := range plan.pieces {
+		vals := hostOut[pi*s : (pi+1)*s]
+		acct.aggOps += int64(s)
+		listLen := in.Offsets[pc.list+1] - in.Offsets[pc.list]
+
+		if pc.isWhole(in) {
+			if int(listLen) < s {
+				continue // no shingle for short lists
+			}
+			tuplesByTrial[trial] = append(tuplesByTrial[trial], tuple{
+				key:   shingleKey(uint32(trial), vals),
+				owner: in.Owner(pc.list),
+			})
+			stats.Tuples++
+			continue
+		}
+
+		// Split list: merge this piece's partial minima.
+		p := pending[pc.list]
+		if p == nil {
+			p = &pendingShingle{perTrial: make([][]uint32, c)}
+			pending[pc.list] = p
+		}
+		p.perTrial[trial] = mergeTopS(p.perTrial[trial], vals, s)
+		acct.aggOps += int64(2 * s)
+
+		if pc.hi == listLen && trial == c-1 {
+			// Last piece, last trial: emit every trial's merged shingle.
+			for tj, minima := range p.perTrial {
+				if len(minima) < s {
+					continue // whole list shorter than s
+				}
+				tuplesByTrial[tj] = append(tuplesByTrial[tj], tuple{
+					key:   shingleKey(uint32(tj), minima),
+					owner: in.Owner(pc.list),
+				})
+				stats.Tuples++
+			}
+			delete(pending, pc.list)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gpclust/internal/gpusim"
+)
+
+func TestGPUAggregateMatchesSerial(t *testing.T) {
+	g, _ := plantedTestGraph(500, 61)
+	o := testOptions()
+	serial, err := ClusterSerial(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.GPUAggregate = true
+	dev := gpusim.MustNew(gpusim.K20Config())
+	gpu, err := ClusterGPU(g, dev, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Clustering, gpu.Clustering) {
+		t.Fatal("GPU-aggregated clustering differs from serial")
+	}
+	if serial.Pass1.Tuples != gpu.Pass1.Tuples || serial.Pass2.Tuples != gpu.Pass2.Tuples {
+		t.Fatalf("tuple counts differ: %d/%d vs %d/%d",
+			gpu.Pass1.Tuples, gpu.Pass2.Tuples, serial.Pass1.Tuples, serial.Pass2.Tuples)
+	}
+	if dev.AllocatedBuffers() != 0 {
+		t.Fatalf("%d device buffers leaked", dev.AllocatedBuffers())
+	}
+}
+
+func TestGPUAggregateAcrossBatchesWithSplits(t *testing.T) {
+	g, _ := plantedTestGraph(400, 67)
+	o := testOptions()
+	serial, err := ClusterSerial(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.GPUAggregate = true
+	for _, batchWords := range []int{5_000, 700, 24} {
+		o.BatchWords = batchWords
+		dev := gpusim.MustNew(gpusim.K20Config())
+		gpu, err := ClusterGPU(g, dev, o)
+		if err != nil {
+			t.Fatalf("BatchWords=%d: %v", batchWords, err)
+		}
+		if !reflect.DeepEqual(serial.Clustering, gpu.Clustering) {
+			t.Fatalf("BatchWords=%d: GPU-aggregated clustering differs (batches=%d splits=%d)",
+				batchWords, gpu.Pass1.Batches, gpu.Pass1.SplitLists)
+		}
+	}
+}
+
+func TestGPUAggregateReducesCPUTime(t *testing.T) {
+	g, _ := plantedTestGraph(2000, 71)
+	o := testOptions()
+	devBase := gpusim.MustNew(gpusim.K20Config())
+	base, err := ClusterGPU(g, devBase, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.GPUAggregate = true
+	devAgg := gpusim.MustNew(gpusim.K20Config())
+	agg, err := ClusterGPU(g, devAgg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Timings.CPUNs >= base.Timings.CPUNs {
+		t.Fatalf("GPU aggregation did not reduce CPU time: %.2fms vs %.2fms",
+			agg.Timings.CPUNs/1e6, base.Timings.CPUNs/1e6)
+	}
+	// The device does more work instead.
+	if agg.Timings.GPUNs <= base.Timings.GPUNs {
+		t.Fatalf("GPU aggregation did not increase device time: %.2fms vs %.2fms",
+			agg.Timings.GPUNs/1e6, base.Timings.GPUNs/1e6)
+	}
+}
+
+func TestGPUAggregateInvalidCombos(t *testing.T) {
+	o := testOptions()
+	o.GPUAggregate = true
+	o.AsyncTransfer = true
+	if err := o.Validate(); err == nil {
+		t.Fatal("GPUAggregate+AsyncTransfer accepted")
+	}
+	o.AsyncTransfer = false
+	o.UseFullSort = true
+	if err := o.Validate(); err == nil {
+		t.Fatal("GPUAggregate+UseFullSort accepted")
+	}
+}
+
+func TestMergeSortedStreams(t *testing.T) {
+	acct := &cpuAccount{}
+	a := []tuple{{1, 1}, {3, 2}, {5, 0}}
+	b := []tuple{{2, 9}, {3, 1}, {9, 9}}
+	res := []tuple{{4, 4}, {0, 0}} // unsorted residue
+	out := mergeSortedStreams([][]tuple{a, b}, res, acct)
+	want := []tuple{{0, 0}, {1, 1}, {2, 9}, {3, 1}, {3, 2}, {4, 4}, {5, 0}, {9, 9}}
+	if len(out) != len(want) {
+		t.Fatalf("merged %d tuples, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("merged[%d] = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+	if got := mergeSortedStreams(nil, nil, acct); len(got) != 0 {
+		t.Fatal("empty merge not empty")
+	}
+	if got := mergeSortedStreams([][]tuple{a}, nil, acct); len(got) != 3 {
+		t.Fatal("single-stream merge wrong")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"gpclust/internal/gpusim"
+	"gpclust/internal/graph"
+	"gpclust/internal/minwise"
+)
+
+// ClusterMultiGPU runs gpClust with the batch stream of Algorithm 2
+// distributed round-robin over several devices — the natural next scaling
+// step after the paper (its conclusions call for "new directions for
+// further research"; the pGraph side of the pipeline already scaled to
+// thousands of processors). Each device shingles its share of the
+// adjacency-list batches on its own virtual timeline; the host merges the
+// resulting tuples exactly as in the single-device pipeline (one host
+// aggregation thread per device, as on the paper's 8-core host), so the
+// clustering is bit-identical to ClusterSerial and single-device
+// ClusterGPU for the same Options.
+//
+// Reported timings: GPU/H2D/D2H are summed across devices (total work);
+// TotalNs is the bottleneck device's timeline (virtual wall time).
+func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("core: ClusterMultiGPU needs at least one device")
+	}
+	if len(devs) == 1 {
+		return ClusterGPU(g, devs[0], o)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if o.AsyncTransfer || o.GPUAggregate {
+		return nil, fmt.Errorf("core: ClusterMultiGPU supports the synchronous CPU-aggregation pipeline only")
+	}
+	fam1, fam2 := o.families()
+	acct := &cpuAccount{}
+	res := &Result{Backend: fmt.Sprintf("gpu×%d", len(devs))}
+
+	acct.diskBytes = graphDiskBytes(g)
+	for _, d := range devs {
+		d.Reset()
+		d.AdvanceHost(acct.diskNs())
+	}
+
+	in := FromGraph(g)
+	gi, err := runPassMultiGPU(devs, in, fam1, o.S1, o, acct, &res.Pass1)
+	if err != nil {
+		return nil, fmt.Errorf("core: first-level shingling: %w", err)
+	}
+
+	beforeAgg := acct.aggOps
+	pass2In := gi.filterMinLen(o.S2)
+	acct.aggOps += int64(len(gi.Data))
+	res.Pass1.SharedLists = pass2In.NumLists()
+	devs[0].AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
+
+	gii, err := runPassMultiGPU(devs, pass2In, fam2, o.S2, o, acct, &res.Pass2)
+	if err != nil {
+		return nil, fmt.Errorf("core: second-level shingling: %w", err)
+	}
+
+	beforeReport := acct.reportOps
+	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
+	devs[0].AdvanceHost(float64(acct.reportOps-beforeReport) * ReportNsPerOp)
+
+	var total float64
+	var t Timings
+	for _, d := range devs {
+		d.Synchronize()
+		m := d.Metrics()
+		t.GPUNs += m.KernelTimeNs
+		t.H2DNs += m.H2DTimeNs
+		t.D2HNs += m.D2HTimeNs
+		if d.HostTime() > total {
+			total = d.HostTime()
+		}
+	}
+	t.CPUNs = acct.aggNs() + acct.reportNs()
+	t.DiskIONs = acct.diskNs()
+	t.TotalNs = total
+	res.Timings = t
+	return res, nil
+}
+
+// runPassMultiGPU is runPassGPU with batches dealt round-robin to devices.
+func runPassMultiGPU(devs []*gpusim.Device, in *SegGraph, fam minwise.Family, s int,
+	o Options, acct *cpuAccount, stats *PassStats) (*SegGraph, error) {
+
+	stats.Lists = in.NumLists()
+	stats.Elements = int64(len(in.Data))
+	c := fam.Size()
+	tuplesByTrial := make([][]tuple, c)
+
+	if in.NumLists() == 0 {
+		return buildShingleGraph(tuplesByTrial, acct, stats), nil
+	}
+	for i := 0; i < in.NumLists(); i++ {
+		if int(in.Offsets[i+1]-in.Offsets[i]) < s {
+			stats.SkippedShort++
+		}
+	}
+
+	budget := o.BatchWords
+	if budget == 0 {
+		// Bound by the smallest device so any batch fits anywhere.
+		min := devs[0].FreeMemory()
+		for _, d := range devs[1:] {
+			if d.FreeMemory() < min {
+				min = d.FreeMemory()
+			}
+		}
+		budget = int(min / gpusim.WordBytes * 3 / 4)
+		// Aim for at least one batch per device so all of them contribute.
+		if even := (3*len(in.Data) + 2*(s+2)*in.NumLists()) / len(devs); even+64 < budget {
+			budget = even + 64
+		}
+	}
+	plans, err := planBatches(in, s, budget, false)
+	if err != nil {
+		return nil, err
+	}
+	stats.Batches = len(plans)
+
+	pending := make(map[int]*pendingShingle)
+	splitLists := map[int]bool{}
+	for _, p := range plans {
+		for _, pc := range p.pieces {
+			if !pc.isWhole(in) {
+				splitLists[pc.list] = true
+			}
+		}
+	}
+	stats.SplitLists = len(splitLists)
+
+	for i, plan := range plans {
+		dev := devs[i%len(devs)]
+		if err := runBatch(dev, in, fam, s, o, plan, tuplesByTrial, nil, pending, acct, stats); err != nil {
+			return nil, err
+		}
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("core: %d split lists never completed", len(pending))
+	}
+
+	beforeAgg := acct.aggOps
+	out := buildShingleGraph(tuplesByTrial, acct, stats)
+	devs[0].AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
+	return out, nil
+}

@@ -1,0 +1,119 @@
+// Package core implements the paper's contribution: the two-pass randomized
+// Shingling graph-clustering heuristic (Gibson, Kumar & Tomkins 2005) for
+// protein-family identification, in both its serial form (pClust, Wu &
+// Kalyanaraman 2008) and its CPU–GPU form (gpClust, this paper). The GPU
+// side runs on the gpusim simulated device through thrust primitives; the
+// serial side is a direct port of Section III-B. Both produce bit-identical
+// clusterings for the same seed, which the tests verify.
+package core
+
+import (
+	"fmt"
+
+	"gpclust/internal/minwise"
+)
+
+// ReportMode selects the Phase III cluster-enumeration strategy
+// (Section III-B, "Phase III - Reporting dense subgraphs").
+type ReportMode int
+
+const (
+	// ReportUnionFind (the paper's choice) merges, per connected component
+	// of the second-level shingle graph, every vertex constituting the
+	// component's first-level shingles through a union-find structure,
+	// producing a strict partition with no overlapping clusters.
+	ReportUnionFind ReportMode = iota
+	// ReportOverlapping emits one cluster per connected component directly;
+	// a vertex contributing to shingles in different components appears in
+	// several clusters.
+	ReportOverlapping
+)
+
+func (m ReportMode) String() string {
+	switch m {
+	case ReportUnionFind:
+		return "union-find"
+	case ReportOverlapping:
+		return "overlapping"
+	}
+	return fmt.Sprintf("ReportMode(%d)", int(m))
+}
+
+// Options configures a clustering run. DefaultOptions returns the paper's
+// published defaults.
+type Options struct {
+	// First-level shingling: shingle size and count (paper: s1=2, c1=200).
+	S1, C1 int
+	// Second-level shingling (paper: s2=2, c2=100).
+	S2, C2 int
+
+	// Seed drives the random hash families; runs with equal seeds produce
+	// identical clusterings on either backend.
+	Seed int64
+
+	// Mode selects the Phase III reporting strategy.
+	Mode ReportMode
+
+	// BatchWords caps the device words a single batch of adjacency lists may
+	// occupy (0 = derive from the device's free memory). Lists are split
+	// across batches when they do not fit, and the CPU merges the partial
+	// shingle results (Section III-C).
+	BatchWords int
+
+	// UseFullSort makes the GPU path run Algorithm 1 literally — segmented
+	// sort of the whole permuted list, then select the top s — instead of
+	// the fused top-s selection kernel. Identical output, more device work;
+	// kept for the ablation study.
+	UseFullSort bool
+
+	// AsyncTransfer overlaps device→host shingle transfers and the next
+	// trial's kernels with CPU-side aggregation using streams, the
+	// improvement the paper leaves as future work ("Better performance
+	// could be achieved through asynchronous operations", Section III-C).
+	AsyncTransfer bool
+
+	// GPUAggregate moves the shingle-key computation and the per-trial
+	// tuple sorting onto the device (shingle-key kernel + sort_by_key),
+	// leaving the CPU a linear merge of pre-sorted streams — an extension
+	// beyond the paper targeting Table I's dominant CPU column. Output is
+	// bit-identical to the other backends. Incompatible with AsyncTransfer
+	// and UseFullSort.
+	GPUAggregate bool
+}
+
+// DefaultOptions returns the parameter settings of Section III-D:
+// s1=2, c1=200 for the first level and s2=2, c2=100 for the second.
+func DefaultOptions() Options {
+	return Options{
+		S1: 2, C1: 200,
+		S2: 2, C2: 100,
+		Seed: 1,
+		Mode: ReportUnionFind,
+	}
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if o.S1 < 1 || o.S2 < 1 {
+		return fmt.Errorf("core: shingle sizes must be ≥ 1, got s1=%d s2=%d", o.S1, o.S2)
+	}
+	if o.C1 < 1 || o.C2 < 1 {
+		return fmt.Errorf("core: shingle counts must be ≥ 1, got c1=%d c2=%d", o.C1, o.C2)
+	}
+	if o.S1 > 64 || o.S2 > 64 {
+		return fmt.Errorf("core: shingle sizes above 64 unsupported, got s1=%d s2=%d", o.S1, o.S2)
+	}
+	if o.BatchWords < 0 {
+		return fmt.Errorf("core: negative BatchWords %d", o.BatchWords)
+	}
+	if o.GPUAggregate && (o.AsyncTransfer || o.UseFullSort) {
+		return fmt.Errorf("core: GPUAggregate is incompatible with AsyncTransfer and UseFullSort")
+	}
+	return nil
+}
+
+// families derives the two trial hash families from the seed. Both backends
+// call this, which is what makes them produce identical shingles.
+func (o Options) families() (minwise.Family, minwise.Family) {
+	return minwise.NewFamily(o.C1, o.Seed), minwise.NewFamily(o.C2, o.Seed+1)
+}

@@ -1,0 +1,68 @@
+package core
+
+// sortTuples orders tuples by (key, owner) with an LSD radix sort: two
+// 16-bit passes over the owner and four over the key. Aggregation sorts
+// tens of millions of tuples per pass at full experiment scale, where a
+// comparison sort's constant factors dominate the whole CPU side; radix
+// keeps the real (not just simulated) aggregation linear.
+func sortTuples(ts []tuple) {
+	if len(ts) < 64 {
+		insertionSortTuples(ts)
+		return
+	}
+	buf := make([]tuple, len(ts))
+	src, dst := ts, buf
+	const radix = 1 << 16
+	var counts [radix]int32
+
+	pass := func(digit func(tuple) uint32) {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, t := range src {
+			counts[digit(t)]++
+		}
+		sum := int32(0)
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for _, t := range src {
+			d := digit(t)
+			dst[counts[d]] = t
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+
+	pass(func(t tuple) uint32 { return uint32(t.owner) & 0xFFFF })
+	pass(func(t tuple) uint32 { return uint32(t.owner) >> 16 })
+	pass(func(t tuple) uint32 { return uint32(t.key) & 0xFFFF })
+	pass(func(t tuple) uint32 { return uint32(t.key>>16) & 0xFFFF })
+	pass(func(t tuple) uint32 { return uint32(t.key>>32) & 0xFFFF })
+	pass(func(t tuple) uint32 { return uint32(t.key >> 48) })
+	// Six passes: src is back to the original slice.
+	if &src[0] != &ts[0] {
+		copy(ts, src)
+	}
+}
+
+func insertionSortTuples(ts []tuple) {
+	for i := 1; i < len(ts); i++ {
+		v := ts[i]
+		j := i
+		for j > 0 && tupleGreater(ts[j-1], v) {
+			ts[j] = ts[j-1]
+			j--
+		}
+		ts[j] = v
+	}
+}
+
+func tupleGreater(a, b tuple) bool {
+	if a.key != b.key {
+		return a.key > b.key
+	}
+	return a.owner > b.owner
+}

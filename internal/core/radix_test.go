@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortTuplesMatchesStdSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 1000, 100000} {
+		ts := make([]tuple, n)
+		for i := range ts {
+			ts[i] = tuple{key: rng.Uint64(), owner: rng.Uint32()}
+		}
+		want := append([]tuple{}, ts...)
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].key != want[j].key {
+				return want[i].key < want[j].key
+			}
+			return want[i].owner < want[j].owner
+		})
+		sortTuples(ts)
+		for i := range ts {
+			if ts[i] != want[i] {
+				t.Fatalf("n=%d: element %d = %+v, want %+v", n, i, ts[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortTuplesDuplicates(t *testing.T) {
+	ts := []tuple{
+		{key: 5, owner: 2}, {key: 5, owner: 1}, {key: 5, owner: 2},
+		{key: 1, owner: 9}, {key: 1, owner: 0},
+	}
+	sortTuples(ts)
+	want := []tuple{{1, 0}, {1, 9}, {5, 1}, {5, 2}, {5, 2}}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("got %v", ts)
+		}
+	}
+}
+
+func BenchmarkSortTuples1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]tuple, 1<<20)
+	for i := range base {
+		base[i] = tuple{key: rng.Uint64(), owner: rng.Uint32()}
+	}
+	ts := make([]tuple, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(ts, base)
+		sortTuples(ts)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+
+	"gpclust/internal/unionfind"
+)
+
+// reportClusters is Phase III ("Reporting dense subgraphs"): from the
+// first-level shingle graph gi (list i = L(s1_i), the vertices that
+// generated first-level shingle i) and the grouped second-level output gii
+// (list k = L(s2_k), the first-level shingle indices that generated
+// second-level shingle k), enumerate the connected components of G_II and
+// turn each into a cluster.
+func reportClusters(n int, gi, gii *SegGraph, mode ReportMode, acct *cpuAccount) Clustering {
+	// Union first-level shingles that share a second-level shingle: the
+	// connected components of G_II restricted to the S1' side.
+	ufS1 := unionfind.New(gi.NumLists())
+	inGII := make([]bool, gi.NumLists())
+	for k := 0; k < gii.NumLists(); k++ {
+		members := gii.List(k)
+		for j, s1 := range members {
+			inGII[s1] = true
+			if j > 0 {
+				ufS1.Union(int(members[0]), int(s1))
+			}
+			acct.reportOps++
+		}
+	}
+
+	switch mode {
+	case ReportUnionFind:
+		return reportUnionFind(n, gi, ufS1, inGII, acct)
+	case ReportOverlapping:
+		return reportOverlapping(n, gi, ufS1, inGII, acct)
+	}
+	panic("core: unknown report mode")
+}
+
+// reportUnionFind implements the paper's chosen strategy: a union-find of
+// size n starts with every vertex in its own cluster; for each connected
+// component of G_II, all vertices constituting its first-level shingles are
+// unioned. "The clusters reported in this way represent a partition of the
+// input vertices, and no vertex belong[s to] two different clusters."
+func reportUnionFind(n int, gi *SegGraph, ufS1 *unionfind.UF, inGII []bool, acct *cpuAccount) Clustering {
+	uf := unionfind.New(n)
+	// anchor[r] is a representative vertex for the component rooted at r.
+	anchor := make([]int64, gi.NumLists())
+	for i := range anchor {
+		anchor[i] = -1
+	}
+	for i := 0; i < gi.NumLists(); i++ {
+		if !inGII[i] {
+			continue
+		}
+		root := ufS1.Find(i)
+		for _, v := range gi.List(i) {
+			if anchor[root] == -1 {
+				anchor[root] = int64(v)
+			}
+			uf.Union(int(anchor[root]), int(v))
+			acct.reportOps++
+		}
+	}
+
+	sets := uf.Sets()
+	acct.reportOps += int64(n)
+	clusters := make([][]uint32, 0, len(sets))
+	for _, members := range sets {
+		cl := make([]uint32, len(members))
+		for j, v := range members {
+			cl[j] = uint32(v)
+		}
+		sort.Slice(cl, func(a, b int) bool { return cl[a] < cl[b] })
+		clusters = append(clusters, cl)
+	}
+	sortClusters(clusters)
+	return Clustering{N: n, Clusters: clusters}
+}
+
+// reportOverlapping implements the alternative strategy: one cluster per
+// connected component of G_II, each the union of its first-level shingles'
+// vertex sets. "This formulation could produce potential overlaps between
+// the output clusters, as the same input vertex can be part of two entirely
+// different shingles and different connected components."
+func reportOverlapping(n int, gi *SegGraph, ufS1 *unionfind.UF, inGII []bool, acct *cpuAccount) Clustering {
+	byRoot := make(map[int][]uint32)
+	for i := 0; i < gi.NumLists(); i++ {
+		if !inGII[i] {
+			continue
+		}
+		root := ufS1.Find(i)
+		byRoot[root] = append(byRoot[root], gi.List(i)...)
+		acct.reportOps += int64(len(gi.List(i)))
+	}
+	clusters := make([][]uint32, 0, len(byRoot))
+	for _, vs := range byRoot {
+		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+		// dedup: a vertex may appear through several shingles of the
+		// same component
+		out := vs[:0]
+		for j, v := range vs {
+			if j == 0 || v != vs[j-1] {
+				out = append(out, v)
+			}
+		}
+		clusters = append(clusters, out)
+	}
+	sortClusters(clusters)
+	return Clustering{N: n, Clusters: clusters}
+}
+
+// sortClusters orders clusters by descending size, ties by first member,
+// for deterministic output.
+func sortClusters(clusters [][]uint32) {
+	sort.Slice(clusters, func(i, j int) bool {
+		if len(clusters[i]) != len(clusters[j]) {
+			return len(clusters[i]) > len(clusters[j])
+		}
+		if len(clusters[i]) == 0 {
+			return false
+		}
+		return clusters[i][0] < clusters[j][0]
+	})
+}

@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+func TestPeakHostBytesShape(t *testing.T) {
+	small := &Result{
+		Pass1: PassStats{Elements: 1000, Lists: 100, Tuples: 2000, Shingles: 500},
+		Pass2: PassStats{Tuples: 300, Shingles: 100},
+	}
+	big := &Result{
+		Pass1: PassStats{Elements: 100000, Lists: 10000, Tuples: 200000, Shingles: 50000},
+		Pass2: PassStats{Tuples: 30000, Shingles: 10000},
+	}
+	if small.PeakHostBytes() <= 0 {
+		t.Fatal("non-positive peak")
+	}
+	if big.PeakHostBytes() <= small.PeakHostBytes() {
+		t.Fatal("peak not growing with the pass statistics")
+	}
+	// Pass-2-heavy runs must be charged for the pass-2 live set.
+	p2heavy := &Result{
+		Pass1: PassStats{Elements: 1000, Lists: 100, Tuples: 2000, Shingles: 500},
+		Pass2: PassStats{Tuples: 5_000_000, Shingles: 100000},
+	}
+	if p2heavy.PeakHostBytes() <= small.PeakHostBytes() {
+		t.Fatal("pass-2 tuple volume ignored by the peak estimate")
+	}
+}
+
+func TestTimingsString(t *testing.T) {
+	s := Timings{CPUNs: 1e9, GPUNs: 2e9, H2DNs: 5e8, D2HNs: 5e8, DiskIONs: 1e8, TotalNs: 4.1e9}.String()
+	for _, want := range []string{"CPU=1.00s", "GPU=2.00s", "Total=4.10s"} {
+		if !contains(s, want) {
+			t.Fatalf("Timings.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReportModeString(t *testing.T) {
+	if ReportUnionFind.String() != "union-find" || ReportOverlapping.String() != "overlapping" {
+		t.Fatal("mode strings wrong")
+	}
+	if ReportMode(9).String() == "" {
+		t.Fatal("unknown mode has empty string")
+	}
+}
+
+func TestLabelsPanicsOnOverlap(t *testing.T) {
+	c := Clustering{N: 3, Clusters: [][]uint32{{0, 1}, {1, 2}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Labels on overlapping clustering did not panic")
+		}
+	}()
+	c.Labels()
+}
+
+func TestLabelsPanicsOnMissingVertex(t *testing.T) {
+	c := Clustering{N: 3, Clusters: [][]uint32{{0, 1}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Labels with uncovered vertex did not panic")
+		}
+	}()
+	c.Labels()
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/bits"
+
+	"gpclust/internal/graph"
+)
+
+// SegGraph is a set of adjacency lists in concatenated (segmented) form —
+// the unit both shingling passes consume and produce. In pass 1 the lists
+// are the input graph's vertex neighborhoods; the pass's output lists are
+// the first-level shingle graph G_I (list i holds L(s1_i), the vertices that
+// generated shingle i), which — filtered — feeds pass 2.
+type SegGraph struct {
+	Offsets []int64  // len NumLists()+1; list i spans Data[Offsets[i]:Offsets[i+1]]
+	Data    []uint32 // concatenated lists
+	Owners  []uint32 // owner id of list i; nil means owner(i) = i
+}
+
+// NumLists returns the number of lists.
+func (sg *SegGraph) NumLists() int { return len(sg.Offsets) - 1 }
+
+// List returns list i.
+func (sg *SegGraph) List(i int) []uint32 { return sg.Data[sg.Offsets[i]:sg.Offsets[i+1]] }
+
+// Owner returns the owner id whose shingles list i generates.
+func (sg *SegGraph) Owner(i int) uint32 {
+	if sg.Owners == nil {
+		return uint32(i)
+	}
+	return sg.Owners[i]
+}
+
+// FromGraph extracts the non-singleton adjacency lists of g as a SegGraph
+// with vertex-id owners — the bipartite view G(V_l, V_r, E) with V_l = V_r =
+// V that pass 1 shingles. Singleton vertices are dropped, as the paper does
+// ("they will be ignored in the subsequent analysis").
+func FromGraph(g *graph.Graph) *SegGraph {
+	sg := &SegGraph{Offsets: []int64{0}}
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.Neighbors(uint32(v))
+		if len(adj) == 0 {
+			continue
+		}
+		sg.Data = append(sg.Data, adj...)
+		sg.Offsets = append(sg.Offsets, int64(len(sg.Data)))
+		sg.Owners = append(sg.Owners, uint32(v))
+	}
+	return sg
+}
+
+// filterMinLen keeps only the lists with at least minLen elements, setting
+// each kept list's owner to its index in the source (so pass-2 tuples refer
+// back to first-level shingle indices). Lists shorter than the shingle size
+// cannot generate shingles and are exact dead weight (Section III-B: shingles
+// are generated "for any vertex u ∈ V that has at least s links").
+func (sg *SegGraph) filterMinLen(minLen int) *SegGraph {
+	out := &SegGraph{Offsets: []int64{0}}
+	for i := 0; i < sg.NumLists(); i++ {
+		lst := sg.List(i)
+		if len(lst) < minLen {
+			continue
+		}
+		out.Data = append(out.Data, lst...)
+		out.Offsets = append(out.Offsets, int64(len(out.Data)))
+		out.Owners = append(out.Owners, uint32(i))
+	}
+	return out
+}
+
+// tuple is one <shingle, owner> pair of the "<s_j, L(s_j)>" tuples of
+// Section III-B, before grouping. The key folds the trial index with the
+// shingle's s minima so that "shingles from different trials do not get
+// mixed".
+type tuple struct {
+	key   uint64
+	owner uint32
+}
+
+// shingleKey hashes (trial, minima...) to the shingle's integer identity
+// (64-bit FNV-1a; the paper assumes "an integer representation obtained
+// using a hash function").
+func shingleKey(trial uint32, minima []uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for sh := 0; sh < 32; sh += 8 {
+		h ^= uint64((trial >> sh) & 0xff)
+		h *= prime64
+	}
+	for _, v := range minima {
+		for sh := 0; sh < 32; sh += 8 {
+			h ^= uint64((v >> sh) & 0xff)
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// buildShingleGraph groups each trial's tuples by shingle key ("a sorting is
+// done to gather all vertices that generated each shingle ... once for each
+// random trial") and emits the resulting bipartite shingle graph in
+// adjacency-list form. Owner lists come out sorted. CPU cost is charged to
+// the aggregation account.
+func buildShingleGraph(tuplesByTrial [][]tuple, acct *cpuAccount, stats *PassStats) *SegGraph {
+	out := &SegGraph{Offsets: []int64{0}}
+	for _, trialTuples := range tuplesByTrial {
+		if len(trialTuples) == 0 {
+			continue
+		}
+		sortTuples(trialTuples)
+		// Sort cost: n log n comparisons, plus a grouping scan.
+		n := int64(len(trialTuples))
+		acct.aggOps += n*int64(bits.Len64(uint64(n))) + n
+		appendGroups(out, trialTuples)
+	}
+	stats.Shingles = out.NumLists()
+	acct.aggOps += int64(len(out.Data))
+	return out
+}
+
+// appendGroups appends one sorted tuple stream's key-groups to the shingle
+// graph.
+func appendGroups(out *SegGraph, sorted []tuple) {
+	start := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i < len(sorted) && sorted[i].key == sorted[start].key {
+			continue
+		}
+		for _, tu := range sorted[start:i] {
+			out.Data = append(out.Data, tu.owner)
+		}
+		out.Offsets = append(out.Offsets, int64(len(out.Data)))
+		start = i
+	}
+}
+
+// buildShingleGraphPresorted is buildShingleGraph for the GPU-aggregation
+// path: each trial's tuples arrive as pre-sorted per-batch streams (plus a
+// small unsorted residue of split-list tuples) and only need a linear merge.
+func buildShingleGraphPresorted(sortedByTrial [][][]tuple, residueByTrial [][]tuple,
+	acct *cpuAccount, stats *PassStats) *SegGraph {
+	out := &SegGraph{Offsets: []int64{0}}
+	for trial := range sortedByTrial {
+		merged := mergeSortedStreams(sortedByTrial[trial], residueByTrial[trial], acct)
+		appendGroups(out, merged)
+	}
+	stats.Shingles = out.NumLists()
+	acct.aggOps += int64(len(out.Data))
+	return out
+}

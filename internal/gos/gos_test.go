@@ -1,0 +1,262 @@
+package gos
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"gpclust/internal/graph"
+)
+
+// clique builds edges of a complete graph over the given vertices.
+func clique(b *graph.Builder, vs []uint32) {
+	for i := range vs {
+		for j := i + 1; j < len(vs); j++ {
+			b.AddEdge(vs[i], vs[j])
+		}
+	}
+}
+
+func TestKNeighborMergesClique(t *testing.T) {
+	// A 6-clique: any edge's endpoints share 4 neighbors; with k=4 the
+	// clique becomes one cluster.
+	b := graph.NewBuilder(8)
+	clique(b, []uint32{0, 1, 2, 3, 4, 5})
+	b.AddEdge(6, 7) // a lone edge: its endpoints share 0 neighbors
+	g := b.Build()
+
+	clusters, err := Cluster(g, Options{K: 4, RequireEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 { // clique, {6}, {7}
+		t.Fatalf("%d clusters, want 3: %v", len(clusters), clusters)
+	}
+	if len(clusters[0]) != 6 {
+		t.Fatalf("largest cluster size %d, want 6", len(clusters[0]))
+	}
+}
+
+func TestKTooHighKeepsSingletons(t *testing.T) {
+	b := graph.NewBuilder(6)
+	clique(b, []uint32{0, 1, 2, 3, 4, 5})
+	g := b.Build()
+	clusters, err := Cluster(g, Options{K: 5, RequireEdge: true}) // share only 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 6 {
+		t.Fatalf("%d clusters, want 6 singletons with k above sharing", len(clusters))
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	g, _ := graph.Planted(graph.DefaultPlantedConfig(800))
+	clusters, err := Cluster(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, g.NumVertices())
+	for _, cl := range clusters {
+		for j, v := range cl {
+			if seen[v] {
+				t.Fatalf("vertex %d in two clusters", v)
+			}
+			seen[v] = true
+			if j > 0 && cl[j-1] >= v {
+				t.Fatal("members not sorted")
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("vertex %d missing", v)
+		}
+	}
+	// largest-first ordering
+	for i := 1; i < len(clusters); i++ {
+		if len(clusters[i]) > len(clusters[i-1]) {
+			t.Fatal("clusters not sorted by size")
+		}
+	}
+}
+
+func TestFixedKFalseMerge(t *testing.T) {
+	// The failure mode the paper describes: two unrelated cliques connected
+	// through k shared hub vertices get falsely merged by the fixed-k rule.
+	b := graph.NewBuilder(0)
+	a := []uint32{0, 1, 2, 3, 4, 5, 6, 7}
+	c := []uint32{8, 9, 10, 11, 12, 13, 14, 15}
+	clique(b, a)
+	clique(b, c)
+	// 3 hubs adjacent to every member of both cliques, and one direct
+	// bridge edge between the cliques.
+	for hub := uint32(16); hub < 19; hub++ {
+		for _, v := range a {
+			b.AddEdge(hub, v)
+		}
+		for _, v := range c {
+			b.AddEdge(hub, v)
+		}
+	}
+	b.AddEdge(a[0], c[0])
+	g := b.Build()
+
+	// With k=3, the bridge edge's endpoints share the 3 hubs → merge.
+	merged, err := Cluster(g, Options{K: 3, RequireEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged[0]) < 16 {
+		t.Fatalf("largest cluster = %d members, want cliques merged (≥16)", len(merged[0]))
+	}
+
+	// A higher k avoids the false merge but then demands every true pair
+	// share ≥ 12 neighbors — fine here, but the fixed threshold is exactly
+	// the paper's criticism.
+	strict, err := Cluster(g, Options{K: 12, RequireEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range strict {
+		inA, inC := 0, 0
+		for _, v := range cl {
+			if v <= 7 {
+				inA++
+			} else if v <= 15 {
+				inC++
+			}
+		}
+		if inA > 0 && inC > 0 {
+			t.Fatalf("k=12 still merged the cliques: %v", cl)
+		}
+	}
+}
+
+func TestRequireEdgeFalse(t *testing.T) {
+	// Two vertices not adjacent but sharing k neighbors merge only in
+	// RequireEdge=false mode.
+	b := graph.NewBuilder(0)
+	// u=0, v=1 share neighbors 2,3,4 but no edge (0,1)
+	for _, w := range []uint32{2, 3, 4} {
+		b.AddEdge(0, w)
+		b.AddEdge(1, w)
+	}
+	g := b.Build()
+
+	withEdge, err := Cluster(g, Options{K: 3, RequireEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := labelsOf(withEdge, g.NumVertices())
+	if labels[0] == labels[1] {
+		t.Fatal("RequireEdge=true merged a non-adjacent pair")
+	}
+
+	without, err := Cluster(g, Options{K: 3, RequireEdge: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels = labelsOf(without, g.NumVertices())
+	if labels[0] != labels[1] {
+		t.Fatal("RequireEdge=false did not merge a pair sharing 3 neighbors")
+	}
+}
+
+func TestMaxDegreeCap(t *testing.T) {
+	// A hub above the cap cannot trigger merges.
+	b := graph.NewBuilder(0)
+	clique(b, []uint32{0, 1, 2, 3, 4})
+	g := b.Build()
+	clusters, err := Cluster(g, Options{K: 3, RequireEdge: true, MaxDegree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 5 {
+		t.Fatalf("%d clusters with all degrees above the cap, want 5 singletons", len(clusters))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	if _, err := Cluster(g, Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestSharedAtLeast(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		k    int
+		want bool
+	}{
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, 2, true},
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, 3, false},
+		{[]uint32{}, []uint32{1}, 1, false},
+		{[]uint32{5}, []uint32{5}, 1, true},
+		{[]uint32{1, 3, 5, 7}, []uint32{2, 4, 6, 8}, 1, false},
+	}
+	for i, c := range cases {
+		if got := sharedAtLeast(c.a, c.b, c.k); got != c.want {
+			t.Errorf("case %d: sharedAtLeast = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func labelsOf(clusters [][]uint32, n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for ci, cl := range clusters {
+		for _, v := range cl {
+			labels[v] = ci
+		}
+	}
+	return labels
+}
+
+func BenchmarkGOSCluster(b *testing.B) {
+	g, _ := graph.Planted(graph.DefaultPlantedConfig(5000))
+	o := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(g, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: sharedAtLeast agrees with a brute-force set intersection.
+func TestSharedAtLeastProperty(t *testing.T) {
+	f := func(rawA, rawB []uint16, rawK uint8) bool {
+		k := 1 + int(rawK%8)
+		mk := func(raw []uint16) []uint32 {
+			m := map[uint32]bool{}
+			for _, v := range raw {
+				m[uint32(v%64)] = true
+			}
+			out := make([]uint32, 0, len(m))
+			for v := range m {
+				out = append(out, v)
+			}
+			slices.Sort(out)
+			return out
+		}
+		a, b := mk(rawA), mk(rawB)
+		inter := 0
+		set := map[uint32]bool{}
+		for _, v := range a {
+			set[v] = true
+		}
+		for _, v := range b {
+			if set[v] {
+				inter++
+			}
+		}
+		return sharedAtLeast(a, b, k) == (inter >= k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

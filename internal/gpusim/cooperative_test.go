@@ -1,0 +1,102 @@
+package gpusim
+
+import "testing"
+
+func TestCooperativeBlockReduce(t *testing.T) {
+	d := MustNew(K20Config())
+	const blocks, threads = 8, 128
+	in := d.MustMalloc(blocks * threads)
+	out := d.MustMalloc(blocks)
+	defer in.Free()
+	defer out.Free()
+
+	host := make([]uint32, blocks*threads)
+	var wantTotals [blocks]uint32
+	for i := range host {
+		host[i] = uint32(i % 97)
+		wantTotals[i/threads] += host[i]
+	}
+	if err := d.CopyH2D(in, 0, host); err != nil {
+		t.Fatal(err)
+	}
+
+	// Classic shared-memory tree reduction with __syncthreads barriers.
+	err := d.LaunchCooperative(blocks, threads, threads, func(c *CoopCtx) {
+		sh := c.Shared()
+		i := c.Block*c.BlockDim + c.Thread
+		sh[c.Thread] = in.Words()[i]
+		c.GlobalRead(in, i, 1, 1)
+		c.SharedAccess(1)
+		c.SyncThreads()
+		for s := c.BlockDim / 2; s > 0; s /= 2 {
+			if c.Thread < s {
+				sh[c.Thread] += sh[c.Thread+s]
+				c.SharedAccess(2)
+				c.Ops(1)
+			}
+			c.SyncThreads()
+		}
+		if c.Thread == 0 {
+			out.Words()[c.Block] = sh[0]
+			c.GlobalWrite(out, c.Block, 1, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]uint32, blocks)
+	if err := d.CopyD2H(got, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < blocks; b++ {
+		if got[b] != wantTotals[b] {
+			t.Fatalf("block %d reduce = %d, want %d", b, got[b], wantTotals[b])
+		}
+	}
+	if m := d.Metrics(); m.KernelLaunches != 1 {
+		t.Fatalf("KernelLaunches = %d, want 1", m.KernelLaunches)
+	}
+}
+
+func TestCooperativeSharedMemLimit(t *testing.T) {
+	d := MustNew(K20Config())
+	tooMuch := d.Config().SharedMemPerBlock/WordBytes + 1
+	err := d.LaunchCooperative(1, 32, tooMuch, func(c *CoopCtx) {})
+	if err == nil {
+		t.Fatal("over-limit shared memory accepted")
+	}
+}
+
+func TestCooperativeValidation(t *testing.T) {
+	d := MustNew(K20Config())
+	if err := d.LaunchCooperative(0, 32, 0, func(c *CoopCtx) {}); err == nil {
+		t.Error("grid 0 accepted")
+	}
+	if err := d.LaunchCooperative(1, 1025, 0, func(c *CoopCtx) {}); err == nil {
+		t.Error("block 1025 accepted")
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	// Many barrier phases in one kernel must not deadlock or skew.
+	d := MustNew(K20Config())
+	const threads = 64
+	buf := d.MustMalloc(1)
+	defer buf.Free()
+	err := d.LaunchCooperative(1, threads, threads, func(c *CoopCtx) {
+		sh := c.Shared()
+		for round := 0; round < 50; round++ {
+			sh[c.Thread] = uint32(round)
+			c.SyncThreads()
+			// every lane checks a neighbor wrote this round's value
+			if sh[(c.Thread+1)%threads] != uint32(round) {
+				panic("barrier phase skew")
+			}
+			c.SyncThreads()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,368 @@
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kernel is the per-thread device function executed by Launch. Each logical
+// GPU thread receives its own ThreadCtx identifying it within the launch
+// grid and collecting its cost accounting.
+type Kernel func(ctx *ThreadCtx)
+
+// ThreadCtx is one logical GPU thread's view of a launch: its coordinates
+// (blockIdx, threadIdx, blockDim, gridDim as in CUDA) and the accounting
+// sink for the cost model. Kernels must record the work they do — arithmetic
+// via Ops, global-memory traffic via GlobalRead/GlobalWrite — because the
+// simulator executes native Go and cannot observe instructions directly.
+// The thrust package's primitives do this recording, so code composed from
+// them (like the shingling pipeline) is fully accounted automatically.
+type ThreadCtx struct {
+	Block    int // blockIdx.x
+	Thread   int // threadIdx.x
+	BlockDim int // blockDim.x
+	GridDim  int // gridDim.x
+
+	ops    int64
+	shared int64
+	runs   []accessRun
+	extra  int64 // accesses beyond the run cap, charged uncoalesced
+}
+
+// GlobalID returns the linear global thread id (blockIdx*blockDim+threadIdx).
+func (c *ThreadCtx) GlobalID() int { return c.Block*c.BlockDim + c.Thread }
+
+// Ops records n arithmetic/logic instructions executed by this thread.
+func (c *ThreadCtx) Ops(n int) { c.ops += int64(n) }
+
+// SharedAccess records n shared-memory accesses (used by cooperative
+// kernels; shared memory is ~100X lower latency than global).
+func (c *ThreadCtx) SharedAccess(n int) { c.shared += int64(n) }
+
+// maxRunsPerThread bounds per-thread trace memory; further accesses are
+// charged as individually uncoalesced transactions, a conservative model.
+const maxRunsPerThread = 64
+
+// accessRun is a strided run of global-memory accesses by one thread:
+// word addresses start, start+stride, … (count of them). Runs at the same
+// position in different lanes of a warp are aligned for coalescing analysis.
+type accessRun struct {
+	start  int64 // virtual word address (buffer base + offset)
+	count  int32
+	stride int32
+	write  bool
+}
+
+// GlobalRead records a strided run of count global-memory reads starting at
+// word index start within buf, with the given word stride between
+// consecutive accesses by this thread.
+func (c *ThreadCtx) GlobalRead(buf *Buffer, start, count, stride int) {
+	c.record(buf, start, count, stride, false)
+}
+
+// GlobalWrite records a strided run of global-memory writes.
+func (c *ThreadCtx) GlobalWrite(buf *Buffer, start, count, stride int) {
+	c.record(buf, start, count, stride, true)
+}
+
+func (c *ThreadCtx) record(buf *Buffer, start, count, stride int, write bool) {
+	if count <= 0 {
+		return
+	}
+	if len(c.runs) >= maxRunsPerThread {
+		c.extra += int64(count)
+		return
+	}
+	c.runs = append(c.runs, accessRun{
+		start:  buf.base + int64(start),
+		count:  int32(count),
+		stride: int32(stride),
+		write:  write,
+	})
+}
+
+// launchStats aggregates a launch's cost inputs across all warps.
+type launchStats struct {
+	threads       int64
+	warpSerialOps int64
+	threadOps     int64
+	transactions  int64
+	accesses      int64
+	sharedAcc     int64
+}
+
+// Launch executes gridDim blocks of blockDim independent threads (no
+// intra-block barrier; use LaunchCooperative for kernels that need
+// __syncthreads). It is synchronous like the Thrust primitives the paper
+// uses: the host's virtual clock advances past the kernel's completion.
+func (d *Device) Launch(gridDim, blockDim int, kernel Kernel) error {
+	return d.launch(gridDim, blockDim, kernel, nil)
+}
+
+// LaunchOnStream is Launch but enqueued on a stream: the kernel is ordered
+// after prior work on the stream and the host clock does not wait for it.
+func (d *Device) LaunchOnStream(s *Stream, gridDim, blockDim int, kernel Kernel) error {
+	return d.launch(gridDim, blockDim, kernel, s)
+}
+
+func (d *Device) launch(gridDim, blockDim int, kernel Kernel, s *Stream) error {
+	if gridDim <= 0 || blockDim <= 0 {
+		return fmt.Errorf("gpusim: launch with grid %d × block %d", gridDim, blockDim)
+	}
+	if blockDim > 1024 {
+		return fmt.Errorf("gpusim: block dimension %d exceeds 1024", blockDim)
+	}
+
+	stats := d.executeGrid(gridDim, blockDim, kernel)
+	stats.threads = int64(gridDim) * int64(blockDim)
+	kernelNs := d.kernelTime(stats)
+	d.scheduleKernel(kernelNs, stats, s)
+	d.recordProfile(gridDim, blockDim, kernelNs, stats)
+	return nil
+}
+
+// recordProfile appends a KernelRecord when profiling is enabled, consuming
+// any pending kernel name.
+func (d *Device) recordProfile(gridDim, blockDim int, kernelNs float64, st launchStats) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	name := d.pendingName
+	d.pendingName = ""
+	if !d.profiling {
+		return
+	}
+	occ := 1.0
+	if d.cfg.SaturationThreads > 0 && st.threads < int64(d.cfg.SaturationThreads) {
+		occ = float64(st.threads) / float64(d.cfg.SaturationThreads)
+	}
+	d.profile = append(d.profile, KernelRecord{
+		Name: name, Grid: gridDim, Block: blockDim,
+		DurationNs: kernelNs, Threads: st.threads,
+		WarpOps: st.warpSerialOps, Transactions: st.transactions,
+		Occupancy: occ,
+	})
+}
+
+// executeGrid really runs every thread's kernel body, distributing blocks
+// over worker goroutines (the SMs), and returns the aggregated cost inputs.
+func (d *Device) executeGrid(gridDim, blockDim int, kernel Kernel) launchStats {
+	var total launchStats
+	var totalMu sync.Mutex
+
+	warp := d.cfg.WarpSize
+	workers := d.workers
+	if workers > gridDim {
+		workers = gridDim
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Reuse thread contexts per worker to avoid per-thread allocs.
+			ctxs := make([]ThreadCtx, blockDim)
+			var local launchStats
+			for b := range next {
+				for t := 0; t < blockDim; t++ {
+					ctxs[t] = ThreadCtx{
+						Block: b, Thread: t,
+						BlockDim: blockDim, GridDim: gridDim,
+						runs: ctxs[t].runs[:0],
+					}
+					kernel(&ctxs[t])
+				}
+				accumulateBlock(&local, ctxs, warp)
+			}
+			totalMu.Lock()
+			total.warpSerialOps += local.warpSerialOps
+			total.threadOps += local.threadOps
+			total.transactions += local.transactions
+			total.accesses += local.accesses
+			total.sharedAcc += local.sharedAcc
+			totalMu.Unlock()
+		}()
+	}
+	for b := 0; b < gridDim; b++ {
+		next <- b
+	}
+	close(next)
+	wg.Wait()
+	return total
+}
+
+// accumulateBlock folds one executed block's thread contexts into the stats,
+// applying the SIMT divergence and coalescing models warp by warp.
+func accumulateBlock(st *launchStats, ctxs []ThreadCtx, warp int) {
+	for w := 0; w < len(ctxs); w += warp {
+		end := w + warp
+		if end > len(ctxs) {
+			end = len(ctxs)
+		}
+		lanes := ctxs[w:end]
+
+		// Divergence model: a warp's lanes share one instruction unit, so
+		// the warp issues max(lane ops) instructions and every one of the
+		// warp's lane-slots is occupied for all of them.
+		var maxOps int64
+		for i := range lanes {
+			if lanes[i].ops > maxOps {
+				maxOps = lanes[i].ops
+			}
+			st.threadOps += lanes[i].ops
+			st.sharedAcc += lanes[i].shared
+		}
+		st.warpSerialOps += maxOps * int64(warp)
+
+		st.transactions += warpTransactions(lanes)
+		for i := range lanes {
+			for _, r := range lanes[i].runs {
+				st.accesses += int64(r.count)
+			}
+			st.accesses += lanes[i].extra
+			st.transactions += lanes[i].extra // overflow: one transaction each
+		}
+	}
+}
+
+// segWords is the size of one global-memory transaction in 32-bit words
+// (128 bytes, the Kepler L2 transaction granularity).
+const segWords = 32
+
+// warpTransactions computes the 128-byte transaction count for one warp's
+// recorded access runs. Runs are aligned across lanes by position (the k-th
+// run of each lane belongs to the same static access site). For each site,
+// if all lanes share one stride, the lanes' step-t addresses are a uniform
+// shift of their starts, so the distinct-segment count among the starts of
+// the active lanes approximates the per-step transaction count; summing over
+// steps with the active set shrinking as shorter lanes finish gives the
+// total. Mixed strides fall back to fully uncoalesced (one transaction per
+// access).
+func warpTransactions(lanes []ThreadCtx) int64 {
+	maxRuns := 0
+	for i := range lanes {
+		if len(lanes[i].runs) > maxRuns {
+			maxRuns = len(lanes[i].runs)
+		}
+	}
+	var total int64
+	type laneRun struct {
+		start int64
+		count int64
+	}
+	active := make([]laneRun, 0, len(lanes))
+	for k := 0; k < maxRuns; k++ {
+		active = active[:0]
+		var stride int32
+		mixed := false
+		first := true
+		for i := range lanes {
+			if k >= len(lanes[i].runs) {
+				continue
+			}
+			r := lanes[i].runs[k]
+			if first {
+				stride = r.stride
+				first = false
+			} else if r.stride != stride {
+				mixed = true
+			}
+			active = append(active, laneRun{r.start, int64(r.count)})
+		}
+		if len(active) == 0 {
+			continue
+		}
+		if mixed {
+			for _, a := range active {
+				total += a.count
+			}
+			continue
+		}
+		// Sort lanes by count descending: the active set at step t is a
+		// prefix.
+		sort.Slice(active, func(i, j int) bool { return active[i].count > active[j].count })
+		// D[j] = distinct segments among the first j+1 lanes' starts.
+		segs := make(map[int64]bool, len(active))
+		d := make([]int64, len(active))
+		for j, a := range active {
+			segs[a.start/segWords] = true
+			d[j] = int64(len(segs))
+		}
+		// Interval [c_{j+1}, c_j) has exactly j+1 active lanes.
+		for j := 0; j < len(active); j++ {
+			var lower int64
+			if j+1 < len(active) {
+				lower = active[j+1].count
+			}
+			steps := active[j].count - lower
+			if steps > 0 {
+				total += d[j] * steps
+			}
+		}
+	}
+	return total
+}
+
+// kernelTime converts aggregated stats into a simulated duration via a
+// roofline model: the kernel is bound by the slower of compute throughput
+// (cores × clock × IPC, consuming warp-serialized ops) and global-memory
+// throughput (transactions × 128B over the device bandwidth), plus fixed
+// launch overhead and a small shared-memory term. Launches smaller than
+// Config.SaturationThreads cannot keep the device busy and run at
+// proportionally reduced throughput (occupancy model).
+func (d *Device) kernelTime(st launchStats) float64 {
+	cfg := d.cfg
+	computeNs := float64(st.warpSerialOps) / (float64(cfg.TotalCores()) * cfg.ClockHz * cfg.IPC) * 1e9
+	memNs := float64(st.transactions) * float64(segWords*WordBytes) / cfg.GlobalBandwidthBps * 1e9
+	sharedNs := float64(st.sharedAcc) * cfg.SharedLatencyNs / float64(cfg.TotalCores())
+	body := computeNs
+	if memNs > body {
+		body = memNs
+	}
+	body += sharedNs
+	if cfg.SaturationThreads > 0 && st.threads < int64(cfg.SaturationThreads) && st.threads > 0 {
+		body *= float64(cfg.SaturationThreads) / float64(st.threads)
+	}
+
+	d.mu.Lock()
+	d.metrics.ComputeTimeNs += computeNs
+	d.metrics.MemoryTimeNs += memNs
+	d.mu.Unlock()
+
+	return cfg.KernelLaunchNs + body
+}
+
+// scheduleKernel places the kernel on the virtual timeline and merges the
+// stats into the device metrics. Synchronous launches advance the host
+// clock; stream launches only advance the stream and compute timelines.
+func (d *Device) scheduleKernel(kernelNs float64, st launchStats, s *Stream) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start := d.hostClock
+	if s != nil && s.ready > start {
+		start = s.ready
+	}
+	if d.computeFree > start {
+		start = d.computeFree
+	}
+	end := start + kernelNs
+	d.computeFree = end
+	name := d.pendingName
+	if name == "" {
+		name = "kernel"
+	}
+	d.traceAdd(name, "compute", start, end)
+	if s == nil {
+		d.hostClock = end
+	} else {
+		s.ready = end
+	}
+	m := &d.metrics
+	m.KernelTimeNs += kernelNs
+	m.KernelLaunches++
+	m.WarpSerialOps += st.warpSerialOps
+	m.ThreadOps += st.threadOps
+	m.GlobalTransactions += st.transactions
+	m.GlobalAccesses += st.accesses
+}

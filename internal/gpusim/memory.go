@@ -1,0 +1,84 @@
+package gpusim
+
+import "fmt"
+
+// Buffer is a device global-memory allocation holding 32-bit words (all
+// gpClust device data — vertex ids, hashed permutations, segment offsets —
+// is uint32). Host code must not touch the contents directly; it moves data
+// with CopyH2D/CopyD2H (or their async variants). Kernel code reads and
+// writes via the slice returned by Words and records its access pattern on
+// the ThreadCtx for the coalescing model.
+type Buffer struct {
+	dev   *Device
+	words []uint32
+	base  int64 // virtual word address of the allocation (coalescing model)
+	freed bool
+}
+
+// WordBytes is the size of one buffer element.
+const WordBytes = 4
+
+// Malloc allocates a device buffer of n 32-bit words. It fails with
+// ErrOutOfDeviceMemory when the device's global memory would be exceeded.
+func (d *Device) Malloc(n int) (*Buffer, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gpusim: Malloc(%d): negative size", n)
+	}
+	bytes := int64(n) * WordBytes
+	d.mu.Lock()
+	if d.allocated+bytes > d.cfg.GlobalMemBytes {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("gpusim: Malloc(%d words = %d bytes) with %d free: %w",
+			n, bytes, d.cfg.GlobalMemBytes-d.allocated, ErrOutOfDeviceMemory)
+	}
+	d.allocated += bytes
+	if d.allocated > d.peakAlloc {
+		d.peakAlloc = d.allocated
+	}
+	d.liveBufs++
+	base := d.nextBase
+	// Align allocations to transaction boundaries, like cudaMalloc.
+	d.nextBase += (int64(n) + 31) &^ 31
+	d.mu.Unlock()
+	return &Buffer{dev: d, words: make([]uint32, n), base: base}, nil
+}
+
+// MustMalloc is Malloc that panics on failure (for tests and fixed-size
+// scratch that the caller has already sized against FreeMemory).
+func (d *Device) MustMalloc(n int) *Buffer {
+	b, err := d.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Free releases the buffer's device memory. Double frees panic, as they
+// indicate a driver bug.
+func (b *Buffer) Free() {
+	if b.freed {
+		panic("gpusim: double free of device buffer")
+	}
+	b.freed = true
+	b.dev.mu.Lock()
+	b.dev.allocated -= int64(len(b.words)) * WordBytes
+	b.dev.liveBufs--
+	b.dev.mu.Unlock()
+	b.words = nil
+}
+
+// Len returns the buffer size in words.
+func (b *Buffer) Len() int { return len(b.words) }
+
+// Bytes returns the buffer size in bytes.
+func (b *Buffer) Bytes() int64 { return int64(len(b.words)) * WordBytes }
+
+// Words exposes the underlying storage to kernel code. Host-side use outside
+// Launch bodies defeats the simulation's transfer accounting; the transfer
+// API (CopyH2D/CopyD2H) is the host's interface.
+func (b *Buffer) Words() []uint32 {
+	if b.freed {
+		panic("gpusim: use of freed device buffer")
+	}
+	return b.words
+}

@@ -1,0 +1,105 @@
+package gpusim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfilingRecordsKernels(t *testing.T) {
+	d := MustNew(K20Config())
+	d.EnableProfiling()
+	d.NextKernelName("alpha")
+	if err := d.Launch(4, 64, func(ctx *ThreadCtx) { ctx.Ops(10) }); err != nil {
+		t.Fatal(err)
+	}
+	d.NextKernelName("beta")
+	if err := d.Launch(8, 64, func(ctx *ThreadCtx) { ctx.Ops(10) }); err != nil {
+		t.Fatal(err)
+	}
+	// unnamed launch
+	if err := d.Launch(1, 32, func(ctx *ThreadCtx) { ctx.Ops(1) }); err != nil {
+		t.Fatal(err)
+	}
+	p := d.Profile()
+	if len(p) != 3 {
+		t.Fatalf("%d profile records, want 3", len(p))
+	}
+	if p[0].Name != "alpha" || p[1].Name != "beta" || p[2].Name != "" {
+		t.Fatalf("names = %q %q %q", p[0].Name, p[1].Name, p[2].Name)
+	}
+	if p[0].Grid != 4 || p[0].Block != 64 || p[0].Threads != 256 {
+		t.Fatalf("record 0 geometry = %+v", p[0])
+	}
+	if p[0].DurationNs <= 0 {
+		t.Fatal("non-positive kernel duration")
+	}
+	if p[0].Occupancy <= 0 || p[0].Occupancy > 1 {
+		t.Fatalf("occupancy = %v", p[0].Occupancy)
+	}
+}
+
+func TestProfilingOffByDefault(t *testing.T) {
+	d := MustNew(K20Config())
+	d.NextKernelName("x")
+	if err := d.Launch(1, 32, func(ctx *ThreadCtx) {}); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Profile()) != 0 {
+		t.Fatal("profiling recorded while disabled")
+	}
+}
+
+func TestSummarizeProfile(t *testing.T) {
+	d := MustNew(K20Config())
+	d.EnableProfiling()
+	for i := 0; i < 3; i++ {
+		d.NextKernelName("hot")
+		_ = d.Launch(32, 256, func(ctx *ThreadCtx) { ctx.Ops(1000) })
+	}
+	d.NextKernelName("cold")
+	_ = d.Launch(1, 32, func(ctx *ThreadCtx) { ctx.Ops(1) })
+
+	sum := d.SummarizeProfile()
+	if len(sum) != 2 {
+		t.Fatalf("%d summary rows, want 2", len(sum))
+	}
+	if sum[0].Name != "hot" || sum[0].Launches != 3 {
+		t.Fatalf("heaviest = %+v", sum[0])
+	}
+	if sum[0].TotalNs <= sum[1].TotalNs {
+		t.Fatal("summary not sorted by total time")
+	}
+	var buf bytes.Buffer
+	d.WriteProfile(&buf)
+	if !strings.Contains(buf.String(), "hot") || !strings.Contains(buf.String(), "kernel") {
+		t.Fatalf("WriteProfile output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestEvents(t *testing.T) {
+	d := MustNew(K20Config())
+	e0 := d.RecordEvent()
+	if err := d.Launch(64, 256, func(ctx *ThreadCtx) { ctx.Ops(1000) }); err != nil {
+		t.Fatal(err)
+	}
+	e1 := d.RecordEvent()
+	if ElapsedNs(e0, e1) <= 0 {
+		t.Fatal("host events did not advance")
+	}
+
+	s := d.NewStream()
+	s0 := s.RecordEvent()
+	if err := d.LaunchOnStream(s, 64, 256, func(ctx *ThreadCtx) { ctx.Ops(1000) }); err != nil {
+		t.Fatal(err)
+	}
+	s1 := s.RecordEvent()
+	if ElapsedNs(s0, s1) <= 0 {
+		t.Fatal("stream events did not advance")
+	}
+	// The host clock has not moved past the stream work.
+	e2 := d.RecordEvent()
+	if ElapsedNs(e1, e2) != 0 {
+		t.Fatal("stream launch advanced host clock")
+	}
+}

@@ -1,0 +1,88 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Timeline tracing: the device can record every kernel and transfer as an
+// interval on its virtual timelines and export them in the Chrome trace
+// format (chrome://tracing / Perfetto), giving the same at-a-glance view of
+// compute/copy overlap that nvvp gave the paper's authors. Tracing is
+// independent of profiling: EnableTracing captures placements (start/end on
+// which engine), EnableProfiling captures per-kernel cost-model inputs.
+
+// TraceEvent is one interval on a virtual timeline.
+type TraceEvent struct {
+	Name    string  // kernel name or transfer direction
+	Track   string  // "compute", "copy", or "host"
+	StartNs float64 // virtual start time
+	EndNs   float64 // virtual end time
+}
+
+// EnableTracing starts recording trace events (unbounded while enabled).
+func (d *Device) EnableTracing() {
+	d.mu.Lock()
+	d.tracing = true
+	d.mu.Unlock()
+}
+
+// Trace returns the recorded events in schedule order.
+func (d *Device) Trace() []TraceEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]TraceEvent, len(d.trace))
+	copy(out, d.trace)
+	return out
+}
+
+// traceAdd appends an event; the caller holds d.mu.
+func (d *Device) traceAdd(name, track string, start, end float64) {
+	if !d.tracing {
+		return
+	}
+	d.trace = append(d.trace, TraceEvent{Name: name, Track: track, StartNs: start, EndNs: end})
+}
+
+// chromeEvent is the Chrome trace format's "complete event" record.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeTrace exports the trace as a Chrome/Perfetto trace JSON file:
+// one thread row per engine (compute, copy, host).
+func (d *Device) WriteChromeTrace(w io.Writer) error {
+	tracks := map[string]int{"host": 0, "compute": 1, "copy": 2}
+	var events []chromeEvent
+	for _, e := range d.Trace() {
+		tid, ok := tracks[e.Track]
+		if !ok {
+			return fmt.Errorf("gpusim: unknown trace track %q", e.Track)
+		}
+		events = append(events, chromeEvent{
+			Name: e.Name,
+			Cat:  e.Track,
+			Ph:   "X",
+			Ts:   e.StartNs / 1000,
+			Dur:  (e.EndNs - e.StartNs) / 1000,
+			Pid:  1,
+			Tid:  tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]string{
+			"device": d.cfg.Name,
+			"note":   "virtual-clock timeline from the gpusim cost model",
+		},
+	})
+}

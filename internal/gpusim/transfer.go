@@ -1,0 +1,128 @@
+package gpusim
+
+import "fmt"
+
+// Stream is an ordered queue of device work, the analogue of a CUDA stream.
+// Work enqueued on a stream runs in order; work on different streams may
+// overlap, and async copies overlap kernel execution (the K20 has dedicated
+// copy engines). The paper's implementation is synchronous ("data movement
+// operations implemented in current Thrust [are] synchronous") and names
+// asynchronous transfer as the improvement that would hide the Data_g→c
+// overhead of Table I; streams realize that improvement for the ablation.
+type Stream struct {
+	dev   *Device
+	ready float64 // simulated time at which all enqueued work completes
+}
+
+// NewStream creates an empty stream on the device.
+func (d *Device) NewStream() *Stream { return &Stream{dev: d} }
+
+// Synchronize blocks the host until all work enqueued on the stream is
+// complete, advancing the host's virtual clock.
+func (s *Stream) Synchronize() {
+	d := s.dev
+	d.mu.Lock()
+	if s.ready > d.hostClock {
+		d.hostClock = s.ready
+	}
+	d.mu.Unlock()
+}
+
+// transferCost returns the simulated duration of moving n bytes at bw.
+func (d *Device) transferCost(bytes int64, bw float64) float64 {
+	return d.cfg.TransferSetupNs + float64(bytes)/bw*1e9
+}
+
+// CopyH2D copies len(src) words from host memory into buf starting at word
+// offset dst. Synchronous: the host clock advances past completion
+// (Thrust-style, the paper's mode).
+func (d *Device) CopyH2D(buf *Buffer, dst int, src []uint32) error {
+	return d.copyH2D(buf, dst, src, nil)
+}
+
+// CopyH2DAsync is CopyH2D enqueued on a stream; the host does not wait.
+func (d *Device) CopyH2DAsync(s *Stream, buf *Buffer, dst int, src []uint32) error {
+	return d.copyH2D(buf, dst, src, s)
+}
+
+func (d *Device) copyH2D(buf *Buffer, dst int, src []uint32, s *Stream) error {
+	if buf.freed {
+		return fmt.Errorf("gpusim: CopyH2D to freed buffer")
+	}
+	if dst < 0 || dst+len(src) > len(buf.words) {
+		return fmt.Errorf("gpusim: CopyH2D range [%d,%d) outside buffer of %d words",
+			dst, dst+len(src), len(buf.words))
+	}
+	copy(buf.words[dst:], src)
+	bytes := int64(len(src)) * WordBytes
+	cost := d.transferCost(bytes, d.cfg.H2DBandwidthBps)
+	d.scheduleCopy(cost, bytes, true, s)
+	return nil
+}
+
+// CopyD2H copies len(dst) words from buf starting at word offset src into
+// host memory. Synchronous.
+func (d *Device) CopyD2H(dst []uint32, buf *Buffer, src int) error {
+	return d.copyD2H(dst, buf, src, nil)
+}
+
+// CopyD2HAsync is CopyD2H enqueued on a stream. The destination slice is
+// logically owned by the device until the stream is synchronized.
+func (d *Device) CopyD2HAsync(s *Stream, dst []uint32, buf *Buffer, src int) error {
+	return d.copyD2H(dst, buf, src, s)
+}
+
+func (d *Device) copyD2H(dst []uint32, buf *Buffer, src int, s *Stream) error {
+	if buf.freed {
+		return fmt.Errorf("gpusim: CopyD2H from freed buffer")
+	}
+	if src < 0 || src+len(dst) > len(buf.words) {
+		return fmt.Errorf("gpusim: CopyD2H range [%d,%d) outside buffer of %d words",
+			src, src+len(dst), len(buf.words))
+	}
+	copy(dst, buf.words[src:])
+	bytes := int64(len(dst)) * WordBytes
+	cost := d.transferCost(bytes, d.cfg.D2HBandwidthBps)
+	d.scheduleCopy(cost, bytes, false, s)
+	return nil
+}
+
+// scheduleCopy places a transfer on the copy-engine timeline. A stream copy
+// additionally waits for prior stream work and does not stall the host.
+// A synchronous copy implicitly waits for outstanding kernels that produced
+// its source (matching CUDA's default-stream semantics) and stalls the host.
+func (d *Device) scheduleCopy(cost float64, bytes int64, h2d bool, s *Stream) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start := d.hostClock
+	if s != nil {
+		if s.ready > start {
+			start = s.ready
+		}
+	} else if d.computeFree > start {
+		// Default-stream ordering: the copy begins after in-flight kernels.
+		start = d.computeFree
+	}
+	if d.copyFree > start {
+		start = d.copyFree
+	}
+	end := start + cost
+	d.copyFree = end
+	dir := "D2H"
+	if h2d {
+		dir = "H2D"
+	}
+	d.traceAdd(dir, "copy", start, end)
+	if s == nil {
+		d.hostClock = end
+	} else {
+		s.ready = end
+	}
+	if h2d {
+		d.metrics.H2DTimeNs += cost
+		d.metrics.H2DBytes += bytes
+	} else {
+		d.metrics.D2HTimeNs += cost
+		d.metrics.D2HBytes += bytes
+	}
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlantedLooseFamilies(t *testing.T) {
+	cfg := DefaultPlantedConfig(4000)
+	cfg.LooseFraction = 1.0 // every eligible family loose
+	cfg.LooseDensity = 0.3
+	cfg.LooseMaxSize = 40
+	cfg.NoiseEdges = 0
+	cfg.BridgedPairs = 0
+	cfg.CrossDensity = 0
+	g, gt := Planted(cfg)
+
+	fams := map[int32][]uint32{}
+	for v, f := range gt.Family {
+		if f >= 0 {
+			fams[f] = append(fams[f], uint32(v))
+		}
+	}
+	looseChecked, denseChecked := 0, 0
+	for _, members := range fams {
+		if len(members) < 15 {
+			continue
+		}
+		edges := 0
+		for i := range members {
+			for j := i + 1; j < len(members); j++ {
+				if g.HasEdge(members[i], members[j]) {
+					edges++
+				}
+			}
+		}
+		density := float64(edges) / float64(len(members)*(len(members)-1)/2)
+		if len(members) <= cfg.LooseMaxSize {
+			if density > 0.5 {
+				t.Errorf("family of %d should be loose, density %.2f", len(members), density)
+			}
+			looseChecked++
+		} else {
+			if density < 0.5 {
+				t.Errorf("family of %d above the loose cap should be dense, density %.2f",
+					len(members), density)
+			}
+			denseChecked++
+		}
+	}
+	if looseChecked == 0 || denseChecked == 0 {
+		t.Fatalf("band coverage too thin: %d loose, %d dense checked", looseChecked, denseChecked)
+	}
+}
+
+func TestPlantedBridges(t *testing.T) {
+	cfg := DefaultPlantedConfig(6000)
+	cfg.MaxFamily = 700
+	cfg.FamiliesPerSuper = 6
+	cfg.BridgedPairs = 3
+	cfg.BridgeHubs = 10
+	cfg.BridgeMinFamily = 150
+	cfg.NoiseEdges = 0
+	cfg.CrossDensity = 0
+	g, gt := Planted(cfg)
+
+	// Find anchors: vertices with ≥ BridgeHubs neighbors in a *different*
+	// family of the same super-family.
+	anchors := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if gt.Family[v] < 0 {
+			continue
+		}
+		cross := map[int32]int{}
+		for _, u := range g.Neighbors(uint32(v)) {
+			if gt.Family[u] >= 0 && gt.Family[u] != gt.Family[v] &&
+				gt.SuperFamily[u] == gt.SuperFamily[v] {
+				cross[gt.Family[u]]++
+			}
+		}
+		for _, c := range cross {
+			if c >= cfg.BridgeHubs {
+				anchors++
+			}
+		}
+	}
+	if anchors == 0 {
+		t.Fatal("no bridge anchors planted (eligible families may be missing; enlarge config)")
+	}
+	if anchors > cfg.BridgedPairs {
+		t.Fatalf("%d anchors for %d bridges", anchors, cfg.BridgedPairs)
+	}
+}
+
+func TestSampleDenseEdgesFullDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(6)
+	sampleDenseEdges(rng, b, []uint32{0, 1, 2, 3}, 1.0)
+	g := b.Build()
+	if g.NumEdges() != 6 {
+		t.Fatalf("p=1 clique has %d edges, want 6", g.NumEdges())
+	}
+	// p=0 and tiny member sets are no-ops
+	b2 := NewBuilder(4)
+	sampleDenseEdges(rng, b2, []uint32{0, 1, 2}, 0)
+	sampleDenseEdges(rng, b2, []uint32{0}, 0.5)
+	sampleBipartiteEdges(rng, b2, nil, []uint32{1}, 0.5)
+	if g2 := b2.Build(); g2.NumEdges() != 0 {
+		t.Fatalf("no-op samplers added %d edges", g2.NumEdges())
+	}
+}
+
+func TestSampleDenseEdgesExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	members := make([]uint32, 80)
+	for i := range members {
+		members[i] = uint32(i)
+	}
+	b := NewBuilder(80)
+	sampleDenseEdges(rng, b, members, 0.4)
+	g := b.Build()
+	possible := float64(80 * 79 / 2)
+	got := float64(g.NumEdges()) / possible
+	if got < 0.33 || got > 0.47 {
+		t.Fatalf("sampled density %.3f, want ≈ 0.4", got)
+	}
+}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || len(a.Adj) != len(b.Adj) {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := RandomGraph(200, 600, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("edge-list round trip changed the graph")
+	}
+}
+
+func TestEdgeListSingletonsPreserved(t *testing.T) {
+	// vertex 4 is a singleton; the header must preserve the vertex count
+	g := FromEdges(5, []Edge{{0, 1}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 5 {
+		t.Fatalf("vertices after round trip = %d, want 5", g2.NumVertices())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",       // too few fields
+		"a b\n",     // non-numeric
+		"1 x\n",     // second field bad
+		"1 -2\n",    // negative
+		"1 5e9 9\n", // overflow uint32
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\n0 1\n# another\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := RandomGraph(500, 2000, 9)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("XXXXsomething")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := RandomGraph(50, 100, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 3, 4, 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncated stream (%d bytes) accepted", cut)
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	cfg := DefaultPlantedConfig(10000)
+	for i := 0; i < b.N; i++ {
+		Planted(cfg)
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g, _ := Planted(DefaultPlantedConfig(20000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConnectedComponents(g)
+	}
+}
+
+// failWriter errors after n bytes, exercising write error propagation.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errFail
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errFail
+	}
+	return n, nil
+}
+
+var errFail = errors.New("synthetic write failure")
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	g := RandomGraph(100, 300, 5)
+	for _, cut := range []int{0, 3, 20, 900} {
+		if err := WriteEdgeList(&failWriter{left: cut}, g); err == nil {
+			t.Errorf("WriteEdgeList survived a writer failing after %d bytes", cut)
+		}
+		if err := WriteBinary(&failWriter{left: cut}, g); err == nil {
+			t.Errorf("WriteBinary survived a writer failing after %d bytes", cut)
+		}
+	}
+}

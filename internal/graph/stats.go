@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stats summarizes a similarity graph the way Table II of the paper does.
+type Stats struct {
+	Vertices      int     // total vertices including singletons
+	NonSingletons int     // vertices with degree ≥ 1
+	Edges         int64   // undirected edge count
+	AvgDegree     float64 // mean degree over non-singleton vertices
+	StdDegree     float64 // population standard deviation of the same
+	LargestCC     int     // size of the largest connected component
+	Components    int     // number of connected components over non-singletons
+}
+
+// ComputeStats measures the graph. Degree statistics follow the paper's
+// convention of ignoring singletons ("the remaining 17,079 sequences formed a
+// graph ... and the average vertex degree is 44 ± 69").
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	var sum, sumSq float64
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(uint32(v))
+		if d == 0 {
+			continue
+		}
+		s.NonSingletons++
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+	}
+	if s.NonSingletons > 0 {
+		n := float64(s.NonSingletons)
+		s.AvgDegree = sum / n
+		variance := sumSq/n - s.AvgDegree*s.AvgDegree
+		if variance > 0 {
+			s.StdDegree = math.Sqrt(variance)
+		}
+	}
+	labels, count := ConnectedComponents(g)
+	max := 0
+	nonSingletonComps := 0
+	for _, sz := range ComponentSizes(labels, count) {
+		if sz > max {
+			max = sz
+		}
+		if sz > 1 {
+			nonSingletonComps++
+		}
+	}
+	s.LargestCC = max
+	s.Components = nonSingletonComps
+	return s
+}
+
+// String renders the stats as a Table II-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("#Vertices=%d #NonSingleton=%d #Edges=%d AvgDeg=%.0f±%.0f LargestCC=%d",
+		s.Vertices, s.NonSingletons, s.Edges, s.AvgDegree, s.StdDegree, s.LargestCC)
+}
+
+// DegreeHistogram counts vertices per degree; the slice index is the degree,
+// truncated at maxDegree (higher degrees accumulate in the last bucket).
+func DegreeHistogram(g *Graph, maxDegree int) []int {
+	h := make([]int, maxDegree+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(uint32(v))
+		if d > maxDegree {
+			d = maxDegree
+		}
+		h[d]++
+	}
+	return h
+}

@@ -1,0 +1,268 @@
+package mcl
+
+import (
+	"math"
+	"testing"
+
+	"gpclust/internal/graph"
+)
+
+func TestSparseNormalize(t *testing.T) {
+	m := newSparse(3)
+	m.cols[0] = []entry{{row: 0, val: 2}, {row: 1, val: 2}}
+	m.cols[1] = []entry{{row: 2, val: 5}}
+	m.normalizeColumns()
+	if math.Abs(m.cols[0][0].val-0.5) > 1e-12 || math.Abs(m.cols[1][0].val-1) > 1e-12 {
+		t.Fatalf("normalize wrong: %+v", m.cols)
+	}
+	if err := m.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseMultiplyIdentity(t *testing.T) {
+	// Permutation matrix squared: (0→1, 1→2, 2→0) squared = (0→2, 1→0, 2→1).
+	m := newSparse(3)
+	m.cols[0] = []entry{{row: 1, val: 1}}
+	m.cols[1] = []entry{{row: 2, val: 1}}
+	m.cols[2] = []entry{{row: 0, val: 1}}
+	sq := m.multiply()
+	if err := sq.validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int32{0: 2, 1: 0, 2: 1}
+	for j, r := range want {
+		if len(sq.cols[j]) != 1 || sq.cols[j][0].row != r || math.Abs(sq.cols[j][0].val-1) > 1e-12 {
+			t.Fatalf("col %d = %+v, want row %d", j, sq.cols[j], r)
+		}
+	}
+}
+
+func TestSparseMultiplyStochastic(t *testing.T) {
+	// Column-stochastic in, column-stochastic out.
+	g := graph.RandomGraph(60, 200, 3)
+	m := newSparse(60)
+	for v := 0; v < 60; v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			m.cols[v] = append(m.cols[v], entry{row: int32(u), val: 1})
+		}
+	}
+	m.normalizeColumns()
+	sq := m.multiply()
+	for j := range sq.cols {
+		if len(sq.cols[j]) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, e := range sq.cols[j] {
+			sum += e.val
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("column %d sums to %v after multiply", j, sum)
+		}
+	}
+}
+
+func TestInflateSharpens(t *testing.T) {
+	m := newSparse(2)
+	m.cols[0] = []entry{{row: 0, val: 0.8}, {row: 1, val: 0.2}}
+	m.inflate(2, 0, 0)
+	// 0.64 / (0.64+0.04) = 0.941...
+	if m.cols[0][0].val < 0.9 {
+		t.Fatalf("inflation did not sharpen: %+v", m.cols[0])
+	}
+	sum := m.cols[0][0].val + m.cols[0][1].val
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("column not renormalized: %v", sum)
+	}
+}
+
+func TestInflatePrunes(t *testing.T) {
+	m := newSparse(2)
+	m.cols[0] = []entry{{row: 0, val: 0.99}, {row: 1, val: 0.01}}
+	m.inflate(2, 1e-3, 0)
+	if len(m.cols[0]) != 1 || m.cols[0][0].row != 0 {
+		t.Fatalf("pruning wrong: %+v", m.cols[0])
+	}
+	// max-per-column cap
+	m2 := newSparse(4)
+	m2.cols[0] = []entry{{0, 0.4}, {1, 0.3}, {2, 0.2}, {3, 0.1}}
+	m2.inflate(2, 0, 2)
+	if len(m2.cols[0]) != 2 {
+		t.Fatalf("cap not applied: %+v", m2.cols[0])
+	}
+	if m2.cols[0][0].row != 0 || m2.cols[0][1].row != 1 {
+		t.Fatalf("cap kept wrong entries: %+v", m2.cols[0])
+	}
+}
+
+func TestChaosConverged(t *testing.T) {
+	m := newSparse(2)
+	m.cols[0] = []entry{{row: 0, val: 1}}
+	m.cols[1] = []entry{{row: 0, val: 1}}
+	if c := m.chaos(); c > 1e-12 {
+		t.Fatalf("idempotent matrix has chaos %v", c)
+	}
+	// A uniform column is itself a (doubly idempotent, overlapping-
+	// attractor) fixed point, so only a skewed undecided column registers.
+	m.cols[1] = []entry{{row: 0, val: 0.7}, {row: 1, val: 0.3}}
+	if c := m.chaos(); c <= 0 {
+		t.Fatalf("undecided matrix has chaos %v", c)
+	}
+}
+
+func TestClusterTwoCliques(t *testing.T) {
+	b := graph.NewBuilder(0)
+	addClique := func(vs []uint32) {
+		for i := range vs {
+			for j := i + 1; j < len(vs); j++ {
+				b.AddEdge(vs[i], vs[j])
+			}
+		}
+	}
+	addClique([]uint32{0, 1, 2, 3, 4})
+	addClique([]uint32{5, 6, 7, 8, 9})
+	b.AddEdge(4, 5) // one bridge edge
+	g := b.Build()
+
+	clusters, err := Cluster(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := labelsOf(clusters, 10)
+	for i := 1; i < 5; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("clique A split: %v", clusters)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if labels[i] != labels[5] {
+			t.Fatalf("clique B split: %v", clusters)
+		}
+	}
+	if labels[0] == labels[5] {
+		t.Fatalf("bridged cliques merged: %v", clusters)
+	}
+}
+
+func TestClusterPartitionProperty(t *testing.T) {
+	g, _ := graph.Planted(graph.DefaultPlantedConfig(600))
+	clusters, err := Cluster(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, g.NumVertices())
+	for _, cl := range clusters {
+		for j, v := range cl {
+			if seen[v] {
+				t.Fatalf("vertex %d twice", v)
+			}
+			seen[v] = true
+			if j > 0 && cl[j-1] >= v {
+				t.Fatal("members unsorted")
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("vertex %d missing", v)
+		}
+	}
+}
+
+func TestClusterRecoversPlantedFamilies(t *testing.T) {
+	cfg := graph.DefaultPlantedConfig(800)
+	cfg.BridgedPairs = 0
+	cfg.CrossDensity = 0
+	g, gt := graph.Planted(cfg)
+	clusters, err := Cluster(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := labelsOf(clusters, g.NumVertices())
+	fams := map[int32][]uint32{}
+	for v, f := range gt.Family {
+		if f >= 0 {
+			fams[f] = append(fams[f], uint32(v))
+		}
+	}
+	checked := 0
+	for _, members := range fams {
+		if len(members) < 10 {
+			continue
+		}
+		counts := map[int]int{}
+		for _, v := range members {
+			counts[labels[v]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		if float64(best) < 0.7*float64(len(members)) {
+			t.Errorf("family of %d split: best cluster holds %d", len(members), best)
+		}
+		checked++
+	}
+	if checked < 3 {
+		t.Fatalf("only %d checkable families", checked)
+	}
+}
+
+func TestInflationGranularity(t *testing.T) {
+	// Higher inflation must produce at least as many clusters (finer
+	// granularity) — the classic MCL knob.
+	g, _ := graph.Planted(graph.DefaultPlantedConfig(500))
+	low := DefaultOptions()
+	low.Inflation = 1.4
+	high := DefaultOptions()
+	high.Inflation = 4.0
+	cl, err := Cluster(g, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Cluster(g, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch) < len(cl) {
+		t.Errorf("inflation 4.0 gave %d clusters, 1.4 gave %d; want finer with higher r",
+			len(ch), len(cl))
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	if _, err := Cluster(g, Options{Inflation: 1, MaxIters: 10}); err == nil {
+		t.Fatal("inflation 1 accepted")
+	}
+	if _, err := Cluster(g, Options{Inflation: 2, MaxIters: 0}); err == nil {
+		t.Fatal("MaxIters 0 accepted")
+	}
+}
+
+func labelsOf(clusters [][]uint32, n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for ci, cl := range clusters {
+		for _, v := range cl {
+			labels[v] = ci
+		}
+	}
+	return labels
+}
+
+func BenchmarkMCL(b *testing.B) {
+	g, _ := graph.Planted(graph.DefaultPlantedConfig(2000))
+	o := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(g, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpclust/internal/graph"
+)
+
+func TestPairConfusionPerfect(t *testing.T) {
+	labels := []int32{0, 0, 1, 1, 2}
+	c := PairConfusion(labels, labels, 5)
+	// pairs: (0,1) and (2,3) are TP; no FP/FN; rest TN
+	if c.TP != 2 || c.FP != 0 || c.FN != 0 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.TN != 10-2 {
+		t.Fatalf("TN = %d, want 8", c.TN)
+	}
+	if c.PPV() != 1 || c.Sensitivity() != 1 || c.Specificity() != 1 || c.NPV() != 1 {
+		t.Fatalf("perfect partition has imperfect metrics: %+v", c)
+	}
+}
+
+func TestPairConfusionSplitMerge(t *testing.T) {
+	bench := []int32{0, 0, 0, 0} // one group of 4: 6 pairs
+	test := []int32{0, 0, 1, 1}  // split in two: 2 TP, 4 FN
+	c := PairConfusion(test, bench, 4)
+	if c.TP != 2 || c.FN != 4 || c.FP != 0 || c.TN != 0 {
+		t.Fatalf("split confusion = %+v", c)
+	}
+	if se := c.Sensitivity(); math.Abs(se-2.0/6) > 1e-12 {
+		t.Fatalf("SE = %v, want 1/3", se)
+	}
+	if c.PPV() != 1 {
+		t.Fatalf("PPV = %v, want 1 (sub-partitions never false-positive)", c.PPV())
+	}
+
+	// merge: test groups everything, benchmark splits
+	c2 := PairConfusion(bench, test, 4)
+	if c2.TP != 2 || c2.FP != 4 || c2.FN != 0 {
+		t.Fatalf("merge confusion = %+v", c2)
+	}
+}
+
+func TestPairConfusionUnassigned(t *testing.T) {
+	test := []int32{0, 0, -1, -1}
+	bench := []int32{0, 0, 0, -1}
+	c := PairConfusion(test, bench, 4)
+	// test pairs: (0,1) only. bench pairs: (0,1),(0,2),(1,2).
+	if c.TP != 1 || c.FP != 0 || c.FN != 2 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.TN != 6-1-0-2 {
+		t.Fatalf("TN = %d", c.TN)
+	}
+}
+
+// Property: the four classes always partition all C(n,2) pairs, and agree
+// with a brute-force count.
+func TestPairConfusionAgainstBruteForce(t *testing.T) {
+	f := func(rawTest, rawBench []int8) bool {
+		n := len(rawTest)
+		if len(rawBench) < n {
+			n = len(rawBench)
+		}
+		if n > 40 {
+			n = 40
+		}
+		test := make([]int32, n)
+		bench := make([]int32, n)
+		for i := 0; i < n; i++ {
+			test[i] = int32(rawTest[i]%5) - 1 // in [-1, 3]
+			if test[i] < -1 {
+				test[i] = -test[i] - 2
+			}
+			bench[i] = int32(rawBench[i]%5) - 1
+			if bench[i] < -1 {
+				bench[i] = -bench[i] - 2
+			}
+		}
+		got := PairConfusion(test, bench, n)
+		var want Confusion
+		same := func(l []int32, i, j int) bool { return l[i] >= 0 && l[i] == l[j] }
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				st, sb := same(test, i, j), same(bench, i, j)
+				switch {
+				case st && sb:
+					want.TP++
+				case st && !sb:
+					want.FP++
+				case !st && sb:
+					want.FN++
+				default:
+					want.TN++
+				}
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelsFromClusters(t *testing.T) {
+	clusters := [][]uint32{{0, 1, 2}, {3, 4}, {5}}
+	l := LabelsFromClusters(clusters, 7, 2)
+	if l[0] != l[1] || l[1] != l[2] {
+		t.Fatal("first cluster labels inconsistent")
+	}
+	if l[3] != l[4] || l[3] == l[0] {
+		t.Fatal("second cluster labels wrong")
+	}
+	if l[5] != -1 {
+		t.Fatal("below-min cluster not dropped")
+	}
+	if l[6] != -1 {
+		t.Fatal("unclustered vertex not -1")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	// triangle + pendant: members {0,1,2} form a clique
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}})
+	if d := Density(g, []uint32{0, 1, 2}); d != 1 {
+		t.Fatalf("clique density = %v, want 1", d)
+	}
+	if d := Density(g, []uint32{0, 1, 2, 3}); math.Abs(d-4.0/6) > 1e-12 {
+		t.Fatalf("density = %v, want 2/3", d)
+	}
+	if d := Density(g, []uint32{0, 3}); d != 0 {
+		t.Fatalf("non-adjacent pair density = %v, want 0", d)
+	}
+	if d := Density(g, []uint32{0}); d != 1 {
+		t.Fatalf("singleton density = %v, want 1 (paper: 'if each vertex ... is reported as an individual cluster ... the average density ... is 1')", d)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Fatalf("mean/std = %v/%v, want 5/2", m, s)
+	}
+	m, s = MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Fatal("empty MeanStd not zero")
+	}
+}
+
+func TestComputeGroupStats(t *testing.T) {
+	st := ComputeGroupStats([][]uint32{{0, 1, 2, 3}, {4, 5}})
+	if st.Groups != 2 || st.Sequences != 6 || st.Largest != 4 || st.MeanSize != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.StdSize != 1 {
+		t.Fatalf("std = %v, want 1", st.StdSize)
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	mk := func(n int) []uint32 { return make([]uint32, n) }
+	clusters := [][]uint32{
+		mk(5),    // below all bins: ignored
+		mk(20),   // bin 0
+		mk(49),   // bin 0
+		mk(99),   // bin 1
+		mk(100),  // bin 2
+		mk(2000), // bin 5
+		mk(2001), // bin 6
+	}
+	h := SizeHistogram(clusters)
+	want := []int{2, 1, 1, 0, 0, 1, 1}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("SizeHistogram = %v, want %v", h, want)
+		}
+	}
+	sh := SeqHistogram(clusters)
+	wantS := []int64{69, 99, 100, 0, 0, 2000, 2001}
+	for i := range wantS {
+		if sh[i] != wantS[i] {
+			t.Fatalf("SeqHistogram = %v, want %v", sh, wantS)
+		}
+	}
+}
+
+func TestDensityStatsAndGroupStatsEmpty(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	mean, std := DensityStats(g, nil)
+	if mean != 0 || std != 0 {
+		t.Fatalf("empty DensityStats = %v±%v", mean, std)
+	}
+	st := ComputeGroupStats(nil)
+	if st.Groups != 0 || st.Sequences != 0 || st.Largest != 0 {
+		t.Fatalf("empty GroupStats = %+v", st)
+	}
+}
+
+func TestConfusionZeroDivision(t *testing.T) {
+	var c Confusion
+	if c.PPV() != 0 || c.NPV() != 0 || c.Specificity() != 0 || c.Sensitivity() != 0 {
+		t.Fatal("zero confusion should yield zero rates, not NaN")
+	}
+}

@@ -1,0 +1,132 @@
+package pgraph
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gpclust/internal/align"
+	"gpclust/internal/graph"
+	"gpclust/internal/seq"
+)
+
+// Config controls homology-graph construction.
+type Config struct {
+	// MinExactMatch is the exact-match seed length: only sequence pairs
+	// sharing an exact substring of at least this many residues are
+	// aligned (the maximal-matching heuristic's promising-pair criterion).
+	MinExactMatch int
+
+	// WindowCap throttles pair generation inside each suffix-array run.
+	WindowCap int
+
+	// MinScorePerResidue accepts a pair as homologous when its
+	// Smith–Waterman score is at least this many points per residue of the
+	// shorter sequence ("significant sequence similarity", Section III).
+	MinScorePerResidue float64
+
+	// Align configures the Smith–Waterman verification.
+	Align align.Params
+
+	// Workers sets the alignment worker-pool size (pGraph's parallel
+	// verification stage); 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns settings suitable for the synthetic metagenomes.
+func DefaultConfig() Config {
+	return Config{
+		MinExactMatch:      12,
+		WindowCap:          24,
+		MinScorePerResidue: 1.2,
+		Align:              align.DefaultParams(),
+	}
+}
+
+// Stats reports the construction pipeline's work.
+type Stats struct {
+	Sequences  int
+	Candidates int // promising pairs from the maximal-match filter
+	Edges      int64
+}
+
+// Build constructs the sequence-similarity graph of the input: vertices are
+// sequence indices, and (i, j) is an edge iff the pair passed the exact
+// match filter and Smith–Waterman verification.
+func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
+	st := Stats{Sequences: len(seqs)}
+	if cfg.MinExactMatch < 4 {
+		return nil, st, fmt.Errorf("pgraph: MinExactMatch %d too small", cfg.MinExactMatch)
+	}
+	if cfg.WindowCap < 1 {
+		return nil, st, fmt.Errorf("pgraph: WindowCap %d < 1", cfg.WindowCap)
+	}
+	for i, s := range seqs {
+		if err := align.ValidateSequence(s.Residues); err != nil {
+			return nil, st, fmt.Errorf("pgraph: sequence %d (%s): %w", i, s.ID, err)
+		}
+	}
+	if len(seqs) == 0 {
+		return graph.FromEdges(0, nil), st, nil
+	}
+
+	// Phase 1: promising pairs via the generalized suffix structure.
+	idx := buildSuffixIndex(seqs)
+	pairSet := idx.candidatePairs(cfg.MinExactMatch, cfg.WindowCap)
+	st.Candidates = len(pairSet)
+	pairs := make([]pairKey, 0, len(pairSet))
+	for p := range pairSet {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+
+	// Phase 2: Smith–Waterman verification on a worker pool.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ lo, hi int }
+	edgesPer := make([][]graph.Edge, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, jb job) {
+			defer wg.Done()
+			var out []graph.Edge
+			for _, p := range pairs[jb.lo:jb.hi] {
+				a, b := p.unpack()
+				sa, sb := seqs[a].Residues, seqs[b].Residues
+				minLen := len(sa)
+				if len(sb) < minLen {
+					minLen = len(sb)
+				}
+				score := align.ScoreOnly(sa, sb, cfg.Align)
+				if float64(score) >= cfg.MinScorePerResidue*float64(minLen) {
+					out = append(out, graph.Edge{U: uint32(a), V: uint32(b)})
+				}
+			}
+			edgesPer[w] = out
+		}(w, job{lo, hi})
+	}
+	wg.Wait()
+
+	b := graph.NewBuilder(len(seqs))
+	for _, es := range edgesPer {
+		for _, e := range es {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	g := b.Build()
+	st.Edges = g.NumEdges()
+	return g, st, nil
+}

@@ -1,0 +1,304 @@
+package pgraph
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"gpclust/internal/seq"
+)
+
+func mkSeqs(bodies ...string) []seq.Sequence {
+	out := make([]seq.Sequence, len(bodies))
+	for i, b := range bodies {
+		out[i] = seq.Sequence{ID: string(rune('a' + i)), Residues: []byte(b)}
+	}
+	return out
+}
+
+func TestSuffixIndexSorted(t *testing.T) {
+	seqs := mkSeqs("ACDACD", "CDAC", "WWW")
+	idx := buildSuffixIndex(seqs)
+	// Every position (residues + separators) is present exactly once.
+	want := 0
+	for _, s := range seqs {
+		want += s.Len() + 1
+	}
+	if len(idx.sa) != want {
+		t.Fatalf("suffix array has %d entries, want %d", len(idx.sa), want)
+	}
+	for i := 1; i < len(idx.sa); i++ {
+		if idx.compareSuffixes(idx.sa[i-1], idx.sa[i]) > 0 {
+			t.Fatalf("suffix array out of order at %d", i)
+		}
+	}
+}
+
+func TestSuffixArrayMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		sym := make([]int32, n)
+		for i := range sym {
+			sym[i] = int32(rng.Intn(4)) // small alphabet: many ties
+		}
+		sa := buildSuffixArray(sym)
+		naive := make([]int32, n)
+		for i := range naive {
+			naive[i] = int32(i)
+		}
+		less := func(a, b int32) bool {
+			for int(a) < n && int(b) < n {
+				if sym[a] != sym[b] {
+					return sym[a] < sym[b]
+				}
+				a++
+				b++
+			}
+			return int(a) == n && int(b) < n
+		}
+		sort.Slice(naive, func(i, j int) bool { return less(naive[i], naive[j]) })
+		for i := range sa {
+			if sa[i] != naive[i] {
+				t.Fatalf("trial %d: sa[%d] = %d, naive %d", trial, i, sa[i], naive[i])
+			}
+		}
+	}
+}
+
+func TestLCPMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(150)
+		sym := make([]int32, n)
+		for i := range sym {
+			sym[i] = int32(rng.Intn(3))
+		}
+		sa := buildSuffixArray(sym)
+		lcp := computeLCP(sym, sa)
+		for i := 1; i < n; i++ {
+			a, b := sa[i-1], sa[i]
+			want := 0
+			for int(a) < n && int(b) < n && sym[a] == sym[b] {
+				a++
+				b++
+				want++
+			}
+			if int(lcp[i]) != want {
+				t.Fatalf("trial %d: lcp[%d] = %d, want %d", trial, i, lcp[i], want)
+			}
+		}
+	}
+}
+
+func TestLCPStopsAtBoundary(t *testing.T) {
+	// Identical sequences: their suffixes' LCPs must cap at the sequence
+	// length, never running through the unique separators.
+	seqs := mkSeqs("AAAA", "AAAA")
+	idx := buildSuffixIndex(seqs)
+	if got := idx.lcp(0, 5); got != 4 {
+		t.Fatalf("lcp(full copies) = %d, want 4 (capped at boundary)", got)
+	}
+	for i := 1; i < len(idx.sa); i++ {
+		if idx.lcps[i] > 4 {
+			t.Fatalf("lcp[%d] = %d crosses a sequence boundary", i, idx.lcps[i])
+		}
+	}
+}
+
+func TestCandidatePairsSharedSubstring(t *testing.T) {
+	// a and b share a 12-mer; c is unrelated.
+	shared := "WCWHMKTAYIAK"
+	seqs := mkSeqs(
+		"PPPPP"+shared+"GGGGG",
+		"KKKKK"+shared+"TTTTT",
+		"RNDEQRNDEQRNDEQRNDEQ",
+	)
+	idx := buildSuffixIndex(seqs)
+	pairs := idx.candidatePairs(12, 8)
+	if !pairs[makePair(0, 1)] {
+		t.Fatal("pair (a,b) sharing a 12-mer not found")
+	}
+	if pairs[makePair(0, 2)] || pairs[makePair(1, 2)] {
+		t.Fatal("unrelated sequence produced candidate pairs")
+	}
+}
+
+func TestCandidatePairsMinMatch(t *testing.T) {
+	// shared substring of length 8 < minMatch 12: no candidates
+	shared := "WCWHMKTA"
+	seqs := mkSeqs("PPPPP"+shared+"GGGGG", "KKKKK"+shared+"TTTTT")
+	idx := buildSuffixIndex(seqs)
+	if pairs := idx.candidatePairs(12, 8); len(pairs) != 0 {
+		t.Fatalf("%d candidate pairs from an 8-mer with minMatch=12", len(pairs))
+	}
+	if pairs := idx.candidatePairs(8, 8); !pairs[makePair(0, 1)] {
+		t.Fatal("pair not found with minMatch=8")
+	}
+}
+
+func TestCandidatePairsDeepMatch(t *testing.T) {
+	// A 60-residue exact match — far beyond any small seed window — must be
+	// found with minMatch up to its full length (the full suffix array has
+	// no depth cap).
+	core := strings.Repeat("MKTAYIAKQR", 6)
+	seqs := mkSeqs("PP"+core+"GG", "KK"+core+"TT")
+	idx := buildSuffixIndex(seqs)
+	if pairs := idx.candidatePairs(60, 8); !pairs[makePair(0, 1)] {
+		t.Fatal("60-residue exact match not found at minMatch=60")
+	}
+	if pairs := idx.candidatePairs(61, 8); len(pairs) != 0 {
+		t.Fatal("61-residue match reported from a 60-residue core")
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	p := makePair(7, 3)
+	a, b := p.unpack()
+	if a != 3 || b != 7 {
+		t.Fatalf("unpack = (%d,%d), want (3,7)", a, b)
+	}
+	if makePair(3, 7) != p {
+		t.Fatal("pair key not order-independent")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	seqs := mkSeqs("MKTAYIAKQRMKTAYIAKQR")
+	cfg := DefaultConfig()
+	cfg.MinExactMatch = 2
+	if _, _, err := Build(seqs, cfg); err == nil {
+		t.Fatal("tiny MinExactMatch accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.WindowCap = 0
+	if _, _, err := Build(seqs, cfg); err == nil {
+		t.Fatal("WindowCap 0 accepted")
+	}
+	cfg = DefaultConfig()
+	bad := mkSeqs("MKTA*IAKQR")
+	if _, _, err := Build(bad, cfg); err == nil {
+		t.Fatal("invalid residues accepted")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	g, st, err := Build(nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || st.Candidates != 0 {
+		t.Fatalf("empty build: %d vertices, %d candidates", g.NumVertices(), st.Candidates)
+	}
+}
+
+// End to end: a synthetic metagenome's homology graph must be dense inside
+// planted families and sparse across super-families.
+func TestBuildSeparatesFamilies(t *testing.T) {
+	cfg := seq.DefaultMetagenomeConfig(250)
+	cfg.Seed = 5
+	m, err := seq.GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, st, err := Build(m.Seqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates == 0 || st.Edges == 0 {
+		t.Fatalf("no candidates/edges: %+v", st)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	intra, intraPoss := 0, 0
+	crossSuper := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if uint32(v) > u {
+				continue
+			}
+			fv, fu := m.Family[v], m.Family[u]
+			sv, su := m.SuperFamily[v], m.SuperFamily[u]
+			if fv >= 0 && fv == fu {
+				intra++
+			} else if sv < 0 || su < 0 || sv != su {
+				crossSuper++
+			}
+		}
+	}
+	// Count possible intra-family pairs.
+	famSize := map[int32]int{}
+	for _, f := range m.Family {
+		if f >= 0 {
+			famSize[f]++
+		}
+	}
+	for _, s := range famSize {
+		intraPoss += s * (s - 1) / 2
+	}
+	recall := float64(intra) / float64(intraPoss)
+	if recall < 0.5 {
+		t.Errorf("intra-family edge recall = %.2f, want ≥ 0.5", recall)
+	}
+	if float64(crossSuper) > 0.05*float64(g.NumEdges()) {
+		t.Errorf("%d cross-super edges of %d total; want < 5%%", crossSuper, g.NumEdges())
+	}
+}
+
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	cfg := seq.DefaultMetagenomeConfig(120)
+	m, err := seq.GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := DefaultConfig()
+	c1.Workers = 1
+	g1, _, err := Build(m.Seqs, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4 := DefaultConfig()
+	c4.Workers = 4
+	g4, _, err := Build(m.Seqs, c4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g4.NumEdges() {
+		t.Fatalf("edge count differs across worker counts: %d vs %d", g1.NumEdges(), g4.NumEdges())
+	}
+	for i := range g1.Adj {
+		if g1.Adj[i] != g4.Adj[i] {
+			t.Fatal("adjacency differs across worker counts")
+		}
+	}
+}
+
+func BenchmarkBuild250(b *testing.B) {
+	cfg := seq.DefaultMetagenomeConfig(250)
+	m, err := seq.GenerateMetagenome(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Build(m.Seqs, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuffixArray(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sym := make([]int32, 50_000)
+	for i := range sym {
+		sym[i] = int32(rng.Intn(20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa := buildSuffixArray(sym)
+		computeLCP(sym, sa)
+	}
+}

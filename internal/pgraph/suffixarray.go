@@ -1,0 +1,85 @@
+package pgraph
+
+import "sort"
+
+// Full suffix-array machinery: prefix-doubling construction (Manber–Myers
+// style, O(n log² n) with library sorting) and Kasai's linear-time LCP.
+// Sequence separators are given unique symbols below every residue, so no
+// match ever crosses a sequence boundary — the property a generalized
+// suffix tree gives the original pGraph.
+
+// buildSuffixArray sorts all suffixes of the symbol sequence. Symbols are
+// arbitrary int32s; suffix order is lexicographic on them.
+func buildSuffixArray(sym []int32) []int32 {
+	n := len(sym)
+	sa := make([]int32, n)
+	rank := make([]int64, n)
+	for i := 0; i < n; i++ {
+		sa[i] = int32(i)
+		rank[i] = int64(sym[i])
+	}
+	tmp := make([]int64, n)
+
+	for k := 1; ; k *= 2 {
+		key := func(i int32) (int64, int64) {
+			hi := rank[i]
+			lo := int64(-1 << 62)
+			if int(i)+k < n {
+				lo = rank[int(i)+k]
+			}
+			return hi, lo
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			ha, la := key(sa[a])
+			hb, lb := key(sa[b])
+			if ha != hb {
+				return ha < hb
+			}
+			return la < lb
+		})
+		// Re-rank.
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			hp, lp := key(sa[i-1])
+			hc, lc := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if hp != hc || lp != lc {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if rank[sa[n-1]] == int64(n-1) {
+			break
+		}
+	}
+	return sa
+}
+
+// computeLCP returns Kasai's LCP array: lcp[i] is the common-prefix length
+// of suffixes sa[i-1] and sa[i] (lcp[0] = 0). Separator symbols are unique,
+// so common prefixes never extend across sequence boundaries.
+func computeLCP(sym []int32, sa []int32) []int32 {
+	n := len(sym)
+	lcp := make([]int32, n)
+	pos := make([]int32, n) // inverse permutation
+	for i, s := range sa {
+		pos[s] = int32(i)
+	}
+	h := 0
+	for i := 0; i < n; i++ {
+		p := pos[i]
+		if p == 0 {
+			h = 0
+			continue
+		}
+		j := int(sa[p-1])
+		for i+h < n && j+h < n && sym[i+h] == sym[j+h] {
+			h++
+		}
+		lcp[p] = int32(h)
+		if h > 0 {
+			h--
+		}
+	}
+	return lcp
+}

@@ -1,0 +1,253 @@
+package seq
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// The paper's data-preparation story (Section I): shotgun sequencing shreds
+// environmental DNA into fragments, which are "assembled, annotated for
+// genetic regions and subsequently translated into six frames to result in
+// Open Reading Frames (ORFs) or putative protein sequences". This file
+// implements that substrate: the standard genetic code, reverse
+// complementation, six-frame translation, ORF extraction, and the reverse
+// translation used to synthesize DNA carrying the planted protein families.
+
+// geneticCode maps codons (upper-case DNA) to amino acids; '*' is stop.
+var geneticCode = map[string]byte{
+	"TTT": 'F', "TTC": 'F', "TTA": 'L', "TTG": 'L',
+	"CTT": 'L', "CTC": 'L', "CTA": 'L', "CTG": 'L',
+	"ATT": 'I', "ATC": 'I', "ATA": 'I', "ATG": 'M',
+	"GTT": 'V', "GTC": 'V', "GTA": 'V', "GTG": 'V',
+	"TCT": 'S', "TCC": 'S', "TCA": 'S', "TCG": 'S',
+	"CCT": 'P', "CCC": 'P', "CCA": 'P', "CCG": 'P',
+	"ACT": 'T', "ACC": 'T', "ACA": 'T', "ACG": 'T',
+	"GCT": 'A', "GCC": 'A', "GCA": 'A', "GCG": 'A',
+	"TAT": 'Y', "TAC": 'Y', "TAA": '*', "TAG": '*',
+	"CAT": 'H', "CAC": 'H', "CAA": 'Q', "CAG": 'Q',
+	"AAT": 'N', "AAC": 'N', "AAA": 'K', "AAG": 'K',
+	"GAT": 'D', "GAC": 'D', "GAA": 'E', "GAG": 'E',
+	"TGT": 'C', "TGC": 'C', "TGA": '*', "TGG": 'W',
+	"CGT": 'R', "CGC": 'R', "CGA": 'R', "CGG": 'R',
+	"AGT": 'S', "AGC": 'S', "AGA": 'R', "AGG": 'R',
+	"GGT": 'G', "GGC": 'G', "GGA": 'G', "GGG": 'G',
+}
+
+// codonsFor is the inverse code: amino acid → codons (built at init).
+var codonsFor = func() map[byte][]string {
+	m := map[byte][]string{}
+	for codon, aa := range geneticCode {
+		if aa != '*' {
+			m[aa] = append(m[aa], codon)
+		}
+	}
+	// deterministic order for reproducible reverse translation
+	for aa := range m {
+		s := m[aa]
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j-1] > s[j]; j-- {
+				s[j-1], s[j] = s[j], s[j-1]
+			}
+		}
+	}
+	return m
+}()
+
+// TranslateCodon returns the amino acid for a codon, '*' for stop, or 'X'
+// for codons containing non-ACGT characters.
+func TranslateCodon(codon string) byte {
+	if aa, ok := geneticCode[strings.ToUpper(codon)]; ok {
+		return aa
+	}
+	return 'X'
+}
+
+// ReverseComplement returns the reverse complement of a DNA string;
+// non-ACGT characters map to 'N'.
+func ReverseComplement(dna []byte) []byte {
+	out := make([]byte, len(dna))
+	for i, c := range dna {
+		var rc byte
+		switch c {
+		case 'A', 'a':
+			rc = 'T'
+		case 'C', 'c':
+			rc = 'G'
+		case 'G', 'g':
+			rc = 'C'
+		case 'T', 't':
+			rc = 'A'
+		default:
+			rc = 'N'
+		}
+		out[len(dna)-1-i] = rc
+	}
+	return out
+}
+
+// TranslateFrame translates one reading frame (0, 1, 2) of the given strand
+// into a peptide, stops included as '*'.
+func TranslateFrame(dna []byte, frame int) []byte {
+	if frame < 0 || frame > 2 {
+		panic(fmt.Sprintf("seq: frame %d out of range", frame))
+	}
+	var out []byte
+	for i := frame; i+3 <= len(dna); i += 3 {
+		out = append(out, TranslateCodon(string(dna[i:i+3])))
+	}
+	return out
+}
+
+// ORF is one open reading frame found in a six-frame translation.
+type ORF struct {
+	Peptide []byte
+	Frame   int // 0–2 forward, 3–5 reverse strand
+	Start   int // peptide start within the frame translation (residues)
+}
+
+// SixFrameORFs translates all six frames of dna and extracts every stop-free
+// stretch of at least minLen residues — the putative protein sequences the
+// clustering pipeline consumes.
+func SixFrameORFs(dna []byte, minLen int) []ORF {
+	var orfs []ORF
+	scan := func(pep []byte, frame int) {
+		start := 0
+		for i := 0; i <= len(pep); i++ {
+			if i < len(pep) && pep[i] != '*' {
+				continue
+			}
+			if i-start >= minLen {
+				orf := make([]byte, i-start)
+				copy(orf, pep[start:i])
+				orfs = append(orfs, ORF{Peptide: orf, Frame: frame, Start: start})
+			}
+			start = i + 1
+		}
+	}
+	for f := 0; f < 3; f++ {
+		scan(TranslateFrame(dna, f), f)
+	}
+	rc := ReverseComplement(dna)
+	for f := 0; f < 3; f++ {
+		scan(TranslateFrame(rc, f), 3+f)
+	}
+	return orfs
+}
+
+// ReverseTranslate synthesizes a DNA coding sequence for the peptide,
+// choosing synonymous codons uniformly at random — the generator uses it to
+// plant protein families inside simulated genomic fragments.
+func ReverseTranslate(peptide []byte, rng *rand.Rand) ([]byte, error) {
+	out := make([]byte, 0, 3*len(peptide))
+	for i, aa := range peptide {
+		codons := codonsFor[aa]
+		if len(codons) == 0 {
+			if aa == 'X' { // unknown residue: any non-stop codon
+				codons = codonsFor['A']
+			} else {
+				return nil, fmt.Errorf("seq: residue %q at %d has no codon", aa, i)
+			}
+		}
+		out = append(out, codons[rng.Intn(len(codons))]...)
+	}
+	return out, nil
+}
+
+// ShotgunRead is one simulated shotgun fragment of environmental DNA.
+type ShotgunRead struct {
+	ID  string
+	DNA []byte
+}
+
+// ShotgunConfig controls read simulation from a metagenome.
+type ShotgunConfig struct {
+	ReadLen    int     // fragment length in bases (paper: "a few hundred base pairs")
+	Coverage   float64 // mean number of reads covering each base
+	ErrorRate  float64 // per-base substitution error rate
+	FlankBases int     // random intergenic DNA added around each coding region
+	Seed       int64
+}
+
+// DefaultShotgunConfig returns a typical Sanger-era configuration.
+func DefaultShotgunConfig() ShotgunConfig {
+	return ShotgunConfig{ReadLen: 600, Coverage: 2.0, ErrorRate: 0.003, FlankBases: 120, Seed: 1}
+}
+
+var dnaAlphabet = []byte("ACGT")
+
+// SimulateShotgun reverse-translates every metagenome member into a coding
+// region embedded in random flanking DNA and shreds the pool into reads —
+// the front half of the paper's pipeline. The returned reads can be pushed
+// through SixFrameORFs to recover putative proteins.
+func SimulateShotgun(m *Metagenome, cfg ShotgunConfig) ([]ShotgunRead, error) {
+	if cfg.ReadLen < 60 {
+		return nil, fmt.Errorf("seq: read length %d too short", cfg.ReadLen)
+	}
+	if cfg.Coverage <= 0 {
+		return nil, fmt.Errorf("seq: coverage %v must be positive", cfg.Coverage)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var reads []ShotgunRead
+	readID := 0
+	for si, s := range m.Seqs {
+		coding, err := ReverseTranslate(s.Residues, rng)
+		if err != nil {
+			return nil, fmt.Errorf("seq: sequence %d: %w", si, err)
+		}
+		region := make([]byte, 0, len(coding)+2*cfg.FlankBases)
+		for i := 0; i < cfg.FlankBases; i++ {
+			region = append(region, dnaAlphabet[rng.Intn(4)])
+		}
+		region = append(region, coding...)
+		for i := 0; i < cfg.FlankBases; i++ {
+			region = append(region, dnaAlphabet[rng.Intn(4)])
+		}
+
+		numReads := int(float64(len(region))*cfg.Coverage/float64(cfg.ReadLen) + 0.5)
+		if numReads < 1 {
+			numReads = 1
+		}
+		for r := 0; r < numReads; r++ {
+			n := cfg.ReadLen
+			if n > len(region) {
+				n = len(region)
+			}
+			start := 0
+			if len(region) > n {
+				start = rng.Intn(len(region) - n + 1)
+			}
+			read := make([]byte, n)
+			copy(read, region[start:start+n])
+			for i := range read {
+				if rng.Float64() < cfg.ErrorRate {
+					read[i] = dnaAlphabet[rng.Intn(4)]
+				}
+			}
+			if rng.Intn(2) == 1 { // random strand
+				read = ReverseComplement(read)
+			}
+			reads = append(reads, ShotgunRead{
+				ID:  fmt.Sprintf("read%07d_src%d", readID, si),
+				DNA: read,
+			})
+			readID++
+		}
+	}
+	return reads, nil
+}
+
+// ORFsFromReads runs six-frame ORF extraction over a read set, producing
+// the putative protein sequences the clustering pipeline starts from.
+func ORFsFromReads(reads []ShotgunRead, minLen int) []Sequence {
+	var out []Sequence
+	for _, r := range reads {
+		for oi, orf := range SixFrameORFs(r.DNA, minLen) {
+			out = append(out, Sequence{
+				ID:       fmt.Sprintf("%s_orf%d_f%d", r.ID, oi, orf.Frame),
+				Residues: orf.Peptide,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package seq
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gpclust/internal/align"
+)
+
+func TestGeneticCodeComplete(t *testing.T) {
+	bases := "TCAG"
+	stops := 0
+	for _, a := range bases {
+		for _, b := range bases {
+			for _, c := range bases {
+				codon := string([]byte{byte(a), byte(b), byte(c)})
+				aa := TranslateCodon(codon)
+				if aa == 'X' {
+					t.Fatalf("codon %s unmapped", codon)
+				}
+				if aa == '*' {
+					stops++
+				}
+			}
+		}
+	}
+	if stops != 3 {
+		t.Fatalf("%d stop codons, want 3 (TAA, TAG, TGA)", stops)
+	}
+	if TranslateCodon("ATG") != 'M' {
+		t.Fatal("ATG is not Met")
+	}
+	if TranslateCodon("NNN") != 'X' {
+		t.Fatal("ambiguous codon should give X")
+	}
+	if TranslateCodon("atg") != 'M' {
+		t.Fatal("lowercase codon rejected")
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	if got := ReverseComplement([]byte("ACGT")); string(got) != "ACGT" {
+		t.Fatalf("RC(ACGT) = %s", got)
+	}
+	if got := ReverseComplement([]byte("AAACCC")); string(got) != "GGGTTT" {
+		t.Fatalf("RC(AAACCC) = %s", got)
+	}
+	// involution
+	in := []byte("ATGCGTACGTTAGC")
+	if !bytes.Equal(ReverseComplement(ReverseComplement(in)), in) {
+		t.Fatal("RC not an involution")
+	}
+	if got := ReverseComplement([]byte("AXA")); string(got) != "TNT" {
+		t.Fatalf("RC with unknown base = %s", got)
+	}
+}
+
+func TestTranslateFrame(t *testing.T) {
+	dna := []byte("ATGAAATTTTAG") // M K F *
+	if got := TranslateFrame(dna, 0); string(got) != "MKF*" {
+		t.Fatalf("frame 0 = %s", got)
+	}
+	if got := TranslateFrame(dna, 1); len(got) != 3 {
+		t.Fatalf("frame 1 length = %d", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("frame 3 did not panic")
+		}
+	}()
+	TranslateFrame(dna, 3)
+}
+
+func TestRoundTripTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		pep := make([]byte, 20+rng.Intn(80))
+		for i := range pep {
+			pep[i] = align.Alphabet[rng.Intn(20)]
+		}
+		dna, err := ReverseTranslate(pep, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dna) != 3*len(pep) {
+			t.Fatalf("DNA length %d, want %d", len(dna), 3*len(pep))
+		}
+		back := TranslateFrame(dna, 0)
+		if !bytes.Equal(back, pep) {
+			t.Fatalf("round trip failed:\n in  %s\n out %s", pep, back)
+		}
+	}
+}
+
+func TestSixFrameORFsFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pep := make([]byte, 60)
+	for i := range pep {
+		pep[i] = align.Alphabet[rng.Intn(20)]
+	}
+	coding, err := ReverseTranslate(pep, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Embed with stop-rich flanks so the ORF is delimited.
+	dna := append([]byte("TAATAATAA"), coding...)
+	dna = append(dna, []byte("TAGTAGTAG")...)
+
+	find := func(d []byte) bool {
+		for _, orf := range SixFrameORFs(d, 40) {
+			if bytes.Contains(orf.Peptide, pep) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find(dna) {
+		t.Fatal("planted ORF not found in forward strand")
+	}
+	// The reverse complement must yield the same peptide via frames 3-5.
+	if !find(ReverseComplement(dna)) {
+		t.Fatal("planted ORF not found after strand flip")
+	}
+}
+
+func TestSixFrameORFsMinLen(t *testing.T) {
+	// all-stop DNA has no ORFs
+	if orfs := SixFrameORFs([]byte("TAATAGTGATAATAGTGA"), 1); len(orfs) > 4 {
+		// reverse frames of stop codons need not be stops; just ensure
+		// nothing absurd and no empty peptides
+		for _, o := range orfs {
+			if len(o.Peptide) == 0 {
+				t.Fatal("empty ORF")
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	dna := make([]byte, 3000)
+	for i := range dna {
+		dna[i] = dnaAlphabet[rng.Intn(4)]
+	}
+	for _, o := range SixFrameORFs(dna, 30) {
+		if len(o.Peptide) < 30 {
+			t.Fatalf("ORF of %d residues below minLen", len(o.Peptide))
+		}
+		if bytes.ContainsRune(o.Peptide, '*') {
+			t.Fatal("ORF contains a stop")
+		}
+		if o.Frame < 0 || o.Frame > 5 {
+			t.Fatalf("frame %d", o.Frame)
+		}
+	}
+}
+
+func TestSimulateShotgunPipeline(t *testing.T) {
+	cfg := DefaultMetagenomeConfig(60)
+	cfg.AncestorLenMin, cfg.AncestorLenMax = 80, 120
+	m, err := GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := DefaultShotgunConfig()
+	sc.ReadLen = 400
+	reads, err := SimulateShotgun(m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) < len(m.Seqs) {
+		t.Fatalf("%d reads for %d members", len(reads), len(m.Seqs))
+	}
+	for _, r := range reads {
+		if len(r.DNA) == 0 || len(r.DNA) > sc.ReadLen {
+			t.Fatalf("read length %d", len(r.DNA))
+		}
+	}
+	orfs := ORFsFromReads(reads, 40)
+	if len(orfs) == 0 {
+		t.Fatal("no ORFs extracted from reads")
+	}
+	// Extracted ORFs must be valid protein sequences and many should align
+	// strongly to their source members (the planted signal survives the
+	// DNA round trip + shredding).
+	for _, o := range orfs {
+		if err := align.ValidateSequence(o.Residues); err != nil {
+			t.Fatalf("ORF %s invalid: %v", o.ID, err)
+		}
+	}
+	matched := 0
+	checked := 0
+	p := align.DefaultParams()
+	for _, o := range orfs {
+		if checked >= 30 {
+			break
+		}
+		checked++
+		best := 0
+		for _, s := range m.Seqs[:20] {
+			if sc := align.ScoreOnly(o.Residues, s.Residues, p); sc > best {
+				best = sc
+			}
+		}
+		if best >= 2*40 { // ≥ 2 points per residue of a 40-residue ORF core
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no extracted ORF aligns to any source protein")
+	}
+}
+
+func TestSimulateShotgunValidation(t *testing.T) {
+	m, err := GenerateMetagenome(DefaultMetagenomeConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultShotgunConfig()
+	bad.ReadLen = 10
+	if _, err := SimulateShotgun(m, bad); err == nil {
+		t.Fatal("tiny read length accepted")
+	}
+	bad = DefaultShotgunConfig()
+	bad.Coverage = 0
+	if _, err := SimulateShotgun(m, bad); err == nil {
+		t.Fatal("zero coverage accepted")
+	}
+}

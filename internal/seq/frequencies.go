@@ -1,0 +1,61 @@
+package seq
+
+import (
+	"math/rand"
+
+	"gpclust/internal/align"
+)
+
+// Natural amino-acid background frequencies (Robinson & Robinson 1991, the
+// standard composition used by BLOSUM-era alignment statistics). Random
+// proteins drawn from this composition share k-mers and align the way real
+// background sequences do, which keeps the pGraph filter's false-candidate
+// rate realistic.
+var robinsonFrequencies = map[byte]float64{
+	'A': 0.0780, 'R': 0.0512, 'N': 0.0448, 'D': 0.0536, 'C': 0.0192,
+	'Q': 0.0426, 'E': 0.0629, 'G': 0.0738, 'H': 0.0219, 'I': 0.0514,
+	'L': 0.0901, 'K': 0.0574, 'M': 0.0224, 'F': 0.0385, 'P': 0.0520,
+	'S': 0.0712, 'T': 0.0584, 'W': 0.0132, 'Y': 0.0321, 'V': 0.0644,
+}
+
+// residueSampler draws residues from a cumulative-frequency table.
+type residueSampler struct {
+	cum      []float64
+	residues []byte
+}
+
+// newResidueSampler builds a sampler over the 20 standard residues with the
+// given weights (nil = natural Robinson–Robinson composition).
+func newResidueSampler(weights map[byte]float64) *residueSampler {
+	if weights == nil {
+		weights = robinsonFrequencies
+	}
+	s := &residueSampler{}
+	total := 0.0
+	for i := 0; i < 20; i++ {
+		r := align.Alphabet[i]
+		total += weights[r]
+		s.residues = append(s.residues, r)
+		s.cum = append(s.cum, total)
+	}
+	// normalize
+	for i := range s.cum {
+		s.cum[i] /= total
+	}
+	return s
+}
+
+// sample draws one residue.
+func (s *residueSampler) sample(rng *rand.Rand) byte {
+	x := rng.Float64()
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.residues[lo]
+}

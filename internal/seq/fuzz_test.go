@@ -1,0 +1,58 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFASTA: the parser must never panic and must round-trip what it
+// accepts.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add(">a\nMKT\n>b desc\nACDEF\nGHIKL\n")
+	f.Add("no header\n")
+	f.Add(">empty\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		seqs, err := ReadFASTA(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, seqs); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		back, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(back) != len(seqs) {
+			t.Fatalf("round trip: %d -> %d sequences", len(seqs), len(back))
+		}
+		for i := range seqs {
+			if !bytes.Equal(back[i].Residues, seqs[i].Residues) {
+				t.Fatal("round trip changed residues")
+			}
+		}
+	})
+}
+
+// FuzzSixFrameORFs: ORF extraction must never panic and every ORF must be
+// stop-free and within bounds.
+func FuzzSixFrameORFs(f *testing.F) {
+	f.Add([]byte("ATGAAATTTTAG"), 2)
+	f.Add([]byte(""), 1)
+	f.Add([]byte("NNNNNN"), 1)
+	f.Fuzz(func(t *testing.T, dna []byte, minLen int) {
+		if minLen < 1 || minLen > 1000 || len(dna) > 10000 {
+			return
+		}
+		for _, orf := range SixFrameORFs(dna, minLen) {
+			if len(orf.Peptide) < minLen {
+				t.Fatalf("ORF shorter than minLen: %d < %d", len(orf.Peptide), minLen)
+			}
+			if bytes.ContainsRune(orf.Peptide, '*') {
+				t.Fatal("ORF contains stop")
+			}
+		}
+	})
+}

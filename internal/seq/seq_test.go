@@ -1,0 +1,251 @@
+package seq
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gpclust/internal/align"
+)
+
+func TestFASTARoundTrip(t *testing.T) {
+	in := []Sequence{
+		{ID: "a", Residues: []byte("MKTAYIAKQRQISFVKSHFSRQ")},
+		{ID: "b desc with spaces", Residues: bytes.Repeat([]byte("ACDEFGHIKLMNPQRSTVWY"), 10)},
+		{ID: "c", Residues: []byte("W")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d sequences after round trip, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID {
+			t.Errorf("seq %d id %q, want %q", i, out[i].ID, in[i].ID)
+		}
+		if !bytes.Equal(out[i].Residues, in[i].Residues) {
+			t.Errorf("seq %d residues differ", i)
+		}
+	}
+}
+
+func TestFASTALineWrapping(t *testing.T) {
+	long := Sequence{ID: "x", Residues: bytes.Repeat([]byte("A"), 200)}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, []Sequence{long}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 70 {
+			t.Fatalf("line of %d chars, want ≤ 70", len(line))
+		}
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACDEF\n")); err == nil {
+		t.Fatal("sequence before header accepted")
+	}
+	seqs, err := ReadFASTA(strings.NewReader(""))
+	if err != nil || len(seqs) != 0 {
+		t.Fatalf("empty input: %v, %d seqs", err, len(seqs))
+	}
+	// multi-line bodies concatenate
+	seqs, err = ReadFASTA(strings.NewReader(">x\nAAA\nCCC\n\nGGG\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seqs[0].Residues) != "AAACCCGGG" {
+		t.Fatalf("concatenated body = %q", seqs[0].Residues)
+	}
+}
+
+func TestGenerateMetagenomeShape(t *testing.T) {
+	cfg := DefaultMetagenomeConfig(500)
+	m, err := GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Seqs) != 500 {
+		t.Fatalf("%d sequences, want 500", len(m.Seqs))
+	}
+	inFam := 0
+	for i, f := range m.Family {
+		if f >= 0 {
+			inFam++
+			if m.SuperFamily[i] < 0 {
+				t.Fatal("family member without super-family")
+			}
+			if int(f) >= m.NumFamilies {
+				t.Fatalf("family id %d out of range", f)
+			}
+		}
+	}
+	if want := int(500 * cfg.FamilyFraction); inFam != want {
+		t.Fatalf("family members = %d, want %d", inFam, want)
+	}
+	for _, s := range m.Seqs {
+		if s.Len() == 0 {
+			t.Fatal("empty sequence generated")
+		}
+		if err := align.ValidateSequence(s.Residues); err != nil {
+			t.Fatalf("invalid residues in %s: %v", s.ID, err)
+		}
+	}
+}
+
+func TestGenerateMetagenomeValidation(t *testing.T) {
+	bad := DefaultMetagenomeConfig(0)
+	if _, err := GenerateMetagenome(bad); err == nil {
+		t.Fatal("0 sequences accepted")
+	}
+	bad = DefaultMetagenomeConfig(10)
+	bad.FragmentMin, bad.FragmentMax = 0.9, 0.5
+	if _, err := GenerateMetagenome(bad); err == nil {
+		t.Fatal("inverted fragment bounds accepted")
+	}
+	bad = DefaultMetagenomeConfig(10)
+	bad.AncestorLenMin, bad.AncestorLenMax = 100, 50
+	if _, err := GenerateMetagenome(bad); err == nil {
+		t.Fatal("inverted ancestor bounds accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultMetagenomeConfig(200)
+	m1, err := GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Seqs {
+		if !bytes.Equal(m1.Seqs[i].Residues, m2.Seqs[i].Residues) {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+// Family members must align well to each other and poorly to other
+// super-families — the property the homology graph construction depends on.
+func TestFamilyMembersAreHomologous(t *testing.T) {
+	cfg := DefaultMetagenomeConfig(300)
+	m, err := GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := align.DefaultParams()
+	// find two members of the same family and two of different supers
+	byFam := map[int32][]int{}
+	for i, f := range m.Family {
+		if f >= 0 {
+			byFam[f] = append(byFam[f], i)
+		}
+	}
+	var same, cross []int
+	for _, members := range byFam {
+		if len(members) >= 2 && same == nil {
+			same = members[:2]
+		}
+	}
+	for i := range m.Family {
+		for j := i + 1; j < len(m.Family); j++ {
+			if m.SuperFamily[i] >= 0 && m.SuperFamily[j] >= 0 && m.SuperFamily[i] != m.SuperFamily[j] {
+				cross = []int{i, j}
+				break
+			}
+		}
+		if cross != nil {
+			break
+		}
+	}
+	if same == nil || cross == nil {
+		t.Fatal("test metagenome lacks needed structure")
+	}
+	sameScore := align.ScoreOnly(m.Seqs[same[0]].Residues, m.Seqs[same[1]].Residues, p)
+	crossScore := align.ScoreOnly(m.Seqs[cross[0]].Residues, m.Seqs[cross[1]].Residues, p)
+	minLen := m.Seqs[same[0]].Len()
+	if m.Seqs[same[1]].Len() < minLen {
+		minLen = m.Seqs[same[1]].Len()
+	}
+	if sameScore < minLen { // well above noise: ≥ ~1 per aligned residue
+		t.Fatalf("intra-family alignment score %d too low for length %d", sameScore, minLen)
+	}
+	if crossScore >= sameScore {
+		t.Fatalf("cross-super score %d not below intra-family score %d", crossScore, sameScore)
+	}
+}
+
+func TestFragmenting(t *testing.T) {
+	cfg := DefaultMetagenomeConfig(100)
+	cfg.FragmentMin, cfg.FragmentMax = 0.5, 0.6
+	m, err := GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fragments must be visibly shorter than full ancestors on average.
+	total := 0
+	for _, s := range m.Seqs {
+		total += s.Len()
+	}
+	avg := float64(total) / float64(len(m.Seqs))
+	maxAncestor := float64(cfg.AncestorLenMax)
+	if avg > 0.8*maxAncestor {
+		t.Fatalf("average fragment length %.0f too close to ancestor max %v", avg, maxAncestor)
+	}
+}
+
+func TestResidueSamplerComposition(t *testing.T) {
+	s := newResidueSampler(nil)
+	rng := rand.New(rand.NewSource(13))
+	counts := map[byte]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.sample(rng)]++
+	}
+	// Leucine (~9.0%) must clearly outnumber tryptophan (~1.3%).
+	if counts['L'] < 3*counts['W'] {
+		t.Fatalf("L=%d W=%d; natural composition not reflected", counts['L'], counts['W'])
+	}
+	for i := 0; i < 20; i++ {
+		r := align.Alphabet[i]
+		got := float64(counts[r]) / n
+		want := robinsonFrequencies[r]
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("residue %c frequency %.4f, want ≈ %.4f", r, got, want)
+		}
+	}
+}
+
+func TestUniformResiduesOption(t *testing.T) {
+	cfg := DefaultMetagenomeConfig(150)
+	cfg.UniformResidues = true
+	m, err := GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[byte]int{}
+	total := 0
+	for _, s := range m.Seqs {
+		for _, c := range s.Residues {
+			counts[c]++
+			total++
+		}
+	}
+	// Under a uniform draw every residue should be near 5%.
+	for i := 0; i < 20; i++ {
+		got := float64(counts[align.Alphabet[i]]) / float64(total)
+		if got < 0.03 || got > 0.07 {
+			t.Errorf("residue %c frequency %.3f under uniform option", align.Alphabet[i], got)
+		}
+	}
+}

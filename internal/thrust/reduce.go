@@ -1,0 +1,199 @@
+package thrust
+
+import (
+	"fmt"
+
+	"gpclust/internal/gpusim"
+)
+
+// ReduceOp selects the associative operator for Reduce.
+type ReduceOp int
+
+const (
+	// Sum adds elements (mod 2^32).
+	Sum ReduceOp = iota
+	// Min takes the minimum element.
+	Min
+	// Max takes the maximum element.
+	Max
+)
+
+func (op ReduceOp) apply(a, b uint32) uint32 {
+	switch op {
+	case Sum:
+		return a + b
+	case Min:
+		if b < a {
+			return b
+		}
+		return a
+	case Max:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	panic("thrust: unknown reduce op")
+}
+
+func (op ReduceOp) identity() uint32 {
+	switch op {
+	case Sum:
+		return 0
+	case Min:
+		return 0xFFFFFFFF
+	case Max:
+		return 0
+	}
+	panic("thrust: unknown reduce op")
+}
+
+// Reduce folds the first n words of data with op (thrust::reduce), using
+// the canonical two-stage scheme: a cooperative shared-memory tree
+// reduction per block, then a final pass over the per-block partials.
+func Reduce(d *gpusim.Device, data *gpusim.Buffer, n int, op ReduceOp) (uint32, error) {
+	if n < 0 || n > data.Len() {
+		return 0, fmt.Errorf("thrust: Reduce %d elements in buffer of %d", n, data.Len())
+	}
+	if n == 0 {
+		return op.identity(), nil
+	}
+	const bd = 256
+	grid := (n + bd - 1) / bd
+	partials, err := d.Malloc(grid)
+	if err != nil {
+		return 0, err
+	}
+	defer partials.Free()
+
+	d.NextKernelName("block_reduce")
+	err = d.LaunchCooperative(grid, bd, bd, func(c *gpusim.CoopCtx) {
+		sh := c.Shared()
+		i := c.Block*c.BlockDim + c.Thread
+		if i < n {
+			sh[c.Thread] = data.Words()[i]
+			c.GlobalRead(data, i, 1, 1)
+		} else {
+			sh[c.Thread] = op.identity()
+		}
+		c.SharedAccess(1)
+		c.SyncThreads()
+		for s := bd / 2; s > 0; s /= 2 {
+			if c.Thread < s {
+				sh[c.Thread] = op.apply(sh[c.Thread], sh[c.Thread+s])
+				c.SharedAccess(2)
+				c.Ops(1)
+			}
+			c.SyncThreads()
+		}
+		if c.Thread == 0 {
+			partials.Words()[c.Block] = sh[0]
+			c.GlobalWrite(partials, c.Block, 1, 1)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	if grid == 1 {
+		host := make([]uint32, 1)
+		if err := d.CopyD2H(host, partials, 0); err != nil {
+			return 0, err
+		}
+		return host[0], nil
+	}
+	return Reduce(d, partials, grid, op)
+}
+
+// InclusiveScan computes dst[i] = src[0] + … + src[i] (thrust::inclusive_scan
+// with plus), using per-block cooperative Hillis–Steele scans, a recursive
+// scan of block sums, and an offset-add pass.
+func InclusiveScan(d *gpusim.Device, src, dst *gpusim.Buffer, n int) error {
+	if n < 0 || n > src.Len() || n > dst.Len() {
+		return fmt.Errorf("thrust: InclusiveScan over %d elements with buffers of %d/%d", n, src.Len(), dst.Len())
+	}
+	if n == 0 {
+		return nil
+	}
+	const bd = 256
+	grid := (n + bd - 1) / bd
+	blockSums, err := d.Malloc(grid)
+	if err != nil {
+		return err
+	}
+	defer blockSums.Free()
+
+	// Stage 1: per-block inclusive scan into dst, block totals into blockSums.
+	d.NextKernelName("block_scan")
+	err = d.LaunchCooperative(grid, bd, 2*bd, func(c *gpusim.CoopCtx) {
+		sh := c.Shared()
+		i := c.Block*c.BlockDim + c.Thread
+		var v uint32
+		if i < n {
+			v = src.Words()[i]
+			c.GlobalRead(src, i, 1, 1)
+		}
+		sh[c.Thread] = v
+		c.SharedAccess(1)
+		c.SyncThreads()
+		// Hillis–Steele double-buffered scan.
+		in, out := 0, bd
+		for step := 1; step < bd; step *= 2 {
+			if c.Thread >= step {
+				sh[out+c.Thread] = sh[in+c.Thread] + sh[in+c.Thread-step]
+				c.Ops(1)
+			} else {
+				sh[out+c.Thread] = sh[in+c.Thread]
+			}
+			c.SharedAccess(2)
+			c.SyncThreads()
+			in, out = out, in
+		}
+		if i < n {
+			dst.Words()[i] = sh[in+c.Thread]
+			c.GlobalWrite(dst, i, 1, 1)
+		}
+		if c.Thread == bd-1 {
+			blockSums.Words()[c.Block] = sh[in+c.Thread]
+			c.GlobalWrite(blockSums, c.Block, 1, 1)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if grid == 1 {
+		return nil
+	}
+
+	// Stage 2: scan the block sums (recursively).
+	scanned, err := d.Malloc(grid)
+	if err != nil {
+		return err
+	}
+	defer scanned.Free()
+	if err := InclusiveScan(d, blockSums, scanned, grid); err != nil {
+		return err
+	}
+
+	// Stage 3: add the previous blocks' total to every element.
+	gridAdd, total := launchGeometry(n)
+	d.NextKernelName("scan_add_offsets")
+	return d.Launch(gridAdd, blockDim, func(ctx *gpusim.ThreadCtx) {
+		gid := ctx.GlobalID()
+		dw, sums := dst.Words(), scanned.Words()
+		count := 0
+		for i := gid; i < n; i += total {
+			b := i / bd
+			if b > 0 {
+				dw[i] += sums[b-1]
+			}
+			count++
+		}
+		if count > 0 {
+			ctx.GlobalRead(dst, gid, count, total)
+			ctx.GlobalRead(scanned, gid/bd, (count+bd-1)/bd, 1)
+			ctx.GlobalWrite(dst, gid, count, total)
+			ctx.Ops(count * 2)
+		}
+	})
+}

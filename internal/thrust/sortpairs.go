@@ -1,0 +1,79 @@
+package thrust
+
+import (
+	"fmt"
+	"sort"
+
+	"gpclust/internal/gpusim"
+)
+
+// SortPairs64 sorts n records of a 64-bit key (split across keyHi/keyLo
+// word buffers, since device words are 32-bit) with a 32-bit value payload,
+// ascending by (hi, lo, value) — the thrust::sort_by_key used by the
+// GPU-aggregation extension to group shingle tuples on the device instead
+// of the CPU. Like Sort, the records are reordered for real while the cost
+// model charges an LSD radix sort: six 16-bit passes, each streaming every
+// record through global memory.
+func SortPairs64(d *gpusim.Device, keyHi, keyLo, val *gpusim.Buffer, n int) error {
+	return SortPairs64OnStream(d, nil, keyHi, keyLo, val, n)
+}
+
+// SortPairs64OnStream is SortPairs64 enqueued on a stream (nil stream =
+// synchronous).
+func SortPairs64OnStream(d *gpusim.Device, st *gpusim.Stream, keyHi, keyLo, val *gpusim.Buffer, n int) error {
+	if n < 0 || n > keyHi.Len() || n > keyLo.Len() || n > val.Len() {
+		return fmt.Errorf("thrust: SortPairs64 over %d records with buffers %d/%d/%d",
+			n, keyHi.Len(), keyLo.Len(), val.Len())
+	}
+	if n <= 1 {
+		return nil
+	}
+	// Real reorder: sort an index permutation, then apply it to all three
+	// streams.
+	hi, lo, v := keyHi.Words(), keyLo.Words(), val.Words()
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if hi[ia] != hi[ib] {
+			return hi[ia] < hi[ib]
+		}
+		if lo[ia] != lo[ib] {
+			return lo[ia] < lo[ib]
+		}
+		return v[ia] < v[ib]
+	})
+	apply := func(s []uint32) {
+		tmp := make([]uint32, n)
+		for i, j := range idx {
+			tmp[i] = s[j]
+		}
+		copy(s[:n], tmp)
+	}
+	apply(hi)
+	apply(lo)
+	apply(v)
+
+	// Charge radix cost: 6 passes × (read keys+value, write keys+value).
+	grid, total := launchGeometry(n)
+	d.NextKernelName("sort_pairs64")
+	return launch(d, st, grid, blockDim, func(ctx *gpusim.ThreadCtx) {
+		gid := ctx.GlobalID()
+		count := 0
+		for i := gid; i < n; i += total {
+			count++
+		}
+		if count > 0 {
+			const passes = 6
+			ctx.GlobalRead(keyHi, gid, count*passes, total)
+			ctx.GlobalRead(keyLo, gid, count*passes, total)
+			ctx.GlobalRead(val, gid, count*passes, total)
+			ctx.GlobalWrite(keyHi, gid, count*passes, total)
+			ctx.GlobalWrite(keyLo, gid, count*passes, total)
+			ctx.GlobalWrite(val, gid, count*passes, total)
+			ctx.Ops(count * passes * 6)
+		}
+	})
+}

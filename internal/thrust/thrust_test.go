@@ -1,0 +1,587 @@
+package thrust
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"gpclust/internal/gpusim"
+	"gpclust/internal/minwise"
+)
+
+func newDev(t testing.TB) *gpusim.Device {
+	t.Helper()
+	return gpusim.MustNew(gpusim.K20Config())
+}
+
+func upload(t testing.TB, d *gpusim.Device, data []uint32) *gpusim.Buffer {
+	t.Helper()
+	b := d.MustMalloc(len(data))
+	if err := d.CopyH2D(b, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func download(t testing.TB, d *gpusim.Device, b *gpusim.Buffer, n int) []uint32 {
+	t.Helper()
+	out := make([]uint32, n)
+	if err := d.CopyD2H(out, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestTransform(t *testing.T) {
+	d := newDev(t)
+	const n = 10_000
+	src := make([]uint32, n)
+	for i := range src {
+		src[i] = uint32(i)
+	}
+	in := upload(t, d, src)
+	out := d.MustMalloc(n)
+	defer in.Free()
+	defer out.Free()
+	if err := Transform(d, in, out, n, func(v uint32) uint32 { return v*2 + 1 }, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := download(t, d, out, n)
+	for i, v := range got {
+		if v != uint32(i)*2+1 {
+			t.Fatalf("element %d = %d, want %d", i, v, i*2+1)
+		}
+	}
+	// Grid-stride elementwise kernels must be well coalesced.
+	if eff := d.Metrics().CoalescingEfficiency(); eff < 0.9 {
+		t.Fatalf("Transform coalescing efficiency = %v, want ≥ 0.9", eff)
+	}
+}
+
+func TestTransformBounds(t *testing.T) {
+	d := newDev(t)
+	in := d.MustMalloc(5)
+	out := d.MustMalloc(3)
+	defer in.Free()
+	defer out.Free()
+	if err := Transform(d, in, out, 5, func(v uint32) uint32 { return v }, 1); err == nil {
+		t.Fatal("Transform overflowing dst accepted")
+	}
+	if err := Transform(d, in, out, 0, func(v uint32) uint32 { return v }, 1); err != nil {
+		t.Fatalf("zero-length Transform failed: %v", err)
+	}
+}
+
+func TestTransformHashMatchesMinwise(t *testing.T) {
+	d := newDev(t)
+	const n = 5000
+	rng := rand.New(rand.NewSource(4))
+	src := make([]uint32, n)
+	for i := range src {
+		src[i] = rng.Uint32() % uint32(minwise.Prime)
+	}
+	h := minwise.HashPair{A: 48271, B: 12345}
+	in := upload(t, d, src)
+	out := d.MustMalloc(n)
+	defer in.Free()
+	defer out.Free()
+	if err := TransformHash(d, in, out, n, h.A, h.B, minwise.Prime); err != nil {
+		t.Fatal(err)
+	}
+	got := download(t, d, out, n)
+	for i := range src {
+		if got[i] != h.Apply(src[i]) {
+			t.Fatalf("element %d: device hash %d != host hash %d", i, got[i], h.Apply(src[i]))
+		}
+	}
+}
+
+func TestFillAndIota(t *testing.T) {
+	d := newDev(t)
+	b := d.MustMalloc(1000)
+	defer b.Free()
+	if err := Fill(d, b, 1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range download(t, d, b, 1000) {
+		if v != 7 {
+			t.Fatalf("Fill element %d = %d", i, v)
+		}
+	}
+	if err := Iota(d, b, 1000, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range download(t, d, b, 1000) {
+		if v != uint32(i+5) {
+			t.Fatalf("Iota element %d = %d, want %d", i, v, i+5)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	d := newDev(t)
+	src := upload(t, d, []uint32{10, 20, 30, 40, 50})
+	idx := upload(t, d, []uint32{4, 0, 2, 2})
+	out := d.MustMalloc(4)
+	defer src.Free()
+	defer idx.Free()
+	defer out.Free()
+	if err := Gather(d, src, idx, out, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := download(t, d, out, 4)
+	want := []uint32{50, 10, 30, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Gather[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGatherOutOfRange(t *testing.T) {
+	d := newDev(t)
+	src := upload(t, d, []uint32{1, 2})
+	idx := upload(t, d, []uint32{5})
+	out := d.MustMalloc(1)
+	defer src.Free()
+	defer idx.Free()
+	defer out.Free()
+	if err := Gather(d, src, idx, out, 1); err == nil {
+		t.Fatal("out-of-range gather index accepted")
+	}
+}
+
+func makeSegments(t testing.TB, d *gpusim.Device, lens []int) (Segments, int) {
+	t.Helper()
+	off := make([]uint32, len(lens)+1)
+	for i, l := range lens {
+		off[i+1] = off[i] + uint32(l)
+	}
+	return Segments{Offsets: upload(t, d, off), NumSegs: len(lens)}, int(off[len(lens)])
+}
+
+func TestSegmentedSort(t *testing.T) {
+	d := newDev(t)
+	rng := rand.New(rand.NewSource(8))
+	lens := []int{0, 1, 2, 5, 24, 25, 100, 3, 57}
+	segs, total := makeSegments(t, d, lens)
+	defer segs.Offsets.Free()
+	data := make([]uint32, total)
+	for i := range data {
+		data[i] = rng.Uint32()
+	}
+	buf := upload(t, d, data)
+	defer buf.Free()
+	if err := SegmentedSort(d, buf, segs); err != nil {
+		t.Fatal(err)
+	}
+	got := download(t, d, buf, total)
+	off := 0
+	for si, l := range lens {
+		seg := got[off : off+l]
+		want := append([]uint32{}, data[off:off+l]...)
+		slices.Sort(want)
+		for i := range seg {
+			if seg[i] != want[i] {
+				t.Fatalf("segment %d element %d = %d, want %d", si, i, seg[i], want[i])
+			}
+		}
+		off += l
+	}
+}
+
+func TestSegmentsValidate(t *testing.T) {
+	d := newDev(t)
+	data := d.MustMalloc(10)
+	defer data.Free()
+	// non-monotone
+	bad := Segments{Offsets: upload(t, d, []uint32{0, 5, 3}), NumSegs: 2}
+	defer bad.Offsets.Free()
+	if err := bad.Validate(data); err == nil {
+		t.Fatal("non-monotone offsets accepted")
+	}
+	// beyond data
+	far := Segments{Offsets: upload(t, d, []uint32{0, 20}), NumSegs: 1}
+	defer far.Offsets.Free()
+	if err := far.Validate(data); err == nil {
+		t.Fatal("out-of-range offsets accepted")
+	}
+	// too few offsets
+	short := Segments{Offsets: upload(t, d, []uint32{0}), NumSegs: 1}
+	defer short.Offsets.Free()
+	if err := short.Validate(data); err == nil {
+		t.Fatal("short offsets buffer accepted")
+	}
+}
+
+func TestSegmentedTopS(t *testing.T) {
+	d := newDev(t)
+	rng := rand.New(rand.NewSource(17))
+	lens := []int{5, 1, 0, 40, 2, 73, 3}
+	const s = 3
+	segs, total := makeSegments(t, d, lens)
+	defer segs.Offsets.Free()
+	data := make([]uint32, total)
+	for i := range data {
+		data[i] = rng.Uint32() % 1_000_000
+	}
+	buf := upload(t, d, data)
+	out := d.MustMalloc(len(lens) * s)
+	defer buf.Free()
+	defer out.Free()
+	if err := SegmentedTopS(d, buf, segs, s, out); err != nil {
+		t.Fatal(err)
+	}
+	got := download(t, d, out, len(lens)*s)
+	off := 0
+	for si, l := range lens {
+		res := got[si*s : (si+1)*s]
+		want := append([]uint32{}, data[off:off+l]...)
+		slices.Sort(want)
+		for i := 0; i < s; i++ {
+			exp := uint32(TopSSentinel)
+			if i < l {
+				exp = want[i]
+			}
+			if res[i] != exp {
+				t.Fatalf("segment %d (len %d) slot %d = %d, want %d", si, l, i, res[i], exp)
+			}
+		}
+		off += l
+	}
+	// Input must be unchanged (TopS is non-destructive).
+	after := download(t, d, buf, total)
+	for i := range data {
+		if after[i] != data[i] {
+			t.Fatal("SegmentedTopS mutated its input")
+		}
+	}
+}
+
+func TestSegmentedTopSEqualsSortThenSelect(t *testing.T) {
+	// The fused kernel must produce exactly what Algorithm 1's
+	// sort-then-select produces.
+	d := newDev(t)
+	rng := rand.New(rand.NewSource(23))
+	lens := make([]int, 200)
+	for i := range lens {
+		lens[i] = rng.Intn(60)
+	}
+	const s = 2
+	segs, total := makeSegments(t, d, lens)
+	defer segs.Offsets.Free()
+	data := make([]uint32, total)
+	for i := range data {
+		data[i] = rng.Uint32()
+	}
+
+	bufA := upload(t, d, data)
+	outA := d.MustMalloc(len(lens) * s)
+	defer bufA.Free()
+	defer outA.Free()
+	if err := SegmentedTopS(d, bufA, segs, s, outA); err != nil {
+		t.Fatal(err)
+	}
+	fused := download(t, d, outA, len(lens)*s)
+
+	bufB := upload(t, d, data)
+	defer bufB.Free()
+	if err := SegmentedSort(d, bufB, segs); err != nil {
+		t.Fatal(err)
+	}
+	sorted := download(t, d, bufB, total)
+	off := 0
+	for si, l := range lens {
+		for i := 0; i < s; i++ {
+			want := uint32(TopSSentinel)
+			if i < l {
+				want = sorted[off+i]
+			}
+			if fused[si*s+i] != want {
+				t.Fatalf("segment %d slot %d: fused %d != sort-select %d", si, i, fused[si*s+i], want)
+			}
+		}
+		off += l
+	}
+}
+
+func TestSort(t *testing.T) {
+	d := newDev(t)
+	rng := rand.New(rand.NewSource(31))
+	data := make([]uint32, 10_000)
+	for i := range data {
+		data[i] = rng.Uint32()
+	}
+	buf := upload(t, d, data)
+	defer buf.Free()
+	if err := Sort(d, buf, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	got := download(t, d, buf, len(data))
+	if !slices.IsSorted(got) {
+		t.Fatal("Sort output not sorted")
+	}
+	want := append([]uint32{}, data...)
+	slices.Sort(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("Sort output is not a permutation of the input")
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	d := newDev(t)
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 7, 256, 300, 70_000} {
+		data := make([]uint32, n)
+		var wantSum uint32
+		wantMin, wantMax := uint32(0xFFFFFFFF), uint32(0)
+		for i := range data {
+			data[i] = rng.Uint32() % 1000
+			wantSum += data[i]
+			if data[i] < wantMin {
+				wantMin = data[i]
+			}
+			if data[i] > wantMax {
+				wantMax = data[i]
+			}
+		}
+		buf := upload(t, d, data)
+		if got, err := Reduce(d, buf, n, Sum); err != nil || got != wantSum {
+			t.Fatalf("n=%d: Reduce Sum = %d (%v), want %d", n, got, err, wantSum)
+		}
+		if got, err := Reduce(d, buf, n, Min); err != nil || got != wantMin {
+			t.Fatalf("n=%d: Reduce Min = %d (%v), want %d", n, got, err, wantMin)
+		}
+		if got, err := Reduce(d, buf, n, Max); err != nil || got != wantMax {
+			t.Fatalf("n=%d: Reduce Max = %d (%v), want %d", n, got, err, wantMax)
+		}
+		buf.Free()
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	d := newDev(t)
+	buf := d.MustMalloc(1)
+	defer buf.Free()
+	if got, err := Reduce(d, buf, 0, Sum); err != nil || got != 0 {
+		t.Fatalf("empty Sum = %d (%v)", got, err)
+	}
+	if got, err := Reduce(d, buf, 0, Min); err != nil || got != 0xFFFFFFFF {
+		t.Fatalf("empty Min = %d (%v)", got, err)
+	}
+}
+
+func TestInclusiveScan(t *testing.T) {
+	d := newDev(t)
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{1, 5, 256, 257, 1000, 66_000} {
+		data := make([]uint32, n)
+		for i := range data {
+			data[i] = rng.Uint32() % 100
+		}
+		in := upload(t, d, data)
+		out := d.MustMalloc(n)
+		if err := InclusiveScan(d, in, out, n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := download(t, d, out, n)
+		var run uint32
+		for i := range data {
+			run += data[i]
+			if got[i] != run {
+				t.Fatalf("n=%d: scan[%d] = %d, want %d", n, i, got[i], run)
+			}
+		}
+		in.Free()
+		out.Free()
+	}
+}
+
+func TestNoBufferLeaks(t *testing.T) {
+	d := newDev(t)
+	data := upload(t, d, make([]uint32, 70_000))
+	out := d.MustMalloc(70_000)
+	if _, err := Reduce(d, data, 70_000, Sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := InclusiveScan(d, data, out, 70_000); err != nil {
+		t.Fatal(err)
+	}
+	data.Free()
+	out.Free()
+	if n := d.AllocatedBuffers(); n != 0 {
+		t.Fatalf("%d device buffers leaked by primitives", n)
+	}
+}
+
+func BenchmarkTransformHash(b *testing.B) {
+	d := gpusim.MustNew(gpusim.K20Config())
+	const n = 1 << 20
+	in := d.MustMalloc(n)
+	out := d.MustMalloc(n)
+	defer in.Free()
+	defer out.Free()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TransformHash(d, in, out, n, 48271, 11, minwise.Prime)
+	}
+}
+
+func BenchmarkSegmentedTopS(b *testing.B) {
+	d := gpusim.MustNew(gpusim.K20Config())
+	rng := rand.New(rand.NewSource(1))
+	lens := make([]int, 10_000)
+	total := 0
+	for i := range lens {
+		lens[i] = 5 + rng.Intn(100)
+		total += lens[i]
+	}
+	off := make([]uint32, len(lens)+1)
+	for i, l := range lens {
+		off[i+1] = off[i] + uint32(l)
+	}
+	offBuf := d.MustMalloc(len(off))
+	_ = d.CopyH2D(offBuf, 0, off)
+	data := d.MustMalloc(total)
+	out := d.MustMalloc(len(lens) * 2)
+	segs := Segments{Offsets: offBuf, NumSegs: len(lens)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SegmentedTopS(d, data, segs, 2, out)
+	}
+}
+
+func TestSortPairs64(t *testing.T) {
+	d := newDev(t)
+	rng := rand.New(rand.NewSource(41))
+	const n = 5000
+	hi := make([]uint32, n)
+	lo := make([]uint32, n)
+	val := make([]uint32, n)
+	for i := range hi {
+		hi[i] = rng.Uint32() % 16 // force hi collisions so lo/value ordering matters
+		lo[i] = rng.Uint32() % 64
+		val[i] = rng.Uint32()
+	}
+	bh, bl, bv := upload(t, d, hi), upload(t, d, lo), upload(t, d, val)
+	defer bh.Free()
+	defer bl.Free()
+	defer bv.Free()
+	if err := SortPairs64(d, bh, bl, bv, n); err != nil {
+		t.Fatal(err)
+	}
+	gh, gl, gv := download(t, d, bh, n), download(t, d, bl, n), download(t, d, bv, n)
+	type rec struct{ h, l, v uint32 }
+	var prev rec
+	counts := map[rec]int{}
+	for i := range hi {
+		counts[rec{hi[i], lo[i], val[i]}]++
+	}
+	for i := 0; i < n; i++ {
+		cur := rec{gh[i], gl[i], gv[i]}
+		if i > 0 {
+			if cur.h < prev.h || (cur.h == prev.h && (cur.l < prev.l || (cur.l == prev.l && cur.v < prev.v))) {
+				t.Fatalf("record %d out of order: %+v after %+v", i, cur, prev)
+			}
+		}
+		counts[cur]--
+		prev = cur
+	}
+	for r, c := range counts {
+		if c != 0 {
+			t.Fatalf("record %+v count off by %d: not a permutation", r, c)
+		}
+	}
+}
+
+func TestSortPairs64Bounds(t *testing.T) {
+	d := newDev(t)
+	b1, b2, b3 := d.MustMalloc(5), d.MustMalloc(5), d.MustMalloc(3)
+	defer b1.Free()
+	defer b2.Free()
+	defer b3.Free()
+	if err := SortPairs64(d, b1, b2, b3, 5); err == nil {
+		t.Fatal("short value buffer accepted")
+	}
+	if err := SortPairs64(d, b1, b2, b3, 1); err != nil {
+		t.Fatalf("n=1 failed: %v", err)
+	}
+}
+
+func TestStreamVariantsDeferHostClock(t *testing.T) {
+	d := newDev(t)
+	const n = 4096
+	src := make([]uint32, n)
+	for i := range src {
+		src[i] = uint32(i)
+	}
+	in := upload(t, d, src)
+	out := d.MustMalloc(n)
+	topOut := d.MustMalloc(8 * 2)
+	off := upload(t, d, []uint32{0, 512, 1024, 1536, 2048, 2560, 3072, 3584, 4096})
+	defer in.Free()
+	defer out.Free()
+	defer topOut.Free()
+	defer off.Free()
+
+	st := d.NewStream()
+	before := d.HostTime()
+	if err := TransformHashOnStream(d, st, in, out, n, 48271, 11, minwise.Prime); err != nil {
+		t.Fatal(err)
+	}
+	segs := Segments{Offsets: off, NumSegs: 8}
+	if err := SegmentedTopSOnStream(d, st, out, segs, 2, topOut); err != nil {
+		t.Fatal(err)
+	}
+	if d.HostTime() != before {
+		t.Fatal("stream-enqueued primitives advanced the host clock")
+	}
+	st.Synchronize()
+	if d.HostTime() <= before {
+		t.Fatal("synchronize did not advance the host clock")
+	}
+
+	// Results correct: each 512-segment's two minima of the hashed values.
+	got := download(t, d, topOut, 16)
+	h := minwise.HashPair{A: 48271, B: 11}
+	for seg := 0; seg < 8; seg++ {
+		min1, min2 := uint32(0xFFFFFFFF), uint32(0xFFFFFFFF)
+		for i := seg * 512; i < (seg+1)*512; i++ {
+			v := h.Apply(src[i])
+			if v < min1 {
+				min2, min1 = min1, v
+			} else if v < min2 {
+				min2 = v
+			}
+		}
+		if got[seg*2] != min1 || got[seg*2+1] != min2 {
+			t.Fatalf("segment %d minima = %v, want [%d %d]", seg, got[seg*2:seg*2+2], min1, min2)
+		}
+	}
+}
+
+func TestSortPairs64OnStream(t *testing.T) {
+	d := newDev(t)
+	hi := upload(t, d, []uint32{2, 1, 1})
+	lo := upload(t, d, []uint32{0, 9, 3})
+	val := upload(t, d, []uint32{7, 8, 9})
+	defer hi.Free()
+	defer lo.Free()
+	defer val.Free()
+	st := d.NewStream()
+	before := d.HostTime()
+	if err := SortPairs64OnStream(d, st, hi, lo, val, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d.HostTime() != before {
+		t.Fatal("stream sort advanced host clock")
+	}
+	st.Synchronize()
+	gh := download(t, d, hi, 3)
+	gv := download(t, d, val, 3)
+	if gh[0] != 1 || gh[1] != 1 || gh[2] != 2 || gv[0] != 9 || gv[1] != 8 || gv[2] != 7 {
+		t.Fatalf("sorted hi=%v val=%v", gh, gv)
+	}
+}

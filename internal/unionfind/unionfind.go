@@ -1,0 +1,104 @@
+// Package unionfind implements a disjoint-set (union-find) data structure
+// with union by rank and path compression, as described by Tarjan (JACM 1975).
+//
+// The Shingling cluster-enumeration phase (Phase III, option 2 in Wu &
+// Kalyanaraman 2013) uses a union-find of size n to merge every vertex that
+// contributed to the first- and second-level shingles of a connected
+// component of the second-level shingle graph, producing a strict partition
+// of the input vertices.
+package unionfind
+
+// UF is a disjoint-set forest over the integers [0, n).
+// The zero value is not usable; construct with New.
+type UF struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// New returns a union-find structure over n singleton elements.
+func New(n int) *UF {
+	u := &UF{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Len returns the number of elements in the structure.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Count returns the current number of disjoint sets.
+func (u *UF) Count() int { return u.count }
+
+// Find returns the canonical representative of x's set,
+// compressing the path from x to the root.
+func (u *UF) Find(x int) int {
+	root := x
+	for int(u.parent[root]) != root {
+		root = int(u.parent[root])
+	}
+	// Path compression: point every node on the walk directly at the root.
+	for int(u.parent[x]) != x {
+		x, u.parent[x] = int(u.parent[x]), int32(root)
+	}
+	return root
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false if they were already in the same set).
+func (u *UF) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	// Union by rank: attach the shallower tree under the deeper one.
+	switch {
+	case u.rank[rx] < u.rank[ry]:
+		rx, ry = ry, rx
+	case u.rank[rx] == u.rank[ry]:
+		u.rank[rx]++
+	}
+	u.parent[ry] = int32(rx)
+	u.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Sets returns the partition as a map from canonical representative to the
+// sorted-by-insertion list of members. The representative of each set is its
+// Find root.
+func (u *UF) Sets() map[int][]int {
+	sets := make(map[int][]int, u.count)
+	for i := range u.parent {
+		r := u.Find(i)
+		sets[r] = append(sets[r], i)
+	}
+	return sets
+}
+
+// Labels returns a dense labeling of the partition: a slice l where
+// l[i] == l[j] iff i and j are in the same set, with labels in [0, Count())
+// assigned in order of first appearance.
+func (u *UF) Labels() []int32 {
+	labels := make([]int32, len(u.parent))
+	next := int32(0)
+	seen := make(map[int]int32, u.count)
+	for i := range u.parent {
+		r := u.Find(i)
+		l, ok := seen[r]
+		if !ok {
+			l = next
+			seen[r] = l
+			next++
+		}
+		labels[i] = l
+	}
+	return labels
+}

@@ -1,0 +1,205 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	u := New(10)
+	if u.Count() != 10 {
+		t.Fatalf("Count() = %d, want 10", u.Count())
+	}
+	if u.Len() != 10 {
+		t.Fatalf("Len() = %d, want 10", u.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if u.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, u.Find(i), i)
+		}
+	}
+}
+
+func TestUnionBasic(t *testing.T) {
+	u := New(5)
+	if !u.Union(0, 1) {
+		t.Fatal("Union(0,1) = false on first merge")
+	}
+	if u.Union(0, 1) {
+		t.Fatal("Union(0,1) = true on repeated merge")
+	}
+	if !u.Same(0, 1) {
+		t.Fatal("Same(0,1) = false after Union")
+	}
+	if u.Same(0, 2) {
+		t.Fatal("Same(0,2) = true without Union")
+	}
+	if u.Count() != 4 {
+		t.Fatalf("Count() = %d, want 4", u.Count())
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	u := New(6)
+	u.Union(0, 1)
+	u.Union(1, 2)
+	u.Union(3, 4)
+	if !u.Same(0, 2) {
+		t.Error("union is not transitive: 0 and 2 should be joined")
+	}
+	if u.Same(2, 3) {
+		t.Error("2 and 3 should not be joined")
+	}
+	u.Union(2, 3)
+	for i := 0; i < 5; i++ {
+		if !u.Same(0, i) {
+			t.Errorf("after chain unions, Same(0,%d) = false", i)
+		}
+	}
+	if u.Same(0, 5) {
+		t.Error("5 should remain a singleton")
+	}
+	if u.Count() != 2 {
+		t.Fatalf("Count() = %d, want 2", u.Count())
+	}
+}
+
+func TestSets(t *testing.T) {
+	u := New(6)
+	u.Union(0, 3)
+	u.Union(3, 5)
+	u.Union(1, 2)
+	sets := u.Sets()
+	if len(sets) != 3 {
+		t.Fatalf("len(Sets()) = %d, want 3", len(sets))
+	}
+	sizes := map[int]int{}
+	total := 0
+	for _, members := range sets {
+		sizes[len(members)]++
+		total += len(members)
+	}
+	if total != 6 {
+		t.Fatalf("Sets() covers %d elements, want 6", total)
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Fatalf("set size multiset = %v, want one each of {3,2,1}", sizes)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	u := New(5)
+	u.Union(0, 4)
+	u.Union(1, 3)
+	l := u.Labels()
+	if l[0] != l[4] {
+		t.Error("labels of 0 and 4 differ after union")
+	}
+	if l[1] != l[3] {
+		t.Error("labels of 1 and 3 differ after union")
+	}
+	if l[0] == l[1] || l[0] == l[2] || l[1] == l[2] {
+		t.Error("labels of distinct sets collide")
+	}
+	// Labels must be dense in [0, Count()).
+	max := int32(-1)
+	for _, v := range l {
+		if v > max {
+			max = v
+		}
+	}
+	if int(max)+1 != u.Count() {
+		t.Errorf("max label + 1 = %d, want Count() = %d", max+1, u.Count())
+	}
+}
+
+// TestAgainstNaive cross-checks random union sequences against a naive
+// label-propagation implementation.
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 200
+	for trial := 0; trial < 20; trial++ {
+		u := New(n)
+		naive := make([]int, n)
+		for i := range naive {
+			naive[i] = i
+		}
+		for op := 0; op < 150; op++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			u.Union(a, b)
+			la, lb := naive[a], naive[b]
+			if la != lb {
+				for i := range naive {
+					if naive[i] == lb {
+						naive[i] = la
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j += 7 { // sampled pairs
+				if u.Same(i, j) != (naive[i] == naive[j]) {
+					t.Fatalf("trial %d: Same(%d,%d) = %v disagrees with naive %v",
+						trial, i, j, u.Same(i, j), naive[i] == naive[j])
+				}
+			}
+		}
+	}
+}
+
+// Property: Count always equals n minus the number of successful unions.
+func TestCountInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 64
+		u := New(n)
+		merges := 0
+		for i := 0; i+1 < len(ops); i += 2 {
+			a, b := int(ops[i])%n, int(ops[i+1])%n
+			if u.Union(a, b) {
+				merges++
+			}
+		}
+		return u.Count() == n-merges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Find is idempotent and stable under further Finds.
+func TestFindIdempotent(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 32
+		u := New(n)
+		for i := 0; i+1 < len(ops); i += 2 {
+			u.Union(int(ops[i])%n, int(ops[i+1])%n)
+		}
+		for i := 0; i < n; i++ {
+			r := u.Find(i)
+			if u.Find(r) != r || u.Find(i) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]int, 1<<16)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := New(n)
+		for _, p := range pairs {
+			u.Union(p[0], p[1])
+		}
+	}
+}
