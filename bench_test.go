@@ -12,6 +12,7 @@ import (
 	"gpclust/internal/bench"
 	"gpclust/internal/core"
 	"gpclust/internal/gos"
+	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 )
 
@@ -228,6 +229,93 @@ func BenchmarkAblation_GOSK(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchClusterHost measures a host backend's real wall time and allocations
+// on the 20K-scale graph (workers = 0 selects the serial backend).
+func benchClusterHost(b *testing.B, workers int) {
+	o := benchOptions()
+	g, _ := graph.Planted(bench.Paper20KConfig(0.5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		if workers == 0 {
+			res, err = core.ClusterSerial(g, o)
+		} else {
+			o.Workers = workers
+			res, err = core.ClusterParallel(g, o)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Wall.TotalNs)/1e6, "wall-ms")
+	b.ReportMetric(float64(res.NumClusters()), "clusters")
+}
+
+// BenchmarkClusterSerial_20K is the single-core host baseline for the
+// ClusterParallel benchmarks below; b.N wall time is the comparison metric.
+func BenchmarkClusterSerial_20K(b *testing.B) { benchClusterHost(b, 0) }
+
+// BenchmarkClusterParallel_* runs the multi-core host backend at several
+// pool sizes. On a multi-core machine wall time must drop vs the serial
+// baseline from 2 workers up; allocs/op shows the sync.Pool reuse holding
+// the hot-loop allocation rate flat as workers grow.
+func BenchmarkClusterParallel_W1(b *testing.B) { benchClusterHost(b, 1) }
+func BenchmarkClusterParallel_W2(b *testing.B) { benchClusterHost(b, 2) }
+func BenchmarkClusterParallel_W4(b *testing.B) { benchClusterHost(b, 4) }
+func BenchmarkClusterParallel_W8(b *testing.B) { benchClusterHost(b, 8) }
+
+// BenchmarkGPU_PipelinedVsSequentialBatches compares the strictly
+// sequential batch loop with the double-buffered pipelined loop on a
+// multi-batch plan; the virtual-clock totals are reported as metrics and
+// the pipelined one must be lower (transfer coalescing + overlap).
+func BenchmarkGPU_PipelinedVsSequentialBatches(b *testing.B) {
+	o := benchOptions()
+	o.BatchWords = 20_000 // force several batches at this scale
+	g, _ := graph.Planted(bench.Paper20KConfig(0.5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq, pipe *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		seq, err = core.ClusterGPU(g, gpusim.MustNew(gpusim.K20Config()), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		op := o
+		op.PipelineBatches = true
+		pipe, err = core.ClusterGPU(g, gpusim.MustNew(gpusim.K20Config()), op)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(seq.Timings.TotalNs/1e9, "seq-virtual-sec")
+	b.ReportMetric(pipe.Timings.TotalNs/1e9, "pipelined-virtual-sec")
+	b.ReportMetric((seq.Timings.TotalNs-pipe.Timings.TotalNs)/1e9, "saved-virtual-sec")
+	if pipe.Timings.TotalNs >= seq.Timings.TotalNs {
+		b.Fatalf("pipelined virtual total %.2fs not below sequential %.2fs",
+			pipe.Timings.TotalNs/1e9, seq.Timings.TotalNs/1e9)
+	}
+}
+
+// BenchmarkAblation_HostParallel runs the four-way execution-strategy
+// comparison (serial, parallel host, sequential gpClust, pipelined gpClust).
+func BenchmarkAblation_HostParallel(b *testing.B) {
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblateHostParallel(0.1, benchOptions(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Value, "serial-wall-sec")
+	b.ReportMetric(rows[1].Value, "parallel-wall-sec")
+	b.ReportMetric(rows[2].Value, "gpu-seq-virtual-sec")
+	b.ReportMetric(rows[3].Value, "gpu-pipelined-virtual-sec")
 }
 
 // BenchmarkAblation_GPUAggregation measures the beyond-paper extension that

@@ -152,6 +152,10 @@ func runAblations(out *os.File, qualityScale float64, perfOpts core.Options, min
 	fatal(err)
 	bench.RenderAblation(out, "CPU-side vs device-side shingle aggregation (beyond-paper extension)", rows)
 
+	rows, err = bench.AblateHostParallel(0.25, smallPerf, 0)
+	fatal(err)
+	bench.RenderAblation(out, "execution strategies: serial vs parallel host vs sequential vs pipelined gpClust", rows)
+
 	rows, err = bench.AblateMultiGPU(0.005, smallPerf, []int{1, 2, 4})
 	fatal(err)
 	bench.RenderAblation(out, "multi-GPU batch distribution (beyond-paper extension)", rows)

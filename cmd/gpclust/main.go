@@ -1,7 +1,8 @@
 // Command gpclust clusters a protein-sequence similarity graph into family
-// "core sets" with the Shingling heuristic, either serially (pClust) or on
-// the simulated GPU (gpClust), and prints the Table I-style timing
-// breakdown from the virtual clock.
+// "core sets" with the Shingling heuristic — serially (pClust), across a
+// host worker pool (-backend parallel -workers N), or on the simulated GPU
+// (gpClust) — and prints the Table I-style timing breakdown from the
+// virtual clock plus the real wall-clock phase times.
 //
 // Input is an edge-list file ("u v" per line, "# vertices N" header) or the
 // binary format written by genseq/pgraph (auto-detected). Output is one
@@ -9,7 +10,8 @@
 //
 // Usage:
 //
-//	gpclust -in graph.txt -backend gpu -out clusters.txt
+//	gpclust -in graph.txt -backend gpu -pipeline -out clusters.txt
+//	gpclust -in graph.bin -backend parallel -workers 8
 //	gpclust -in graph.bin -backend serial -c1 200 -c2 100
 package main
 
@@ -27,23 +29,24 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input graph file (edge list or gpclust binary; required)")
-		out     = flag.String("out", "", "output cluster file (default stdout)")
-		backend = flag.String("backend", "gpu", "clustering backend: gpu|serial")
-		s1      = flag.Int("s1", 2, "first-level shingle size")
-		c1      = flag.Int("c1", 200, "first-level shingle count")
-		s2      = flag.Int("s2", 2, "second-level shingle size")
-		c2      = flag.Int("c2", 100, "second-level shingle count")
-		seed    = flag.Int64("seed", 1, "random seed for the hash families")
-		overlap = flag.Bool("overlap", false, "report overlapping connected-component clusters instead of the union-find partition")
-		async   = flag.Bool("async", false, "use asynchronous CPU-GPU transfers (gpu backend)")
-		gpuagg  = flag.Bool("gpuagg", false, "aggregate shingles on the device (gpu backend)")
-		ngpu    = flag.Int("ngpu", 1, "number of simulated devices (gpu backend)")
-		profile = flag.Bool("profile", false, "print a per-kernel profile of the run (gpu backend)")
-		trace   = flag.String("trace", "", "write a chrome://tracing timeline of device 0 to this file (gpu backend)")
-		batch   = flag.Int("batch", 0, "device batch budget in 32-bit words (0 = derive from device memory)")
-		workers = flag.Int("workers", 0, "serial backend: cluster connected components in parallel with this many workers (0 = whole-graph run)")
-		minOut  = flag.Int("minsize", 1, "only print clusters with at least this many members")
+		in       = flag.String("in", "", "input graph file (edge list or gpclust binary; required)")
+		out      = flag.String("out", "", "output cluster file (default stdout)")
+		backend  = flag.String("backend", "gpu", "clustering backend: gpu|serial|parallel")
+		s1       = flag.Int("s1", 2, "first-level shingle size")
+		c1       = flag.Int("c1", 200, "first-level shingle count")
+		s2       = flag.Int("s2", 2, "second-level shingle size")
+		c2       = flag.Int("c2", 100, "second-level shingle count")
+		seed     = flag.Int64("seed", 1, "random seed for the hash families")
+		overlap  = flag.Bool("overlap", false, "report overlapping connected-component clusters instead of the union-find partition")
+		async    = flag.Bool("async", false, "use asynchronous CPU-GPU transfers (gpu backend)")
+		pipeline = flag.Bool("pipeline", false, "double-buffer batches across streams with coalesced transfers (gpu backend)")
+		gpuagg   = flag.Bool("gpuagg", false, "aggregate shingles on the device (gpu backend)")
+		ngpu     = flag.Int("ngpu", 1, "number of simulated devices (gpu backend)")
+		profile  = flag.Bool("profile", false, "print a per-kernel profile of the run (gpu backend)")
+		trace    = flag.String("trace", "", "write a chrome://tracing timeline of device 0 to this file (gpu backend)")
+		batch    = flag.Int("batch", 0, "device batch budget in 32-bit words (0 = derive from device memory)")
+		workers  = flag.Int("workers", 0, "parallel backend: worker-pool size (0 = GOMAXPROCS); serial backend: cluster connected components in parallel with this many workers (0 = whole-graph run)")
+		minOut   = flag.Int("minsize", 1, "only print clusters with at least this many members")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -59,11 +62,12 @@ func main() {
 
 	o := core.Options{
 		S1: *s1, C1: *c1, S2: *s2, C2: *c2,
-		Seed:          *seed,
-		Mode:          core.ReportUnionFind,
-		AsyncTransfer: *async,
-		GPUAggregate:  *gpuagg,
-		BatchWords:    *batch,
+		Seed:            *seed,
+		Mode:            core.ReportUnionFind,
+		AsyncTransfer:   *async,
+		PipelineBatches: *pipeline,
+		GPUAggregate:    *gpuagg,
+		BatchWords:      *batch,
 	}
 	if *overlap {
 		o.Mode = core.ReportOverlapping
@@ -76,6 +80,12 @@ func main() {
 			res, err = core.ClusterByComponent(g, o, *workers)
 		} else {
 			res, err = core.ClusterSerial(g, o)
+		}
+	case "parallel":
+		o.Workers = *workers
+		res, err = core.ClusterParallel(g, o)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "gpclust: parallel backend used %d workers\n", res.Workers)
 		}
 	case "gpu":
 		devs := make([]*gpusim.Device, *ngpu)
@@ -114,6 +124,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "gpclust: %d clusters; timings (virtual clock): %s\n",
 		res.NumClusters(), res.Timings.String())
+	fmt.Fprintf(os.Stderr, "gpclust: wall clock: %s\n", res.Wall.String())
 	fmt.Fprintf(os.Stderr, "gpclust: pass1 %d lists / %d shingles, pass2 %d lists / %d shingles, %d batches\n",
 		res.Pass1.Lists, res.Pass1.Shingles, res.Pass2.Lists, res.Pass2.Shingles, res.Pass1.Batches)
 

@@ -103,6 +103,12 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // Cluster runs the serial pClust shingling pipeline.
 func Cluster(g *Graph, o Options) (*Result, error) { return core.ClusterSerial(g, o) }
 
+// ClusterParallel runs the shingling pipeline across a host worker pool
+// (Options.Workers, 0 = GOMAXPROCS): both shingling passes, the sharded
+// aggregation, and the union-find reporting are parallelized; output is
+// bit-identical to Cluster for the same Options.
+func ClusterParallel(g *Graph, o Options) (*Result, error) { return core.ClusterParallel(g, o) }
+
 // ClusterGPU runs the gpClust CPU–GPU pipeline on the given device.
 func ClusterGPU(g *Graph, dev *Device, o Options) (*Result, error) {
 	return core.ClusterGPU(g, dev, o)

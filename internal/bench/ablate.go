@@ -257,6 +257,57 @@ func AblateMultiGPU(scale float64, o core.Options, deviceCounts []int) ([]Ablati
 	return rows, nil
 }
 
+// AblateHostParallel compares the four execution strategies on one graph:
+// serial pClust, the multi-core host backend (real wall-clock speedup — the
+// virtual cost model prices operations, not cores), and gpClust with the
+// sequential and the double-buffered pipelined batch loops (virtual-clock
+// speedup from transfer coalescing and overlap). All four produce the
+// identical clustering.
+func AblateHostParallel(scale float64, o core.Options, workers int) ([]AblationRow, error) {
+	g, _ := graph.Planted(Paper20KConfig(scale))
+	rs, err := core.ClusterSerial(g, o)
+	if err != nil {
+		return nil, err
+	}
+	par := o
+	par.Workers = workers
+	rp, err := core.ClusterParallel(g, par)
+	if err != nil {
+		return nil, err
+	}
+	devSeq := gpusim.MustNew(gpusim.K20Config())
+	rg, err := core.ClusterGPU(g, devSeq, o)
+	if err != nil {
+		return nil, err
+	}
+	pipe := o
+	pipe.PipelineBatches = true
+	devPipe := gpusim.MustNew(gpusim.K20Config())
+	rpp, err := core.ClusterGPU(g, devPipe, pipe)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range []*core.Result{rp, rg, rpp} {
+		if r.NumClusters() != rs.NumClusters() {
+			return nil, fmt.Errorf("bench: %s backend clustering diverged (%d vs %d clusters)",
+				r.Backend, r.NumClusters(), rs.NumClusters())
+		}
+	}
+	wall := func(ns int64) float64 { return float64(ns) / 1e9 }
+	return []AblationRow{
+		{"serial host", wall(rs.Wall.TotalNs), "s wall",
+			fmt.Sprintf("pClust reference; virtual total %.2fs", s(rs.Timings.TotalNs))},
+		{fmt.Sprintf("parallel host x%d", rp.Workers), wall(rp.Wall.TotalNs), "s wall",
+			fmt.Sprintf("%d-worker pools; %.2fx vs serial wall", rp.Workers,
+				float64(rs.Wall.TotalNs)/float64(max(rp.Wall.TotalNs, 1)))},
+		{"gpClust sequential", s(rg.Timings.TotalNs), "s",
+			fmt.Sprintf("virtual clock; H2D %.2fs D2H %.2fs", s(rg.Timings.H2DNs), s(rg.Timings.D2HNs))},
+		{"gpClust pipelined", s(rpp.Timings.TotalNs), "s",
+			fmt.Sprintf("coalesced+overlapped transfers; H2D %.2fs D2H %.2fs, saved %.2fs",
+				s(rpp.Timings.H2DNs), s(rpp.Timings.D2HNs), s(rg.Timings.TotalNs-rpp.Timings.TotalNs))},
+	}, nil
+}
+
 // MemoryRow is one scale point of the peak-memory study.
 type MemoryRow struct {
 	Scale         float64

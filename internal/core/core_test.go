@@ -307,14 +307,25 @@ func TestFullSortMatchesFused(t *testing.T) {
 	}
 }
 
-func TestFullSortAsyncRejected(t *testing.T) {
+func TestFullSortAsyncMatchesSync(t *testing.T) {
+	// The segmented sort runs on the lane's stream against the lane's
+	// private hash buffer, so full sort composes with async transfers.
 	g, _ := plantedTestGraph(100, 29)
 	o := testOptions()
 	o.UseFullSort = true
+	devSync := gpusim.MustNew(gpusim.K20Config())
+	syncRes, err := ClusterGPU(g, devSync, o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	o.AsyncTransfer = true
-	dev := gpusim.MustNew(gpusim.K20Config())
-	if _, err := ClusterGPU(g, dev, o); err == nil {
-		t.Fatal("UseFullSort+AsyncTransfer accepted; the shared hash buffer would race")
+	devAsync := gpusim.MustNew(gpusim.K20Config())
+	asyncRes, err := ClusterGPU(g, devAsync, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(syncRes.Clustering, asyncRes.Clustering) {
+		t.Fatal("full-sort async clustering differs from sync")
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
@@ -35,14 +36,17 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	acct.diskBytes = graphDiskBytes(g)
 	dev.AdvanceHost(acct.diskNs())
 
+	t0 := time.Now()
 	in := FromGraph(g)
 	gi, err := runPassGPU(dev, in, fam1, o.S1, o, acct, &res.Pass1)
 	if err != nil {
 		return nil, fmt.Errorf("core: first-level shingling: %w", err)
 	}
+	res.Wall.Pass1Ns = time.Since(t0).Nanoseconds()
 
 	// "CPU aggregates sglsH into a graph" — the filter is part of shingle
 	// graph preparation.
+	t1 := time.Now()
 	beforeAgg := acct.aggOps
 	pass2In := gi.filterMinLen(o.S2)
 	acct.aggOps += int64(len(gi.Data))
@@ -53,11 +57,15 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: second-level shingling: %w", err)
 	}
+	res.Wall.Pass2Ns = time.Since(t1).Nanoseconds()
 
 	// "final data aggregation on CPU ... CPU reports dense subgraphs".
+	t2 := time.Now()
 	beforeReport := acct.reportOps
 	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
 	dev.AdvanceHost(float64(acct.reportOps-beforeReport) * ReportNsPerOp)
+	res.Wall.ReportNs = time.Since(t2).Nanoseconds()
+	res.Wall.TotalNs = time.Since(t0).Nanoseconds()
 
 	dev.Synchronize()
 	m := dev.Metrics()
@@ -211,6 +219,12 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	if budget == 0 {
 		// data + hash copies, offsets and output must all fit with slack.
 		budget = int(dev.FreeMemory() / gpusim.WordBytes * 3 / 4)
+		if o.PipelineBatches {
+			// Two batches are resident at once (double-buffered staging),
+			// and each lane packs up to a batch's worth of output rows for
+			// coalesced transfers: halve the derived budget so both fit.
+			budget = budget / 2
+		}
 	}
 	plans, err := planBatches(in, s, budget, o.GPUAggregate)
 	if err != nil {
@@ -229,9 +243,15 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	}
 	stats.SplitLists = len(splitLists)
 
-	for _, plan := range plans {
-		if err := runBatch(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats); err != nil {
+	if o.PipelineBatches {
+		if err := runBatchesPipelined(dev, in, fam, s, o, plans, tuplesByTrial, pending, acct, stats); err != nil {
 			return nil, err
+		}
+	} else {
+		for _, plan := range plans {
+			if err := runBatch(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if len(pending) != 0 {
@@ -241,7 +261,7 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	beforeAgg := acct.aggOps
 	var out *SegGraph
 	if o.GPUAggregate {
-		out = buildShingleGraphPresorted(sortedByTrial, tuplesByTrial, acct, stats)
+		out = buildShingleGraphPresorted(sortedByTrial, tuplesByTrial, o.workerCount(), acct, stats)
 	} else {
 		out = buildShingleGraph(tuplesByTrial, acct, stats)
 	}
@@ -341,7 +361,7 @@ func runTrialsSync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segme
 		if err := thrust.TransformHash(dev, dataBuf, hashBuf, dataWords, h.A, h.B, minwise.Prime); err != nil {
 			return err
 		}
-		if err := topSKernel(dev, nil, hashBuf, segs, s, outBuf, o.UseFullSort); err != nil {
+		if err := topSKernel(dev, nil, hashBuf, segs, s, outBuf, 0, o.UseFullSort); err != nil {
 			return err
 		}
 		if err := dev.CopyD2H(hostOut, outBuf, 0); err != nil {
@@ -415,7 +435,7 @@ func runTrialsAsync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segm
 		if err := thrust.TransformHashOnStream(dev, l.stream, dataBuf, l.hash, dataWords, h.A, h.B, minwise.Prime); err != nil {
 			return err
 		}
-		if err := topSKernel(dev, l.stream, l.hash, segs, s, l.out, o.UseFullSort); err != nil {
+		if err := topSKernel(dev, l.stream, l.hash, segs, s, l.out, 0, o.UseFullSort); err != nil {
 			return err
 		}
 		if err := dev.CopyD2HAsync(l.stream, l.host, l.out, 0); err != nil {
@@ -431,23 +451,25 @@ func runTrialsAsync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segm
 
 // topSKernel produces each segment's ascending top-s minima, either with the
 // fused selection kernel or — UseFullSort, Algorithm 1 taken literally —
-// a full segmented sort followed by a gather of each segment's head.
+// a full segmented sort followed by a gather of each segment's head. Both
+// forms enqueue on a stream (nil = synchronous): the sort mutates hashBuf in
+// place, which is safe because every lane of the async and batch-pipelined
+// paths owns a private hash buffer that the next trial's transform rewrites
+// in full. outBase offsets the destination rows so the pipelined path can
+// pack several trials' results into one buffer for a single D2H transfer.
 func topSKernel(dev *gpusim.Device, st *gpusim.Stream, hashBuf *gpusim.Buffer,
-	segs thrust.Segments, s int, outBuf *gpusim.Buffer, useFullSort bool) error {
+	segs thrust.Segments, s int, outBuf *gpusim.Buffer, outBase int, useFullSort bool) error {
 	if !useFullSort {
-		return thrust.SegmentedTopSOnStream(dev, st, hashBuf, segs, s, outBuf)
+		return thrust.SegmentedTopSAt(dev, st, hashBuf, segs, s, outBuf, outBase)
 	}
-	if st != nil {
-		return fmt.Errorf("core: UseFullSort is not supported with AsyncTransfer (SegmentedSort mutates the shared hash buffer)")
-	}
-	if err := thrust.SegmentedSort(dev, hashBuf, segs); err != nil {
+	if err := thrust.SegmentedSortOnStream(dev, st, hashBuf, segs); err != nil {
 		return err
 	}
 	// Gather the first s elements of each (now sorted) segment.
 	const bd = 256
 	grid := (segs.NumSegs + bd - 1) / bd
 	dev.NextKernelName("gather_top_s")
-	return dev.Launch(grid, bd, func(ctx *gpusim.ThreadCtx) {
+	kern := func(ctx *gpusim.ThreadCtx) {
 		seg := ctx.GlobalID()
 		if seg >= segs.NumSegs {
 			return
@@ -455,7 +477,7 @@ func topSKernel(dev *gpusim.Device, st *gpusim.Stream, hashBuf *gpusim.Buffer,
 		off := segs.Offsets.Words()
 		lo, hi := int(off[seg]), int(off[seg+1])
 		n := hi - lo
-		dst := outBuf.Words()[seg*s : (seg+1)*s]
+		dst := outBuf.Words()[outBase+seg*s : outBase+(seg+1)*s]
 		take := n
 		if take > s {
 			take = s
@@ -466,9 +488,13 @@ func topSKernel(dev *gpusim.Device, st *gpusim.Stream, hashBuf *gpusim.Buffer,
 		}
 		ctx.GlobalRead(segs.Offsets, seg, 2, 1)
 		ctx.GlobalRead(hashBuf, lo, take, 1)
-		ctx.GlobalWrite(outBuf, seg*s, s, 1)
+		ctx.GlobalWrite(outBuf, outBase+seg*s, s, 1)
 		ctx.Ops(s + 2)
-	})
+	}
+	if st != nil {
+		return dev.LaunchOnStream(st, grid, bd, kern)
+	}
+	return dev.Launch(grid, bd, kern)
 }
 
 // emitTrialTuples converts one trial's device output into <shingle, owner>

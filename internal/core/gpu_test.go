@@ -120,7 +120,7 @@ func TestTopSKernelFullSortShortSegments(t *testing.T) {
 	}
 	segs := thrust.Segments{Offsets: offBuf, NumSegs: 3}
 	out := dev.MustMalloc(3 * 2)
-	if err := topSKernel(dev, nil, dataBuf, segs, 2, out, true); err != nil {
+	if err := topSKernel(dev, nil, dataBuf, segs, 2, out, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	host := make([]uint32, 6)

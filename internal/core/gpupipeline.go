@@ -1,0 +1,200 @@
+package core
+
+import (
+	"gpclust/internal/gpusim"
+	"gpclust/internal/minwise"
+	"gpclust/internal/thrust"
+)
+
+// runBatchesPipelined replaces runPassGPU's strictly sequential batch loop
+// when Options.PipelineBatches is set. Two things change relative to the
+// sequential (and per-batch async) loops, both aimed at the copy engine —
+// which the Table I breakdown shows is the bottleneck: every transfer pays a
+// fixed setup cost ("the overhead to invoke the data transfer mechanism"),
+// and one DMA engine serializes all of them.
+//
+//  1. Transfer coalescing. The c hash-pair uploads per batch collapse into
+//     one per-lane table upload for the whole pass, and the per-trial
+//     shingle downloads collapse into one download per *group* of trials:
+//     each trial's top-s rows land at a distinct offset of a packed output
+//     buffer (SegmentedTopSAt) and the group transfers back with a single
+//     D2H. The group size is chosen so the packed output is no larger than
+//     the batch data itself.
+//
+//  2. Double-buffered staging. The pass is flattened into a stream of
+//     (batch, trial-group) work items round-robined across two fully
+//     independent lanes — each lane owns a stream plus device staging
+//     (data, offsets, hash, packed output, params) sized for the largest
+//     batch of the plan, and re-stages a batch's data the first time one of
+//     its items lands on the lane:
+//
+//     lane 0:  [H2D b0 | g0 kernels | D2H g0]  [g2 kernels | D2H g2] ...
+//     lane 1:           [H2D b0 | g1 kernels | D2H g1]  [g3 kernels | ...
+//     host:                         [merge g0]  [merge g1]  [merge g2] ...
+//
+//     Enqueuing item i only waits for its lane's previous occupant (item
+//     i-2) to drain, so the next group's kernels and the next batch's
+//     host→device staging overlap the previous groups' device→host shingle
+//     transfers and the CPU-side (split-list) merging — across batch
+//     boundaries, which the per-batch AsyncTransfer lanes cannot do.
+//
+// End-to-end time approaches max(copy engine, compute engine, host CPU)
+// instead of their sum, with far fewer fixed-cost transfers on the critical
+// copy engine: the asynchronous operation the paper names as the path to
+// better performance (Sections III-C, V), generalized over the whole pass.
+//
+// Output equivalence: items drain in item order, which is exactly the
+// sequential loop's (batch, trial) nesting, so tuple emission and pending
+// split-list merging happen in the identical order and the clustering is
+// bit-identical.
+func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
+	o Options, plans []batchPlan, tuplesByTrial [][]tuple,
+	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats) error {
+
+	if len(plans) == 0 {
+		return nil
+	}
+	c := fam.Size()
+	maxWords, maxPieces := 1, 1
+	for _, p := range plans {
+		maxWords = max(maxWords, p.words)
+		maxPieces = max(maxPieces, len(p.pieces))
+	}
+	// Trials per item: pack as many trials' output rows as fit in a buffer
+	// the size of the batch data, so coalescing never dominates the lane's
+	// device footprint.
+	groupTrials := min(max(maxWords/(maxPieces*s), 1), c)
+
+	// The hash-pair table <A_j, B_j> for all c trials is loop-invariant:
+	// upload it once per lane instead of once per trial per batch.
+	hostParams := make([]uint32, 0, 2*c)
+	for _, h := range fam.Pairs {
+		hostParams = append(hostParams, uint32(h.A), uint32(h.B))
+	}
+
+	type pipeLane struct {
+		data, off, hash, out, params *gpusim.Buffer
+		stream                       *gpusim.Stream
+		hostOut                      []uint32 // in-flight item's packed shingle rows
+		batch                        int      // batch resident in data/off (-1: none)
+		plan                         *batchPlan
+		t0, t1                       int // in-flight trial group; plan == nil when idle
+	}
+
+	var lanes [2]*pipeLane
+	freeAll := func() {
+		for _, l := range lanes {
+			if l == nil {
+				continue
+			}
+			for _, b := range []*gpusim.Buffer{l.data, l.off, l.hash, l.out, l.params} {
+				if b != nil {
+					b.Free()
+				}
+			}
+		}
+	}
+	for i := range lanes {
+		l := &pipeLane{stream: dev.NewStream(), batch: -1}
+		lanes[i] = l
+		var err error
+		if l.data, err = dev.Malloc(maxWords); err == nil {
+			if l.off, err = dev.Malloc(maxPieces + 1); err == nil {
+				if l.hash, err = dev.Malloc(maxWords); err == nil {
+					if l.out, err = dev.Malloc(groupTrials * maxPieces * s); err == nil {
+						l.params, err = dev.Malloc(2 * c)
+					}
+				}
+			}
+		}
+		if err != nil {
+			freeAll()
+			return err
+		}
+		l.hostOut = make([]uint32, groupTrials*maxPieces*s)
+	}
+	defer freeAll()
+
+	// drain completes a lane's in-flight (batch, trial-group) item: wait for
+	// the stream, then emit each trial's tuples and merge split-list minima.
+	drain := func(l *pipeLane) {
+		if l.plan == nil {
+			return
+		}
+		l.stream.Synchronize()
+		before := acct.aggOps
+		rowWords := len(l.plan.pieces) * s
+		for trial := l.t0; trial < l.t1; trial++ {
+			row := l.hostOut[(trial-l.t0)*rowWords : (trial-l.t0+1)*rowWords]
+			emitTrialTuples(in, *l.plan, s, trial, c, row, tuplesByTrial, pending, acct, stats)
+		}
+		dev.AdvanceHost(float64(acct.aggOps-before) * AggregateNsPerOp)
+		l.plan = nil
+	}
+
+	// Host staging for the current batch, reused across batches. The lanes'
+	// H2D copies capture the contents at enqueue, so one buffer suffices
+	// even with both lanes staging the same batch.
+	hostData := make([]uint32, 0, maxWords)
+	hostOff := make([]uint32, maxPieces+1)
+
+	item := 0
+	for k := range plans {
+		plan := &plans[k]
+		numPieces := len(plan.pieces)
+		hostData = hostData[:0]
+		for pi, pc := range plan.pieces {
+			base := in.Offsets[pc.list]
+			hostData = append(hostData, in.Data[base+pc.lo:base+pc.hi]...)
+			hostOff[pi+1] = uint32(len(hostData))
+		}
+		hostOff[0] = 0
+		acct.aggOps += int64(len(hostData) + numPieces)
+		dev.AdvanceHost(float64(len(hostData)+numPieces) * AggregateNsPerOp)
+
+		for t0 := 0; t0 < c; t0 += groupTrials {
+			t1 := min(t0+groupTrials, c)
+			l := lanes[item%2]
+			item++
+			drain(l)
+
+			if l.batch != k {
+				if l.batch < 0 {
+					// First use of the lane: stage the trial table.
+					if err := dev.CopyH2DAsync(l.stream, l.params, 0, hostParams); err != nil {
+						return err
+					}
+				}
+				// First item of batch k on this lane: stage the batch.
+				if err := dev.CopyH2DAsync(l.stream, l.data, 0, hostData); err != nil {
+					return err
+				}
+				if err := dev.CopyH2DAsync(l.stream, l.off, 0, hostOff[:numPieces+1]); err != nil {
+					return err
+				}
+				l.batch = k
+			}
+			segs := thrust.Segments{Offsets: l.off, NumSegs: numPieces}
+			for trial := t0; trial < t1; trial++ {
+				h := fam.Pairs[trial]
+				if err := thrust.TransformHashOnStream(dev, l.stream, l.data, l.hash,
+					len(hostData), h.A, h.B, minwise.Prime); err != nil {
+					return err
+				}
+				if err := topSKernel(dev, l.stream, l.hash, segs, s, l.out,
+					(trial-t0)*numPieces*s, o.UseFullSort); err != nil {
+					return err
+				}
+			}
+			if err := dev.CopyD2HAsync(l.stream, l.hostOut[:(t1-t0)*numPieces*s], l.out, 0); err != nil {
+				return err
+			}
+			l.plan, l.t0, l.t1 = plan, t0, t1
+		}
+	}
+
+	// Tail: drain the remaining in-flight items in item order.
+	drain(lanes[item%2])
+	drain(lanes[(item+1)%2])
+	return nil
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"gpclust/internal/minwise"
 )
@@ -79,6 +80,22 @@ type Options struct {
 	// bit-identical to the other backends. Incompatible with AsyncTransfer
 	// and UseFullSort.
 	GPUAggregate bool
+
+	// Workers sizes the host worker pool: the ClusterParallel backend's
+	// shingling/aggregation/reporting pools, and the pre-sorted stream
+	// merge of the GPUAggregate path. 0 means runtime.GOMAXPROCS(0).
+	// Output is identical for every worker count.
+	Workers int
+
+	// PipelineBatches double-buffers the GPU path's device batches across
+	// two streams: batch k+1's host→device staging and kernels are enqueued
+	// while batch k-1's shingles are still in flight to the host and being
+	// merged by the CPU, so on the virtual clock the copy engine, the
+	// compute engine and host aggregation overlap across batch boundaries
+	// (the strictly sequential loop is the paper's stated bottleneck,
+	// Section III-C). Identical output. Subsumes AsyncTransfer (setting
+	// both is an error) and is incompatible with GPUAggregate.
+	PipelineBatches bool
 }
 
 // DefaultOptions returns the parameter settings of Section III-D:
@@ -109,7 +126,24 @@ func (o Options) Validate() error {
 	if o.GPUAggregate && (o.AsyncTransfer || o.UseFullSort) {
 		return fmt.Errorf("core: GPUAggregate is incompatible with AsyncTransfer and UseFullSort")
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d", o.Workers)
+	}
+	if o.PipelineBatches && o.GPUAggregate {
+		return fmt.Errorf("core: PipelineBatches is incompatible with GPUAggregate")
+	}
+	if o.PipelineBatches && o.AsyncTransfer {
+		return fmt.Errorf("core: PipelineBatches already overlaps transfers; drop AsyncTransfer")
+	}
 	return nil
+}
+
+// workerCount resolves Workers to a concrete pool size.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // families derives the two trial hash families from the seed. Both backends

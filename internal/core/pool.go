@@ -1,0 +1,40 @@
+package core
+
+import "sync"
+
+// Scratch pools for the shingling hot loops. Every trial of every list wants
+// an s-sized minima slice, and every per-trial radix sort wants an n-sized
+// tuple buffer; recycling both through sync.Pool keeps the steady-state
+// allocation rate of a pass near zero (measured by the allocs/op column of
+// BenchmarkClusterParallel).
+
+var minimaPool = sync.Pool{New: func() any { return new([]uint32) }}
+
+// getMinima returns an s-length scratch slice for min-wise minima.
+func getMinima(s int) []uint32 {
+	p := minimaPool.Get().(*[]uint32)
+	if cap(*p) < s {
+		*p = make([]uint32, s)
+	}
+	return (*p)[:s]
+}
+
+func putMinima(m []uint32) {
+	minimaPool.Put(&m)
+}
+
+var tupleSlicePool = sync.Pool{New: func() any { return new([]tuple) }}
+
+// getTupleSlice returns an empty tuple slice with at least the given capacity.
+func getTupleSlice(capacity int) []tuple {
+	p := tupleSlicePool.Get().(*[]tuple)
+	if cap(*p) < capacity {
+		*p = make([]tuple, 0, capacity)
+	}
+	return (*p)[:0]
+}
+
+func putTupleSlice(ts []tuple) {
+	ts = ts[:0]
+	tupleSlicePool.Put(&ts)
+}

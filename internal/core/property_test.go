@@ -11,8 +11,9 @@ import (
 )
 
 // Property: for any random graph and any valid parameter setting, the
-// serial and GPU backends (all variants) produce the identical clustering,
-// and that clustering is a partition of the vertex set.
+// serial, parallel (across worker counts), and GPU backends (all variants,
+// including the batch-pipelined path) produce the identical clustering, and
+// that clustering is a partition of the vertex set.
 func TestPropertyBackendsAgree(t *testing.T) {
 	f := func(seed int64, rawS1, rawC1, rawBatch uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -51,6 +52,21 @@ func TestPropertyBackendsAgree(t *testing.T) {
 			}
 		}
 
+		// Multi-core host backend across worker-pool sizes.
+		for _, workers := range []int{1, 2, 8} {
+			o.Workers = workers
+			par, err := ClusterParallel(g, o)
+			if err != nil {
+				t.Logf("parallel(workers=%d): %v", workers, err)
+				return false
+			}
+			if !reflect.DeepEqual(serial.Clustering, par.Clustering) {
+				t.Logf("parallel clustering differs (workers=%d)", workers)
+				return false
+			}
+		}
+		o.Workers = 0
+
 		// GPU with a randomized batch budget (possibly forcing splits).
 		o.BatchWords = 0
 		if rawBatch%2 == 0 {
@@ -66,6 +82,20 @@ func TestPropertyBackendsAgree(t *testing.T) {
 			t.Logf("gpu clustering differs (batch=%d)", o.BatchWords)
 			return false
 		}
+
+		// Batch-pipelined GPU variant on the same batch budget.
+		o.PipelineBatches = true
+		devP := gpusim.MustNew(gpusim.K20Config())
+		pipe, err := ClusterGPU(g, devP, o)
+		if err != nil {
+			t.Logf("pipelined: %v", err)
+			return false
+		}
+		if !reflect.DeepEqual(serial.Clustering, pipe.Clustering) {
+			t.Logf("pipelined clustering differs (batch=%d)", o.BatchWords)
+			return false
+		}
+		o.PipelineBatches = false
 
 		// GPU aggregation variant.
 		o.GPUAggregate = true

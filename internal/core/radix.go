@@ -10,7 +10,16 @@ func sortTuples(ts []tuple) {
 		insertionSortTuples(ts)
 		return
 	}
-	buf := make([]tuple, len(ts))
+	// The ping-pong buffer comes from the tuple pool: aggregation sorts one
+	// stream per trial, and reusing the scratch across trials (and across
+	// concurrent workers, each drawing its own) removes the largest
+	// steady-state allocation of the CPU side.
+	bufp := tupleSlicePool.Get().(*[]tuple)
+	if cap(*bufp) < len(ts) {
+		*bufp = make([]tuple, len(ts))
+	}
+	buf := (*bufp)[:len(ts)]
+	defer tupleSlicePool.Put(bufp)
 	src, dst := ts, buf
 	const radix = 1 << 16
 	var counts [radix]int32

@@ -110,16 +110,23 @@ func reportOverlapping(n int, gi *SegGraph, ufS1 *unionfind.UF, inGII []bool, ac
 	return Clustering{N: n, Clusters: clusters}
 }
 
-// sortClusters orders clusters by descending size, ties by first member,
-// for deterministic output.
+// sortClusters orders clusters by descending size, ties lexicographically
+// by members, for deterministic output. The lexicographic tie-break only
+// matters in overlapping mode — in a partition, two clusters of equal size
+// already differ at their first member — but it makes the enumeration
+// order a total one there too, independent of map iteration and of which
+// backend produced the clusters.
 func sortClusters(clusters [][]uint32) {
 	sort.Slice(clusters, func(i, j int) bool {
-		if len(clusters[i]) != len(clusters[j]) {
-			return len(clusters[i]) > len(clusters[j])
+		ci, cj := clusters[i], clusters[j]
+		if len(ci) != len(cj) {
+			return len(ci) > len(cj)
 		}
-		if len(clusters[i]) == 0 {
-			return false
+		for k := range ci {
+			if ci[k] != cj[k] {
+				return ci[k] < cj[k]
+			}
 		}
-		return clusters[i][0] < clusters[j][0]
+		return false
 	})
 }

@@ -140,12 +140,30 @@ func appendGroups(out *SegGraph, sorted []tuple) {
 // buildShingleGraphPresorted is buildShingleGraph for the GPU-aggregation
 // path: each trial's tuples arrive as pre-sorted per-batch streams (plus a
 // small unsorted residue of split-list tuples) and only need a linear merge.
+// With workers > 1 the per-trial merges — independent of each other — run
+// across a worker pool; grouping still happens in trial order, so the output
+// is identical for every worker count.
 func buildShingleGraphPresorted(sortedByTrial [][][]tuple, residueByTrial [][]tuple,
-	acct *cpuAccount, stats *PassStats) *SegGraph {
+	workers int, acct *cpuAccount, stats *PassStats) *SegGraph {
 	out := &SegGraph{Offsets: []int64{0}}
-	for trial := range sortedByTrial {
-		merged := mergeSortedStreams(sortedByTrial[trial], residueByTrial[trial], acct)
-		appendGroups(out, merged)
+	c := len(sortedByTrial)
+	if workers > 1 && c > 1 {
+		merged := make([][]tuple, c)
+		ops := make([]int64, c)
+		parallelFor(workers, c, func(_, trial int) {
+			var local cpuAccount
+			merged[trial] = mergeSortedStreams(sortedByTrial[trial], residueByTrial[trial], &local)
+			ops[trial] = local.aggOps
+		})
+		for trial := 0; trial < c; trial++ {
+			acct.aggOps += ops[trial]
+			appendGroups(out, merged[trial])
+		}
+	} else {
+		for trial := range sortedByTrial {
+			merged := mergeSortedStreams(sortedByTrial[trial], residueByTrial[trial], acct)
+			appendGroups(out, merged)
+		}
 	}
 	stats.Shingles = out.NumLists()
 	acct.aggOps += int64(len(out.Data))

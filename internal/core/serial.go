@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
 )
@@ -20,16 +22,23 @@ func ClusterSerial(g *graph.Graph, o Options) (*Result, error) {
 	// Disk I/O: loading the graph from its binary on-disk form.
 	acct.diskBytes = graphDiskBytes(g)
 
+	t0 := time.Now()
 	in := FromGraph(g)
 	gi := runPassSerial(in, fam1, o.S1, acct, &res.Pass1)
 	res.Pass1.Batches = 1
+	res.Wall.Pass1Ns = time.Since(t0).Nanoseconds()
 
+	t1 := time.Now()
 	pass2In := gi.filterMinLen(o.S2)
 	res.Pass1.SharedLists = pass2In.NumLists()
 	gii := runPassSerial(pass2In, fam2, o.S2, acct, &res.Pass2)
 	res.Pass2.Batches = 1
+	res.Wall.Pass2Ns = time.Since(t1).Nanoseconds()
 
+	t2 := time.Now()
 	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
+	res.Wall.ReportNs = time.Since(t2).Nanoseconds()
+	res.Wall.TotalNs = time.Since(t0).Nanoseconds()
 
 	shingleNs := acct.serialNs()
 	cpuNs := acct.aggNs() + acct.reportNs()
@@ -52,7 +61,8 @@ func runPassSerial(in *SegGraph, fam minwise.Family, s int, acct *cpuAccount, st
 	stats.Elements = int64(len(in.Data))
 
 	tuplesByTrial := make([][]tuple, fam.Size())
-	minima := make([]uint32, s)
+	minima := getMinima(s)
+	defer putMinima(minima)
 	for i := 0; i < in.NumLists(); i++ {
 		lst := in.List(i)
 		if len(lst) < s {
@@ -62,9 +72,7 @@ func runPassSerial(in *SegGraph, fam minwise.Family, s int, acct *cpuAccount, st
 		owner := in.Owner(i)
 		for j, h := range fam.Pairs {
 			minwise.MinS(h, lst, minima)
-			// hash + compare per element, plus the occasional shift;
-			// charged as 2 ops per element plus s² for the seed sort.
-			acct.serialOps += int64(len(lst))*2 + int64(s*s)
+			acct.serialOps += shingleListOps(len(lst), s)
 			tuplesByTrial[j] = append(tuplesByTrial[j], tuple{
 				key:   shingleKey(uint32(j), minima),
 				owner: owner,
@@ -73,6 +81,14 @@ func runPassSerial(in *SegGraph, fam minwise.Family, s int, acct *cpuAccount, st
 		}
 	}
 	return buildShingleGraph(tuplesByTrial, acct, stats)
+}
+
+// shingleListOps is the cost-model charge for shingling one list once: hash
+// + compare per element, plus the occasional shift, charged as 2 ops per
+// element plus s² for the seed sort. The serial and parallel backends share
+// it so their virtual accounts price identical work identically.
+func shingleListOps(listLen, s int) int64 {
+	return int64(listLen)*2 + int64(s*s)
 }
 
 // graphDiskBytes is the size of the graph's binary on-disk representation

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"gpclust/internal/graph"
 	"gpclust/internal/seq"
 )
 
@@ -266,12 +267,28 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g1.NumEdges() != g4.NumEdges() {
-		t.Fatalf("edge count differs across worker counts: %d vs %d", g1.NumEdges(), g4.NumEdges())
+	// Default config leaves Workers at 0, which must mean GOMAXPROCS —
+	// and still produce the identical graph.
+	g0, _, err := Build(m.Seqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range g1.Adj {
-		if g1.Adj[i] != g4.Adj[i] {
-			t.Fatal("adjacency differs across worker counts")
+	for _, other := range []*graph.Graph{g4, g0} {
+		if g1.NumEdges() != other.NumEdges() {
+			t.Fatalf("edge count differs across worker counts: %d vs %d", g1.NumEdges(), other.NumEdges())
+		}
+		if len(g1.Adj) != len(other.Adj) {
+			t.Fatal("adjacency length differs across worker counts")
+		}
+		for i := range g1.Adj {
+			if g1.Adj[i] != other.Adj[i] {
+				t.Fatal("adjacency differs across worker counts")
+			}
+		}
+		for v := 0; v < g1.NumVertices(); v++ {
+			if len(g1.Neighbors(uint32(v))) != len(other.Neighbors(uint32(v))) {
+				t.Fatalf("vertex %d degree differs across worker counts", v)
+			}
 		}
 	}
 }

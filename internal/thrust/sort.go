@@ -48,6 +48,14 @@ const segSortThreshold = 24
 // model charges accordingly (the reason graph algorithms underuse GPU
 // bandwidth, Section III-C).
 func SegmentedSort(d *gpusim.Device, data *gpusim.Buffer, segs Segments) error {
+	return SegmentedSortOnStream(d, nil, data, segs)
+}
+
+// SegmentedSortOnStream is SegmentedSort enqueued on a stream (nil stream =
+// synchronous). The sort mutates data in place, so the buffer must be owned
+// by the stream's pipeline lane — the batch-pipelined GPU path gives each
+// lane its own hash buffer for exactly this reason.
+func SegmentedSortOnStream(d *gpusim.Device, st *gpusim.Stream, data *gpusim.Buffer, segs Segments) error {
 	if err := segs.Validate(data); err != nil {
 		return err
 	}
@@ -56,7 +64,7 @@ func SegmentedSort(d *gpusim.Device, data *gpusim.Buffer, segs Segments) error {
 	}
 	grid := (segs.NumSegs + blockDim - 1) / blockDim
 	d.NextKernelName("segmented_sort")
-	return d.Launch(grid, blockDim, func(ctx *gpusim.ThreadCtx) {
+	return launch(d, st, grid, blockDim, func(ctx *gpusim.ThreadCtx) {
 		seg := ctx.GlobalID()
 		if seg >= segs.NumSegs {
 			return
@@ -124,14 +132,26 @@ func SegmentedTopS(d *gpusim.Device, data *gpusim.Buffer, segs Segments, s int, 
 // SegmentedTopSOnStream is SegmentedTopS enqueued on a stream (nil stream =
 // synchronous).
 func SegmentedTopSOnStream(d *gpusim.Device, st *gpusim.Stream, data *gpusim.Buffer, segs Segments, s int, out *gpusim.Buffer) error {
+	return SegmentedTopSAt(d, st, data, segs, s, out, 0)
+}
+
+// SegmentedTopSAt is SegmentedTopSOnStream writing segment seg's minima at
+// out[outBase+seg*s : outBase+(seg+1)*s). The batch-pipelined GPU path packs
+// several trials' results into one output buffer this way and downloads them
+// with a single device→host transfer, amortizing the per-copy setup cost
+// that dominates Data_g→c for small rows (Table I analysis).
+func SegmentedTopSAt(d *gpusim.Device, st *gpusim.Stream, data *gpusim.Buffer, segs Segments, s int, out *gpusim.Buffer, outBase int) error {
 	if s <= 0 {
 		return fmt.Errorf("thrust: SegmentedTopS with s=%d", s)
+	}
+	if outBase < 0 {
+		return fmt.Errorf("thrust: SegmentedTopS with outBase=%d", outBase)
 	}
 	if err := segs.Validate(data); err != nil {
 		return err
 	}
-	if out.Len() < segs.NumSegs*s {
-		return fmt.Errorf("thrust: SegmentedTopS output of %d words, need %d", out.Len(), segs.NumSegs*s)
+	if out.Len() < outBase+segs.NumSegs*s {
+		return fmt.Errorf("thrust: SegmentedTopS output of %d words, need %d", out.Len(), outBase+segs.NumSegs*s)
 	}
 	if segs.NumSegs == 0 {
 		return nil
@@ -146,7 +166,7 @@ func SegmentedTopSOnStream(d *gpusim.Device, st *gpusim.Stream, data *gpusim.Buf
 		off := segs.Offsets.Words()
 		lo, hi := int(off[seg]), int(off[seg+1])
 		n := hi - lo
-		dst := out.Words()[seg*s : (seg+1)*s]
+		dst := out.Words()[outBase+seg*s : outBase+(seg+1)*s]
 		ctx.GlobalRead(segs.Offsets, seg, 2, 1)
 		if n < s {
 			copy(dst, data.Words()[lo:hi])
@@ -155,7 +175,7 @@ func SegmentedTopSOnStream(d *gpusim.Device, st *gpusim.Stream, data *gpusim.Buf
 				dst[i] = TopSSentinel
 			}
 			ctx.GlobalRead(data, lo, n, 1)
-			ctx.GlobalWrite(out, seg*s, s, 1)
+			ctx.GlobalWrite(out, outBase+seg*s, s, 1)
 			ctx.Ops(n*n/2 + s)
 			return
 		}

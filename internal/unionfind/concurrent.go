@@ -1,0 +1,85 @@
+package unionfind
+
+import "sync/atomic"
+
+// Concurrent is a lock-free disjoint-set forest over [0, n) safe for Union
+// and Find from many goroutines (in the style of Jayanti & Tarjan, "Concurrent
+// Disjoint Set Union": roots are linked with a single CAS, Find halves paths).
+// Links always point a higher-indexed root at a lower-indexed one, so the
+// parent order is a strict decreasing chain — no cycles, no rank array to
+// maintain concurrently.
+//
+// The final partition equals a sequential union-find fed the same pairs in
+// any order (set union is associative and commutative), which is what lets
+// the parallel Phase III reporting produce the exact clustering of the
+// serial backend.
+type Concurrent struct {
+	parent []atomic.Int32
+}
+
+// NewConcurrent returns a concurrent union-find over n singleton elements.
+func NewConcurrent(n int) *Concurrent {
+	c := &Concurrent{parent: make([]atomic.Int32, n)}
+	for i := range c.parent {
+		c.parent[i].Store(int32(i))
+	}
+	return c
+}
+
+// Len returns the number of elements in the structure.
+func (c *Concurrent) Len() int { return len(c.parent) }
+
+// Find returns the canonical representative of x's set, halving the path as
+// it walks. Safe for concurrent use with Union and other Finds.
+func (c *Concurrent) Find(x int) int {
+	for {
+		p := int(c.parent[x].Load())
+		if p == x {
+			return x
+		}
+		gp := int(c.parent[p].Load())
+		if gp == p {
+			return p
+		}
+		// Path halving: point x at its grandparent. Losing the race only
+		// means another goroutine already shortened this path.
+		c.parent[x].CompareAndSwap(int32(p), int32(gp))
+		x = gp
+	}
+}
+
+// Union merges the sets containing x and y, returning false if they were
+// already joined. Safe for concurrent use.
+func (c *Concurrent) Union(x, y int) bool {
+	for {
+		rx, ry := c.Find(x), c.Find(y)
+		if rx == ry {
+			return false
+		}
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		// Link the higher root under the lower; the CAS fails — and the
+		// whole operation retries — if ry stopped being a root meanwhile.
+		if c.parent[ry].CompareAndSwap(int32(ry), int32(rx)) {
+			return true
+		}
+	}
+}
+
+// Same reports whether x and y are in the same set. Only meaningful after
+// all concurrent Unions have completed.
+func (c *Concurrent) Same(x, y int) bool { return c.Find(x) == c.Find(y) }
+
+// Freeze copies the current partition into a fresh sequential UF. Call it
+// after the concurrent phase to hand the result to code that wants the
+// classic structure.
+func (c *Concurrent) Freeze() *UF {
+	u := New(len(c.parent))
+	for i := range c.parent {
+		if p := int(c.parent[i].Load()); p != i {
+			u.Union(i, p)
+		}
+	}
+	return u
+}

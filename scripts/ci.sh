@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Tier-1 gate: formatting, vet, build, full test suite, and a race sweep of
+# the concurrent packages (host-parallel backend, pGraph worker pool, device
+# simulator). Run from the repository root; exits non-zero on any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/...
+
+echo "== ci.sh: all green"
