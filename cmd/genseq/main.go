@@ -80,16 +80,18 @@ func writeTruth(path string, family, super []int32) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	bw := bufio.NewWriter(f)
 	fmt.Fprintln(bw, "id\tfamily\tsuperfamily")
 	for i := range family {
 		fmt.Fprintf(bw, "%d\t%d\t%d\n", i, family[i], super[i])
 	}
 	if err := bw.Flush(); err != nil {
+		f.Close() //gpclint:ignore unchecked-error already failing with the flush error
 		return err
 	}
-	return nil
+	// Close errors matter on the write path: buffered data can still fail
+	// to reach disk here.
+	return f.Close()
 }
 
 func fatal(err error) {

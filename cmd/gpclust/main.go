@@ -129,10 +129,13 @@ func main() {
 		res.Pass1.Lists, res.Pass1.Shingles, res.Pass2.Lists, res.Pass2.Shingles, res.Pass1.Batches)
 
 	w := io.Writer(os.Stdout)
+	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		fatal(err)
-		defer f.Close()
+		// Closed explicitly after the flush: on the write path a Close
+		// failure means lost output and must reach the user.
+		closeOut = f.Close
 		w = f
 	}
 	bw := bufio.NewWriter(w)
@@ -149,6 +152,7 @@ func main() {
 		fmt.Fprintln(bw)
 	}
 	fatal(bw.Flush())
+	fatal(closeOut())
 }
 
 // loadGraph auto-detects the binary magic, falling back to the text
@@ -158,7 +162,7 @@ func loadGraph(path string) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //gpclint:ignore unchecked-error read-only file, Close reports nothing actionable
 	br := bufio.NewReaderSize(f, 1<<20)
 	magic, err := br.Peek(4)
 	if err == nil && string(magic) == "GPC1" {

@@ -76,7 +76,7 @@ func readTruth(path, column string) ([]int32, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	defer f.Close()
+	defer f.Close() //gpclint:ignore unchecked-error read-only file, Close reports nothing actionable
 	col := 2
 	switch column {
 	case "family":
@@ -124,7 +124,7 @@ func readClusters(path string, n int) ([][]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //gpclint:ignore unchecked-error read-only file, Close reports nothing actionable
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<22), 1<<22)
 	var clusters [][]uint32
@@ -159,7 +159,7 @@ func loadGraph(path string) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //gpclint:ignore unchecked-error read-only file, Close reports nothing actionable
 	br := bufio.NewReaderSize(f, 1<<20)
 	magic, err := br.Peek(4)
 	if err == nil && string(magic) == "GPC1" {

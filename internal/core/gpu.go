@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
@@ -36,17 +35,16 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	acct.diskBytes = graphDiskBytes(g)
 	dev.AdvanceHost(acct.diskNs())
 
-	t0 := time.Now()
+	sw := newStopwatch()
 	in := FromGraph(g)
 	gi, err := runPassGPU(dev, in, fam1, o.S1, o, acct, &res.Pass1)
 	if err != nil {
 		return nil, fmt.Errorf("core: first-level shingling: %w", err)
 	}
-	res.Wall.Pass1Ns = time.Since(t0).Nanoseconds()
+	res.Wall.Pass1Ns = sw.lap()
 
 	// "CPU aggregates sglsH into a graph" — the filter is part of shingle
 	// graph preparation.
-	t1 := time.Now()
 	beforeAgg := acct.aggOps
 	pass2In := gi.filterMinLen(o.S2)
 	acct.aggOps += int64(len(gi.Data))
@@ -57,15 +55,14 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: second-level shingling: %w", err)
 	}
-	res.Wall.Pass2Ns = time.Since(t1).Nanoseconds()
+	res.Wall.Pass2Ns = sw.lap()
 
 	// "final data aggregation on CPU ... CPU reports dense subgraphs".
-	t2 := time.Now()
 	beforeReport := acct.reportOps
 	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
 	dev.AdvanceHost(float64(acct.reportOps-beforeReport) * ReportNsPerOp)
-	res.Wall.ReportNs = time.Since(t2).Nanoseconds()
-	res.Wall.TotalNs = time.Since(t0).Nanoseconds()
+	res.Wall.ReportNs = sw.lap()
+	res.Wall.TotalNs = sw.total()
 
 	dev.Synchronize()
 	m := dev.Metrics()
@@ -77,6 +74,7 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 		DiskIONs: acct.diskNs(),
 		TotalNs:  dev.HostTime(),
 	}
+	assertDeviceClean(dev)
 	return res, nil
 }
 

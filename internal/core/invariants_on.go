@@ -1,0 +1,17 @@
+//go:build invariants
+
+package core
+
+import "gpclust/internal/gpusim"
+
+// assertDeviceClean panics when a clustering run returns with device buffers
+// still allocated. A buffer leaked on some early-exit path permanently
+// shrinks the memory every later batch plan is sized against, so under
+// -tags invariants a leak is a hard failure at the point it happened rather
+// than a mysterious OOM three runs later. The default build compiles the
+// no-op in invariants_off.go and pays nothing.
+func assertDeviceClean(dev *gpusim.Device) {
+	if err := dev.LeakCheck(); err != nil {
+		panic(err)
+	}
+}

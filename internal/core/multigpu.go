@@ -81,6 +81,9 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 	t.DiskIONs = acct.diskNs()
 	t.TotalNs = total
 	res.Timings = t
+	for _, d := range devs {
+		assertDeviceClean(d)
+	}
 	return res, nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
@@ -37,23 +36,21 @@ func ClusterParallel(g *graph.Graph, o Options) (*Result, error) {
 
 	accts[0].diskBytes = graphDiskBytes(g)
 
-	t0 := time.Now()
+	sw := newStopwatch()
 	in := FromGraph(g)
 	gi := runPassParallel(in, fam1, o.S1, workers, accts, &res.Pass1)
 	res.Pass1.Batches = 1
-	res.Wall.Pass1Ns = time.Since(t0).Nanoseconds()
+	res.Wall.Pass1Ns = sw.lap()
 
-	t1 := time.Now()
 	pass2In := gi.filterMinLen(o.S2)
 	res.Pass1.SharedLists = pass2In.NumLists()
 	gii := runPassParallel(pass2In, fam2, o.S2, workers, accts, &res.Pass2)
 	res.Pass2.Batches = 1
-	res.Wall.Pass2Ns = time.Since(t1).Nanoseconds()
+	res.Wall.Pass2Ns = sw.lap()
 
-	t2 := time.Now()
 	res.Clustering = reportClustersParallel(g.NumVertices(), gi, gii, o.Mode, workers, accts)
-	res.Wall.ReportNs = time.Since(t2).Nanoseconds()
-	res.Wall.TotalNs = time.Since(t0).Nanoseconds()
+	res.Wall.ReportNs = sw.lap()
+	res.Wall.TotalNs = sw.total()
 
 	// Critical-path virtual clock: a parallel phase takes as long as its
 	// busiest worker.

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
 )
@@ -22,23 +20,21 @@ func ClusterSerial(g *graph.Graph, o Options) (*Result, error) {
 	// Disk I/O: loading the graph from its binary on-disk form.
 	acct.diskBytes = graphDiskBytes(g)
 
-	t0 := time.Now()
+	sw := newStopwatch()
 	in := FromGraph(g)
 	gi := runPassSerial(in, fam1, o.S1, acct, &res.Pass1)
 	res.Pass1.Batches = 1
-	res.Wall.Pass1Ns = time.Since(t0).Nanoseconds()
+	res.Wall.Pass1Ns = sw.lap()
 
-	t1 := time.Now()
 	pass2In := gi.filterMinLen(o.S2)
 	res.Pass1.SharedLists = pass2In.NumLists()
 	gii := runPassSerial(pass2In, fam2, o.S2, acct, &res.Pass2)
 	res.Pass2.Batches = 1
-	res.Wall.Pass2Ns = time.Since(t1).Nanoseconds()
+	res.Wall.Pass2Ns = sw.lap()
 
-	t2 := time.Now()
 	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
-	res.Wall.ReportNs = time.Since(t2).Nanoseconds()
-	res.Wall.TotalNs = time.Since(t0).Nanoseconds()
+	res.Wall.ReportNs = sw.lap()
+	res.Wall.TotalNs = sw.total()
 
 	shingleNs := acct.serialNs()
 	cpuNs := acct.aggNs() + acct.reportNs()

@@ -1,0 +1,34 @@
+package core
+
+import "time"
+
+// stopwatch is the package's only sanctioned wall-clock reader, enforced by
+// gpclint's wallclock rule: every cost the backends *report* comes from the
+// virtual clock (the device timelines and the cpuAccount op pricing), while
+// the separate Result.Wall fields record how long the phases really took on
+// this host. Keeping the raw time.Now calls inside this wrapper makes any
+// new wall-clock dependency a reviewable, lintable event.
+type stopwatch struct {
+	start time.Time
+	mark  time.Time
+}
+
+// newStopwatch starts measuring at the moment of the call.
+func newStopwatch() *stopwatch {
+	now := time.Now()
+	return &stopwatch{start: now, mark: now}
+}
+
+// lap returns the nanoseconds elapsed since the previous lap (or since
+// construction) and starts the next phase.
+func (w *stopwatch) lap() int64 {
+	now := time.Now()
+	d := now.Sub(w.mark)
+	w.mark = now
+	return d.Nanoseconds()
+}
+
+// total returns the nanoseconds elapsed since construction.
+func (w *stopwatch) total() int64 {
+	return time.Since(w.start).Nanoseconds()
+}

@@ -1,0 +1,28 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLeakCheck(t *testing.T) {
+	d := MustNew(K20Config())
+	if err := d.LeakCheck(); err != nil {
+		t.Fatalf("clean device reported a leak: %v", err)
+	}
+	a := d.MustMalloc(10)
+	b := d.MustMalloc(6)
+	err := d.LeakCheck()
+	if err == nil {
+		t.Fatal("two live buffers not reported")
+	}
+	if !strings.Contains(err.Error(), "2 device buffers") ||
+		!strings.Contains(err.Error(), "64 bytes") {
+		t.Fatalf("leak message missing counts: %v", err)
+	}
+	a.Free()
+	b.Free()
+	if err := d.LeakCheck(); err != nil {
+		t.Fatalf("after freeing everything: %v", err)
+	}
+}

@@ -67,6 +67,20 @@ func (b *Buffer) Free() {
 	b.words = nil
 }
 
+// LeakCheck reports an error when device buffers are still allocated — the
+// teardown check the invariants build (-tags invariants) asserts after every
+// clustering run. It is always compiled so tests and tools can call it
+// unconditionally.
+func (d *Device) LeakCheck() error {
+	d.mu.Lock()
+	live, bytes := d.liveBufs, d.allocated
+	d.mu.Unlock()
+	if live == 0 && bytes == 0 {
+		return nil
+	}
+	return fmt.Errorf("gpusim: leak check: %d device buffers (%d bytes) still allocated at teardown", live, bytes)
+}
+
 // Len returns the buffer size in words.
 func (b *Buffer) Len() int { return len(b.words) }
 

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags struct fields that one part of a package accesses through
+// the sync/atomic package-level functions and another part reads or writes
+// plainly. Mixed access is a data race even when each side looks innocent
+// in isolation — the exact trap a future edit to the lock-free concurrent
+// union-find could fall into. (Typed atomics — atomic.Int32 fields — make
+// the mix inexpressible and are the preferred fix.)
+var AtomicMix = &Analyzer{
+	Name: ruleAtomicMix,
+	Doc:  "struct field accessed both via sync/atomic and by plain read/write",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(cfg *Config, pkg *Package) []Diagnostic {
+	// Pass 1: fields passed by address to sync/atomic functions, and the
+	// selector nodes making up those accesses (exempt from pass 2).
+	atomicFields := make(map[*types.Var]string) // field -> atomic func name
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFuncObj(pkg, call.Fun, "sync/atomic")
+			if fn == nil || !isAtomicOpName(fn.Name()) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fld := fieldOf(pkg, sel); fld != nil {
+				if _, seen := atomicFields[fld]; !seen {
+					atomicFields[fld] = fn.Name()
+				}
+				exempt[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain selector accesses to the same fields.
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			fld := fieldOf(pkg, sel)
+			if fld == nil {
+				return true
+			}
+			if op, mixed := atomicFields[fld]; mixed {
+				diags = append(diags, diag(pkg, ruleAtomicMix, sel,
+					"plain access to field %q, which is also accessed via atomic.%s: every access must go through sync/atomic (or use a typed atomic field)",
+					fld.Name(), op))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isAtomicOpName matches the sync/atomic package-level operation families.
+func isAtomicOpName(name string) bool {
+	for _, p := range []string{"Load", "Store", "Add", "And", "Or", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it denotes, or nil.
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,114 @@
+package lint
+
+import "strings"
+
+// FuncAllow names one function (or "recvtype.method" for methods) in one
+// package that is exempt from a rule.
+type FuncAllow struct {
+	PkgSuffix string // matched with pkgMatch against the import path
+	Func      string // "name" for functions, "recv.name" for methods
+}
+
+// Config carries the per-rule package classifications. DefaultConfig is
+// what cmd/gpclint and the fixture self-tests use; the entries naming
+// lint/testdata paths exist so the fixtures exercise the exact
+// configuration the CI gate runs with.
+type Config struct {
+	// DeterminismCritical lists packages whose output feeds the clustering
+	// result: ranging over a map in ordered output there is a finding.
+	DeterminismCritical []string
+
+	// Generator lists packages whose whole job is pseudo-random data
+	// generation; the global-rand rule does not apply to them. (They still
+	// must thread explicit *rand.Rand values to be reproducible — which
+	// they do — but the rule's blanket ban is scoped to clustering code.)
+	Generator []string
+
+	// WallclockAllow lists the sanctioned wall-clock readers: timing
+	// wrappers whose whole purpose is to measure real elapsed time next to
+	// — never instead of — the virtual clock.
+	WallclockAllow []FuncAllow
+
+	// ErrAllow lists callees whose error result may be discarded, as
+	// full-name prefixes per types.Object.String, e.g. "func fmt.Println".
+	ErrAllow []string
+}
+
+// DefaultConfig returns the project configuration enforced by CI.
+func DefaultConfig() *Config {
+	return &Config{
+		DeterminismCritical: []string{
+			"internal/core",
+			"internal/minwise",
+			"internal/thrust",
+			"internal/unionfind",
+			"internal/pgraph",
+			"lint/testdata/src/maprange",
+		},
+		Generator: []string{
+			"internal/seq",
+			"internal/graph",
+			"internal/bench",
+			"lint/testdata/src/globalrand/generator",
+		},
+		WallclockAllow: []FuncAllow{
+			{PkgSuffix: "internal/core", Func: "newStopwatch"},
+			{PkgSuffix: "internal/core", Func: "stopwatch.lap"},
+			{PkgSuffix: "internal/core", Func: "stopwatch.total"},
+			{PkgSuffix: "lint/testdata/src/wallclock", Func: "newStopwatch"},
+			{PkgSuffix: "lint/testdata/src/wallclock", Func: "stopwatch.lap"},
+		},
+		ErrAllow: []string{
+			// fmt printing to stdout/stderr: failures are unactionable and
+			// ignoring them is the universal Go idiom.
+			"func fmt.Print",
+			"func fmt.Printf",
+			"func fmt.Println",
+			"func fmt.Fprint",
+			"func fmt.Fprintf",
+			"func fmt.Fprintln",
+			// strings.Builder and bytes.Buffer writes are documented to
+			// always return a nil error.
+			"func (*strings.Builder).Write",
+			"func (*bytes.Buffer).Write",
+		},
+	}
+}
+
+// pkgMatch reports whether the import path matches the suffix pattern: an
+// exact match, or the pattern preceded by a path separator.
+func pkgMatch(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix) ||
+		strings.Contains(path, "/"+suffix+"/")
+}
+
+func matchAny(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgMatch(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// wallclockAllowed reports whether the named function in the package may
+// read the wall clock.
+func (c *Config) wallclockAllowed(pkgPath, fn string) bool {
+	for _, a := range c.WallclockAllow {
+		if a.Func == fn && pkgMatch(pkgPath, a.PkgSuffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// errAllowed reports whether the callee (by its types.Object.String form)
+// may have its error discarded.
+func (c *Config) errAllowed(objString string) bool {
+	for _, p := range c.ErrAllow {
+		if strings.HasPrefix(objString, p) {
+			return true
+		}
+	}
+	return false
+}

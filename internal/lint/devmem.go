@@ -1,0 +1,453 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DevMem flags simulated-device allocations (gpusim Device.Malloc /
+// MustMalloc) whose buffer has no Free reachable on some return path of the
+// enclosing function. The device models a real 5 GB card: a buffer leaked
+// on an early error return permanently shrinks the memory every later batch
+// plan is sized against, which is precisely the kind of bug only the
+// OOM/error paths ever see.
+//
+// The analysis is a statement-order walk, not a full CFG: a `defer
+// b.Free()` (directly, or inside a deferred func literal or deferred local
+// closure) protects every later path; a plain b.Free() marks the buffer
+// freed from that point on; storing the buffer into a struct, slice, map,
+// another variable, or returning it transfers ownership and ends tracking.
+// Inside an `if err != nil` guard, the buffer whose allocation most
+// recently assigned that error variable is treated as never allocated —
+// Malloc failed, there is nothing to free.
+var DevMem = &Analyzer{
+	Name: ruleDevMem,
+	Doc:  "device allocation with no Free reachable on every return path",
+	Run:  runDevMem,
+}
+
+type bufState int
+
+const (
+	bufLive bufState = iota
+	bufFreed
+	bufDeferred
+	bufEscaped
+)
+
+// devmemState is the walker's per-path view: buffer states plus, per error
+// variable, the buffer whose Malloc most recently assigned it.
+type devmemState struct {
+	bufs    map[*types.Var]bufState
+	lastErr map[types.Object]*types.Var
+}
+
+func (s *devmemState) clone() *devmemState {
+	c := &devmemState{
+		bufs:    make(map[*types.Var]bufState, len(s.bufs)),
+		lastErr: make(map[types.Object]*types.Var, len(s.lastErr)),
+	}
+	for k, v := range s.bufs {
+		c.bufs[k] = v
+	}
+	for k, v := range s.lastErr {
+		c.lastErr[k] = v
+	}
+	return c
+}
+
+type devmemWalker struct {
+	pkg        *Package
+	fd         *ast.FuncDecl
+	closures   map[types.Object]*ast.FuncLit // local name := func(){...}
+	mallocLine map[*types.Var]int
+	diags      []Diagnostic
+}
+
+func runDevMem(cfg *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	forEachFunc(pkg, func(fd *ast.FuncDecl, _ string) {
+		w := &devmemWalker{
+			pkg:        pkg,
+			fd:         fd,
+			closures:   make(map[types.Object]*ast.FuncLit),
+			mallocLine: make(map[*types.Var]int),
+		}
+		st := &devmemState{
+			bufs:    make(map[*types.Var]bufState),
+			lastErr: make(map[types.Object]*types.Var),
+		}
+		w.walkStmts(fd.Body.List, st)
+		if !terminates(fd.Body.List) {
+			w.checkLeaks(st, fd.Body.Rbrace, nil)
+		}
+		diags = append(diags, w.diags...)
+	})
+	return diags
+}
+
+// mallocTarget recognizes `b, err := dev.Malloc(n)` / `b := dev.MustMalloc(n)`
+// and returns the method object, or nil.
+func mallocCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	m := methodObj(pkg, call.Fun)
+	if m == nil || m.Pkg() == nil {
+		return nil
+	}
+	if m.Name() != "Malloc" && m.Name() != "MustMalloc" {
+		return nil
+	}
+	if !strings.HasSuffix(m.Pkg().Path(), "gpusim") {
+		return nil
+	}
+	return m
+}
+
+func (w *devmemWalker) obj(id *ast.Ident) types.Object {
+	if o := w.pkg.Info.Defs[id]; o != nil {
+		return o
+	}
+	return w.pkg.Info.Uses[id]
+}
+
+func (w *devmemWalker) walkStmts(stmts []ast.Stmt, st *devmemState) {
+	for _, s := range stmts {
+		w.walkStmt(s, st)
+	}
+}
+
+func (w *devmemWalker) walkStmt(s ast.Stmt, st *devmemState) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.walkAssign(s, st)
+	case *ast.DeferStmt:
+		w.walkDefer(s, st)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			w.walkCallStmt(call, st)
+		}
+	case *ast.ReturnStmt:
+		w.checkLeaks(st, s.Pos(), s.Results)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		body := st.clone()
+		if buf := errGuardedBuf(w.pkg, s.Cond, st); buf != nil {
+			// Inside `if err != nil` right after buf's Malloc: the
+			// allocation failed, so buf does not exist on this path.
+			delete(body.bufs, buf)
+		}
+		w.walkStmts(s.Body.List, body)
+		w.merge(st, body, s.Body.List)
+		if s.Else != nil {
+			els := st.clone()
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.walkStmts(e.List, els)
+				w.merge(st, els, e.List)
+			case *ast.IfStmt:
+				w.walkStmt(e, els)
+				w.merge(st, els, nil)
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkStmts(s.Body.List, st)
+	case *ast.RangeStmt:
+		w.walkStmts(s.Body.List, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cs := st.clone()
+				w.walkStmts(cc.Body, cs)
+				w.merge(st, cs, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cs := st.clone()
+				w.walkStmts(cc.Body, cs)
+				w.merge(st, cs, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				cs := st.clone()
+				w.walkStmts(cc.Body, cs)
+				w.merge(st, cs, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, st)
+	case *ast.GoStmt:
+		// A goroutine capturing the buffer takes shared ownership.
+		w.markContained(s.Call, st, bufEscaped)
+	}
+}
+
+// merge folds a non-terminating branch's frees back into the parent state,
+// optimistically: a buffer freed (or defer-freed, or escaped) inside the
+// branch is not reported on later paths. Terminating branches contribute
+// nothing — their returns were checked inside.
+func (w *devmemWalker) merge(parent, branch *devmemState, body []ast.Stmt) {
+	if body != nil && terminates(body) {
+		return
+	}
+	for v, bs := range branch.bufs {
+		if ps, ok := parent.bufs[v]; ok && ps == bufLive && bs != bufLive {
+			parent.bufs[v] = bs
+		}
+	}
+}
+
+func (w *devmemWalker) walkAssign(s *ast.AssignStmt, st *devmemState) {
+	// Malloc / MustMalloc results begin tracking.
+	if len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if m := mallocCallee(w.pkg, call); m != nil {
+				w.markContained(call, st, bufEscaped) // args can't be bufs, but be safe
+				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					if v, ok := w.obj(id).(*types.Var); ok {
+						st.bufs[v] = bufLive
+						w.mallocLine[v] = w.pkg.Fset.Position(call.Pos()).Line
+						if m.Name() == "Malloc" && len(s.Lhs) == 2 {
+							if eid, ok := s.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+								if eobj := w.obj(eid); eobj != nil {
+									st.lastErr[eobj] = v
+								}
+							}
+						}
+					}
+				}
+				return
+			}
+		}
+		// Remember local closures for defer/call resolution.
+		if lit, ok := s.Rhs[0].(*ast.FuncLit); ok {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				if o := w.obj(id); o != nil {
+					w.closures[o] = lit
+				}
+			}
+		}
+	}
+	// Any other assignment touching an error variable clears its
+	// malloc association.
+	for _, lhs := range s.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if o := w.obj(id); o != nil {
+				delete(st.lastErr, o)
+			}
+		}
+	}
+	// A tracked buffer stored anywhere (another var, field, slice,
+	// composite literal) escapes; call arguments are borrows.
+	for _, rhs := range s.Rhs {
+		w.markEscapesOutsideCalls(rhs, st)
+	}
+}
+
+func (w *devmemWalker) walkDefer(s *ast.DeferStmt, st *devmemState) {
+	// defer b.Free()
+	if v := freeReceiver(w.pkg, s.Call); v != nil {
+		if _, ok := st.bufs[v]; ok {
+			st.bufs[v] = bufDeferred
+		}
+		return
+	}
+	// defer func() { ... b.Free() ... }()  /  defer cleanup()
+	if body := w.deferredBody(s.Call); body != nil {
+		for _, v := range freedInside(w.pkg, body) {
+			if _, ok := st.bufs[v]; ok {
+				st.bufs[v] = bufDeferred
+			}
+		}
+	}
+}
+
+func (w *devmemWalker) walkCallStmt(call *ast.CallExpr, st *devmemState) {
+	// b.Free()
+	if v := freeReceiver(w.pkg, call); v != nil {
+		if _, ok := st.bufs[v]; ok {
+			st.bufs[v] = bufFreed
+		}
+		return
+	}
+	// cleanup() for a local closure that frees buffers.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if lit := w.closures[w.obj(id)]; lit != nil {
+			for _, v := range freedInside(w.pkg, lit.Body) {
+				if _, ok := st.bufs[v]; ok && st.bufs[v] == bufLive {
+					st.bufs[v] = bufFreed
+				}
+			}
+		}
+	}
+	// Other calls borrow their arguments; no state change.
+}
+
+// deferredBody returns the function body a defer will run, when it is a
+// func literal or a local closure.
+func (w *devmemWalker) deferredBody(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if lit := w.closures[w.obj(fun)]; lit != nil {
+			return lit.Body
+		}
+	}
+	return nil
+}
+
+// freeReceiver matches `<ident>.Free()` and returns the receiver variable.
+func freeReceiver(pkg *Package, call *ast.CallExpr) *types.Var {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Free" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// freedInside lists every variable with a `<ident>.Free()` call in the block.
+func freedInside(pkg *Package, body *ast.BlockStmt) []*types.Var {
+	var out []*types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if v := freeReceiver(pkg, call); v != nil {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// markEscapesOutsideCalls marks tracked buffers referenced by the
+// expression as escaped, except where they appear as plain call arguments
+// (borrows).
+func (w *devmemWalker) markEscapesOutsideCalls(e ast.Expr, st *devmemState) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return // callee borrows its arguments
+	case *ast.Ident:
+		if v, ok := w.obj(e).(*types.Var); ok {
+			if _, tracked := st.bufs[v]; tracked && st.bufs[v] == bufLive {
+				st.bufs[v] = bufEscaped
+			}
+		}
+	default:
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.CallExpr); ok {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := w.obj(id).(*types.Var); ok {
+					if s, tracked := st.bufs[v]; tracked && s == bufLive {
+						st.bufs[v] = bufEscaped
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// markContained marks every tracked buffer mentioned anywhere in the
+// expression (including call args) with the given state.
+func (w *devmemWalker) markContained(e ast.Expr, st *devmemState, bs bufState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := w.obj(id).(*types.Var); ok {
+				if s, tracked := st.bufs[v]; tracked && s == bufLive {
+					st.bufs[v] = bs
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkLeaks reports every still-live buffer at a return point. Buffers
+// appearing in the return values transfer ownership to the caller.
+func (w *devmemWalker) checkLeaks(st *devmemState, pos token.Pos, results []ast.Expr) {
+	returned := make(map[*types.Var]bool)
+	for _, r := range results {
+		ast.Inspect(r, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := w.obj(id).(*types.Var); ok {
+					returned[v] = true
+				}
+			}
+			return true
+		})
+	}
+	for v, bs := range st.bufs {
+		if bs == bufLive && !returned[v] {
+			w.diags = append(w.diags, Diagnostic{
+				Rule: ruleDevMem,
+				Pos:  w.pkg.Fset.Position(pos),
+				Message: fmt.Sprintf("device buffer %q (allocated at line %d) is not freed on this return path",
+					v.Name(), w.mallocLine[v]),
+			})
+		}
+	}
+}
+
+// terminates reports whether a statement list always transfers control out
+// (return or panic as its last statement).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}
+
+// errGuardedBuf matches the `if err != nil` condition and returns the
+// buffer whose Malloc most recently assigned err, if any.
+func errGuardedBuf(pkg *Package, cond ast.Expr, st *devmemState) *types.Var {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return nil
+	}
+	id, ok := be.X.(*ast.Ident)
+	if !ok {
+		if id, ok = be.Y.(*ast.Ident); !ok {
+			return nil
+		}
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return st.lastErr[obj]
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedError flags statement-position calls whose error result is
+// silently dropped. In this codebase an ignored error is usually a dropped
+// device failure (out-of-memory, bad launch geometry) or a dropped I/O
+// failure, both of which corrupt results far from the call site. Explicitly
+// assigning to the blank identifier (`_ = f()`) remains legal: it states
+// the intent where a bare call hides it.
+var UncheckedError = &Analyzer{
+	Name: ruleUncheckedError,
+	Doc:  "discarded error result in non-test code",
+	Run:  runUncheckedError,
+}
+
+func runUncheckedError(cfg *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	check := func(call *ast.CallExpr, kind string) {
+		if !callReturnsError(pkg, call) || calleeAllowed(cfg, pkg, call) {
+			return
+		}
+		diags = append(diags, diag(pkg, ruleUncheckedError, call,
+			"%serror result of %s is discarded; handle it or assign it to _ explicitly",
+			kind, calleeName(pkg, call)))
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.DeferStmt:
+				check(s.Call, "deferred ")
+			case *ast.GoStmt:
+				check(s.Call, "goroutine ")
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// callReturnsError reports whether the call's last result is an error.
+func callReturnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+// calleeAllowed consults the config's discard allowlist using the callee
+// object's canonical string form.
+func calleeAllowed(cfg *Config, pkg *Package, call *ast.CallExpr) bool {
+	obj := calleeObj(pkg, call)
+	return obj != nil && cfg.errAllowed(obj.String())
+}
+
+func calleeObj(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	if obj := calleeObj(pkg, call); obj != nil {
+		if obj.Pkg() != nil && obj.Pkg() != pkg.Types {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GlobalRand flags uses of the package-level math/rand (and math/rand/v2)
+// functions — Intn, Float64, Shuffle, Seed, ... — outside the designated
+// data-generator packages. The global source is process-wide mutable state:
+// two call sites interleaving on it produce different streams from run to
+// run, which breaks seed-determinism the moment any clustering code touches
+// it. Constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8) are always
+// allowed — injecting a seeded *rand.Rand is exactly the sanctioned
+// pattern.
+var GlobalRand = &Analyzer{
+	Name: ruleGlobalRand,
+	Doc:  "global math/rand use instead of an injected seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runGlobalRand(cfg *Config, pkg *Package) []Diagnostic {
+	if matchAny(pkg.Path, cfg.Generator) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkgFuncObj(pkg, sel, "math/rand")
+			if obj == nil {
+				obj = pkgFuncObj(pkg, sel, "math/rand/v2")
+			}
+			if obj == nil || randConstructors[obj.Name()] {
+				return true
+			}
+			diags = append(diags, diag(pkg, ruleGlobalRand, sel,
+				"use of global %s.%s: inject a seeded *rand.Rand instead (process-wide state breaks seed determinism)",
+				obj.Pkg().Name(), obj.Name()))
+			return true
+		})
+	}
+	return diags
+}

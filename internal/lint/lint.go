@@ -1,0 +1,125 @@
+// Package lint is gpClust's project-specific static-analysis engine. It
+// exists because the repository's headline claims rest on invariants that
+// ordinary Go tooling cannot see: the clustering must be a deterministic
+// function of the seed (serial == parallel == GPU, bit-identical for any
+// worker count), reported costs must come from the virtual clock rather
+// than the host's wall clock, and the simulated device's manual
+// Malloc/Free discipline must hold on every path, including error paths.
+//
+// The engine is deliberately stdlib-only: packages are parsed with
+// go/parser, build-constraint-filtered with go/build, and type-checked
+// with go/types backed by the source importer — no golang.org/x/tools
+// dependency, so it runs in the offline build environment. cmd/gpclint is
+// the command-line driver; scripts/ci.sh runs it as a tier-1 gate.
+//
+// Findings can be suppressed, one line at a time, with
+//
+//	//gpclint:ignore <rule> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory; an ignore directive without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Rule names, shared by the analyzer values and their run functions.
+const (
+	ruleMapRange       = "maprange-order"
+	ruleGlobalRand     = "global-rand"
+	ruleWallclock      = "wallclock"
+	ruleAtomicMix      = "atomic-mix"
+	ruleDevMem         = "devmem"
+	ruleUncheckedError = "unchecked-error"
+)
+
+// Diagnostic is one finding: a rule name, a position, and a message.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one loaded, type-checked package as the analyzers see it.
+type Package struct {
+	Path  string // import path, e.g. gpclust/internal/core
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, build-constraint filtered
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(cfg *Config, pkg *Package) []Diagnostic
+}
+
+// Analyzers returns the full rule suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRangeOrder,
+		GlobalRand,
+		Wallclock,
+		AtomicMix,
+		DevMem,
+		UncheckedError,
+	}
+}
+
+// Run applies every analyzer to every package, filters suppressed findings
+// through the //gpclint:ignore directives, and returns the remainder in
+// (file, line, column, rule) order. Malformed directives and directives
+// naming unknown rules are reported under the pseudo-rule "gpclint".
+func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := collectIgnores(pkg, known)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(cfg, pkg) {
+				if !sup.suppresses(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// diag builds a Diagnostic at a node's position.
+func diag(pkg *Package, rule string, node ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Rule:    rule,
+		Pos:     pkg.Fset.Position(node.Pos()),
+		Message: fmt.Sprintf(format, args...),
+	}
+}

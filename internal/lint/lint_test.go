@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture annotation language:
+//
+//	// want <rule> "substr"        — a diagnostic of <rule> on this line whose
+//	                                 message contains substr
+//	// want:+N <rule> "substr"     — same, N lines below (for findings that
+//	                                 land on comment-only or directive lines,
+//	                                 which cannot host a trailing comment)
+//
+// Every annotated diagnostic must be produced and every produced diagnostic
+// must be annotated: fixtures are exact, both positive and negative.
+var wantRe = regexp.MustCompile(`// want(?::([+-]?\d+))? ([a-zA-Z-]+) "([^"]*)"`)
+
+type expectation struct {
+	file   string
+	line   int
+	rule   string
+	substr string
+	hit    bool
+}
+
+func (e *expectation) String() string {
+	return fmt.Sprintf("%s:%d: %s: ...%s...", filepath.Base(e.file), e.line, e.rule, e.substr)
+}
+
+// fixtureDirs lists every fixture package relative to this directory. The
+// generator subpackage is all-negative: it asserts the Generator exemption.
+var fixtureDirs = []string{
+	"testdata/src/maprange",
+	"testdata/src/globalrand",
+	"testdata/src/globalrand/generator",
+	"testdata/src/wallclock",
+	"testdata/src/atomicmix",
+	"testdata/src/devmem",
+	"testdata/src/errcheck",
+	"testdata/src/suppress",
+}
+
+// loadFixture type-checks one fixture package through the same loader and
+// configuration the CLI uses.
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("abs %s: %v", dir, err)
+	}
+	l, err := NewLoader(abs, nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("LoadDir %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// collectWants parses the // want annotations out of a loaded package.
+func collectWants(pkg *Package) []*expectation {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					offset := 0
+					if m[1] != "" {
+						offset, _ = strconv.Atoi(m[1])
+					}
+					wants = append(wants, &expectation{
+						file:   pos.Filename,
+						line:   pos.Line + offset,
+						rule:   m[2],
+						substr: m[3],
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs the full analyzer suite over every fixture package and
+// checks the produced diagnostics against the // want annotations, exactly:
+// no missing findings, no extra findings, (rule, file, line) all asserted.
+func TestFixtures(t *testing.T) {
+	for _, dir := range fixtureDirs {
+		t.Run(filepath.Base(filepath.Dir(dir))+"/"+filepath.Base(dir), func(t *testing.T) {
+			pkg := loadFixture(t, dir)
+			wants := collectWants(pkg)
+			diags := Run(DefaultConfig(), []*Package{pkg}, Analyzers())
+
+			for _, d := range diags {
+				matched := false
+				for _, w := range wants {
+					if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+						w.rule == d.Rule && strings.Contains(d.Message, w.substr) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("missing diagnostic: want %s", w)
+				}
+			}
+		})
+	}
+}
+
+// TestFixtureCoverage asserts every analyzer (plus the "gpclint" pseudo-rule
+// for malformed directives) has at least one positive fixture expectation —
+// the guarantee that each rule's detection is actually exercised.
+func TestFixtureCoverage(t *testing.T) {
+	covered := make(map[string]int)
+	for _, dir := range fixtureDirs {
+		pkg := loadFixture(t, dir)
+		for _, w := range collectWants(pkg) {
+			covered[w.rule]++
+		}
+	}
+	var rules []string
+	for _, a := range Analyzers() {
+		rules = append(rules, a.Name)
+	}
+	rules = append(rules, "gpclint")
+	sort.Strings(rules)
+	for _, r := range rules {
+		if covered[r] == 0 {
+			t.Errorf("rule %s has no positive fixture expectation", r)
+		}
+	}
+}
+
+// TestFixturePositivesFailCLI mirrors the CLI acceptance criterion: running
+// the suite over each positive fixture package yields a non-empty finding
+// list (so cmd/gpclint exits non-zero on it), while the generator package —
+// the designed-clean one — yields nothing.
+func TestFixturePositivesFailCLI(t *testing.T) {
+	for _, dir := range fixtureDirs {
+		pkg := loadFixture(t, dir)
+		diags := Run(DefaultConfig(), []*Package{pkg}, Analyzers())
+		clean := strings.HasSuffix(dir, "/generator")
+		if clean && len(diags) != 0 {
+			t.Errorf("%s: want 0 findings, got %d (first: %s)", dir, len(diags), diags[0])
+		}
+		if !clean && len(diags) == 0 {
+			t.Errorf("%s: want at least one finding, got none", dir)
+		}
+	}
+}
+
+// TestPkgMatch pins the suffix-matching semantics the configuration relies
+// on: exact path, suffix at a path boundary, and interior segments all
+// match; substring matches inside a segment must not.
+func TestPkgMatch(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"gpclust/internal/core", "internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"gpclust/internal/core/sub", "internal/core", true},
+		{"gpclust/internal/coreutils", "internal/core", false},
+		{"gpclust/internal/minwise", "internal/core", false},
+		{"gpclust/internal/lint/testdata/src/maprange", "lint/testdata/src/maprange", true},
+	}
+	for _, c := range cases {
+		if got := pkgMatch(c.path, c.suffix); got != c.want {
+			t.Errorf("pkgMatch(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+// TestRunOrdering checks Run sorts diagnostics by (file, line, column, rule)
+// so gate output is stable across map-ordered analyzer internals.
+func TestRunOrdering(t *testing.T) {
+	pkg := loadFixture(t, "testdata/src/suppress")
+	diags := Run(DefaultConfig(), []*Package{pkg}, Analyzers())
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	}) {
+		t.Errorf("diagnostics not sorted: %v", diags)
+	}
+}

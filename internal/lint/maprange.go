@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeOrder flags `for range` loops over maps, in determinism-critical
+// packages, whose bodies emit in iteration order: appending to a slice that
+// is never sorted afterwards, sending on a channel, or writing to a
+// stream/writer. Go randomizes map iteration order, so any of these makes
+// the clustering output (or a serialized artifact feeding it) depend on the
+// scheduler — exactly the bug class that would silently break the
+// "parallel == serial == GPU, bit-identical" contract.
+//
+// A loop is not flagged when every slice it appends to is passed to a
+// sorting call (sort.*, slices.Sort*, or a local helper whose name mentions
+// sort) after the loop and before the function returns: ordering discipline
+// restored downstream is the sanctioned pattern (see core.reportOverlapping).
+var MapRangeOrder = &Analyzer{
+	Name: ruleMapRange,
+	Doc:  "ordered output produced by ranging over a map in a determinism-critical package",
+	Run:  runMapRangeOrder,
+}
+
+func runMapRangeOrder(cfg *Config, pkg *Package) []Diagnostic {
+	if !matchAny(pkg.Path, cfg.DeterminismCritical) {
+		return nil
+	}
+	var diags []Diagnostic
+	forEachFunc(pkg, func(fd *ast.FuncDecl, _ string) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := pkg.Info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			diags = append(diags, checkMapRangeBody(cfg, pkg, fd, rs)...)
+			return true
+		})
+	})
+	return diags
+}
+
+// checkMapRangeBody inspects one map-range loop for order-dependent
+// emissions.
+func checkMapRangeBody(cfg *Config, pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) []Diagnostic {
+	var diags []Diagnostic
+	// Slice variables (declared outside the loop body) that the body
+	// appends to, keyed by object; the value is a representative node for
+	// the report position.
+	appended := make(map[types.Object]ast.Node)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			diags = append(diags, diag(pkg, ruleMapRange, s,
+				"channel send inside range over map: receive order depends on map iteration order"))
+		case *ast.CallExpr:
+			if d, ok := orderedWriteCall(pkg, s); ok {
+				diags = append(diags, d)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pkg, call) || i >= len(s.Lhs) {
+					continue
+				}
+				obj := rootObj(pkg, s.Lhs[i])
+				if obj == nil {
+					continue
+				}
+				// Appends to loop-local slices order only data consumed
+				// inside the iteration; the outer map supplies no order.
+				if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+					continue
+				}
+				appended[obj] = s
+			}
+		}
+		return true
+	})
+
+	for obj, node := range appended {
+		if !sortedAfter(pkg, fd, rs, obj) {
+			diags = append(diags, diag(pkg, ruleMapRange, node,
+				"append to %q inside range over map with no subsequent sort: element order depends on map iteration order", obj.Name()))
+		}
+	}
+	return diags
+}
+
+// orderedWriteCall reports stream/writer emissions inside the loop body:
+// fmt.Fprint* and Write/WriteString/Print-style method calls.
+func orderedWriteCall(pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	if f := pkgFuncObj(pkg, call.Fun, "fmt"); f != nil {
+		switch f.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return diag(pkg, ruleMapRange, call,
+				"fmt.%s inside range over map: output order depends on map iteration order", f.Name()), true
+		}
+	}
+	if m := methodObj(pkg, call.Fun); m != nil {
+		switch m.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return diag(pkg, ruleMapRange, call,
+				"%s call inside range over map: output order depends on map iteration order", m.Name()), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether obj is passed to a sorting call somewhere in
+// fd after the range loop ends — the "dominating sort before the values are
+// consumed" escape hatch.
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+					p := pn.Imported().Path()
+					if p == "sort" || p == "slices" {
+						name = "sort" // any call into sort/slices counts
+					}
+				}
+			}
+		}
+		if !sortishName(name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObj(pkg, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ignoreKey identifies one suppressed (file, line, rule) cell. Rule "all"
+// suppresses every rule on the line.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+type suppressions map[ignoreKey]bool
+
+// suppresses reports whether the diagnostic is covered by an ignore
+// directive on its own line or the line directly above.
+func (s suppressions) suppresses(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if s[ignoreKey{d.Pos.Filename, line, d.Rule}] || s[ignoreKey{d.Pos.Filename, line, "all"}] {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//gpclint:ignore"
+
+// collectIgnores scans a package's comments for //gpclint:ignore
+// directives. Well-formed directives — a known rule name (or "all") plus a
+// non-empty reason — populate the suppression set; malformed ones are
+// returned as findings so a bare ignore can't silently disable a rule.
+func collectIgnores(pkg *Package, knownRules map[string]bool) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, badIgnore(pos, "missing rule name and reason"))
+				case fields[0] != "all" && !knownRules[fields[0]]:
+					bad = append(bad, badIgnore(pos, "unknown rule %q", fields[0]))
+				case len(fields) < 2:
+					bad = append(bad, badIgnore(pos, "missing reason after rule %q", fields[0]))
+				default:
+					sup[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+func badIgnore(pos token.Position, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Rule: "gpclint",
+		Pos:  pos,
+		Message: "malformed ignore directive: " + fmt.Sprintf(format, args...) +
+			" (want //gpclint:ignore <rule> <reason>)",
+	}
+}

@@ -1,0 +1,51 @@
+// Package atomicmix is the atomic-mix fixture: the hits field is accessed
+// both through sync/atomic and plainly, which is a data race; done is only
+// ever touched atomically and the typed atomic.Int64 field cannot be mixed
+// at all.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	done uint32
+}
+
+func (c *counter) incr() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.hits // want atomic-mix "hits"
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want atomic-mix "hits"
+}
+
+// finish and isDone access done exclusively through sync/atomic: consistent,
+// so no finding.
+func (c *counter) finish() {
+	atomic.StoreUint32(&c.done, 1)
+}
+
+func (c *counter) isDone() bool {
+	return atomic.LoadUint32(&c.done) != 0
+}
+
+// typed uses an atomic.Int64 field — the preferred fix: a plain access is
+// inexpressible, so the rule has nothing to say.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) bump()      { t.n.Add(1) }
+func (t *typed) get() int64 { return t.n.Load() }
+
+// localAtomic operates on a local variable, not a struct field: out of this
+// rule's scope (the escape-to-shared-state risk it polices needs a field).
+func localAtomic() uint32 {
+	var flag uint32
+	atomic.StoreUint32(&flag, 1)
+	return flag
+}

@@ -1,0 +1,101 @@
+// Package devmem is the devmem fixture: gpusim allocations must have a Free
+// reachable on every return path. The positives leak on an error path, an
+// early return, and a fall-through end; the negatives cover defer, closure
+// cleanup, err != nil guards, and the two ownership transfers (returning the
+// buffer, storing it).
+package devmem
+
+import "gpclust/internal/gpusim"
+
+// leakOnErrorPath frees both buffers on success but leaks scratch when the
+// second allocation fails — exactly the path only OOM ever exercises.
+func leakOnErrorPath(dev *gpusim.Device) error {
+	scratch, err := dev.Malloc(1 << 10)
+	if err != nil {
+		return err
+	}
+	out, err := dev.Malloc(1 << 11)
+	if err != nil {
+		return err // want devmem "scratch"
+	}
+	out.Free()
+	scratch.Free()
+	return nil
+}
+
+// earlyReturnLeak frees on the main path but forgets the skip path.
+func earlyReturnLeak(dev *gpusim.Device, skip bool) error {
+	buf, err := dev.Malloc(512)
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil // want devmem "buf"
+	}
+	buf.Free()
+	return nil
+}
+
+// fallThroughLeak never frees at all: reported at the closing brace.
+func fallThroughLeak(dev *gpusim.Device) {
+	tmp := dev.MustMalloc(64)
+	fill(tmp, 0)
+} // want devmem "tmp"
+
+// deferFree is the canonical clean pattern.
+func deferFree(dev *gpusim.Device) error {
+	buf, err := dev.Malloc(128)
+	if err != nil {
+		return err
+	}
+	defer buf.Free()
+	return launch(dev, buf)
+}
+
+// closureCleanup frees through a deferred local closure, the idiom
+// core/gpupipeline.go uses for its buffer sets.
+func closureCleanup(dev *gpusim.Device) error {
+	a, err := dev.Malloc(32)
+	if err != nil {
+		return err
+	}
+	b, err := dev.Malloc(32)
+	if err != nil {
+		a.Free()
+		return err
+	}
+	freeAll := func() {
+		a.Free()
+		b.Free()
+	}
+	defer freeAll()
+	return launch(dev, a)
+}
+
+// allocFor returns the buffer: ownership transfers to the caller.
+func allocFor(dev *gpusim.Device, n int) (*gpusim.Buffer, error) {
+	buf, err := dev.Malloc(n)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+type stage struct {
+	data *gpusim.Buffer
+}
+
+// attach stores the buffer into a struct: the stage owns it now, tracking
+// ends.
+func (s *stage) attach(dev *gpusim.Device) error {
+	buf, err := dev.Malloc(256)
+	if err != nil {
+		return err
+	}
+	s.data = buf
+	return nil
+}
+
+func fill(b *gpusim.Buffer, v uint32) {}
+
+func launch(dev *gpusim.Device, b *gpusim.Buffer) error { return nil }

@@ -1,0 +1,38 @@
+// Package errcheck is the unchecked-error fixture: statement-position calls
+// that silently drop an error result are findings; explicit `_ =` discards,
+// error-free calls, and the configured allowlist (fmt printers,
+// strings.Builder writes) are not.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func mayFail() error { return errBoom }
+
+func flushAll() (int, error) { return 0, errBoom }
+
+func pureCount(s string) int { return len(s) }
+
+func positives(f *os.File) {
+	mayFail()       // want unchecked-error "error result of mayFail is discarded"
+	flushAll()      // want unchecked-error "error result of flushAll is discarded"
+	defer f.Close() // want unchecked-error "deferred error result of os.Close"
+	go mayFail()    // want unchecked-error "goroutine error result of mayFail"
+}
+
+func negatives(sb *strings.Builder) error {
+	_ = mayFail() // explicit discard states the intent
+	pureCount("x")
+	fmt.Println("count:", pureCount("y")) // allowlisted printer
+	sb.WriteString("ok")                  // allowlisted: Builder writes never fail
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}

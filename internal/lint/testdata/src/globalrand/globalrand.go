@@ -1,0 +1,32 @@
+// Package globalrand is the global-rand fixture: it is NOT in
+// DefaultConfig.Generator, so package-level math/rand calls are findings
+// while constructors and injected *rand.Rand methods stay legal.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func shuffleIDs(ids []int) {
+	rand.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] }) // want global-rand "rand.Shuffle"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want global-rand "rand.Intn"
+}
+
+func pickV2(n int) int {
+	return randv2.IntN(n) // want global-rand "rand.IntN"
+}
+
+// seeded uses only constructors: building an explicit source is exactly the
+// sanctioned pattern.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// injected consumes a caller-provided source; methods on it are fine.
+func injected(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}

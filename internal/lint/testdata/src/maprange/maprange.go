@@ -1,0 +1,71 @@
+// Package maprange is the maprange-order fixture: its import path is listed
+// in DefaultConfig.DeterminismCritical, so ordered output produced inside a
+// range over a map is a finding unless a sort restores the order downstream.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// collectUnsorted emits clusters in map iteration order — the exact bug the
+// rule exists for.
+func collectUnsorted(byRoot map[uint32][]uint32) [][]uint32 {
+	var clusters [][]uint32
+	for _, vs := range byRoot {
+		clusters = append(clusters, vs) // want maprange-order "no subsequent sort"
+	}
+	return clusters
+}
+
+// collectSorted is the sanctioned pattern (core.reportOverlapping): the
+// append order is erased by the sort before anyone consumes the slice.
+func collectSorted(byRoot map[uint32][]uint32) [][]uint32 {
+	var clusters [][]uint32
+	for _, vs := range byRoot {
+		clusters = append(clusters, vs)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return len(clusters[i]) > len(clusters[j]) })
+	return clusters
+}
+
+func sendAll(counts map[string]int, ch chan<- int) {
+	for _, v := range counts {
+		ch <- v // want maprange-order "channel send"
+	}
+}
+
+func dump(w io.Writer, counts map[string]int) {
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want maprange-order "fmt.Fprintf"
+	}
+}
+
+func writeKeys(sb *strings.Builder, m map[string]int) {
+	for k := range m {
+		sb.WriteString(k) // want maprange-order "WriteString"
+	}
+}
+
+// loopLocal appends only to a slice declared inside the loop body: each
+// iteration's order is self-contained, the map contributes none.
+func loopLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// sliceRange ranges over a slice, which iterates deterministically.
+func sliceRange(vs []int) []int {
+	var out []int
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Package suppress exercises the //gpclint:ignore directive: well-formed
+// directives (known rule or "all", plus a reason) suppress findings on their
+// line or the line below; malformed directives are themselves findings and
+// suppress nothing.
+package suppress
+
+import (
+	"errors"
+	"time"
+)
+
+var errNope = errors.New("nope")
+
+func mayFail() error { return errNope }
+
+// suppressedSameLine: a well-formed directive on the flagged line.
+func suppressedSameLine() {
+	mayFail() //gpclint:ignore unchecked-error fixture demonstrates a sanctioned discard
+}
+
+// suppressedLineAbove: the directive on the line directly above also covers
+// the finding.
+func suppressedLineAbove() {
+	//gpclint:ignore unchecked-error directive above the call also applies
+	mayFail()
+}
+
+// suppressedWildcard: rule "all" silences every rule on the line.
+func suppressedWildcard() {
+	mayFail() //gpclint:ignore all fixture demonstrates the wildcard
+}
+
+// suppressedOtherRule: directives are rule-scoped, here silencing wallclock.
+func suppressedOtherRule() int64 {
+	return time.Now().UnixNano() //gpclint:ignore wallclock fixture demonstrates suppressing another rule
+}
+
+// bareDirective: no rule, no reason — the directive is a finding and the
+// discard it sat next to stays flagged.
+func bareDirective() {
+	// want:+2 gpclint "missing rule name"
+	// want:+1 unchecked-error "mayFail"
+	mayFail() //gpclint:ignore
+}
+
+// unknownRule: a typo in the rule name must not silently disable anything.
+func unknownRule() {
+	// want:+2 gpclint "unknown rule"
+	// want:+1 unchecked-error "mayFail"
+	mayFail() //gpclint:ignore nosuchrule typos must not disable rules
+}
+
+// missingReason: the reason is mandatory; without one the directive is
+// rejected and the finding survives.
+func missingReason() {
+	// want:+2 gpclint "missing reason"
+	// want:+1 unchecked-error "mayFail"
+	mayFail() //gpclint:ignore unchecked-error
+}
+
+// wrongRule: a well-formed directive naming a different rule leaves this
+// rule's finding live.
+func wrongRule() int64 {
+	// want:+1 wallclock "time.Now outside"
+	return time.Now().UnixNano() //gpclint:ignore unchecked-error a mismatched rule does not suppress wallclock
+}

@@ -1,0 +1,46 @@
+// Package wallclock is the wallclock fixture. DefaultConfig allowlists
+// newStopwatch and stopwatch.lap in this package — but not stopwatch.total —
+// so the rule's function-granular gating is exercised in both directions.
+package wallclock
+
+import "time"
+
+type stopwatch struct {
+	start, mark time.Time
+}
+
+// newStopwatch is an allowlisted timing wrapper: its time.Now is sanctioned.
+func newStopwatch() *stopwatch {
+	now := time.Now()
+	return &stopwatch{start: now, mark: now}
+}
+
+// lap is allowlisted too.
+func (w *stopwatch) lap() int64 {
+	now := time.Now()
+	d := now.Sub(w.mark)
+	w.mark = now
+	return d.Nanoseconds()
+}
+
+// total is deliberately NOT on the fixture allowlist.
+func (w *stopwatch) total() int64 {
+	return time.Since(w.start).Nanoseconds() // want wallclock "time.Since outside"
+}
+
+func measure() int64 {
+	t0 := time.Now() // want wallclock "time.Now outside"
+	busyWork()
+	return time.Since(t0).Nanoseconds() // want wallclock "time.Since outside"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want wallclock "time.Until outside"
+}
+
+// virtualOnly does duration arithmetic without reading the clock: fine.
+func virtualOnly(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+func busyWork() {}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// funcDisplayName renders a FuncDecl as "name" or "recvtype.name", the form
+// Config allowlists use.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// pkgFuncObj resolves a call/selector to a package-level function object of
+// the given package path ("" = any), returning nil when it is anything else
+// (method, builtin, local closure, conversion).
+func pkgFuncObj(pkg *Package, fun ast.Expr, pkgPath string) *types.Func {
+	switch e := fun.(type) {
+	case *ast.SelectorExpr:
+		obj, ok := pkg.Info.Uses[e.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return nil
+		}
+		if obj.Type().(*types.Signature).Recv() != nil {
+			return nil
+		}
+		if pkgPath != "" && obj.Pkg().Path() != pkgPath {
+			return nil
+		}
+		return obj
+	case *ast.Ident:
+		obj, ok := pkg.Info.Uses[e].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return nil
+		}
+		if obj.Type().(*types.Signature).Recv() != nil {
+			return nil
+		}
+		if pkgPath != "" && obj.Pkg().Path() != pkgPath {
+			return nil
+		}
+		return obj
+	}
+	return nil
+}
+
+// methodObj resolves a call's callee to a method object, returning nil for
+// non-method callees.
+func methodObj(pkg *Package, fun ast.Expr) *types.Func {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Func)
+	return f
+}
+
+// rootObj returns the object of the base identifier of an lvalue-ish
+// expression (x, x.f, x[i], *x ...), or nil.
+func rootObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[v]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// typePath returns the import path of the package a named type (possibly
+// behind a pointer) is declared in, and the type's name.
+func typePath(t types.Type) (pkgPath, name string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name()
+}
+
+// sortishName reports whether a callee name plausibly denotes a sorting
+// routine: anything in sort/slices, or a helper whose name mentions sort.
+func sortishName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+// forEachFunc invokes fn for every function declaration with a body in the
+// package, including the display name used by allowlists.
+func forEachFunc(pkg *Package, fn func(fd *ast.FuncDecl, name string)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd, funcDisplayName(fd))
+		}
+	}
+}

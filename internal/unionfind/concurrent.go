@@ -75,6 +75,7 @@ func (c *Concurrent) Same(x, y int) bool { return c.Find(x) == c.Find(y) }
 // after the concurrent phase to hand the result to code that wants the
 // classic structure.
 func (c *Concurrent) Freeze() *UF {
+	assertAcyclic(c)
 	u := New(len(c.parent))
 	for i := range c.parent {
 		if p := int(c.parent[i].Load()); p != i {

@@ -1,0 +1,54 @@
+package unionfind
+
+import (
+	"sync"
+	"testing"
+)
+
+// FuzzUnionFind feeds an arbitrary union sequence to the lock-free
+// Concurrent structure — split across goroutines, so link races actually
+// happen — and checks the resulting partition equals a sequential union-find
+// given the same pairs. This is the structure's headline property: the
+// connectivity closure is invariant to union order and interleaving, which
+// is what makes the parallel Phase III bit-identical to the serial one.
+func FuzzUnionFind(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 60, 61})
+	f.Add([]byte{5, 5, 7, 7, 0, 63, 63, 0, 1, 62, 2, 61})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n = 64
+		type pair struct{ x, y int }
+		pairs := make([]pair, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			pairs = append(pairs, pair{int(raw[i]) % n, int(raw[i+1]) % n})
+		}
+
+		c := NewConcurrent(n)
+		const workers = 4
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(pairs); i += workers {
+					c.Union(pairs[i].x, pairs[i].y)
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		oracle := New(n)
+		for _, p := range pairs {
+			oracle.Union(p.x, p.y)
+		}
+		for x := 0; x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				if c.Same(x, y) != oracle.Same(x, y) {
+					t.Fatalf("Same(%d,%d): concurrent=%v oracle=%v (pairs=%v)",
+						x, y, c.Same(x, y), oracle.Same(x, y), pairs)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !invariants
+
+package unionfind
+
+// assertAcyclic is a no-op in the default build; the invariants build
+// (-tags invariants, see invariants_on.go) replaces it with a full
+// parent-chain acyclicity check.
+func assertAcyclic(*Concurrent) {}

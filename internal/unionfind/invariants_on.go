@@ -1,0 +1,18 @@
+//go:build invariants
+
+package unionfind
+
+import "fmt"
+
+// assertAcyclic verifies the concurrent forest's structural invariant after
+// the parallel phase has quiesced: every parent link points at an equal or
+// lower index, so parent chains strictly decrease and cycles are impossible
+// (the property Union's ordered CAS linking maintains). Compiled only under
+// -tags invariants; Freeze calls it before copying the partition out.
+func assertAcyclic(c *Concurrent) {
+	for i := range c.parent {
+		if p := int(c.parent[i].Load()); p > i {
+			panic(fmt.Sprintf("unionfind: parent[%d] = %d points upward: the ordered-link invariant is violated", i, p))
+		}
+	}
+}

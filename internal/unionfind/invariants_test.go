@@ -1,0 +1,44 @@
+//go:build invariants
+
+package unionfind
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFreezeAssertsAcyclicAfterConcurrentUnions hammers the lock-free
+// structure from several goroutines and then freezes: under the invariants
+// build Freeze walks every parent link and panics on any upward pointer.
+func TestFreezeAssertsAcyclicAfterConcurrentUnions(t *testing.T) {
+	const n = 512
+	c := NewConcurrent(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i < n; i++ {
+				c.Union(i, (i*13+w*31)%n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	u := c.Freeze()
+	if u.Len() != n {
+		t.Fatalf("frozen length = %d, want %d", u.Len(), n)
+	}
+}
+
+// TestAssertAcyclicCatchesUpwardLink corrupts the forest with an upward
+// parent pointer and checks the invariant trips.
+func TestAssertAcyclicCatchesUpwardLink(t *testing.T) {
+	c := NewConcurrent(8)
+	c.parent[2].Store(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assertAcyclic did not catch the upward link")
+		}
+	}()
+	assertAcyclic(c)
+}

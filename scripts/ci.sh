@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Tier-1 gate: formatting, vet, build, full test suite, and a race sweep of
-# the concurrent packages (host-parallel backend, pGraph worker pool, device
-# simulator). Run from the repository root; exits non-zero on any failure.
+# Tier-1 gate: formatting, vet, the gpclint static-analysis suite, build,
+# full test suite, the invariants-build sweep, fuzz smoke, and a race sweep
+# of the concurrent packages (host-parallel backend, pGraph worker pool,
+# device simulator). Run from the repository root; exits non-zero on any
+# failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,11 +19,31 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== gpclint"
+go run ./cmd/gpclint ./...
+go run ./cmd/gpclint -tags invariants ./...
+
+echo "== gpclint fixture sanity (each positive fixture must fail the gate)"
+for fixture in maprange globalrand wallclock atomicmix devmem errcheck suppress; do
+    if go run ./cmd/gpclint "internal/lint/testdata/src/$fixture" >/dev/null 2>&1; then
+        echo "gpclint found nothing in positive fixture $fixture" >&2
+        exit 1
+    fi
+done
+
 echo "== go build"
 go build ./...
 
 echo "== go test"
 go test ./...
+
+echo "== go test -tags invariants (runtime invariant sweep)"
+go test -tags invariants ./internal/core/... ./internal/unionfind/... ./internal/gpusim/...
+
+echo "== fuzz smoke (10s per target)"
+go test -run='^$' -fuzz=FuzzRadixSort -fuzztime=10s ./internal/core/
+go test -run='^$' -fuzz=FuzzSegmentedSort -fuzztime=10s ./internal/thrust/
+go test -run='^$' -fuzz=FuzzUnionFind -fuzztime=10s ./internal/unionfind/
 
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/...
