@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig5|quality|qualityscaling|largescale|memory|theory|ablations|all")
+		exp          = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig5|quality|qualityscaling|largescale|memory|theory|pgraph|ablations|all")
 		scale20k     = flag.Float64("scale20k", 1.0, "scale of the paper's 20K graph for Table I")
 		scale2m      = flag.Float64("scale2m", 0.02, "scale of the paper's 2M graph for Tables I–II")
 		scaleQuality = flag.Float64("scalequality", 0.005, "scale of the 2M graph for Tables III–IV / Figure 5")
@@ -36,6 +37,9 @@ func main() {
 		gosK         = flag.Int("gosk", 10, "GOS baseline shared-neighbor threshold (paper: 10)")
 		minSize      = flag.Int("minsize", 20, "cluster-size cutoff for the quality study (paper: 20)")
 		seed         = flag.Int64("seed", 1, "random seed")
+		pgraphN      = flag.Int("pgraphn", 0, "ORF count for the pgraph backend ablation (0: default)")
+		pgraphBatch  = flag.Int("pgraphbatch", 0, "per-batch word budget for the pgraph ablation (0: default)")
+		benchJSON    = flag.String("benchjson", "", "with -exp pgraph: also write the backend points as JSON to this file")
 	)
 	flag.Parse()
 
@@ -93,6 +97,15 @@ func main() {
 		rows, err := bench.RunMemoryScaling([]float64{0.002, 0.005, 0.01, 0.02}, perfOpts)
 		fatal(err)
 		bench.RenderMemoryScaling(out, rows)
+	case "pgraph":
+		rows, points, err := bench.AblatePGraphBackend(*pgraphN, *pgraphBatch)
+		fatal(err)
+		bench.RenderAblation(out, "pGraph Smith-Waterman verification backends (Table I trajectory)", rows)
+		if *benchJSON != "" {
+			blob, err := json.MarshalIndent(points, "", "  ")
+			fatal(err)
+			fatal(os.WriteFile(*benchJSON, append(blob, '\n'), 0o644))
+		}
 	case "ablations":
 		runAblations(out, *scaleQuality, perfOpts, *minSize)
 	case "all":
@@ -159,6 +172,10 @@ func runAblations(out *os.File, qualityScale float64, perfOpts core.Options, min
 	rows, err = bench.AblateMultiGPU(0.005, smallPerf, []int{1, 2, 4})
 	fatal(err)
 	bench.RenderAblation(out, "multi-GPU batch distribution (beyond-paper extension)", rows)
+
+	rows, _, err = bench.AblatePGraphBackend(0, 0)
+	fatal(err)
+	bench.RenderAblation(out, "pGraph Smith-Waterman verification backends (Table I trajectory)", rows)
 
 	rows, err = bench.AblateShingleParams(qualityScale, bench.QualityOptions(), minSize)
 	fatal(err)

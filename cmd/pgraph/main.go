@@ -7,6 +7,12 @@
 //
 //	pgraph -in orfs.fa -out graph.txt
 //	pgraph -in orfs.fa -out graph.bin -minmatch 12 -score 1.2
+//	pgraph -in orfs.fa -out graph.txt -gpu -pipeline
+//
+// With -gpu the Smith–Waterman verification runs as batched score-only
+// kernels on the simulated device (bit-identical edge set to the host
+// path), and stderr reports the paper's Table-I-style component split:
+// CPU filter, GPU SW, Data_c→g, Data_g→c.
 package main
 
 import (
@@ -27,6 +33,10 @@ func main() {
 		minMatch = flag.Int("minmatch", 12, "exact-match seed length for candidate pairs")
 		score    = flag.Float64("score", 1.2, "Smith-Waterman score threshold per residue of the shorter sequence")
 		workers  = flag.Int("workers", 0, "alignment workers (0 = GOMAXPROCS)")
+		gpu      = flag.Bool("gpu", false, "verify candidate pairs on the simulated GPU (batched Smith-Waterman)")
+		pipeline = flag.Bool("pipeline", false, "with -gpu: double-buffer device batches (overlap copies and kernels)")
+		batchW   = flag.Int("batchwords", 0, "with -gpu: per-batch device budget in words (0 = derive from device memory)")
+		noBin    = flag.Bool("nobin", false, "with -gpu: disable length binning of pairs (more warp divergence)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -45,11 +55,25 @@ func main() {
 	cfg.MinExactMatch = *minMatch
 	cfg.MinScorePerResidue = *score
 	cfg.Workers = *workers
+	cfg.GPU = *gpu
+	cfg.GPUPipeline = *pipeline
+	cfg.GPUBatchWords = *batchW
+	cfg.NoLengthBin = *noBin
 
 	g, st, err := pgraph.Build(seqs, cfg)
 	fatal(err)
-	fmt.Fprintf(os.Stderr, "pgraph: %d sequences, %d candidate pairs, %d edges\n",
-		st.Sequences, st.Candidates, st.Edges)
+	fmt.Fprintf(os.Stderr, "pgraph: %d sequences, %d candidate pairs, %d edges (%s backend)\n",
+		st.Sequences, st.Candidates, st.Edges, st.Backend)
+	if st.Backend == "gpu" {
+		fmt.Fprintf(os.Stderr,
+			"pgraph: CPU filter %.3fs | GPU SW %.3fs | Data_c→g %.3fs | Data_g→c %.3fs | total %.3fs virtual (%d batches, divergence %.1f%%), wall %dms\n",
+			st.FilterNs/1e9, st.AlignNs/1e9, st.H2DNs/1e9, st.D2HNs/1e9, st.TotalNs/1e9,
+			st.GPUBatches, 100*st.Divergence, st.WallNs/1e6)
+	} else {
+		fmt.Fprintf(os.Stderr,
+			"pgraph: CPU filter %.3fs | SW %.3fs (%d workers) | total %.3fs virtual, wall %dms\n",
+			st.FilterNs/1e9, st.AlignNs/1e9, st.Workers, st.TotalNs/1e9, st.WallNs/1e6)
+	}
 
 	if *out == "" {
 		fatal(graph.WriteEdgeList(os.Stdout, g))

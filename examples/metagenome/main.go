@@ -30,7 +30,23 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("pgraph: %d candidate pairs -> %d verified edges\n", pst.Candidates, pst.Edges)
-	fmt.Printf("graph: %s\n\n", gpclust.ComputeGraphStats(g))
+	fmt.Printf("graph: %s\n", gpclust.ComputeGraphStats(g))
+
+	// 2b. The same graph built with the batched GPU Smith–Waterman backend:
+	//     bit-identical edge set, Table-I-style component split.
+	gpuCfg := gpclust.DefaultPGraphConfig()
+	gpuCfg.GPU = true
+	gpuCfg.GPUPipeline = true
+	gGPU, gst, err := gpclust.BuildHomologyGraph(mg.Seqs, gpuCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if gst.Edges != pst.Edges {
+		log.Fatalf("GPU-SW backend accepted %d edges, host accepted %d", gst.Edges, pst.Edges)
+	}
+	_ = gGPU
+	fmt.Printf("pgraph-gpu: CPU filter %.2fs | GPU SW %.2fs | Data_c→g %.2fs | Data_g→c %.2fs | total %.2fs virtual (%d batches)\n\n",
+		gst.FilterNs/1e9, gst.AlignNs/1e9, gst.H2DNs/1e9, gst.D2HNs/1e9, gst.TotalNs/1e9, gst.GPUBatches)
 
 	// 3. Cluster with gpClust on the simulated K20.
 	opts := gpclust.DefaultOptions()

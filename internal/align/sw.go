@@ -48,13 +48,13 @@ func ScoreOnly(a, b []byte, p Params) int {
 		diag := 0 // H[i-1][j-1]
 		f := negInf
 		for j := 1; j <= n; j++ {
-			e[j] = max2(e[j]-p.GapExtend, h[j]-p.GapOpen-p.GapExtend)
-			f = max2(f-p.GapExtend, h[j-1]-p.GapOpen-p.GapExtend)
+			e[j] = max(e[j]-p.GapExtend, h[j]-p.GapOpen-p.GapExtend)
+			f = max(f-p.GapExtend, h[j-1]-p.GapOpen-p.GapExtend)
 			score := diag + Score(a[i-1], b[j-1])
 			if score < 0 {
 				score = 0
 			}
-			score = max2(score, max2(e[j], f))
+			score = max(score, e[j], f)
 			if score < 0 {
 				score = 0
 			}
@@ -90,10 +90,10 @@ func Align(a, b []byte, p Params) Result {
 	for i := 1; i <= m; i++ {
 		eArr[idx(i, 0)] = negInf
 		for j := 1; j <= n; j++ {
-			e := max2i32(eArr[idx(i, j-1)]-int32(p.GapExtend), h[idx(i, j-1)]-int32(p.GapOpen+p.GapExtend))
-			f := max2i32(fArr[idx(i-1, j)]-int32(p.GapExtend), h[idx(i-1, j)]-int32(p.GapOpen+p.GapExtend))
+			e := max(eArr[idx(i, j-1)]-int32(p.GapExtend), h[idx(i, j-1)]-int32(p.GapOpen+p.GapExtend))
+			f := max(fArr[idx(i-1, j)]-int32(p.GapExtend), h[idx(i-1, j)]-int32(p.GapOpen+p.GapExtend))
 			s := h[idx(i-1, j-1)] + int32(Score(a[i-1], b[j-1]))
-			v := max2i32(0, max2i32(s, max2i32(e, f)))
+			v := max(0, s, e, f)
 			h[idx(i, j)] = v
 			eArr[idx(i, j)] = e
 			fArr[idx(i, j)] = f
@@ -136,18 +136,4 @@ func Align(a, b []byte, p Params) Result {
 	}
 	res.AStart, res.BStart = i, j
 	return res
-}
-
-func max2(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func max2i32(a, b int32) int32 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -129,6 +129,27 @@ type Metrics struct {
 	ThreadOps          int64 // raw per-thread op count (no divergence)
 }
 
+// Sub returns the difference m - prev of two snapshots: the accounting
+// accumulated between them. Stages that share a device with other work (the
+// pGraph verification stage, for instance) use it to report their own share
+// of the device's kernels and transfers.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		KernelTimeNs:       m.KernelTimeNs - prev.KernelTimeNs,
+		H2DTimeNs:          m.H2DTimeNs - prev.H2DTimeNs,
+		D2HTimeNs:          m.D2HTimeNs - prev.D2HTimeNs,
+		H2DBytes:           m.H2DBytes - prev.H2DBytes,
+		D2HBytes:           m.D2HBytes - prev.D2HBytes,
+		KernelLaunches:     m.KernelLaunches - prev.KernelLaunches,
+		ComputeTimeNs:      m.ComputeTimeNs - prev.ComputeTimeNs,
+		MemoryTimeNs:       m.MemoryTimeNs - prev.MemoryTimeNs,
+		GlobalTransactions: m.GlobalTransactions - prev.GlobalTransactions,
+		GlobalAccesses:     m.GlobalAccesses - prev.GlobalAccesses,
+		WarpSerialOps:      m.WarpSerialOps - prev.WarpSerialOps,
+		ThreadOps:          m.ThreadOps - prev.ThreadOps,
+	}
+}
+
 // DivergenceOverhead returns the fraction of warp-issued work wasted to
 // divergence: 0 means perfectly converged warps, values near 1 mean almost
 // all lanes idle.

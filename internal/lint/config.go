@@ -55,6 +55,8 @@ func DefaultConfig() *Config {
 			{PkgSuffix: "internal/core", Func: "newStopwatch"},
 			{PkgSuffix: "internal/core", Func: "stopwatch.lap"},
 			{PkgSuffix: "internal/core", Func: "stopwatch.total"},
+			{PkgSuffix: "internal/pgraph", Func: "newStopwatch"},
+			{PkgSuffix: "internal/pgraph", Func: "stopwatch.total"},
 			{PkgSuffix: "lint/testdata/src/wallclock", Func: "newStopwatch"},
 			{PkgSuffix: "lint/testdata/src/wallclock", Func: "stopwatch.lap"},
 		},

@@ -1,0 +1,395 @@
+package pgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"gpclust/internal/align"
+	"gpclust/internal/gpusim"
+	"gpclust/internal/graph"
+	"gpclust/internal/seq"
+	"gpclust/internal/thrust"
+)
+
+// This file is the candidate-pair batch scheduler behind Config.GPU: it
+// length-bins the pairs (so one warp's alignments cost alike and the SIMT
+// divergence penalty stays small), packs pair records + concatenated residue
+// codes through the device-memory budget exactly like Algorithm 2's
+// adjacency batching, and runs the batches either sequentially or on the
+// double-buffered two-lane stream pipeline the shingling pass introduced —
+// overlapping batch k+1's host→device staging with batch k's kernels and
+// score readback. Both schedulers produce scores bit-identical to
+// align.ScoreOnly, so the accepted edge set never depends on the backend,
+// batch budget, or binning.
+
+// swTableLen is the word size of the substitution-score table (the BLOSUM62
+// query profile shared by every alignment in a batch).
+const swTableLen = align.AlphabetSize * align.AlphabetSize
+
+// swTable is the packed score table, uploaded once per batch (sequential)
+// or once per lane (pipelined).
+var swTable = buildSWTable()
+
+func buildSWTable() []uint32 {
+	t := make([]uint32, swTableLen)
+	for ia, row := range align.Blosum62 {
+		for ib, s := range row {
+			t[ia*align.AlphabetSize+ib] = uint32(int32(s))
+		}
+	}
+	return t
+}
+
+// encodeSeqs maps residues to table indices (sequences are validated before
+// this point, so every residue has one).
+func encodeSeqs(seqs []seq.Sequence) [][]byte {
+	enc := make([][]byte, len(seqs))
+	for i, s := range seqs {
+		e := make([]byte, len(s.Residues))
+		for j, r := range s.Residues {
+			e[j] = byte(align.ResidueIndex(r))
+		}
+		enc[i] = e
+	}
+	return enc
+}
+
+// seqWords returns the packed word count of one encoded sequence (4 residue
+// codes per word; every sequence starts word-aligned).
+func seqWords(enc []byte) int { return (len(enc) + 3) / 4 }
+
+// binPairs returns the order in which pairs are scheduled. With binning the
+// order is ascending DP-cell cost (ties broken by the pair key, so the
+// order is a deterministic function of the input); without, the natural
+// sorted-pair order.
+func binPairs(enc [][]byte, pairs []pairKey, bin bool) []int {
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
+	}
+	if !bin {
+		return order
+	}
+	cost := make([]int64, len(pairs))
+	for i, p := range pairs {
+		a, b := p.unpack()
+		cost[i] = int64(len(enc[a])) * int64(len(enc[b]))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if cost[order[i]] != cost[order[j]] {
+			return cost[order[i]] < cost[order[j]]
+		}
+		return pairs[order[i]] < pairs[order[j]]
+	})
+	return order
+}
+
+// swBatch is one device batch: a contiguous range of the scheduled pair
+// order plus the distinct sequences it references, in first-use order.
+type swBatch struct {
+	lo, hi   int     // half-open range into the scheduled order
+	seqIDs   []int32 // distinct sequences, first-use order
+	seqWords int     // packed residue words for seqIDs
+}
+
+// dataWords is the batch's staging image size: 4 pair-record words per pair
+// plus the packed residues.
+func (p swBatch) dataWords() int { return 4*(p.hi-p.lo) + p.seqWords }
+
+// deviceWords is the batch's full device footprint including the score
+// table and the score outputs.
+func (p swBatch) deviceWords() int { return swTableLen + p.dataWords() + (p.hi - p.lo) }
+
+// planSWBatches greedily packs the scheduled pairs into batches whose
+// device footprint stays within budget words, deduplicating sequences
+// within a batch (a sequence appearing in many candidate pairs uploads
+// once per batch).
+func planSWBatches(enc [][]byte, pairs []pairKey, order []int, budget int) ([]swBatch, error) {
+	var plans []swBatch
+	cur := swBatch{lo: 0}
+	np := 0 // pairs in cur
+	inBatch := make(map[int32]bool)
+	for k, idx := range order {
+		a, b := pairs[idx].unpack()
+		need := 5 // pair record + score word
+		if !inBatch[a] {
+			need += seqWords(enc[a])
+		}
+		if !inBatch[b] {
+			need += seqWords(enc[b])
+		}
+		if np > 0 && swTableLen+5*np+cur.seqWords+need > budget {
+			cur.hi = k
+			plans = append(plans, cur)
+			cur = swBatch{lo: k}
+			np = 0
+			clear(inBatch)
+			need = 5 + seqWords(enc[a]) + seqWords(enc[b])
+		}
+		if np == 0 && swTableLen+need > budget {
+			return nil, fmt.Errorf("pgraph: GPU batch budget %d words cannot hold pair (%d,%d): needs %d",
+				budget, a, b, swTableLen+need)
+		}
+		np++
+		if !inBatch[a] {
+			inBatch[a] = true
+			cur.seqIDs = append(cur.seqIDs, a)
+			cur.seqWords += seqWords(enc[a])
+		}
+		if !inBatch[b] {
+			inBatch[b] = true
+			cur.seqIDs = append(cur.seqIDs, b)
+			cur.seqWords += seqWords(enc[b])
+		}
+	}
+	cur.hi = len(order)
+	if cur.hi > cur.lo {
+		plans = append(plans, cur)
+	}
+	return plans, nil
+}
+
+// packSWBatch builds the batch's host staging image, [pair records | packed
+// residues], reusing data's capacity. Pair-record offsets count residues
+// from the start of the packed region.
+func packSWBatch(p swBatch, enc [][]byte, pairs []pairKey, order []int, data []uint32) []uint32 {
+	np := p.hi - p.lo
+	n := p.dataWords()
+	if cap(data) < n {
+		data = make([]uint32, n)
+	} else {
+		data = data[:n]
+		clear(data)
+	}
+	off := make(map[int32]uint32, len(p.seqIDs))
+	pos := uint32(0)
+	for _, id := range p.seqIDs {
+		off[id] = pos
+		for k, c := range enc[id] {
+			r := pos + uint32(k)
+			data[4*np+int(r>>2)] |= uint32(c) << (8 * (r & 3))
+		}
+		pos += uint32(4 * seqWords(enc[id])) // next sequence starts word-aligned
+	}
+	for k := p.lo; k < p.hi; k++ {
+		a, b := pairs[order[k]].unpack()
+		rec := data[4*(k-p.lo):]
+		rec[0], rec[1] = off[a], uint32(len(enc[a]))
+		rec[2], rec[3] = off[b], uint32(len(enc[b]))
+	}
+	return data
+}
+
+// swLaunchConfig maps a packed batch onto the single-buffer layout the
+// kernel expects.
+func swLaunchConfig(p swBatch, prm align.Params) thrust.SWConfig {
+	np := p.hi - p.lo
+	return thrust.SWConfig{
+		NumPairs:  np,
+		Alphabet:  align.AlphabetSize,
+		GapOpen:   int32(prm.GapOpen),
+		GapExtend: int32(prm.GapExtend),
+		TableBase: 0,
+		PairBase:  swTableLen,
+		SeqBase:   swTableLen + 4*np,
+		SeqWords:  p.seqWords,
+		ScoreBase: swTableLen + p.dataWords(),
+	}
+}
+
+// runSWBatchesSequential is the Thrust-style synchronous scheduler: per
+// batch, allocate, upload the table and the staging image, launch, read the
+// scores back, free. Every step stalls the host (the paper's mode).
+func runSWBatchesSequential(dev *gpusim.Device, plans []swBatch, enc [][]byte,
+	pairs []pairKey, order []int, prm align.Params, scores []int32) error {
+
+	var data, out []uint32
+	for _, p := range plans {
+		np := p.hi - p.lo
+		data = packSWBatch(p, enc, pairs, order, data)
+		dev.AdvanceHost(float64(len(data)) * packNsPerWord)
+		if err := func() error {
+			buf, err := dev.Malloc(p.deviceWords())
+			if err != nil {
+				return err
+			}
+			defer buf.Free()
+			if err := dev.CopyH2D(buf, 0, swTable); err != nil {
+				return err
+			}
+			if err := dev.CopyH2D(buf, swTableLen, data); err != nil {
+				return err
+			}
+			cfg := swLaunchConfig(p, prm)
+			if err := thrust.SWScoreBatch(dev, nil, buf, cfg); err != nil {
+				return err
+			}
+			if cap(out) < np {
+				out = make([]uint32, np)
+			}
+			return dev.CopyD2H(out[:np], buf, cfg.ScoreBase)
+		}(); err != nil {
+			return err
+		}
+		for i := 0; i < np; i++ {
+			scores[p.lo+i] = int32(out[i])
+		}
+	}
+	return nil
+}
+
+// runSWBatchesPipelined is the double-buffered scheduler: two lanes, each
+// owning a max-sized device buffer and a stream, take batches round-robin.
+// The score table uploads once per lane for the whole build, and enqueuing
+// batch k only waits for the lane's previous occupant (batch k-2), so batch
+// k's staging overlaps batch k-1's kernels and score readback:
+//
+//	lane 0:  [table|H2D b0 | sw b0 | D2H b0]   [H2D b2 | sw b2 | ...
+//	lane 1:          [table|H2D b1 | sw b1 | D2H b1]   [H2D b3 | ...
+//
+// Scores land in the same slots as the sequential scheduler, so the edge
+// set is identical.
+func runSWBatchesPipelined(dev *gpusim.Device, plans []swBatch, enc [][]byte,
+	pairs []pairKey, order []int, prm align.Params, scores []int32) error {
+
+	maxData, maxPairs := 0, 0
+	for _, p := range plans {
+		maxData = max(maxData, p.dataWords())
+		maxPairs = max(maxPairs, p.hi-p.lo)
+	}
+
+	type pipeLane struct {
+		buf    *gpusim.Buffer
+		stream *gpusim.Stream
+		out    []uint32 // in-flight batch's scores
+		plan   int      // in-flight batch index; -1 when idle
+		primed bool     // score table staged
+	}
+	var lanes [2]*pipeLane
+	freeAll := func() {
+		for _, l := range lanes {
+			if l != nil && l.buf != nil {
+				l.buf.Free()
+			}
+		}
+	}
+	for i := range lanes {
+		l := &pipeLane{stream: dev.NewStream(), plan: -1, out: make([]uint32, maxPairs)}
+		lanes[i] = l
+		var err error
+		if l.buf, err = dev.Malloc(swTableLen + maxData + maxPairs); err != nil {
+			freeAll()
+			return err
+		}
+	}
+	defer freeAll()
+
+	drain := func(l *pipeLane) {
+		if l.plan < 0 {
+			return
+		}
+		l.stream.Synchronize()
+		p := plans[l.plan]
+		for i := 0; i < p.hi-p.lo; i++ {
+			scores[p.lo+i] = int32(l.out[i])
+		}
+		l.plan = -1
+	}
+
+	// Host staging reused across batches: async H2D captures the contents
+	// at enqueue, so one image suffices.
+	var data []uint32
+	for k, p := range plans {
+		np := p.hi - p.lo
+		data = packSWBatch(p, enc, pairs, order, data)
+		dev.AdvanceHost(float64(len(data)) * packNsPerWord)
+		l := lanes[k%2]
+		drain(l)
+		if !l.primed {
+			if err := dev.CopyH2DAsync(l.stream, l.buf, 0, swTable); err != nil {
+				return err
+			}
+			l.primed = true
+		}
+		if err := dev.CopyH2DAsync(l.stream, l.buf, swTableLen, data); err != nil {
+			return err
+		}
+		cfg := swLaunchConfig(p, prm)
+		if err := thrust.SWScoreBatch(dev, l.stream, l.buf, cfg); err != nil {
+			return err
+		}
+		if err := dev.CopyD2HAsync(l.stream, l.out[:np], l.buf, cfg.ScoreBase); err != nil {
+			return err
+		}
+		l.plan = k
+	}
+	drain(lanes[len(plans)%2])
+	drain(lanes[(len(plans)+1)%2])
+	return nil
+}
+
+// verifyGPU is the device-backed verification stage: it schedules every
+// candidate pair through the batched Smith–Waterman kernel and thresholds
+// the scores with the exact comparison the host path uses. The Stats
+// breakdown (filter, kernels, Data_c→g, Data_g→c) is this stage's share of
+// the device's virtual clock.
+func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]graph.Edge, error) {
+	dev := cfg.Device
+	if dev == nil {
+		dev = gpusim.MustNew(gpusim.K20Config())
+	}
+	host0 := dev.HostTime()
+	m0 := dev.Metrics()
+	// The CPU filter ran before this point; put it on the virtual clock.
+	dev.AdvanceHost(st.FilterNs)
+
+	var edges []graph.Edge
+	if len(pairs) > 0 {
+		enc := encodeSeqs(seqs)
+		order := binPairs(enc, pairs, !cfg.NoLengthBin)
+		budget := cfg.GPUBatchWords
+		if budget <= 0 {
+			// Leave headroom on a shared device rather than sizing to the
+			// last free word; the pipeline keeps two lanes resident, so its
+			// default batches are half the size. An explicit budget is the
+			// per-batch cap in both modes (the schedulers then run identical
+			// batch plans and their timings compare like for like).
+			budget = int(dev.FreeMemory() / gpusim.WordBytes / 4 * 3)
+			if cfg.GPUPipeline {
+				budget /= 2
+			}
+		}
+		plans, err := planSWBatches(enc, pairs, order, budget)
+		if err != nil {
+			return nil, err
+		}
+		st.GPUBatches = len(plans)
+
+		scores := make([]int32, len(pairs))
+		if cfg.GPUPipeline {
+			err = runSWBatchesPipelined(dev, plans, enc, pairs, order, cfg.Align, scores)
+		} else {
+			err = runSWBatchesSequential(dev, plans, enc, pairs, order, cfg.Align, scores)
+		}
+		if err != nil {
+			return nil, err
+		}
+		dev.Synchronize()
+
+		for k, idx := range order {
+			a, b := pairs[idx].unpack()
+			minLen := min(len(seqs[a].Residues), len(seqs[b].Residues))
+			if float64(scores[k]) >= cfg.MinScorePerResidue*float64(minLen) {
+				edges = append(edges, graph.Edge{U: uint32(a), V: uint32(b)})
+			}
+		}
+	}
+
+	m := dev.Metrics().Sub(m0)
+	st.AlignNs = m.KernelTimeNs
+	st.H2DNs = m.H2DTimeNs
+	st.D2HNs = m.D2HTimeNs
+	st.Divergence = m.DivergenceOverhead()
+	st.TotalNs = dev.HostTime() - host0
+	return edges, nil
+}

@@ -1,0 +1,208 @@
+package pgraph
+
+import (
+	"testing"
+
+	"gpclust/internal/gpusim"
+	"gpclust/internal/graph"
+	"gpclust/internal/seq"
+)
+
+func testMetagenome(t testing.TB, n int) []seq.Sequence {
+	t.Helper()
+	cfg := seq.DefaultMetagenomeConfig(n)
+	cfg.Seed = 7
+	m, err := seq.GenerateMetagenome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Seqs
+}
+
+func graphsEqual(t *testing.T, label string, want, got *graph.Graph) {
+	t.Helper()
+	if len(want.Offsets) != len(got.Offsets) || len(want.Adj) != len(got.Adj) {
+		t.Fatalf("%s: shape differs: %d/%d offsets, %d/%d adj",
+			label, len(want.Offsets), len(got.Offsets), len(want.Adj), len(got.Adj))
+	}
+	for i := range want.Offsets {
+		if want.Offsets[i] != got.Offsets[i] {
+			t.Fatalf("%s: offsets differ at %d", label, i)
+		}
+	}
+	for i := range want.Adj {
+		if want.Adj[i] != got.Adj[i] {
+			t.Fatalf("%s: adjacency differs at %d", label, i)
+		}
+	}
+}
+
+// TestGPUMatchesHostEdges is the backend-equivalence gate: the GPU-SW path
+// must accept the bit-identical edge set for every batch budget, with and
+// without pipelining and length binning.
+func TestGPUMatchesHostEdges(t *testing.T) {
+	seqs := testMetagenome(t, 120)
+	host, hst, err := Build(seqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hst.Backend != "host" || hst.Edges == 0 {
+		t.Fatalf("host build: backend %q, %d edges", hst.Backend, hst.Edges)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"default-budget", func(c *Config) {}},
+		{"small-batches", func(c *Config) { c.GPUBatchWords = 6_000 }},
+		{"tiny-batches", func(c *Config) { c.GPUBatchWords = 1_200 }},
+		{"pipelined", func(c *Config) { c.GPUPipeline = true }},
+		{"pipelined-small", func(c *Config) { c.GPUPipeline = true; c.GPUBatchWords = 12_000 }},
+		{"no-binning", func(c *Config) { c.NoLengthBin = true; c.GPUBatchWords = 6_000 }},
+		{"no-binning-pipelined", func(c *Config) {
+			c.NoLengthBin = true
+			c.GPUPipeline = true
+			c.GPUBatchWords = 12_000
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.GPU = true
+			tc.mut(&cfg)
+			g, st, err := Build(seqs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphsEqual(t, tc.name, host, g)
+			if st.Backend != "gpu" || st.GPUBatches == 0 {
+				t.Fatalf("gpu build: backend %q, %d batches", st.Backend, st.GPUBatches)
+			}
+			if st.AlignNs <= 0 || st.H2DNs <= 0 || st.D2HNs <= 0 || st.TotalNs <= st.FilterNs {
+				t.Fatalf("breakdown not populated: %+v", st)
+			}
+		})
+	}
+}
+
+// TestGPUSmallDeviceMemoryLimit drives the scheduler through a 1 MB device:
+// the budget derives from FreeMemory, forcing many batches through the
+// Algorithm-2-style packing, with the identical edge set.
+func TestGPUSmallDeviceMemoryLimit(t *testing.T) {
+	seqs := testMetagenome(t, 120)
+	host, _, err := Build(seqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pipeline := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.GPU = true
+		cfg.GPUPipeline = pipeline
+		devCfg := gpusim.SmallConfig()
+		devCfg.GlobalMemBytes = 16 << 10 // tighter still: force real batching
+		cfg.Device = gpusim.MustNew(devCfg)
+		g, st, err := Build(seqs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, "small device", host, g)
+		if st.GPUBatches < 2 {
+			t.Fatalf("pipeline=%v: 1 MB device should force multiple batches, got %d", pipeline, st.GPUBatches)
+		}
+		if err := cfg.Device.LeakCheck(); err != nil {
+			t.Fatalf("pipeline=%v: %v", pipeline, err)
+		}
+	}
+}
+
+// TestGPUBudgetTooSmall: a budget that cannot hold even one pair must fail
+// loudly, not truncate the pair list.
+func TestGPUBudgetTooSmall(t *testing.T) {
+	seqs := testMetagenome(t, 40)
+	cfg := DefaultConfig()
+	cfg.GPU = true
+	cfg.GPUBatchWords = swTableLen + 8
+	if _, _, err := Build(seqs, cfg); err == nil {
+		t.Fatal("expected an error for a batch budget below one pair")
+	}
+}
+
+// TestGPUPipelinedLowerVirtualTotal asserts the point of the pipeline: with
+// the batch stream forced to many batches, overlapping staging with kernels
+// and readback (and hoisting the per-batch table upload) must beat the
+// sequential scheduler on the virtual clock.
+func TestGPUPipelinedLowerVirtualTotal(t *testing.T) {
+	seqs := testMetagenome(t, 250)
+	base := DefaultConfig()
+	base.GPU = true
+	base.GPUBatchWords = 4_000
+
+	seqCfg := base
+	_, sst, err := Build(seqs, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeCfg := base
+	pipeCfg.GPUPipeline = true
+	_, pst, err := Build(seqs, pipeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.GPUBatches < 3 {
+		t.Fatalf("want several batches for the overlap to matter, got %d", sst.GPUBatches)
+	}
+	if pst.TotalNs >= sst.TotalNs {
+		t.Fatalf("pipelined virtual total %.3fms not below sequential %.3fms",
+			pst.TotalNs/1e6, sst.TotalNs/1e6)
+	}
+}
+
+// TestGPUBinningReducesDivergence checks the warp-divergence rationale for
+// length binning: scheduling mixed-cost pairs into the same warps must waste
+// more warp issue slots than the binned order.
+func TestGPUBinningReducesDivergence(t *testing.T) {
+	seqs := testMetagenome(t, 250)
+	run := func(noBin bool) Stats {
+		cfg := DefaultConfig()
+		cfg.GPU = true
+		cfg.GPUBatchWords = 30_000
+		cfg.NoLengthBin = noBin
+		_, st, err := Build(seqs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	binned, unbinned := run(false), run(true)
+	if binned.Divergence >= unbinned.Divergence {
+		t.Fatalf("binned divergence %.4f not below unbinned %.4f",
+			binned.Divergence, unbinned.Divergence)
+	}
+}
+
+func BenchmarkPGraphGPU(b *testing.B) {
+	seqs := testMetagenome(b, 250)
+	cfg := DefaultConfig()
+	cfg.GPU = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Build(seqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPGraphGPUPipelined(b *testing.B) {
+	seqs := testMetagenome(b, 250)
+	cfg := DefaultConfig()
+	cfg.GPU = true
+	cfg.GPUPipeline = true
+	cfg.GPUBatchWords = 30_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Build(seqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

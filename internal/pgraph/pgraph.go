@@ -2,11 +2,13 @@ package pgraph
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
 
 	"gpclust/internal/align"
+	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 	"gpclust/internal/seq"
 )
@@ -30,8 +32,36 @@ type Config struct {
 	Align align.Params
 
 	// Workers sets the alignment worker-pool size (pGraph's parallel
-	// verification stage); 0 means GOMAXPROCS.
+	// verification stage); 0 means GOMAXPROCS. Host backend only.
 	Workers int
+
+	// GPU routes Smith–Waterman verification to the simulated device as a
+	// batched score-only kernel, one alignment per thread. The accepted
+	// edge set is bit-identical to the host path for any batch size.
+	GPU bool
+
+	// Device is the simulated GPU used when GPU is set; nil creates a
+	// fresh Tesla K20 for the build.
+	Device *gpusim.Device
+
+	// GPUPipeline double-buffers the batch stream across two CUDA-style
+	// streams, so batch k+1's host→device staging overlaps batch k's
+	// kernels and score readback (the machinery the shingling pass uses
+	// for PipelineBatches, applied to alignment).
+	GPUPipeline bool
+
+	// GPUBatchWords caps one batch's device footprint in words (score
+	// table + pair records + packed residues + scores) in both schedulers.
+	// 0 sizes batches to the device's free memory (halved under
+	// GPUPipeline, which keeps two lanes resident — an explicit budget
+	// must leave room for both).
+	GPUBatchWords int
+
+	// NoLengthBin disables ordering candidate pairs by alignment cost
+	// before batching. Binning keeps warps converged — the device
+	// serializes a warp at its slowest lane — so this knob exists for the
+	// divergence ablation. The edge set is unaffected either way.
+	NoLengthBin bool
 }
 
 // DefaultConfig returns settings suitable for the synthetic metagenomes.
@@ -44,18 +74,51 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats reports the construction pipeline's work.
+// Virtual-clock pricing of the host-side stages, in the style of
+// internal/core's cost model: stage costs are explicit operation counts
+// multiplied by per-op constants, so reported times are machine-independent.
+var (
+	// FilterNsPerOp prices one operation of the candidate filter (suffix
+	// array construction, LCP walk, pair generation).
+	FilterNsPerOp = 14.0
+
+	// HostAlignNsPerCell prices one DP cell of the host Smith–Waterman —
+	// a scalar, branchy inner loop on a paper-era core (~80 Mcells/s).
+	HostAlignNsPerCell = 12.0
+
+	// packNsPerWord prices staging one word of a device batch (pair
+	// records + packed residues) on the host.
+	packNsPerWord = 8.0
+)
+
+// Stats reports the construction pipeline's work. The duration fields are a
+// Table-I-style component breakdown of Build on the virtual clock — except
+// WallNs, which records real host time (the only wall-clock field).
 type Stats struct {
 	Sequences  int
 	Candidates int // promising pairs from the maximal-match filter
 	Edges      int64
+
+	Backend    string  // verification backend: "host" or "gpu"
+	Workers    int     // host alignment workers (host backend)
+	GPUBatches int     // device batches scheduled (gpu backend)
+	Divergence float64 // SW-kernel warp-divergence overhead (gpu backend)
+	FilterNs   float64 // CPU filter: suffix structure + candidate pairs
+	AlignNs    float64 // SW verification: pool critical path or device kernels
+	H2DNs      float64 // Data_c→g: batch staging onto the device
+	D2HNs      float64 // Data_g→c: score readback
+	TotalNs    float64 // end-to-end virtual time of Build
+	WallNs     int64   // real elapsed time of Build on this host
 }
 
 // Build constructs the sequence-similarity graph of the input: vertices are
 // sequence indices, and (i, j) is an edge iff the pair passed the exact
 // match filter and Smith–Waterman verification.
 func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
-	st := Stats{Sequences: len(seqs)}
+	st := Stats{Sequences: len(seqs), Backend: "host"}
+	if cfg.GPU {
+		st.Backend = "gpu"
+	}
 	if cfg.MinExactMatch < 4 {
 		return nil, st, fmt.Errorf("pgraph: MinExactMatch %d too small", cfg.MinExactMatch)
 	}
@@ -70,6 +133,7 @@ func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
 	if len(seqs) == 0 {
 		return graph.FromEdges(0, nil), st, nil
 	}
+	sw := newStopwatch()
 
 	// Phase 1: promising pairs via the generalized suffix structure.
 	idx := buildSuffixIndex(seqs)
@@ -80,22 +144,48 @@ func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
 		pairs = append(pairs, p)
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	rounds := bits.Len(uint(len(idx.sym))) // prefix-doubling rounds
+	st.FilterNs = float64(int64(len(idx.sym))*int64(rounds)+int64(len(pairs))) * FilterNsPerOp
 
-	// Phase 2: Smith–Waterman verification on a worker pool.
+	// Phase 2: Smith–Waterman verification, on the worker pool or the
+	// device. Both paths yield the identical accepted edge set.
+	var edges []graph.Edge
+	if cfg.GPU {
+		var err error
+		edges, err = verifyGPU(seqs, pairs, cfg, &st)
+		if err != nil {
+			return nil, st, err
+		}
+	} else {
+		edges = verifyHost(seqs, pairs, cfg, &st)
+	}
+
+	b := graph.NewBuilder(len(seqs))
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	g := b.Build()
+	st.Edges = g.NumEdges()
+	st.WallNs = sw.total()
+	return g, st, nil
+}
+
+// verifyHost runs Smith–Waterman over the candidate pairs on a worker pool
+// (pGraph's parallel verification stage) and returns the accepted edges.
+func verifyHost(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) []graph.Edge {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	st.Workers = workers
 	type job struct{ lo, hi int }
 	edgesPer := make([][]graph.Edge, workers)
+	cellsPer := make([]int64, workers)
 	var wg sync.WaitGroup
 	chunk := (len(pairs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
+		hi := min(lo+chunk, len(pairs))
 		if lo >= hi {
 			continue
 		}
@@ -103,30 +193,35 @@ func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
 		go func(w int, jb job) {
 			defer wg.Done()
 			var out []graph.Edge
+			var cells int64
 			for _, p := range pairs[jb.lo:jb.hi] {
 				a, b := p.unpack()
 				sa, sb := seqs[a].Residues, seqs[b].Residues
-				minLen := len(sa)
-				if len(sb) < minLen {
-					minLen = len(sb)
-				}
+				minLen := min(len(sa), len(sb))
+				cells += int64(len(sa)) * int64(len(sb))
 				score := align.ScoreOnly(sa, sb, cfg.Align)
 				if float64(score) >= cfg.MinScorePerResidue*float64(minLen) {
 					out = append(out, graph.Edge{U: uint32(a), V: uint32(b)})
 				}
 			}
 			edgesPer[w] = out
+			cellsPer[w] = cells
 		}(w, job{lo, hi})
 	}
 	wg.Wait()
 
-	b := graph.NewBuilder(len(seqs))
-	for _, es := range edgesPer {
-		for _, e := range es {
-			b.AddEdge(e.U, e.V)
-		}
+	var totalCells int64
+	for _, c := range cellsPer {
+		totalCells += c
 	}
-	g := b.Build()
-	st.Edges = g.NumEdges()
-	return g, st, nil
+	// Pool critical path: the chunks are contiguous slices of near-equal
+	// pair counts, so the virtual cost divides the cell total evenly.
+	st.AlignNs = float64(totalCells) * HostAlignNsPerCell / float64(workers)
+	st.TotalNs = st.FilterNs + st.AlignNs
+
+	var edges []graph.Edge
+	for _, es := range edgesPer {
+		edges = append(edges, es...)
+	}
+	return edges
 }

@@ -1,0 +1,21 @@
+package pgraph
+
+import "time"
+
+// stopwatch is the package's only sanctioned wall-clock reader (gpclint's
+// wallclock rule, same contract as internal/core's): every duration in
+// Stats comes from op pricing or the device's virtual clock, except the
+// explicitly host-dependent Stats.WallNs, which this wrapper measures.
+type stopwatch struct {
+	start time.Time
+}
+
+// newStopwatch starts measuring at the moment of the call.
+func newStopwatch() *stopwatch {
+	return &stopwatch{start: time.Now()}
+}
+
+// total returns the nanoseconds elapsed since construction.
+func (w *stopwatch) total() int64 {
+	return time.Since(w.start).Nanoseconds()
+}

@@ -1,0 +1,166 @@
+package thrust
+
+import (
+	"fmt"
+	"sync"
+
+	"gpclust/internal/gpusim"
+)
+
+// This file implements the batched score-only Smith–Waterman kernel that
+// moves pGraph's verification stage onto the device (the fine-grained
+// protein-similarity-search GPU formulation of Nguyen & Lavenier, adapted to
+// the simulator). The parallelization is inter-task: one logical thread per
+// candidate pair computes the whole affine-gap (Gotoh) DP for that pair with
+// two int32 rows in thread-local memory, while the substitution-score table
+// — a query profile shared by every alignment in the batch — is staged once
+// per block into shared memory and hit once per DP cell. In contrast to the
+// shingling pipeline, which Table I shows is copy-engine-bound, this kernel
+// is compute-bound: O(len(a)·len(b)) cells per pair against O(len) words of
+// traffic.
+
+// swBlockDim is the thread-block size of the SW kernel. Blocks are small so
+// length-binned batches map pairs of similar cost onto the same warp (the
+// divergence model serializes a warp at its slowest lane).
+const swBlockDim = 128
+
+// swCellOps is the charged arithmetic cost of one DP cell: the E/F gap
+// updates (two max each), the diagonal add, two clamps, the three-way max
+// and the rolling-row bookkeeping.
+const swCellOps = 12
+
+// SWConfig describes one batched Smith–Waterman launch. All regions live in
+// a single device buffer at the word offsets given here:
+//
+//	[TableBase : TableBase+Alphabet²)  substitution scores, int32 per word
+//	[PairBase  : PairBase+4·NumPairs)  pair records: aOff, aLen, bOff, bLen
+//	[SeqBase   : ...)                  residue codes, 4 per word, little-endian
+//	[ScoreBase : ScoreBase+NumPairs)   int32 alignment scores (output)
+//
+// Pair-record offsets and lengths count residues relative to SeqBase.
+type SWConfig struct {
+	NumPairs  int
+	Alphabet  int // residue-code count; scores index as [a·Alphabet+b]
+	GapOpen   int32
+	GapExtend int32
+
+	TableBase int
+	PairBase  int
+	SeqBase   int
+	SeqWords  int // words of packed residues after SeqBase
+	ScoreBase int
+}
+
+// swRows is the reusable thread-local DP state (H and E rows of the Gotoh
+// recurrence). A sync.Pool bounds allocation across the simulator's
+// concurrently executing threads; rows are fully reinitialized per pair, so
+// reuse cannot affect results.
+type swRows struct {
+	h, e []int32
+}
+
+var swPool = sync.Pool{New: func() any { return new(swRows) }}
+
+// SWScoreBatch launches the batched score-only Smith–Waterman kernel over
+// cfg.NumPairs candidate pairs (nil stream = synchronous). Scores are
+// bit-identical to align.ScoreOnly on the same pairs: the kernel replicates
+// its recurrence, clamping and tie-breaking exactly, in int32 (every
+// intermediate fits: after the first max, gap scores are bounded below by
+// -(GapOpen+2·GapExtend)).
+func SWScoreBatch(d *gpusim.Device, s *gpusim.Stream, buf *gpusim.Buffer, cfg SWConfig) error {
+	if cfg.NumPairs < 0 || cfg.Alphabet <= 0 {
+		return fmt.Errorf("thrust: SWScoreBatch with %d pairs, alphabet %d", cfg.NumPairs, cfg.Alphabet)
+	}
+	tbl := cfg.Alphabet * cfg.Alphabet
+	if cfg.TableBase < 0 || cfg.PairBase < 0 || cfg.SeqBase < 0 || cfg.ScoreBase < 0 ||
+		cfg.TableBase+tbl > buf.Len() ||
+		cfg.PairBase+4*cfg.NumPairs > buf.Len() ||
+		cfg.SeqBase+cfg.SeqWords > buf.Len() ||
+		cfg.ScoreBase+cfg.NumPairs > buf.Len() {
+		return fmt.Errorf("thrust: SWScoreBatch layout exceeds buffer of %d words", buf.Len())
+	}
+	if cfg.NumPairs == 0 {
+		return nil
+	}
+	grid := (cfg.NumPairs + swBlockDim - 1) / swBlockDim
+	// Cooperative table staging: each block loads the query profile into
+	// shared memory with a strided, coalesced sweep before its pairs start.
+	tableChunk := (tbl + swBlockDim - 1) / swBlockDim
+	d.NextKernelName("sw_score")
+	return launch(d, s, grid, swBlockDim, func(ctx *gpusim.ThreadCtx) {
+		if ctx.Thread < tbl {
+			n := min(tableChunk, (tbl-ctx.Thread+swBlockDim-1)/swBlockDim)
+			ctx.GlobalRead(buf, cfg.TableBase+ctx.Thread, n, swBlockDim)
+			ctx.Ops(n)
+		}
+		pair := ctx.GlobalID()
+		if pair >= cfg.NumPairs {
+			return
+		}
+		w := buf.Words()
+		rec := w[cfg.PairBase+4*pair : cfg.PairBase+4*pair+4]
+		aOff, aLen := int(rec[0]), int(rec[1])
+		bOff, bLen := int(rec[2]), int(rec[3])
+		ctx.GlobalRead(buf, cfg.PairBase+4*pair, 4, 1)
+		ctx.GlobalWrite(buf, cfg.ScoreBase+pair, 1, 1)
+		if aLen == 0 || bLen == 0 {
+			w[cfg.ScoreBase+pair] = 0
+			return
+		}
+		// Each sequence streams through registers once: one contiguous run of
+		// packed words per operand.
+		aw0, aw1 := aOff>>2, (aOff+aLen+3)>>2
+		bw0, bw1 := bOff>>2, (bOff+bLen+3)>>2
+		ctx.GlobalRead(buf, cfg.SeqBase+aw0, aw1-aw0, 1)
+		ctx.GlobalRead(buf, cfg.SeqBase+bw0, bw1-bw0, 1)
+
+		code := func(off int) int32 {
+			return int32(w[cfg.SeqBase+off>>2] >> (8 * (off & 3)) & 0xff)
+		}
+		score := func(ca, cb int32) int32 {
+			return int32(w[cfg.TableBase+int(ca)*cfg.Alphabet+int(cb)])
+		}
+
+		const negInf = -1 << 30
+		rows := swPool.Get().(*swRows)
+		if cap(rows.h) < bLen+1 {
+			rows.h = make([]int32, bLen+1)
+			rows.e = make([]int32, bLen+1)
+		}
+		h, e := rows.h[:bLen+1], rows.e[:bLen+1]
+		for j := range h {
+			h[j] = 0
+			e[j] = negInf
+		}
+		var best int32
+		for i := 1; i <= aLen; i++ {
+			ca := code(aOff + i - 1)
+			var diag int32
+			var f int32 = negInf
+			for j := 1; j <= bLen; j++ {
+				e[j] = max(e[j]-cfg.GapExtend, h[j]-cfg.GapOpen-cfg.GapExtend)
+				f = max(f-cfg.GapExtend, h[j-1]-cfg.GapOpen-cfg.GapExtend)
+				v := diag + score(ca, code(bOff+j-1))
+				if v < 0 {
+					v = 0
+				}
+				v = max(v, e[j], f)
+				if v < 0 {
+					v = 0
+				}
+				diag = h[j]
+				h[j] = v
+				if v > best {
+					best = v
+				}
+			}
+		}
+		swPool.Put(rows)
+		w[cfg.ScoreBase+pair] = uint32(best)
+		cells := aLen * bLen
+		// One shared-memory profile lookup per cell, plus the row-streaming
+		// decode work.
+		ctx.SharedAccess(cells)
+		ctx.Ops(cells*swCellOps + aLen + bLen)
+	})
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Benchmark trajectory: runs the key testing.B benchmarks plus the pGraph
+# verification-backend ablation and assembles BENCH_pr3.json in the repo
+# root, recording both virtual-clock and wall-clock numbers so later PRs
+# can diff performance against this one. Run from the repository root.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr3.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== go benchmarks (1 iteration each; ns/op is wall time on this host)"
+go test -run='^$' -bench \
+    'BenchmarkTable1_20KGraph$|BenchmarkClusterSerial_20K$|BenchmarkClusterParallel_W4$|BenchmarkGPU_PipelinedVsSequentialBatches$' \
+    -benchtime 1x . | tee "$tmp/root.bench"
+go test -run='^$' -bench 'BenchmarkBuild250$|BenchmarkPGraphGPU$|BenchmarkPGraphGPUPipelined$' \
+    -benchtime 1x ./internal/pgraph/ | tee "$tmp/pgraph.bench"
+
+echo "== pGraph verification-backend ablation (virtual clock)"
+go run ./cmd/experiments -exp pgraph -benchjson "$tmp/backends.json"
+
+awk '/^Benchmark/ {
+    sub(/-[0-9]+$/, "", $1)
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"wall_ns_per_op\": %s}", sep, $1, $2, $3
+    sep = ",\n"
+} END { print "" }' "$tmp/root.bench" "$tmp/pgraph.bench" > "$tmp/go_bench.json"
+
+{
+    echo '{'
+    echo '  "pr": 3,'
+    echo '  "go_bench": ['
+    cat "$tmp/go_bench.json"
+    echo '  ],'
+    printf '  "pgraph_backends": '
+    sed -e '1s/^\[/[/' -e 's/^/  /' -e '1s/^  //' "$tmp/backends.json"
+    echo '}'
+} > "$out"
+
+# Sanity-check the JSON and the acceptance criterion: the pipelined GPU
+# backend must post a lower virtual total than the sequential one.
+go run ./scripts/benchcheck "$out"
+echo "== bench.sh: wrote $out"

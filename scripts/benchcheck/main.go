@@ -1,0 +1,65 @@
+// Benchcheck validates a BENCH_pr3.json produced by scripts/bench.sh: the
+// file must parse, every backend point must agree on the accepted edge
+// count, and the pipelined GPU backend must post a lower virtual total than
+// the sequential one — the acceptance criterion of the batched-SW PR.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gpclust/internal/bench"
+)
+
+type benchFile struct {
+	PR      int `json:"pr"`
+	GoBench []struct {
+		Name        string  `json:"name"`
+		Iterations  int64   `json:"iterations"`
+		WallNsPerOp float64 `json:"wall_ns_per_op"`
+	} `json:"go_bench"`
+	Backends []bench.PGraphBackendPoint `json:"pgraph_backends"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_pr3.json")
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(os.Args[1])
+	fatal(err)
+	var f benchFile
+	fatal(json.Unmarshal(blob, &f))
+
+	if len(f.GoBench) == 0 || len(f.Backends) < 3 {
+		fatal(fmt.Errorf("incomplete file: %d go benchmarks, %d backend points",
+			len(f.GoBench), len(f.Backends)))
+	}
+	byName := map[string]bench.PGraphBackendPoint{}
+	for _, p := range f.Backends {
+		if p.Edges != f.Backends[0].Edges {
+			fatal(fmt.Errorf("backend %q accepted %d edges, %q accepted %d",
+				p.Backend, p.Edges, f.Backends[0].Backend, f.Backends[0].Edges))
+		}
+		byName[p.Backend] = p
+	}
+	seq, okSeq := byName["gpu sequential"]
+	pipe, okPipe := byName["gpu pipelined"]
+	if !okSeq || !okPipe {
+		fatal(fmt.Errorf("missing gpu sequential/pipelined backend points"))
+	}
+	if pipe.VirtualNs >= seq.VirtualNs {
+		fatal(fmt.Errorf("pipelined virtual total %.3fms is not below sequential %.3fms",
+			pipe.VirtualNs/1e6, seq.VirtualNs/1e6))
+	}
+	fmt.Printf("benchcheck: ok — pipelined %.1fms < sequential %.1fms virtual, %d edges on every backend\n",
+		pipe.VirtualNs/1e6, seq.VirtualNs/1e6, f.Backends[0].Edges)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}

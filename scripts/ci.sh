@@ -40,10 +40,15 @@ go test ./...
 echo "== go test -tags invariants (runtime invariant sweep)"
 go test -tags invariants ./internal/core/... ./internal/unionfind/... ./internal/gpusim/...
 
+echo "== pgraph backend equivalence gate (GPU-SW must match host-SW bit for bit)"
+go test -run 'TestGoldenPipelineBackends' .
+go test -run 'TestGPUMatchesHostEdges|TestGPUSmallDeviceMemoryLimit|TestGPUPipelinedLowerVirtualTotal' ./internal/pgraph/
+
 echo "== fuzz smoke (10s per target)"
 go test -run='^$' -fuzz=FuzzRadixSort -fuzztime=10s ./internal/core/
 go test -run='^$' -fuzz=FuzzSegmentedSort -fuzztime=10s ./internal/thrust/
 go test -run='^$' -fuzz=FuzzUnionFind -fuzztime=10s ./internal/unionfind/
+go test -run='^$' -fuzz=FuzzSWBatch -fuzztime=10s ./internal/pgraph/
 
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/...
