@@ -1,6 +1,7 @@
 package gpclust_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -130,6 +131,117 @@ func TestCLIGraphModeAndBinary(t *testing.T) {
 		"-c1", "30", "-c2", "15", "-out", filepath.Join(dir, "c3.txt"))
 	if !strings.Contains(out, "clusters") {
 		t.Fatalf("decomposed run output unexpected: %s", out)
+	}
+}
+
+// runFail runs bin expecting a non-zero exit; it returns the combined
+// output for message assertions.
+func runFail(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected failure, exited 0\n%s", filepath.Base(bin), args, out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("%s %v: did not run: %v", filepath.Base(bin), args, err)
+	}
+	return string(out)
+}
+
+// TestCLIFailurePaths exercises the toolchain's error handling: unreadable
+// input, invalid flag combinations, and fault injection past the retry
+// budget must all exit non-zero with a readable message — never a panic or
+// silent success.
+func TestCLIFailurePaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	genseq := buildTool(t, dir, "genseq")
+	pgraphBin := buildTool(t, dir, "pgraph")
+	gpclust := buildTool(t, dir, "gpclust")
+
+	fasta := filepath.Join(dir, "orfs.fa")
+	truth := filepath.Join(dir, "truth.tsv")
+	graphF := filepath.Join(dir, "graph.txt")
+	run(t, genseq, "-mode", "seqs", "-n", "120", "-fasta", fasta, "-truth", truth)
+	run(t, pgraphBin, "-in", fasta, "-out", graphF)
+
+	missing := filepath.Join(dir, "no-such-file")
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		want string
+	}{
+		{"gpclust missing input", gpclust, []string{"-in", missing}, "no-such-file"},
+		{"gpclust no input flag", gpclust, nil, "-in is required"},
+		{"gpclust pipeline without gpu", gpclust,
+			[]string{"-in", graphF, "-backend", "serial", "-pipeline"}, "-pipeline requires -backend gpu"},
+		{"gpclust faults without gpu", gpclust,
+			[]string{"-in", graphF, "-backend", "parallel", "-faults", "h2d op=1"}, "-faults requires -backend gpu"},
+		{"gpclust bad schedule", gpclust,
+			[]string{"-in", graphF, "-backend", "gpu", "-faults", "warp op=zero"}, "faults"},
+		{"gpclust fault storm no fallback", gpclust,
+			[]string{"-in", graphF, "-backend", "gpu", "-c1", "20", "-c2", "10",
+				"-faults", "h2d op=1 count=1000000", "-retries", "1", "-nofallback"},
+			"retry budget exhausted"},
+		{"pgraph missing input", pgraphBin, []string{"-in", missing}, "no-such-file"},
+		{"pgraph pipeline without gpu", pgraphBin,
+			[]string{"-in", fasta, "-pipeline"}, "-pipeline requires -gpu"},
+		{"pgraph bad schedule", pgraphBin,
+			[]string{"-in", fasta, "-gpu", "-faults", "h2d op="}, "faults"},
+		{"pgraph fault storm no fallback", pgraphBin,
+			[]string{"-in", fasta, "-gpu", "-faults", "kernel op=1 count=1000000",
+				"-retries", "1", "-nofallback"},
+			"retry budget exhausted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := runFail(t, tc.bin, tc.args...)
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output does not mention %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestCLIFaultInjectionRecovers checks the happy chaos path end to end:
+// injected faults are reported on stderr, recovery is summarized, and the
+// cluster file is identical to the fault-free run's.
+func TestCLIFaultInjectionRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	genseq := buildTool(t, dir, "genseq")
+	gpclust := buildTool(t, dir, "gpclust")
+
+	graphBin := filepath.Join(dir, "graph.bin")
+	run(t, genseq, "-mode", "graph", "-n", "800", "-graph", graphBin,
+		"-truth", filepath.Join(dir, "truth.tsv"))
+
+	clean := filepath.Join(dir, "clean.txt")
+	faulted := filepath.Join(dir, "faulted.txt")
+	run(t, gpclust, "-in", graphBin, "-backend", "gpu", "-c1", "30", "-c2", "15",
+		"-batch", "5000", "-out", clean)
+	out := run(t, gpclust, "-in", graphBin, "-backend", "gpu", "-c1", "30", "-c2", "15",
+		"-batch", "5000", "-faults", "h2d op=2; malloc op=4 count=2; slowsm op=1 x=3", "-out", faulted)
+	if !strings.Contains(out, "injected faults:") || !strings.Contains(out, "recovery:") {
+		t.Fatalf("fault summary missing from output:\n%s", out)
+	}
+	a, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("faulted CLI run produced a different cluster file than the clean run")
 	}
 }
 

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig5|quality|qualityscaling|largescale|memory|theory|pgraph|ablations|all")
+		exp          = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig5|quality|qualityscaling|largescale|memory|theory|pgraph|faults|ablations|all")
 		scale20k     = flag.Float64("scale20k", 1.0, "scale of the paper's 20K graph for Table I")
 		scale2m      = flag.Float64("scale2m", 0.02, "scale of the paper's 2M graph for Tables I–II")
 		scaleQuality = flag.Float64("scalequality", 0.005, "scale of the 2M graph for Tables III–IV / Figure 5")
@@ -106,6 +106,10 @@ func main() {
 			fatal(err)
 			fatal(os.WriteFile(*benchJSON, append(blob, '\n'), 0o644))
 		}
+	case "faults":
+		rows, err := bench.AblateFaults(*scale20k, perfOpts)
+		fatal(err)
+		bench.RenderAblation(out, "fault injection and recovery (identical clustering under device faults)", rows)
 	case "ablations":
 		runAblations(out, *scaleQuality, perfOpts, *minSize)
 	case "all":
@@ -172,6 +176,10 @@ func runAblations(out *os.File, qualityScale float64, perfOpts core.Options, min
 	rows, err = bench.AblateMultiGPU(0.005, smallPerf, []int{1, 2, 4})
 	fatal(err)
 	bench.RenderAblation(out, "multi-GPU batch distribution (beyond-paper extension)", rows)
+
+	rows, err = bench.AblateFaults(0.25, smallPerf)
+	fatal(err)
+	bench.RenderAblation(out, "fault injection and recovery (identical clustering under device faults)", rows)
 
 	rows, _, err = bench.AblatePGraphBackend(0, 0)
 	fatal(err)

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"gpclust/internal/core"
+	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 )
@@ -47,12 +48,39 @@ func main() {
 		batch    = flag.Int("batch", 0, "device batch budget in 32-bit words (0 = derive from device memory)")
 		workers  = flag.Int("workers", 0, "parallel backend: worker-pool size (0 = GOMAXPROCS); serial backend: cluster connected components in parallel with this many workers (0 = whole-graph run)")
 		minOut   = flag.Int("minsize", 1, "only print clusters with at least this many members")
+		faultSch = flag.String("faults", "", "inject device faults from this schedule, e.g. 'h2d op=3; malloc at=2ms count=2' (gpu backend)")
+		retries  = flag.Int("retries", 0, "per-batch fault retry budget (0 = default, negative = no retries; gpu backend)")
+		noFB     = flag.Bool("nofallback", false, "fail instead of degrading to host execution when the fault retry budget is exhausted (gpu backend)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "gpclust: -in is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *backend != "gpu" {
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*async, "-async"}, {*pipeline, "-pipeline"}, {*gpuagg, "-gpuagg"},
+			{*ngpu != 1, "-ngpu"}, {*profile, "-profile"}, {*trace != "", "-trace"},
+			{*faultSch != "", "-faults"}, {*retries != 0, "-retries"}, {*noFB, "-nofallback"},
+		} {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "gpclust: %s requires -backend gpu\n", f.name)
+				os.Exit(2)
+			}
+		}
+	}
+	var inj *faults.Injector
+	if *faultSch != "" {
+		sched, err := faults.Parse(*faultSch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpclust:", err)
+			os.Exit(2)
+		}
+		inj = faults.NewInjector(sched)
 	}
 
 	g, err := loadGraph(*in)
@@ -68,6 +96,8 @@ func main() {
 		PipelineBatches: *pipeline,
 		GPUAggregate:    *gpuagg,
 		BatchWords:      *batch,
+		FaultRetries:    *retries,
+		NoHostFallback:  *noFB,
 	}
 	if *overlap {
 		o.Mode = core.ReportOverlapping
@@ -91,6 +121,9 @@ func main() {
 		devs := make([]*gpusim.Device, *ngpu)
 		for i := range devs {
 			devs[i] = gpusim.MustNew(gpusim.K20Config())
+			if inj != nil {
+				devs[i].SetFaultInjector(inj)
+			}
 			if *profile {
 				devs[i].EnableProfiling()
 			}
@@ -122,6 +155,11 @@ func main() {
 	}
 	fatal(err)
 
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "gpclust: injected faults: %s; recovery: %s\n", inj, &res.Faults)
+	} else if res.Faults.Any() {
+		fmt.Fprintf(os.Stderr, "gpclust: fault recovery: %s\n", &res.Faults)
+	}
 	fmt.Fprintf(os.Stderr, "gpclust: %d clusters; timings (virtual clock): %s\n",
 		res.NumClusters(), res.Timings.String())
 	fmt.Fprintf(os.Stderr, "gpclust: wall clock: %s\n", res.Wall.String())

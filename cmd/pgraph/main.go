@@ -21,6 +21,8 @@ import (
 	"os"
 	"strings"
 
+	"gpclust/internal/faults"
+	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 	"gpclust/internal/pgraph"
 	"gpclust/internal/seq"
@@ -37,12 +39,38 @@ func main() {
 		pipeline = flag.Bool("pipeline", false, "with -gpu: double-buffer device batches (overlap copies and kernels)")
 		batchW   = flag.Int("batchwords", 0, "with -gpu: per-batch device budget in words (0 = derive from device memory)")
 		noBin    = flag.Bool("nobin", false, "with -gpu: disable length binning of pairs (more warp divergence)")
+		faultSch = flag.String("faults", "", "with -gpu: inject device faults from this schedule, e.g. 'h2d op=3; malloc at=2ms count=2'")
+		retries  = flag.Int("retries", 0, "with -gpu: per-batch fault retry budget (0 = default, negative = no retries)")
+		noFB     = flag.Bool("nofallback", false, "with -gpu: fail instead of degrading to host scoring when the fault retry budget is exhausted")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "pgraph: -in is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if !*gpu {
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*pipeline, "-pipeline"}, {*batchW != 0, "-batchwords"}, {*noBin, "-nobin"},
+			{*faultSch != "", "-faults"}, {*retries != 0, "-retries"}, {*noFB, "-nofallback"},
+		} {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "pgraph: %s requires -gpu\n", f.name)
+				os.Exit(2)
+			}
+		}
+	}
+	var inj *faults.Injector
+	if *faultSch != "" {
+		sched, err := faults.Parse(*faultSch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pgraph:", err)
+			os.Exit(2)
+		}
+		inj = faults.NewInjector(sched)
 	}
 
 	f, err := os.Open(*in)
@@ -59,9 +87,20 @@ func main() {
 	cfg.GPUPipeline = *pipeline
 	cfg.GPUBatchWords = *batchW
 	cfg.NoLengthBin = *noBin
+	cfg.FaultRetries = *retries
+	cfg.NoHostFallback = *noFB
+	if inj != nil {
+		cfg.Device = gpusim.MustNew(gpusim.K20Config())
+		cfg.Device.SetFaultInjector(inj)
+	}
 
 	g, st, err := pgraph.Build(seqs, cfg)
 	fatal(err)
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "pgraph: injected faults: %s; recovery: %s\n", inj, &st.Faults)
+	} else if st.Faults.Any() {
+		fmt.Fprintf(os.Stderr, "pgraph: fault recovery: %s\n", &st.Faults)
+	}
 	fmt.Fprintf(os.Stderr, "pgraph: %d sequences, %d candidate pairs, %d edges (%s backend)\n",
 		st.Sequences, st.Candidates, st.Edges, st.Backend)
 	if st.Backend == "gpu" {

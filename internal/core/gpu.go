@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
@@ -37,7 +38,7 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 
 	sw := newStopwatch()
 	in := FromGraph(g)
-	gi, err := runPassGPU(dev, in, fam1, o.S1, o, acct, &res.Pass1)
+	gi, err := runPassGPU(dev, in, fam1, o.S1, o, acct, &res.Pass1, &res.Faults)
 	if err != nil {
 		return nil, fmt.Errorf("core: first-level shingling: %w", err)
 	}
@@ -51,7 +52,7 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	res.Pass1.SharedLists = pass2In.NumLists()
 	dev.AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
 
-	gii, err := runPassGPU(dev, pass2In, fam2, o.S2, o, acct, &res.Pass2)
+	gii, err := runPassGPU(dev, pass2In, fam2, o.S2, o, acct, &res.Pass2, &res.Faults)
 	if err != nil {
 		return nil, fmt.Errorf("core: second-level shingling: %w", err)
 	}
@@ -67,12 +68,15 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	dev.Synchronize()
 	m := dev.Metrics()
 	res.Timings = Timings{
-		CPUNs:    acct.aggNs() + acct.reportNs(),
-		GPUNs:    m.KernelTimeNs,
-		H2DNs:    m.H2DTimeNs,
-		D2HNs:    m.D2HTimeNs,
-		DiskIONs: acct.diskNs(),
-		TotalNs:  dev.HostTime(),
+		// ShingleNs is nonzero only when fault recovery degraded batches
+		// to host-side shingling.
+		ShingleNs: acct.serialNs(),
+		CPUNs:     acct.aggNs() + acct.reportNs(),
+		GPUNs:     m.KernelTimeNs,
+		H2DNs:     m.H2DTimeNs,
+		D2HNs:     m.D2HTimeNs,
+		DiskIONs:  acct.diskNs(),
+		TotalNs:   dev.HostTime(),
 	}
 	assertDeviceClean(dev)
 	return res, nil
@@ -193,7 +197,7 @@ func mergeTopS(acc []uint32, piece []uint32, s int) []uint32 {
 // batch loop) on the device and aggregates the result into the next-level
 // shingle graph on the CPU.
 func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
-	o Options, acct *cpuAccount, stats *PassStats) (*SegGraph, error) {
+	o Options, acct *cpuAccount, stats *PassStats, rec *faults.Recovery) (*SegGraph, error) {
 
 	stats.Lists = in.NumLists()
 	stats.Elements = int64(len(in.Data))
@@ -242,12 +246,12 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	stats.SplitLists = len(splitLists)
 
 	if o.PipelineBatches {
-		if err := runBatchesPipelined(dev, in, fam, s, o, plans, tuplesByTrial, pending, acct, stats); err != nil {
+		if err := runBatchesPipelinedResilient(dev, in, fam, s, o, plans, tuplesByTrial, pending, acct, stats, rec); err != nil {
 			return nil, err
 		}
 	} else {
 		for _, plan := range plans {
-			if err := runBatch(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats); err != nil {
+			if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats, rec, 0); err != nil {
 				return nil, err
 			}
 		}
@@ -385,6 +389,18 @@ func runTrialsAsync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segm
 		inFlight          int // trial index, -1 when idle
 	}
 	lanes := make([]*lane, 2)
+	// Registered before the allocation loop: a Malloc failure assembling
+	// lane 1 must still release lane 0's buffers.
+	defer func() {
+		for _, l := range lanes {
+			if l == nil {
+				continue
+			}
+			l.hash.Free()
+			l.out.Free()
+			l.params.Free()
+		}
+	}()
 	for i := range lanes {
 		hash, err := dev.Malloc(dataWords)
 		if err != nil {
@@ -408,13 +424,6 @@ func runTrialsAsync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segm
 			inFlight: -1,
 		}
 	}
-	defer func() {
-		for _, l := range lanes {
-			l.hash.Free()
-			l.out.Free()
-			l.params.Free()
-		}
-	}()
 
 	drain := func(l *lane) {
 		if l.inFlight >= 0 {

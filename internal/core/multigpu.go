@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
@@ -45,7 +46,7 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 	}
 
 	in := FromGraph(g)
-	gi, err := runPassMultiGPU(devs, in, fam1, o.S1, o, acct, &res.Pass1)
+	gi, err := runPassMultiGPU(devs, in, fam1, o.S1, o, acct, &res.Pass1, &res.Faults)
 	if err != nil {
 		return nil, fmt.Errorf("core: first-level shingling: %w", err)
 	}
@@ -56,7 +57,7 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 	res.Pass1.SharedLists = pass2In.NumLists()
 	devs[0].AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
 
-	gii, err := runPassMultiGPU(devs, pass2In, fam2, o.S2, o, acct, &res.Pass2)
+	gii, err := runPassMultiGPU(devs, pass2In, fam2, o.S2, o, acct, &res.Pass2, &res.Faults)
 	if err != nil {
 		return nil, fmt.Errorf("core: second-level shingling: %w", err)
 	}
@@ -77,6 +78,7 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 			total = d.HostTime()
 		}
 	}
+	t.ShingleNs = acct.serialNs() // nonzero only after host-fallback recovery
 	t.CPUNs = acct.aggNs() + acct.reportNs()
 	t.DiskIONs = acct.diskNs()
 	t.TotalNs = total
@@ -89,7 +91,7 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 
 // runPassMultiGPU is runPassGPU with batches dealt round-robin to devices.
 func runPassMultiGPU(devs []*gpusim.Device, in *SegGraph, fam minwise.Family, s int,
-	o Options, acct *cpuAccount, stats *PassStats) (*SegGraph, error) {
+	o Options, acct *cpuAccount, stats *PassStats, rec *faults.Recovery) (*SegGraph, error) {
 
 	stats.Lists = in.NumLists()
 	stats.Elements = int64(len(in.Data))
@@ -139,7 +141,7 @@ func runPassMultiGPU(devs []*gpusim.Device, in *SegGraph, fam minwise.Family, s 
 
 	for i, plan := range plans {
 		dev := devs[i%len(devs)]
-		if err := runBatch(dev, in, fam, s, o, plan, tuplesByTrial, nil, pending, acct, stats); err != nil {
+		if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial, nil, pending, acct, stats, rec, 0); err != nil {
 			return nil, err
 		}
 	}

@@ -87,6 +87,18 @@ type Options struct {
 	// Output is identical for every worker count.
 	Workers int
 
+	// FaultRetries bounds how often one GPU batch is retried after an
+	// injected or transient device fault (failed transfer or launch,
+	// allocation failure) before the driver degrades further — splitting
+	// the batch on persistent OOM, then executing it on the bit-identical
+	// host path. 0 means DefaultFaultRetries; negative disables retries.
+	FaultRetries int
+
+	// NoHostFallback disables the last-resort host execution of a batch
+	// whose retry budget is exhausted: the run then fails with an error
+	// wrapping ErrRetryBudget instead of degrading gracefully.
+	NoHostFallback bool
+
 	// PipelineBatches double-buffers the GPU path's device batches across
 	// two streams: batch k+1's host→device staging and kernels are enqueued
 	// while batch k-1's shingles are still in flight to the host and being

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gpclust/internal/faults"
+	"gpclust/internal/gpusim"
+	"gpclust/internal/minwise"
+	"gpclust/internal/thrust"
+)
+
+// Resilient batch execution. The GPU batch loops treat device faults —
+// failed transfers, failed launches, allocation failures — as recoverable:
+// a failed batch rolls back to its pre-attempt state and is retried with
+// exponential virtual-clock backoff; a batch that keeps hitting OOM is
+// split in half (the halves merge bit-identically through the existing
+// split-list machinery); and when the retry budget is exhausted the batch
+// degrades to a bit-identical host-side execution, so the clustering a
+// faulted run produces is byte-for-byte the clustering of a fault-free
+// run. Options.NoHostFallback turns the last resort into a typed
+// ErrRetryBudget failure instead. Every recovery action is counted in
+// faults.Recovery (Result.Faults).
+
+// DefaultFaultRetries is the per-batch retry budget used when
+// Options.FaultRetries is zero.
+const DefaultFaultRetries = 3
+
+// maxSplitDepth bounds recursive OOM batch splitting; at depth d the batch
+// has at most ceil(words/2^d) data words per piece, so 40 levels cover any
+// 32-bit workload with slack.
+const maxSplitDepth = 40
+
+// RetryBackoffNs is the base virtual-clock delay between fault retries;
+// attempt k waits RetryBackoffNs·2^(k-1) simulated nanoseconds. A variable
+// so the experiment harness can expose it.
+var RetryBackoffNs = 2e6
+
+// ErrRetryBudget is wrapped by batch errors returned once the fault-retry
+// budget is exhausted and host fallback is disabled.
+var ErrRetryBudget = errors.New("core: device fault retry budget exhausted")
+
+// retryBudget resolves Options.FaultRetries to a concrete per-batch
+// budget.
+func (o Options) retryBudget() int {
+	if o.FaultRetries > 0 {
+		return o.FaultRetries
+	}
+	if o.FaultRetries < 0 {
+		return 0
+	}
+	return DefaultFaultRetries
+}
+
+// retryableFault reports whether a batch error may be retried: injected
+// device faults and device OOM. Anything else (range errors, invalid
+// launches) is a programming error and stays fatal.
+func retryableFault(err error) bool {
+	return errors.Is(err, gpusim.ErrDeviceFault) || errors.Is(err, gpusim.ErrOutOfDeviceMemory)
+}
+
+// pendSnap records one split list's pre-attempt pending state; saved is
+// nil when the list had no pending entry yet.
+type pendSnap struct {
+	list  int
+	saved *pendingShingle
+}
+
+// batchSnapshot captures the aggregation state a batch attempt may mutate,
+// so a failed attempt can roll back and the retry emits every tuple
+// exactly once. Only lengths are recorded for the tuple streams (appends
+// are the only mutation) and only the batch's own split lists are copied
+// from pending (mergeTopS builds fresh slices, so row sharing is safe).
+type batchSnapshot struct {
+	tupleLens  []int
+	sortedLens []int
+	pend       []pendSnap
+	tuples     int64
+}
+
+func snapshotBatch(in *SegGraph, plan batchPlan, tuplesByTrial [][]tuple,
+	sortedByTrial [][][]tuple, pending map[int]*pendingShingle, stats *PassStats) *batchSnapshot {
+
+	snap := &batchSnapshot{tuples: stats.Tuples, tupleLens: make([]int, len(tuplesByTrial))}
+	for i := range tuplesByTrial {
+		snap.tupleLens[i] = len(tuplesByTrial[i])
+	}
+	if sortedByTrial != nil {
+		snap.sortedLens = make([]int, len(sortedByTrial))
+		for i := range sortedByTrial {
+			snap.sortedLens[i] = len(sortedByTrial[i])
+		}
+	}
+	seen := make(map[int]bool)
+	for _, pc := range plan.pieces {
+		if pc.isWhole(in) || seen[pc.list] {
+			continue
+		}
+		seen[pc.list] = true
+		var saved *pendingShingle
+		if p := pending[pc.list]; p != nil {
+			saved = &pendingShingle{perTrial: make([][]uint32, len(p.perTrial))}
+			copy(saved.perTrial, p.perTrial)
+		}
+		snap.pend = append(snap.pend, pendSnap{list: pc.list, saved: saved})
+	}
+	return snap
+}
+
+func (snap *batchSnapshot) restore(tuplesByTrial [][]tuple, sortedByTrial [][][]tuple,
+	pending map[int]*pendingShingle, stats *PassStats) {
+
+	for i := range tuplesByTrial {
+		tuplesByTrial[i] = tuplesByTrial[i][:snap.tupleLens[i]]
+	}
+	for i := range snap.sortedLens {
+		sortedByTrial[i] = sortedByTrial[i][:snap.sortedLens[i]]
+	}
+	for _, ps := range snap.pend {
+		if ps.saved == nil {
+			delete(pending, ps.list)
+		} else {
+			pending[ps.list] = ps.saved
+		}
+	}
+	stats.Tuples = snap.tuples
+}
+
+// splitBatchPlan halves a plan: by piece count when it holds several
+// pieces, otherwise by splitting its single piece's element range (the
+// halves then merge through the pending split-list path, which is
+// bit-identical by construction). ok is false when the plan is a single
+// piece of fewer than two elements and cannot shrink further.
+func splitBatchPlan(plan batchPlan) (left, right batchPlan, ok bool) {
+	rebuild := func(pieces []batchPiece) batchPlan {
+		p := batchPlan{pieces: pieces}
+		for _, pc := range pieces {
+			p.words += pc.words()
+		}
+		return p
+	}
+	if len(plan.pieces) >= 2 {
+		mid := len(plan.pieces) / 2
+		return rebuild(plan.pieces[:mid:mid]), rebuild(plan.pieces[mid:]), true
+	}
+	if len(plan.pieces) == 1 {
+		pc := plan.pieces[0]
+		if pc.hi-pc.lo >= 2 {
+			mid := pc.lo + (pc.hi-pc.lo)/2
+			return rebuild([]batchPiece{{list: pc.list, lo: pc.lo, hi: mid}}),
+				rebuild([]batchPiece{{list: pc.list, lo: mid, hi: pc.hi}}), true
+		}
+	}
+	return batchPlan{}, batchPlan{}, false
+}
+
+// runBatchResilient is runBatch wrapped in the recovery ladder: retry with
+// backoff while the budget lasts, then split on persistent OOM, then
+// degrade to the host path (or fail typed under NoHostFallback).
+func runBatchResilient(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int, o Options,
+	plan batchPlan, tuplesByTrial [][]tuple, sortedByTrial [][][]tuple,
+	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats,
+	rec *faults.Recovery, depth int) error {
+
+	budget := o.retryBudget()
+	for attempt := 0; ; attempt++ {
+		snap := snapshotBatch(in, plan, tuplesByTrial, sortedByTrial, pending, stats)
+		err := runBatch(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats)
+		if err == nil {
+			return nil
+		}
+		snap.restore(tuplesByTrial, sortedByTrial, pending, stats)
+		if !retryableFault(err) {
+			return err
+		}
+		if attempt < budget {
+			switch {
+			case errors.Is(err, gpusim.ErrTransferFault):
+				rec.TransferRetries++
+			case errors.Is(err, gpusim.ErrLaunchFault):
+				rec.KernelRetries++
+			default:
+				rec.OOMRetries++
+			}
+			backoff := RetryBackoffNs * float64(int64(1)<<attempt)
+			dev.AdvanceHost(backoff)
+			rec.BackoffNs += backoff
+			continue
+		}
+		// Budget exhausted. Persistent OOM: shrink the footprint and give
+		// each half a fresh budget.
+		if errors.Is(err, gpusim.ErrOutOfDeviceMemory) && depth < maxSplitDepth {
+			if left, right, ok := splitBatchPlan(plan); ok {
+				rec.OOMSplits++
+				if err := runBatchResilient(dev, in, fam, s, o, left, tuplesByTrial,
+					sortedByTrial, pending, acct, stats, rec, depth+1); err != nil {
+					return err
+				}
+				return runBatchResilient(dev, in, fam, s, o, right, tuplesByTrial,
+					sortedByTrial, pending, acct, stats, rec, depth+1)
+			}
+		}
+		if o.NoHostFallback {
+			return fmt.Errorf("core: batch of %d pieces failed after %d retries: %w (last: %v)",
+				len(plan.pieces), budget, ErrRetryBudget, err)
+		}
+		rec.HostFallbacks++
+		runBatchHost(dev, in, fam, s, plan, tuplesByTrial, sortedByTrial, pending, acct, stats)
+		return nil
+	}
+}
+
+// hostTopS mirrors the thrust.SegmentedTopS kernel on the host: dst (s
+// words) receives src's min(n, s) smallest elements ascending, sentinel
+// padded — the same algorithm, so the same output bit for bit.
+func hostTopS(src []uint32, s int, dst []uint32) {
+	n := len(src)
+	if n < s {
+		copy(dst, src)
+		for i := 1; i < n; i++ {
+			v := dst[i]
+			j := i
+			for j > 0 && dst[j-1] > v {
+				dst[j] = dst[j-1]
+				j--
+			}
+			dst[j] = v
+		}
+		for i := n; i < s; i++ {
+			dst[i] = thrust.TopSSentinel
+		}
+		return
+	}
+	filled := 0
+	for _, x := range src[:s] {
+		i := filled
+		for i > 0 && dst[i-1] > x {
+			dst[i] = dst[i-1]
+			i--
+		}
+		dst[i] = x
+		filled++
+	}
+	for _, x := range src[s:] {
+		if x >= dst[s-1] {
+			continue
+		}
+		i := s - 1
+		for i > 0 && dst[i-1] > x {
+			dst[i] = dst[i-1]
+			i--
+		}
+		dst[i] = x
+	}
+}
+
+// runBatchHost executes one batch entirely on the CPU, emitting exactly
+// the tuples the device path would have: per trial and piece it applies
+// the trial's hash to the piece's elements and selects the top-s minima
+// with the same algorithm as the device kernel, then feeds the rows
+// through the same aggregation code. It cannot fail, which makes it the
+// recovery ladder's last resort; its cost is charged at the serial
+// backend's shingling price (this is 2008-era host shingling).
+func runBatchHost(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
+	plan batchPlan, tuplesByTrial [][]tuple, sortedByTrial [][][]tuple,
+	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats) {
+
+	numPieces := len(plan.pieces)
+	c := fam.Size()
+	hostOut := make([]uint32, numPieces*s)
+	hashed := make([]uint32, 0, plan.words)
+	var shingleOps int64
+
+	for trial, h := range fam.Pairs {
+		for pi, pc := range plan.pieces {
+			base := in.Offsets[pc.list]
+			data := in.Data[base+pc.lo : base+pc.hi]
+			hashed = hashed[:0]
+			for _, v := range data {
+				hashed = append(hashed, h.Apply(v))
+			}
+			hostTopS(hashed, s, hostOut[pi*s:(pi+1)*s])
+			shingleOps += shingleListOps(len(data), s)
+		}
+		before := acct.aggOps
+		if sortedByTrial != nil {
+			emitTrialAggHost(in, plan, s, trial, c, hostOut, tuplesByTrial,
+				sortedByTrial, pending, acct, stats)
+		} else {
+			emitTrialTuples(in, plan, s, trial, c, hostOut, tuplesByTrial, pending, acct, stats)
+		}
+		dev.AdvanceHost(float64(acct.aggOps-before) * AggregateNsPerOp)
+	}
+	acct.serialOps += shingleOps
+	dev.AdvanceHost(float64(shingleOps) * SerialShingleNsPerOp)
+}
+
+// emitTrialAggHost is the GPUAggregate-mode twin of emitTrialTuples for
+// the host fallback: whole long pieces become one (key, owner)-sorted
+// stream appended to sortedByTrial — the order thrust.SortPairs64 would
+// have produced, so the pre-sorted stream merge sees identical input —
+// and split pieces merge through pending exactly as on the device path.
+func emitTrialAggHost(in *SegGraph, plan batchPlan, s, trial, c int, hostOut []uint32,
+	tuplesByTrial [][]tuple, sortedByTrial [][][]tuple,
+	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats) {
+
+	var stream []tuple
+	for pi, pc := range plan.pieces {
+		vals := hostOut[pi*s : (pi+1)*s]
+		listLen := in.Offsets[pc.list+1] - in.Offsets[pc.list]
+		if pc.isWhole(in) {
+			if int(listLen) < s {
+				continue
+			}
+			stream = append(stream, tuple{
+				key:   shingleKey(uint32(trial), vals),
+				owner: in.Owner(pc.list),
+			})
+			continue
+		}
+		p := pending[pc.list]
+		if p == nil {
+			p = &pendingShingle{perTrial: make([][]uint32, c)}
+			pending[pc.list] = p
+		}
+		p.perTrial[trial] = mergeTopS(p.perTrial[trial], vals, s)
+		acct.aggOps += int64(2 * s)
+		if pc.hi == listLen && trial == c-1 {
+			for tj, minima := range p.perTrial {
+				if len(minima) < s {
+					continue
+				}
+				tuplesByTrial[tj] = append(tuplesByTrial[tj], tuple{
+					key:   shingleKey(uint32(tj), minima),
+					owner: in.Owner(pc.list),
+				})
+				stats.Tuples++
+			}
+			delete(pending, pc.list)
+		}
+	}
+	sortTuples(stream)
+	sortedByTrial[trial] = append(sortedByTrial[trial], stream)
+	stats.Tuples += int64(len(stream))
+	acct.aggOps += int64(len(stream))
+}
+
+// passSnapshot captures the (empty) aggregation state before a pipelined
+// pass so a failed pass can restart from a clean slate.
+type passSnapshot struct {
+	tupleLens []int
+	tuples    int64
+}
+
+// runBatchesPipelinedResilient wraps the double-buffered pass in the
+// recovery ladder. The pipelined pass interleaves every batch's device
+// work, so there is no per-batch state to roll back to; instead a faulted
+// pass restarts whole (the pass owns its output state, which is reset),
+// and when the restart budget is exhausted it degrades to the sequential
+// resilient loop — which recovers per batch, splits on OOM and can fall
+// back to the host, so it completes whenever recovery is possible at all.
+// pending must be empty at entry (it is: the pass is the first writer).
+func runBatchesPipelinedResilient(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
+	o Options, plans []batchPlan, tuplesByTrial [][]tuple,
+	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats,
+	rec *faults.Recovery) error {
+
+	snap := passSnapshot{tupleLens: make([]int, len(tuplesByTrial)), tuples: stats.Tuples}
+	for i := range tuplesByTrial {
+		snap.tupleLens[i] = len(tuplesByTrial[i])
+	}
+	restore := func() {
+		for i := range tuplesByTrial {
+			tuplesByTrial[i] = tuplesByTrial[i][:snap.tupleLens[i]]
+		}
+		clear(pending)
+		stats.Tuples = snap.tuples
+	}
+
+	budget := o.retryBudget()
+	for attempt := 0; ; attempt++ {
+		err := runBatchesPipelined(dev, in, fam, s, o, plans, tuplesByTrial, pending, acct, stats)
+		if err == nil {
+			return nil
+		}
+		restore()
+		if !retryableFault(err) {
+			return err
+		}
+		if attempt >= budget {
+			// Degrade to the sequential per-batch ladder for the whole pass.
+			rec.Restarts++
+			for _, plan := range plans {
+				if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial,
+					nil, pending, acct, stats, rec, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		rec.Restarts++
+		backoff := RetryBackoffNs * float64(int64(1)<<attempt)
+		dev.AdvanceHost(backoff)
+		rec.BackoffNs += backoff
+	}
+}

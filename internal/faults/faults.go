@@ -1,0 +1,210 @@
+// Package faults is the deterministic fault-injection layer for the gpusim
+// device. A Schedule declares when device operations fail — "the 3rd
+// host→device copy", "every malloc after 2ms of virtual time" — and an
+// Injector built from it implements gpusim.FaultInjector, firing those
+// faults reproducibly: triggers are keyed only to per-kind operation
+// counters and the virtual clock, never the wall clock, so a faulted run is
+// exactly as deterministic as a clean one. The chaos harness in
+// internal/core and internal/pgraph sweeps randomized schedules (see
+// RandSchedule) and asserts that recovered runs stay bit-identical to
+// fault-free runs.
+//
+// Schedule text format — one event per line (';' also separates events,
+// for CLI flags); '#' starts a comment:
+//
+//	kind [op=N | at=DURATION] [count=M] [x=FACTOR]
+//
+// kind is one of h2d, d2h, malloc, kernel, slowsm. op=N fires on the Nth
+// operation of that kind (1-based); at=DURATION arms the event once the
+// virtual clock reaches DURATION (a float with an optional ns/us/ms/s
+// suffix; default ns) and fires on the next operation of the kind. Either
+// way the event stays live for count consecutive operations (default 1).
+// x=FACTOR is the kernel-body slowdown multiplier, slowsm events only
+// (default 4).
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gpclust/internal/gpusim"
+)
+
+// DefaultSlow is the kernel-body slowdown multiplier for slowsm events
+// that do not set x=.
+const DefaultSlow = 4.0
+
+// MaxCount caps an event's count field; schedules are adversarial inputs
+// (CLI flags, fuzzers) and an unbounded count is indistinguishable from
+// "every operation forever", which count=MaxCount already expresses.
+const MaxCount = int64(1) << 30
+
+// Event is one declarative fault: fire Kind for Count consecutive
+// operations starting at the Op-th operation of that kind, or at the first
+// operation once the virtual clock reaches At nanoseconds.
+type Event struct {
+	Kind gpusim.FaultKind
+	Op   int64   // 1-based operation ordinal trigger (0: use At)
+	At   float64 // virtual-clock trigger in ns (used when Op == 0)
+	// Count is how many consecutive operations of Kind fail (or run slow)
+	// once triggered; at least 1.
+	Count int64
+	// Slow is the kernel-body multiplier for FaultSlowSM events; > 1.
+	Slow float64
+}
+
+// String renders the event in canonical schedule syntax; Parse(String())
+// round-trips.
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	if e.Op > 0 {
+		fmt.Fprintf(&b, " op=%d", e.Op)
+	} else {
+		fmt.Fprintf(&b, " at=%sns", strconv.FormatFloat(e.At, 'g', -1, 64))
+	}
+	if e.Count != 1 {
+		fmt.Fprintf(&b, " count=%d", e.Count)
+	}
+	if e.Kind == gpusim.FaultSlowSM {
+		fmt.Fprintf(&b, " x=%s", strconv.FormatFloat(e.Slow, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// Schedule is an ordered list of fault events.
+type Schedule struct {
+	Events []Event
+}
+
+// Empty reports whether the schedule declares no events.
+func (s Schedule) Empty() bool { return len(s.Events) == 0 }
+
+// String renders the schedule in canonical syntax, one event per line.
+func (s Schedule) String() string {
+	lines := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		lines[i] = e.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// kindByName maps schedule syntax to fault kinds.
+var kindByName = map[string]gpusim.FaultKind{
+	"h2d":    gpusim.FaultH2D,
+	"d2h":    gpusim.FaultD2H,
+	"malloc": gpusim.FaultMalloc,
+	"kernel": gpusim.FaultKernel,
+	"slowsm": gpusim.FaultSlowSM,
+}
+
+// Parse reads a schedule in the text format described in the package
+// comment. It returns a typed error — never panics — on any malformed
+// input, making it safe for CLI flags and fuzzing.
+func Parse(text string) (Schedule, error) {
+	var s Schedule
+	lineno := 0
+	for _, rawLine := range strings.Split(text, "\n") {
+		lineno++
+		for _, raw := range strings.Split(rawLine, ";") {
+			if i := strings.IndexByte(raw, '#'); i >= 0 {
+				raw = raw[:i]
+			}
+			fields := strings.Fields(raw)
+			if len(fields) == 0 {
+				continue
+			}
+			ev, err := parseEvent(fields)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faults: line %d: %w", lineno, err)
+			}
+			s.Events = append(s.Events, ev)
+		}
+	}
+	return s, nil
+}
+
+func parseEvent(fields []string) (Event, error) {
+	kind, ok := kindByName[fields[0]]
+	if !ok {
+		return Event{}, fmt.Errorf("unknown fault kind %q (want h2d|d2h|malloc|kernel|slowsm)", fields[0])
+	}
+	ev := Event{Kind: kind, Count: 1, Slow: DefaultSlow}
+	haveTrigger := false
+	for _, f := range fields[1:] {
+		key, val, found := strings.Cut(f, "=")
+		if !found {
+			return Event{}, fmt.Errorf("malformed field %q (want key=value)", f)
+		}
+		switch key {
+		case "op":
+			if haveTrigger {
+				return Event{}, fmt.Errorf("duplicate trigger %q (one op= or at= per event)", f)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return Event{}, fmt.Errorf("op=%q: want a positive integer", val)
+			}
+			ev.Op = n
+			haveTrigger = true
+		case "at":
+			if haveTrigger {
+				return Event{}, fmt.Errorf("duplicate trigger %q (one op= or at= per event)", f)
+			}
+			ns, err := parseDuration(val)
+			if err != nil {
+				return Event{}, err
+			}
+			ev.At = ns
+			haveTrigger = true
+		case "count":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return Event{}, fmt.Errorf("count=%q: want a positive integer", val)
+			}
+			if n > MaxCount {
+				n = MaxCount
+			}
+			ev.Count = n
+		case "x":
+			if kind != gpusim.FaultSlowSM {
+				return Event{}, fmt.Errorf("x= only applies to slowsm events, not %s", kind)
+			}
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil || !(x > 1 && x <= 1e6) { // !( ) also rejects NaN
+				return Event{}, fmt.Errorf("x=%q: want a multiplier in (1, 1e6]", val)
+			}
+			ev.Slow = x
+		default:
+			return Event{}, fmt.Errorf("unknown field %q (want op=|at=|count=|x=)", key)
+		}
+	}
+	if !haveTrigger {
+		return Event{}, fmt.Errorf("%s event needs a trigger (op=N or at=DURATION)", kind)
+	}
+	return ev, nil
+}
+
+// parseDuration reads a non-negative virtual duration: a float with an
+// optional ns/us/ms/s suffix (default ns).
+func parseDuration(val string) (float64, error) {
+	scale := 1.0
+	num := val
+	switch {
+	case strings.HasSuffix(val, "ns"):
+		num = val[:len(val)-2]
+	case strings.HasSuffix(val, "us"):
+		num, scale = val[:len(val)-2], 1e3
+	case strings.HasSuffix(val, "ms"):
+		num, scale = val[:len(val)-2], 1e6
+	case strings.HasSuffix(val, "s"):
+		num, scale = val[:len(val)-1], 1e9
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	ns := f * scale
+	if err != nil || !(ns >= 0 && ns <= 1e300) { // !( ) also rejects NaN and Inf
+		return 0, fmt.Errorf("at=%q: want a non-negative duration (ns/us/ms/s)", val)
+	}
+	return ns, nil
+}

@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"gpclust/internal/gpusim"
+)
+
+func TestParseBasics(t *testing.T) {
+	s, err := Parse("h2d op=3 count=2\nmalloc at=2ms\nslowsm op=1 x=8 # spike\n; d2h op=4; kernel op=2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: gpusim.FaultH2D, Op: 3, Count: 2, Slow: DefaultSlow},
+		{Kind: gpusim.FaultMalloc, At: 2e6, Count: 1, Slow: DefaultSlow},
+		{Kind: gpusim.FaultSlowSM, Op: 1, Count: 1, Slow: 8},
+		{Kind: gpusim.FaultD2H, Op: 4, Count: 1, Slow: DefaultSlow},
+		{Kind: gpusim.FaultKernel, Op: 2, Count: 1, Slow: DefaultSlow},
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d: %+v", len(s.Events), len(want), s.Events)
+	}
+	for i, ev := range s.Events {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	cases := map[string]float64{"5": 5, "5ns": 5, "2us": 2e3, "2ms": 2e6, "1.5s": 1.5e9}
+	for in, want := range cases {
+		s, err := Parse("malloc at=" + in)
+		if err != nil {
+			t.Errorf("at=%s: %v", in, err)
+			continue
+		}
+		if got := s.Events[0].At; got != want {
+			t.Errorf("at=%s parsed to %gns, want %g", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"flux op=1",                   // unknown kind
+		"h2d",                         // missing trigger
+		"h2d op=0",                    // non-positive ordinal
+		"h2d op=-3",                   // negative ordinal
+		"h2d op=1 at=5",               // duplicate trigger
+		"h2d op=1 count=0",            // non-positive count
+		"h2d op=1 x=4",                // x on a non-slowsm event
+		"slowsm op=1 x=1",             // multiplier must exceed 1
+		"slowsm op=1 x=nan",           // NaN multiplier
+		"malloc at=nan",               // NaN duration
+		"malloc at=-1ms",              // negative duration
+		"h2d op=1 zap=2",              // unknown field
+		"h2d op=1 count",              // missing value
+		"h2d op=99999999999999999999", // overflow
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := RandSchedule(seed, 6)
+		text := s.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: Parse(String()) failed: %v\n%s", seed, err, text)
+		}
+		if len(back.Events) != len(s.Events) {
+			t.Fatalf("seed %d: round-trip changed event count %d → %d", seed, len(s.Events), len(back.Events))
+		}
+		for i := range s.Events {
+			if back.Events[i] != s.Events[i] {
+				t.Fatalf("seed %d event %d: %+v round-tripped to %+v", seed, i, s.Events[i], back.Events[i])
+			}
+		}
+	}
+}
+
+func TestInjectorOpTrigger(t *testing.T) {
+	s, err := Parse("h2d op=3 count=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(s)
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, inj.Decide(gpusim.FaultH2D, 0).Fail)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("h2d consultation %d: fail=%v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if inj.Fired(gpusim.FaultH2D) != 2 || inj.TotalFailures() != 2 {
+		t.Fatalf("fired=%d failures=%d, want 2/2", inj.Fired(gpusim.FaultH2D), inj.TotalFailures())
+	}
+	// Other kinds are untouched.
+	if inj.Decide(gpusim.FaultD2H, 0).Fail {
+		t.Fatal("d2h fired on an h2d-only schedule")
+	}
+}
+
+func TestInjectorAtTrigger(t *testing.T) {
+	s, err := Parse("malloc at=1ms count=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(s)
+	if inj.Decide(gpusim.FaultMalloc, 0).Fail {
+		t.Fatal("fired before the virtual trigger time")
+	}
+	if inj.Decide(gpusim.FaultMalloc, 0.5e6).Fail {
+		t.Fatal("fired before the virtual trigger time")
+	}
+	if !inj.Decide(gpusim.FaultMalloc, 1e6).Fail {
+		t.Fatal("did not fire at the trigger time")
+	}
+	if !inj.Decide(gpusim.FaultMalloc, 1.1e6).Fail {
+		t.Fatal("count=2 should fire twice")
+	}
+	if inj.Decide(gpusim.FaultMalloc, 2e6).Fail {
+		t.Fatal("fired past its count")
+	}
+}
+
+func TestInjectorSlowSM(t *testing.T) {
+	s, err := Parse("slowsm op=1 x=8\nslowsm op=1 x=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(s)
+	dec := inj.Decide(gpusim.FaultSlowSM, 0)
+	if dec.Fail {
+		t.Fatal("slowsm must not fail the launch")
+	}
+	if dec.Slow != 8 {
+		t.Fatalf("overlapping slowdowns: got ×%g, want the max ×8", dec.Slow)
+	}
+	if inj.TotalFailures() != 0 {
+		t.Fatalf("slow spikes counted as failures: %d", inj.TotalFailures())
+	}
+	if inj.TotalFired() != 1 {
+		t.Fatalf("TotalFired=%d, want 1", inj.TotalFired())
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() []bool {
+		inj := NewInjector(RandSchedule(42, 8))
+		var out []bool
+		now := 0.0
+		for i := 0; i < 40; i++ {
+			kind := gpusim.FaultKind(i % int(gpusim.NumFaultKinds))
+			dec := inj.Decide(kind, now)
+			out = append(out, dec.Fail || dec.Slow > 1)
+			now += 1e6
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("consultation %d differed between identical runs", i)
+		}
+	}
+}
+
+func TestRecoveryCounters(t *testing.T) {
+	var r Recovery
+	if r.Any() || r.String() != "none" {
+		t.Fatalf("zero Recovery: Any=%v String=%q", r.Any(), r.String())
+	}
+	r.Add(Recovery{TransferRetries: 2, OOMSplits: 1, BackoffNs: 8e6})
+	r.Add(Recovery{HostFallbacks: 1})
+	if !r.Any() {
+		t.Fatal("nonzero Recovery reported Any()=false")
+	}
+	str := r.String()
+	for _, want := range []string{"2 transfer retries", "1 OOM split", "1 host fallback", "backoff 8.0ms"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("Recovery.String() = %q, missing %q", str, want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"testing"
+
+	"gpclust/internal/gpusim"
+)
+
+// FuzzFaultSchedule feeds arbitrary text to the schedule parser. The
+// parser must never panic; when it accepts the input, the canonical form
+// must round-trip exactly and an injector built from the schedule must be
+// consultable without panicking.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add("h2d op=3 count=2")
+	f.Add("malloc at=2ms\nslowsm op=1 x=8")
+	f.Add("d2h op=4; kernel op=2 # comment")
+	f.Add("slowsm at=1.5s count=3 x=2.25")
+	f.Add("h2d op=1 count=9999999999999")
+	f.Add("malloc at=1e100ns")
+	f.Add(" \t\n;;#only noise\n")
+	f.Add("h2d op=+1")
+	f.Add("malloc at=5e-3s")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			if len(s.Events) != 0 {
+				t.Fatalf("error %v returned alongside %d events", err, len(s.Events))
+			}
+			return
+		}
+		canon := s.String()
+		back, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput: %q\ncanonical: %q", err, text, canon)
+		}
+		if len(back.Events) != len(s.Events) {
+			t.Fatalf("round trip changed event count %d → %d (input %q)", len(s.Events), len(back.Events), text)
+		}
+		for i := range s.Events {
+			if back.Events[i] != s.Events[i] {
+				t.Fatalf("event %d: %+v round-tripped to %+v (input %q)", i, s.Events[i], back.Events[i], text)
+			}
+		}
+		if canon2 := back.String(); canon2 != canon {
+			t.Fatalf("canonical form not a fixed point: %q → %q", canon, canon2)
+		}
+		// An injector over the parsed schedule must never panic.
+		inj := NewInjector(s)
+		for i := 0; i < 32; i++ {
+			kind := gpusim.FaultKind(i % int(gpusim.NumFaultKinds))
+			inj.Decide(kind, float64(i)*1e6)
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package faults
+
+import (
+	"math/rand"
+
+	"gpclust/internal/gpusim"
+)
+
+// RandSchedule generates a seeded random fault schedule for the chaos
+// sweeps: 1–maxEvents events of random kinds with small op-ordinal
+// triggers and counts of 1–2, so a driver with the default retry budget
+// (and the host fallback as last resort) always recovers. The same seed
+// always yields the same schedule.
+func RandSchedule(seed int64, maxEvents int) Schedule {
+	if maxEvents < 1 {
+		maxEvents = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []gpusim.FaultKind{
+		gpusim.FaultH2D, gpusim.FaultD2H, gpusim.FaultMalloc,
+		gpusim.FaultKernel, gpusim.FaultSlowSM,
+	}
+	n := 1 + rng.Intn(maxEvents)
+	s := Schedule{Events: make([]Event, 0, n)}
+	for i := 0; i < n; i++ {
+		ev := Event{
+			Kind:  kinds[rng.Intn(len(kinds))],
+			Count: 1 + rng.Int63n(2),
+			Slow:  DefaultSlow,
+		}
+		if rng.Intn(4) == 0 {
+			// Virtual-clock trigger somewhere in the first 50ms of the run.
+			ev.At = rng.Float64() * 50e6
+		} else {
+			ev.Op = 1 + rng.Int63n(12)
+		}
+		if ev.Kind == gpusim.FaultSlowSM {
+			ev.Slow = 2 + 6*rng.Float64()
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Recovery counts the fault-recovery actions a resilient driver took
+// during one run. It is embedded in core.Result and pgraph.Stats so the
+// CLIs can surface what the run survived; the chaos harness asserts the
+// counters are nonzero exactly when injected faults actually failed
+// operations. All recovery costs are on the virtual clock (BackoffNs,
+// plus whatever the retried work itself cost) — the recovered output is
+// bit-identical to a fault-free run.
+type Recovery struct {
+	TransferRetries int64 // batches retried after an H2D/D2H fault
+	KernelRetries   int64 // batches retried after a kernel-launch fault
+	OOMRetries      int64 // batches retried after an unsplittable OOM
+	OOMSplits       int64 // batches split in half after device OOM
+	HostFallbacks   int64 // batches degraded to the bit-identical host path
+	Restarts        int64 // pipelined passes restarted from a clean slate
+
+	BackoffNs float64 // virtual-clock backoff burned between retries
+}
+
+// Any reports whether any recovery action was taken.
+func (r Recovery) Any() bool {
+	return r.TransferRetries+r.KernelRetries+r.OOMRetries+
+		r.OOMSplits+r.HostFallbacks+r.Restarts > 0
+}
+
+// Add accumulates another Recovery into r (multi-device and multi-stage
+// runs sum their parts).
+func (r *Recovery) Add(o Recovery) {
+	r.TransferRetries += o.TransferRetries
+	r.KernelRetries += o.KernelRetries
+	r.OOMRetries += o.OOMRetries
+	r.OOMSplits += o.OOMSplits
+	r.HostFallbacks += o.HostFallbacks
+	r.Restarts += o.Restarts
+	r.BackoffNs += o.BackoffNs
+}
+
+// String renders the nonzero counters, e.g.
+// "2 transfer retries, 1 OOM split, backoff 8.0ms", or "none".
+func (r Recovery) String() string {
+	var parts []string
+	add := func(n int64, one, many string) {
+		if n == 1 {
+			parts = append(parts, "1 "+one)
+		} else if n > 1 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, many))
+		}
+	}
+	add(r.TransferRetries, "transfer retry", "transfer retries")
+	add(r.KernelRetries, "kernel retry", "kernel retries")
+	add(r.OOMRetries, "OOM retry", "OOM retries")
+	add(r.OOMSplits, "OOM split", "OOM splits")
+	add(r.HostFallbacks, "host fallback", "host fallbacks")
+	add(r.Restarts, "pipeline restart", "pipeline restarts")
+	if r.BackoffNs > 0 {
+		parts = append(parts, fmt.Sprintf("backoff %.1fms", r.BackoffNs/1e6))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}

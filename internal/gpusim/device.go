@@ -193,6 +193,8 @@ type Device struct {
 
 	metrics Metrics
 
+	injector FaultInjector // optional fault injection (see fault.go)
+
 	profiling   bool
 	pendingName string
 	profile     []KernelRecord

@@ -1,0 +1,106 @@
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fault injection. A FaultInjector attached to a Device decides, at each
+// injection point, whether the operation about to run fails (or, for
+// FaultSlowSM, how much slower the kernel body runs). The decision is keyed
+// only to the virtual clock and the injector's own op counters — never the
+// wall clock — so an injected run is exactly as deterministic as a clean
+// one. The injection points model the failure classes a real CUDA driver
+// surfaces: cudaMemcpy errors (H2D/D2H), cudaMalloc out-of-memory, kernel
+// launch failures, and thermally throttled SMs.
+
+// FaultKind identifies one class of injectable device fault.
+type FaultKind int
+
+const (
+	// FaultH2D fails a host→device copy (sync or async) before any data
+	// moves.
+	FaultH2D FaultKind = iota
+	// FaultD2H fails a device→host copy before any data moves.
+	FaultD2H
+	// FaultMalloc fails a device allocation with ErrOutOfDeviceMemory.
+	FaultMalloc
+	// FaultKernel fails a kernel launch before the grid executes.
+	FaultKernel
+	// FaultSlowSM stretches a kernel's body time by Decision.Slow — a
+	// latency spike, not an error; the launch still succeeds.
+	FaultSlowSM
+
+	// NumFaultKinds is the number of distinct fault kinds.
+	NumFaultKinds
+)
+
+var faultKindNames = [NumFaultKinds]string{"h2d", "d2h", "malloc", "kernel", "slowsm"}
+
+// String returns the schedule-syntax name of the kind.
+func (k FaultKind) String() string {
+	if k < 0 || k >= NumFaultKinds {
+		return fmt.Sprintf("faultkind(%d)", int(k))
+	}
+	return faultKindNames[k]
+}
+
+// FaultDecision is an injector's verdict for one operation.
+type FaultDecision struct {
+	// Fail aborts the operation with a typed error (ignored for
+	// FaultSlowSM).
+	Fail bool
+	// Slow multiplies the kernel body duration when > 1 (FaultSlowSM
+	// consultations only).
+	Slow float64
+}
+
+// FaultInjector decides the fate of device operations. Decide is consulted
+// once per injection point with the kind and the host's current virtual
+// time; implementations must be deterministic functions of their own state
+// and these arguments. The internal/faults package provides the
+// schedule-driven implementation.
+type FaultInjector interface {
+	Decide(kind FaultKind, nowNs float64) FaultDecision
+}
+
+// ErrDeviceFault is the root sentinel wrapped by every injected transfer
+// and launch failure. Drivers match it with errors.Is to distinguish
+// retryable device faults from programming errors (which stay fatal).
+var ErrDeviceFault = errors.New("gpusim: injected device fault")
+
+// ErrTransferFault wraps ErrDeviceFault for failed H2D/D2H copies.
+var ErrTransferFault = fmt.Errorf("transfer failed: %w", ErrDeviceFault)
+
+// ErrLaunchFault wraps ErrDeviceFault for failed kernel launches.
+var ErrLaunchFault = fmt.Errorf("kernel launch failed: %w", ErrDeviceFault)
+
+// SetFaultInjector attaches (or, with nil, removes) the device's fault
+// injector. Call between operations, not concurrently with device work.
+func (d *Device) SetFaultInjector(fi FaultInjector) {
+	d.mu.Lock()
+	d.injector = fi
+	d.mu.Unlock()
+}
+
+// faultCheck consults the injector (if any) for one operation.
+func (d *Device) faultCheck(kind FaultKind) FaultDecision {
+	d.mu.Lock()
+	fi := d.injector
+	now := d.hostClock
+	d.mu.Unlock()
+	if fi == nil {
+		return FaultDecision{}
+	}
+	return fi.Decide(kind, now)
+}
+
+// chargeFault advances the host clock by the fixed cost the failed
+// operation still burned (DMA setup, launch overhead) and records a trace
+// event so timelines show the fault.
+func (d *Device) chargeFault(name string, ns float64) {
+	d.mu.Lock()
+	d.traceAdd(name, "host", d.hostClock, d.hostClock+ns)
+	d.hostClock += ns
+	d.mu.Unlock()
+}

@@ -1,0 +1,140 @@
+package gpusim
+
+import (
+	"errors"
+	"testing"
+)
+
+// scriptInjector fails the Nth consultation (1-based) of one kind, or
+// stretches the Nth slow-SM consultation.
+type scriptInjector struct {
+	kind FaultKind
+	op   int64
+	slow float64
+	seen map[FaultKind]int64
+}
+
+func newScriptInjector(kind FaultKind, op int64, slow float64) *scriptInjector {
+	return &scriptInjector{kind: kind, op: op, slow: slow, seen: map[FaultKind]int64{}}
+}
+
+func (si *scriptInjector) Decide(kind FaultKind, nowNs float64) FaultDecision {
+	si.seen[kind]++
+	if kind != si.kind || si.seen[kind] != si.op {
+		return FaultDecision{}
+	}
+	if kind == FaultSlowSM {
+		return FaultDecision{Slow: si.slow}
+	}
+	return FaultDecision{Fail: true}
+}
+
+func TestFaultInjectTransfers(t *testing.T) {
+	d := MustNew(SmallConfig())
+	buf := d.MustMalloc(64)
+	defer buf.Free()
+	src := make([]uint32, 64)
+	for i := range src {
+		src[i] = uint32(i + 1)
+	}
+
+	d.SetFaultInjector(newScriptInjector(FaultH2D, 1, 0))
+	err := d.CopyH2D(buf, 0, src)
+	if !errors.Is(err, ErrTransferFault) || !errors.Is(err, ErrDeviceFault) {
+		t.Fatalf("injected H2D: got %v, want ErrTransferFault", err)
+	}
+	// The failed copy must not have moved any data.
+	got := make([]uint32, 64)
+	d.SetFaultInjector(nil)
+	if err := d.CopyD2H(got, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("word %d = %d after failed H2D, want 0", i, v)
+		}
+	}
+	// A clean retry succeeds and the device is fully usable.
+	if err := d.CopyH2D(buf, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaultInjector(newScriptInjector(FaultD2H, 1, 0))
+	if err := d.CopyD2H(got, buf, 0); !errors.Is(err, ErrTransferFault) {
+		t.Fatalf("injected D2H: got %v, want ErrTransferFault", err)
+	}
+	d.SetFaultInjector(nil)
+	if err := d.CopyD2H(got, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != src[i] {
+			t.Fatalf("word %d = %d after retry, want %d", i, v, src[i])
+		}
+	}
+}
+
+func TestFaultInjectMallocAndKernel(t *testing.T) {
+	d := MustNew(SmallConfig())
+	d.SetFaultInjector(newScriptInjector(FaultMalloc, 1, 0))
+	if _, err := d.Malloc(8); !errors.Is(err, ErrOutOfDeviceMemory) {
+		t.Fatalf("injected Malloc: got %v, want ErrOutOfDeviceMemory", err)
+	}
+	if d.AllocatedBuffers() != 0 {
+		t.Fatalf("failed Malloc left %d live buffers", d.AllocatedBuffers())
+	}
+	d.SetFaultInjector(newScriptInjector(FaultKernel, 1, 0))
+	err := d.Launch(1, 32, func(ctx *ThreadCtx) { ctx.Ops(1) })
+	if !errors.Is(err, ErrLaunchFault) || !errors.Is(err, ErrDeviceFault) {
+		t.Fatalf("injected launch: got %v, want ErrLaunchFault", err)
+	}
+	if d.Metrics().KernelLaunches != 0 {
+		t.Fatalf("failed launch counted in metrics: %+v", d.Metrics())
+	}
+	d.SetFaultInjector(nil)
+	if err := d.Launch(1, 32, func(ctx *ThreadCtx) { ctx.Ops(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if d.Metrics().KernelLaunches != 1 {
+		t.Fatalf("retry after injected launch fault: %d launches", d.Metrics().KernelLaunches)
+	}
+}
+
+func TestFaultSlowSMStretchesKernelOnly(t *testing.T) {
+	work := func(ctx *ThreadCtx) { ctx.Ops(1000) }
+
+	clean := MustNew(SmallConfig())
+	if err := clean.Launch(4, 64, work); err != nil {
+		t.Fatal(err)
+	}
+	cleanNs := clean.Metrics().KernelTimeNs
+
+	slow := MustNew(SmallConfig())
+	slow.SetFaultInjector(newScriptInjector(FaultSlowSM, 1, 8))
+	if err := slow.Launch(4, 64, work); err != nil {
+		t.Fatalf("slow-SM spike must not fail the launch: %v", err)
+	}
+	slowNs := slow.Metrics().KernelTimeNs
+	launchNs := slow.Config().KernelLaunchNs
+	wantBody := (cleanNs - launchNs) * 8
+	if gotBody := slowNs - launchNs; gotBody < wantBody*0.999 || gotBody > wantBody*1.001 {
+		t.Fatalf("slow-SM body %.1fns, want %.1fns (clean body %.1fns × 8)",
+			gotBody, wantBody, cleanNs-launchNs)
+	}
+}
+
+func TestFaultChargesFixedCostOnFailure(t *testing.T) {
+	d := MustNew(SmallConfig())
+	buf := d.MustMalloc(16)
+	defer buf.Free()
+	d.Synchronize()
+	before := d.HostTime()
+	d.SetFaultInjector(newScriptInjector(FaultH2D, 1, 0))
+	if err := d.CopyH2D(buf, 0, make([]uint32, 16)); err == nil {
+		t.Fatal("expected injected H2D fault")
+	}
+	d.SetFaultInjector(nil)
+	if got := d.HostTime() - before; got != d.Config().TransferSetupNs {
+		t.Fatalf("failed H2D advanced host clock by %.1fns, want TransferSetupNs=%.1fns",
+			got, d.Config().TransferSetupNs)
+	}
+}

@@ -113,10 +113,20 @@ func (d *Device) launch(gridDim, blockDim int, kernel Kernel, s *Stream) error {
 	if blockDim > 1024 {
 		return fmt.Errorf("gpusim: block dimension %d exceeds 1024", blockDim)
 	}
+	if d.faultCheck(FaultKernel).Fail {
+		// The launch overhead is burned even though the grid never ran.
+		d.chargeFault("launch-fault", d.cfg.KernelLaunchNs)
+		return fmt.Errorf("gpusim: launch %d×%d: %w", gridDim, blockDim, ErrLaunchFault)
+	}
 
 	stats := d.executeGrid(gridDim, blockDim, kernel)
 	stats.threads = int64(gridDim) * int64(blockDim)
 	kernelNs := d.kernelTime(stats)
+	if slow := d.faultCheck(FaultSlowSM).Slow; slow > 1 {
+		// A latency spike stretches the kernel body; the fixed launch
+		// overhead is unaffected.
+		kernelNs = d.cfg.KernelLaunchNs + (kernelNs-d.cfg.KernelLaunchNs)*slow
+	}
 	d.scheduleKernel(kernelNs, stats, s)
 	d.recordProfile(gridDim, blockDim, kernelNs, stats)
 	return nil

@@ -25,6 +25,10 @@ func (d *Device) Malloc(n int) (*Buffer, error) {
 		return nil, fmt.Errorf("gpusim: Malloc(%d): negative size", n)
 	}
 	bytes := int64(n) * WordBytes
+	if d.faultCheck(FaultMalloc).Fail {
+		return nil, fmt.Errorf("gpusim: Malloc(%d words): injected allocation failure: %w",
+			n, ErrOutOfDeviceMemory)
+	}
 	d.mu.Lock()
 	if d.allocated+bytes > d.cfg.GlobalMemBytes {
 		d.mu.Unlock()

@@ -53,6 +53,11 @@ func (d *Device) copyH2D(buf *Buffer, dst int, src []uint32, s *Stream) error {
 		return fmt.Errorf("gpusim: CopyH2D range [%d,%d) outside buffer of %d words",
 			dst, dst+len(src), len(buf.words))
 	}
+	if d.faultCheck(FaultH2D).Fail {
+		// The DMA setup cost is burned even though no data moved.
+		d.chargeFault("H2D-fault", d.cfg.TransferSetupNs)
+		return fmt.Errorf("gpusim: CopyH2D of %d words: %w", len(src), ErrTransferFault)
+	}
 	copy(buf.words[dst:], src)
 	bytes := int64(len(src)) * WordBytes
 	cost := d.transferCost(bytes, d.cfg.H2DBandwidthBps)
@@ -79,6 +84,10 @@ func (d *Device) copyD2H(dst []uint32, buf *Buffer, src int, s *Stream) error {
 	if src < 0 || src+len(dst) > len(buf.words) {
 		return fmt.Errorf("gpusim: CopyD2H range [%d,%d) outside buffer of %d words",
 			src, src+len(dst), len(buf.words))
+	}
+	if d.faultCheck(FaultD2H).Fail {
+		d.chargeFault("D2H-fault", d.cfg.TransferSetupNs)
+		return fmt.Errorf("gpusim: CopyD2H of %d words: %w", len(dst), ErrTransferFault)
 	}
 	copy(dst, buf.words[src:])
 	bytes := int64(len(dst)) * WordBytes

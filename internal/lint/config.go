@@ -39,6 +39,7 @@ func DefaultConfig() *Config {
 	return &Config{
 		DeterminismCritical: []string{
 			"internal/core",
+			"internal/faults",
 			"internal/minwise",
 			"internal/thrust",
 			"internal/unionfind",

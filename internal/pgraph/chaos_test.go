@@ -1,0 +1,164 @@
+package pgraph
+
+import (
+	"errors"
+	"testing"
+
+	"gpclust/internal/faults"
+	"gpclust/internal/gpusim"
+)
+
+// TestChaosSweepBothSchedulers is the pGraph half of the chaos acceptance
+// harness: over ≥ 20 seeded random fault schedules, both GPU verification
+// schedulers must recover to the bit-identical host edge set, and
+// Stats.Faults must be nonzero exactly when injected faults failed ops.
+func TestChaosSweepBothSchedulers(t *testing.T) {
+	seqs := testMetagenome(t, 120)
+	host, _, err := Build(seqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pipeline := range []bool{false, true} {
+		name := "sequential"
+		if pipeline {
+			name = "pipelined"
+		}
+		for seed := int64(1); seed <= 20; seed++ {
+			sch := faults.RandSchedule(seed, 5)
+			inj := faults.NewInjector(sch)
+			cfg := DefaultConfig()
+			cfg.GPU = true
+			cfg.GPUPipeline = pipeline
+			cfg.GPUBatchWords = 6_000 // force several batches
+			cfg.Device = gpusim.MustNew(gpusim.K20Config())
+			cfg.Device.SetFaultInjector(inj)
+			g, st, err := Build(seqs, cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d (schedule %q): %v", name, seed, sch.String(), err)
+			}
+			graphsEqual(t, name, host, g)
+			failed := inj.TotalFailures() > 0
+			if st.Faults.Any() != failed {
+				t.Fatalf("%s seed %d: Faults.Any()=%v but injector failed %d ops (schedule %q)",
+					name, seed, st.Faults.Any(), inj.TotalFailures(), sch.String())
+			}
+			if err := cfg.Device.LeakCheck(); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+// TestChaosSWRecoveryLadder drives each rung of the pGraph ladder.
+func TestChaosSWRecoveryLadder(t *testing.T) {
+	seqs := testMetagenome(t, 80)
+	host, _, err := Build(seqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		schedule string
+		pipeline bool
+		check    func(t *testing.T, st Stats)
+	}{
+		{"transfer retry", "h2d op=2; d2h op=4", false, func(t *testing.T, st Stats) {
+			if st.Faults.TransferRetries == 0 {
+				t.Fatalf("no transfer retries recorded: %s", st.Faults)
+			}
+		}},
+		{"kernel retry", "kernel op=1", false, func(t *testing.T, st Stats) {
+			if st.Faults.KernelRetries == 0 {
+				t.Fatalf("no kernel retries recorded: %s", st.Faults)
+			}
+		}},
+		{"oom split", "malloc op=1 count=8", false, func(t *testing.T, st Stats) {
+			if st.Faults.OOMRetries == 0 || st.Faults.OOMSplits == 0 {
+				t.Fatalf("persistent OOM should retry then split: %s", st.Faults)
+			}
+		}},
+		{"host fallback", "h2d op=1 count=60", false, func(t *testing.T, st Stats) {
+			if st.Faults.HostFallbacks == 0 {
+				t.Fatalf("exhausted budget did not fall back to the host: %s", st.Faults)
+			}
+		}},
+		{"pipelined restart", "kernel op=1", true, func(t *testing.T, st Stats) {
+			if st.Faults.Restarts == 0 {
+				t.Fatalf("pipelined fault did not restart the pass: %s", st.Faults)
+			}
+		}},
+		{"pipelined degrade", "h2d op=1 count=500", true, func(t *testing.T, st Stats) {
+			if st.Faults.Restarts == 0 || st.Faults.HostFallbacks == 0 {
+				t.Fatalf("persistent pipelined faults should restart then degrade: %s", st.Faults)
+			}
+		}},
+		{"slow sm only", "slowsm op=1 count=4 x=5", false, func(t *testing.T, st Stats) {
+			if st.Faults.Any() {
+				t.Fatalf("latency spike needed no recovery but recorded: %s", st.Faults)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched, err := faults.Parse(tc.schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.GPU = true
+			cfg.GPUPipeline = tc.pipeline
+			cfg.GPUBatchWords = 6_000
+			cfg.Device = gpusim.MustNew(gpusim.K20Config())
+			cfg.Device.SetFaultInjector(faults.NewInjector(sched))
+			g, st, err := Build(seqs, cfg)
+			if err != nil {
+				t.Fatalf("schedule %q: %v", tc.schedule, err)
+			}
+			graphsEqual(t, tc.name, host, g)
+			tc.check(t, st)
+			if err := cfg.Device.LeakCheck(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosSWNoFallbackTypedError: with the fallback disabled, a fault
+// storm must surface as a clean error wrapping ErrRetryBudget — and the
+// device must not leak batch buffers on the failure path.
+func TestChaosSWNoFallbackTypedError(t *testing.T) {
+	seqs := testMetagenome(t, 60)
+	for _, pipeline := range []bool{false, true} {
+		for _, schedule := range []string{
+			"h2d op=1 count=1000000",
+			"kernel op=1 count=1000000",
+			"malloc op=1 count=1000000",
+		} {
+			sched, err := faults.Parse(schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.GPU = true
+			cfg.GPUPipeline = pipeline
+			cfg.GPUBatchWords = 6_000
+			cfg.FaultRetries = 2
+			cfg.NoHostFallback = true
+			cfg.Device = gpusim.MustNew(gpusim.K20Config())
+			cfg.Device.SetFaultInjector(faults.NewInjector(sched))
+			_, _, err = Build(seqs, cfg)
+			if err == nil {
+				t.Fatalf("pipeline=%v schedule %q: build succeeded under a fault storm with fallback disabled",
+					pipeline, schedule)
+			}
+			if !errors.Is(err, ErrRetryBudget) {
+				t.Fatalf("pipeline=%v schedule %q: error %v does not wrap ErrRetryBudget",
+					pipeline, schedule, err)
+			}
+			if err := cfg.Device.LeakCheck(); err != nil {
+				t.Fatalf("pipeline=%v schedule %q: %v", pipeline, schedule, err)
+			}
+		}
+	}
+}

@@ -204,38 +204,52 @@ func runSWBatchesSequential(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 	pairs []pairKey, order []int, prm align.Params, scores []int32) error {
 
 	var data, out []uint32
+	var err error
 	for _, p := range plans {
-		np := p.hi - p.lo
-		data = packSWBatch(p, enc, pairs, order, data)
-		dev.AdvanceHost(float64(len(data)) * packNsPerWord)
-		if err := func() error {
-			buf, err := dev.Malloc(p.deviceWords())
-			if err != nil {
-				return err
-			}
-			defer buf.Free()
-			if err := dev.CopyH2D(buf, 0, swTable); err != nil {
-				return err
-			}
-			if err := dev.CopyH2D(buf, swTableLen, data); err != nil {
-				return err
-			}
-			cfg := swLaunchConfig(p, prm)
-			if err := thrust.SWScoreBatch(dev, nil, buf, cfg); err != nil {
-				return err
-			}
-			if cap(out) < np {
-				out = make([]uint32, np)
-			}
-			return dev.CopyD2H(out[:np], buf, cfg.ScoreBase)
-		}(); err != nil {
+		if data, out, err = runOneSWBatch(dev, p, enc, pairs, order, prm, scores, data, out); err != nil {
 			return err
-		}
-		for i := 0; i < np; i++ {
-			scores[p.lo+i] = int32(out[i])
 		}
 	}
 	return nil
+}
+
+// runOneSWBatch stages, uploads, launches and reads back one batch
+// synchronously, reusing the data/out scratch slices across calls. The
+// score writes are idempotent — scores[p.lo+i] depends only on the batch
+// contents — so a failed attempt needs no rollback before a retry.
+func runOneSWBatch(dev *gpusim.Device, p swBatch, enc [][]byte, pairs []pairKey,
+	order []int, prm align.Params, scores []int32, data, out []uint32) ([]uint32, []uint32, error) {
+
+	np := p.hi - p.lo
+	data = packSWBatch(p, enc, pairs, order, data)
+	dev.AdvanceHost(float64(len(data)) * packNsPerWord)
+	if cap(out) < np {
+		out = make([]uint32, np)
+	}
+	if err := func() error {
+		buf, err := dev.Malloc(p.deviceWords())
+		if err != nil {
+			return err
+		}
+		defer buf.Free()
+		if err := dev.CopyH2D(buf, 0, swTable); err != nil {
+			return err
+		}
+		if err := dev.CopyH2D(buf, swTableLen, data); err != nil {
+			return err
+		}
+		cfg := swLaunchConfig(p, prm)
+		if err := thrust.SWScoreBatch(dev, nil, buf, cfg); err != nil {
+			return err
+		}
+		return dev.CopyD2H(out[:np], buf, cfg.ScoreBase)
+	}(); err != nil {
+		return data, out, err
+	}
+	for i := 0; i < np; i++ {
+		scores[p.lo+i] = int32(out[i])
+	}
+	return data, out, nil
 }
 
 // runSWBatchesPipelined is the double-buffered scheduler: two lanes, each
@@ -367,9 +381,9 @@ func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]g
 
 		scores := make([]int32, len(pairs))
 		if cfg.GPUPipeline {
-			err = runSWBatchesPipelined(dev, plans, enc, pairs, order, cfg.Align, scores)
+			err = runSWBatchesPipelinedResilient(dev, plans, seqs, enc, pairs, order, cfg, scores, &st.Faults)
 		} else {
-			err = runSWBatchesSequential(dev, plans, enc, pairs, order, cfg.Align, scores)
+			err = runSWBatchesSequentialResilient(dev, plans, seqs, enc, pairs, order, cfg, scores, &st.Faults)
 		}
 		if err != nil {
 			return nil, err

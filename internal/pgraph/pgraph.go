@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"gpclust/internal/align"
+	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 	"gpclust/internal/seq"
@@ -62,6 +63,17 @@ type Config struct {
 	// serializes a warp at its slowest lane — so this knob exists for the
 	// divergence ablation. The edge set is unaffected either way.
 	NoLengthBin bool
+
+	// FaultRetries bounds how often one verification batch is retried after
+	// a device fault before the scheduler degrades further — splitting the
+	// batch on persistent OOM, then scoring it on the bit-identical host
+	// path. 0 means DefaultFaultRetries; negative disables retries.
+	FaultRetries int
+
+	// NoHostFallback disables the last-resort host scoring of a batch whose
+	// retry budget is exhausted: Build then fails with an error wrapping
+	// ErrRetryBudget instead of degrading gracefully.
+	NoHostFallback bool
 }
 
 // DefaultConfig returns settings suitable for the synthetic metagenomes.
@@ -109,6 +121,11 @@ type Stats struct {
 	D2HNs      float64 // Data_g→c: score readback
 	TotalNs    float64 // end-to-end virtual time of Build
 	WallNs     int64   // real elapsed time of Build on this host
+
+	// Faults counts the fault-recovery actions the GPU schedulers took
+	// (retries, OOM splits, host fallbacks, pipeline restarts); zero on a
+	// fault-free run. The edge set is bit-identical either way.
+	Faults faults.Recovery
 }
 
 // Build constructs the sequence-similarity graph of the input: vertices are

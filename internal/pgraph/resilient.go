@@ -1,0 +1,190 @@
+package pgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"gpclust/internal/align"
+	"gpclust/internal/faults"
+	"gpclust/internal/gpusim"
+	"gpclust/internal/seq"
+)
+
+// This file makes the GPU verification schedulers resilient to device
+// faults (injected by internal/faults through gpusim, or any transient
+// gpusim error), mirroring the recovery ladder of internal/core:
+//
+//  1. retry the failed batch with exponential virtual-clock backoff, up to
+//     the configured budget (score writes are idempotent, so a retry needs
+//     no rollback);
+//  2. on persistent allocation failure, split the batch's pair range in
+//     half and recurse with fresh budgets;
+//  3. as a last resort, score the batch's pairs on the host with
+//     align.ScoreOnly — bit-identical to the kernel by construction —
+//     priced at HostAlignNsPerCell, unless Config.NoHostFallback asks for
+//     a typed failure instead.
+//
+// The pipelined scheduler restarts whole passes (its lanes share buffers,
+// so mid-pass state is not worth salvaging) and degrades to the resilient
+// sequential loop when restarts exhaust the budget. Either way the edge
+// set is bit-identical to a fault-free run; Stats.Faults counts what
+// recovery cost.
+
+const (
+	// DefaultFaultRetries is the per-batch retry budget when
+	// Config.FaultRetries is zero.
+	DefaultFaultRetries = 3
+	// maxSplitDepth bounds OOM-split recursion; 2^40 exceeds any pair count.
+	maxSplitDepth = 40
+)
+
+// RetryBackoffNs is the virtual-clock backoff before the first retry of a
+// faulted batch; attempt k waits 2^k times as long. A variable so tests
+// can compress it.
+var RetryBackoffNs = 2e6
+
+// ErrRetryBudget is wrapped by verification errors reported after the
+// retry budget is exhausted with the host fallback disabled.
+var ErrRetryBudget = errors.New("pgraph: device fault retry budget exhausted")
+
+// retryBudget resolves Config.FaultRetries (0 = default, negative = none).
+func (c Config) retryBudget() int {
+	if c.FaultRetries > 0 {
+		return c.FaultRetries
+	}
+	if c.FaultRetries < 0 {
+		return 0
+	}
+	return DefaultFaultRetries
+}
+
+// retryableFault reports whether err is worth retrying: an injected or
+// transient device fault, or a device allocation failure.
+func retryableFault(err error) bool {
+	return errors.Is(err, gpusim.ErrDeviceFault) || errors.Is(err, gpusim.ErrOutOfDeviceMemory)
+}
+
+// runSWBatchesSequentialResilient is runSWBatchesSequential with the
+// recovery ladder applied per batch.
+func runSWBatchesSequentialResilient(dev *gpusim.Device, plans []swBatch, seqs []seq.Sequence,
+	enc [][]byte, pairs []pairKey, order []int, cfg Config, scores []int32, rec *faults.Recovery) error {
+
+	var data, out []uint32
+	var err error
+	for _, p := range plans {
+		if data, out, err = runSWBatchResilient(dev, p, seqs, enc, pairs, order, cfg, scores, rec, data, out, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSWBatchResilient runs one batch through the recovery ladder.
+func runSWBatchResilient(dev *gpusim.Device, p swBatch, seqs []seq.Sequence,
+	enc [][]byte, pairs []pairKey, order []int, cfg Config, scores []int32,
+	rec *faults.Recovery, data, out []uint32, depth int) ([]uint32, []uint32, error) {
+
+	budget := cfg.retryBudget()
+	for attempt := 0; ; attempt++ {
+		var err error
+		if data, out, err = runOneSWBatch(dev, p, enc, pairs, order, cfg.Align, scores, data, out); err == nil {
+			return data, out, nil
+		} else if !retryableFault(err) {
+			return data, out, err
+		} else if attempt < budget {
+			switch {
+			case errors.Is(err, gpusim.ErrTransferFault):
+				rec.TransferRetries++
+			case errors.Is(err, gpusim.ErrLaunchFault):
+				rec.KernelRetries++
+			default:
+				rec.OOMRetries++
+			}
+			back := RetryBackoffNs * float64(int64(1)<<attempt)
+			dev.AdvanceHost(back)
+			rec.BackoffNs += back
+		} else if errors.Is(err, gpusim.ErrOutOfDeviceMemory) && depth < maxSplitDepth && p.hi-p.lo >= 2 {
+			// Persistent OOM: halve the pair range. Each half re-derives its
+			// distinct-sequence set and gets a fresh budget.
+			rec.OOMSplits++
+			mid := p.lo + (p.hi-p.lo)/2
+			left := swBatchFor(p.lo, mid, enc, pairs, order)
+			right := swBatchFor(mid, p.hi, enc, pairs, order)
+			if data, out, err = runSWBatchResilient(dev, left, seqs, enc, pairs, order, cfg, scores, rec, data, out, depth+1); err != nil {
+				return data, out, err
+			}
+			return runSWBatchResilient(dev, right, seqs, enc, pairs, order, cfg, scores, rec, data, out, depth+1)
+		} else if cfg.NoHostFallback {
+			return data, out, fmt.Errorf("pgraph: batch of %d pairs failed after %d attempts (%v): %w",
+				p.hi-p.lo, attempt+1, err, ErrRetryBudget)
+		} else {
+			rec.HostFallbacks++
+			runSWBatchHost(dev, p, seqs, pairs, order, cfg.Align, scores)
+			return data, out, nil
+		}
+	}
+}
+
+// swBatchFor rebuilds a batch descriptor for a sub-range of the schedule.
+func swBatchFor(lo, hi int, enc [][]byte, pairs []pairKey, order []int) swBatch {
+	b := swBatch{lo: lo, hi: hi}
+	in := make(map[int32]bool)
+	for k := lo; k < hi; k++ {
+		ia, ib := pairs[order[k]].unpack()
+		if !in[ia] {
+			in[ia] = true
+			b.seqIDs = append(b.seqIDs, ia)
+			b.seqWords += seqWords(enc[ia])
+		}
+		if !in[ib] {
+			in[ib] = true
+			b.seqIDs = append(b.seqIDs, ib)
+			b.seqWords += seqWords(enc[ib])
+		}
+	}
+	return b
+}
+
+// runSWBatchHost scores one batch's pairs on the host. align.ScoreOnly is
+// the reference the device kernel is tested bit-identical against, so the
+// fallback cannot change the edge set; the work is priced on the virtual
+// clock at HostAlignNsPerCell like the host backend.
+func runSWBatchHost(dev *gpusim.Device, p swBatch, seqs []seq.Sequence,
+	pairs []pairKey, order []int, prm align.Params, scores []int32) {
+
+	var cells int64
+	for k := p.lo; k < p.hi; k++ {
+		a, b := pairs[order[k]].unpack()
+		sa, sb := seqs[a].Residues, seqs[b].Residues
+		cells += int64(len(sa)) * int64(len(sb))
+		scores[k] = int32(align.ScoreOnly(sa, sb, prm))
+	}
+	dev.AdvanceHost(float64(cells) * HostAlignNsPerCell)
+}
+
+// runSWBatchesPipelinedResilient wraps the double-buffered scheduler:
+// a faulted pass is restarted whole (every score slot is rewritten, so
+// partial state from the failed pass is harmless), and when restarts
+// exhaust the budget the build degrades to the sequential resilient loop.
+func runSWBatchesPipelinedResilient(dev *gpusim.Device, plans []swBatch, seqs []seq.Sequence,
+	enc [][]byte, pairs []pairKey, order []int, cfg Config, scores []int32, rec *faults.Recovery) error {
+
+	budget := cfg.retryBudget()
+	for attempt := 0; ; attempt++ {
+		err := runSWBatchesPipelined(dev, plans, enc, pairs, order, cfg.Align, scores)
+		if err == nil {
+			return nil
+		}
+		if !retryableFault(err) {
+			return err
+		}
+		dev.Synchronize() // settle the failed pass's in-flight stream work
+		rec.Restarts++
+		if attempt >= budget {
+			return runSWBatchesSequentialResilient(dev, plans, seqs, enc, pairs, order, cfg, scores, rec)
+		}
+		back := RetryBackoffNs * float64(int64(1)<<attempt)
+		dev.AdvanceHost(back)
+		rec.BackoffNs += back
+	}
+}

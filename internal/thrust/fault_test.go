@@ -1,0 +1,87 @@
+package thrust
+
+import (
+	"errors"
+	"testing"
+
+	"gpclust/internal/faults"
+	"gpclust/internal/gpusim"
+)
+
+// TestThrustPrimitivesPropagateFaults: thrust primitives are thin wrappers
+// over gpusim launches, so an injected kernel fault must surface as an
+// error wrapping gpusim.ErrLaunchFault — and a retry on the same device
+// must succeed with the correct result (launch faults leave no residue).
+func TestThrustPrimitivesPropagateFaults(t *testing.T) {
+	sched, err := faults.Parse("kernel op=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDev(t)
+	d.SetFaultInjector(faults.NewInjector(sched))
+
+	const n = 4096
+	src := make([]uint32, n)
+	for i := range src {
+		src[i] = uint32(n - i)
+	}
+	in := upload(t, d, src)
+	out := d.MustMalloc(n)
+	defer in.Free()
+	defer out.Free()
+
+	err = Transform(d, in, out, n, func(v uint32) uint32 { return v + 1 }, 1)
+	if !errors.Is(err, gpusim.ErrLaunchFault) {
+		t.Fatalf("Transform error %v does not wrap ErrLaunchFault", err)
+	}
+	if !errors.Is(err, gpusim.ErrDeviceFault) {
+		t.Fatalf("Transform error %v does not wrap the ErrDeviceFault root", err)
+	}
+	if err := Transform(d, in, out, n, func(v uint32) uint32 { return v + 1 }, 1); err != nil {
+		t.Fatalf("retry after a one-shot launch fault: %v", err)
+	}
+	got := download(t, d, out, n)
+	for i, v := range got {
+		if v != src[i]+1 {
+			t.Fatalf("element %d = %d after retry, want %d", i, v, src[i]+1)
+		}
+	}
+}
+
+// TestThrustSortUnderSlowSM: a slow-SM latency spike must stretch the
+// device clock without perturbing sort results.
+func TestThrustSortUnderSlowSM(t *testing.T) {
+	run := func(inject bool) (float64, []uint32) {
+		d := newDev(t)
+		if inject {
+			sched, err := faults.Parse("slowsm op=1 count=64 x=7")
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.SetFaultInjector(faults.NewInjector(sched))
+		}
+		src := make([]uint32, 2048)
+		s := uint32(12345)
+		for i := range src {
+			s = s*1664525 + 1013904223
+			src[i] = s
+		}
+		buf := upload(t, d, src)
+		defer buf.Free()
+		if err := Sort(d, buf, len(src)); err != nil {
+			t.Fatal(err)
+		}
+		d.Synchronize()
+		return d.Metrics().KernelTimeNs, download(t, d, buf, len(src))
+	}
+	cleanNs, cleanOut := run(false)
+	slowNs, slowOut := run(true)
+	if slowNs <= cleanNs {
+		t.Fatalf("slow-SM run kernel time %.0fns not above clean %.0fns", slowNs, cleanNs)
+	}
+	for i := range cleanOut {
+		if cleanOut[i] != slowOut[i] {
+			t.Fatalf("sorted output diverged at %d under a latency spike", i)
+		}
+	}
+}

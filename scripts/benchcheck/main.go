@@ -12,14 +12,63 @@ import (
 	"gpclust/internal/bench"
 )
 
+type goBenchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	WallNsPerOp float64 `json:"wall_ns_per_op"`
+}
+
 type benchFile struct {
-	PR      int `json:"pr"`
-	GoBench []struct {
-		Name        string  `json:"name"`
-		Iterations  int64   `json:"iterations"`
-		WallNsPerOp float64 `json:"wall_ns_per_op"`
-	} `json:"go_bench"`
+	PR       int                        `json:"pr"`
+	GoBench  []goBenchEntry             `json:"go_bench"`
 	Backends []bench.PGraphBackendPoint `json:"pgraph_backends"`
+}
+
+// validate checks the whole file and never indexes before checking
+// presence: a truncated or hand-edited file yields an error naming the
+// missing piece, not a panic.
+func validate(f benchFile) error {
+	if len(f.GoBench) == 0 {
+		return fmt.Errorf("no go benchmark entries")
+	}
+	for i, b := range f.GoBench {
+		if b.Name == "" {
+			return fmt.Errorf("go benchmark entry %d has no name", i)
+		}
+		if b.Iterations <= 0 {
+			return fmt.Errorf("go benchmark %q reports %d iterations", b.Name, b.Iterations)
+		}
+	}
+	if len(f.Backends) == 0 {
+		return fmt.Errorf("no pgraph backend points")
+	}
+	if len(f.Backends) < 3 {
+		return fmt.Errorf("incomplete ablation: %d backend points, want at least 3", len(f.Backends))
+	}
+	byName := map[string]bench.PGraphBackendPoint{}
+	for i, p := range f.Backends {
+		if p.Backend == "" {
+			return fmt.Errorf("backend point %d has no backend name", i)
+		}
+		if p.VirtualNs <= 0 {
+			return fmt.Errorf("backend %q reports non-positive virtual total %.3f", p.Backend, p.VirtualNs)
+		}
+		if p.Edges != f.Backends[0].Edges {
+			return fmt.Errorf("backend %q accepted %d edges, %q accepted %d",
+				p.Backend, p.Edges, f.Backends[0].Backend, f.Backends[0].Edges)
+		}
+		byName[p.Backend] = p
+	}
+	seq, okSeq := byName["gpu sequential"]
+	pipe, okPipe := byName["gpu pipelined"]
+	if !okSeq || !okPipe {
+		return fmt.Errorf("missing gpu sequential/pipelined backend points")
+	}
+	if pipe.VirtualNs >= seq.VirtualNs {
+		return fmt.Errorf("pipelined virtual total %.3fms is not below sequential %.3fms",
+			pipe.VirtualNs/1e6, seq.VirtualNs/1e6)
+	}
+	return nil
 }
 
 func main() {
@@ -31,30 +80,14 @@ func main() {
 	fatal(err)
 	var f benchFile
 	fatal(json.Unmarshal(blob, &f))
+	fatal(validate(f))
 
-	if len(f.GoBench) == 0 || len(f.Backends) < 3 {
-		fatal(fmt.Errorf("incomplete file: %d go benchmarks, %d backend points",
-			len(f.GoBench), len(f.Backends)))
-	}
 	byName := map[string]bench.PGraphBackendPoint{}
 	for _, p := range f.Backends {
-		if p.Edges != f.Backends[0].Edges {
-			fatal(fmt.Errorf("backend %q accepted %d edges, %q accepted %d",
-				p.Backend, p.Edges, f.Backends[0].Backend, f.Backends[0].Edges))
-		}
 		byName[p.Backend] = p
 	}
-	seq, okSeq := byName["gpu sequential"]
-	pipe, okPipe := byName["gpu pipelined"]
-	if !okSeq || !okPipe {
-		fatal(fmt.Errorf("missing gpu sequential/pipelined backend points"))
-	}
-	if pipe.VirtualNs >= seq.VirtualNs {
-		fatal(fmt.Errorf("pipelined virtual total %.3fms is not below sequential %.3fms",
-			pipe.VirtualNs/1e6, seq.VirtualNs/1e6))
-	}
 	fmt.Printf("benchcheck: ok — pipelined %.1fms < sequential %.1fms virtual, %d edges on every backend\n",
-		pipe.VirtualNs/1e6, seq.VirtualNs/1e6, f.Backends[0].Edges)
+		byName["gpu pipelined"].VirtualNs/1e6, byName["gpu sequential"].VirtualNs/1e6, f.Backends[0].Edges)
 }
 
 func fatal(err error) {

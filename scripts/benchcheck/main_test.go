@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gpclust/internal/bench"
+)
+
+func goodFile() benchFile {
+	return benchFile{
+		PR: 3,
+		GoBench: []goBenchEntry{
+			{Name: "BenchmarkBuild250", Iterations: 1, WallNsPerOp: 1e9},
+		},
+		Backends: []bench.PGraphBackendPoint{
+			{Backend: "host", VirtualNs: 5e9, Edges: 120},
+			{Backend: "gpu sequential", VirtualNs: 2e9, Edges: 120},
+			{Backend: "gpu pipelined", VirtualNs: 1.5e9, Edges: 120},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validate(goodFile()); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*benchFile)
+		want string
+	}{
+		{"empty file", func(f *benchFile) { *f = benchFile{} }, "no go benchmark entries"},
+		{"nil backends", func(f *benchFile) { f.Backends = nil }, "no pgraph backend points"},
+		{"too few backends", func(f *benchFile) { f.Backends = f.Backends[:2] }, "incomplete ablation"},
+		{"unnamed benchmark", func(f *benchFile) { f.GoBench[0].Name = "" }, "has no name"},
+		{"zero iterations", func(f *benchFile) { f.GoBench[0].Iterations = 0 }, "0 iterations"},
+		{"unnamed backend", func(f *benchFile) { f.Backends[1].Backend = "" }, "no backend name"},
+		{"zero virtual total", func(f *benchFile) { f.Backends[2].VirtualNs = 0 }, "non-positive virtual total"},
+		{"edge mismatch", func(f *benchFile) { f.Backends[2].Edges = 121 }, "accepted 121 edges"},
+		{"missing gpu points", func(f *benchFile) {
+			f.Backends[1].Backend = "gpu A"
+			f.Backends[2].Backend = "gpu B"
+		}, "missing gpu sequential/pipelined"},
+		{"pipelined not faster", func(f *benchFile) { f.Backends[2].VirtualNs = 3e9 }, "not below sequential"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := goodFile()
+			tc.mut(&f)
+			err := validate(f)
+			if err == nil {
+				t.Fatal("validate accepted a bad file")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
