@@ -1,6 +1,7 @@
 package gpclust_test
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
@@ -197,6 +198,12 @@ func TestCLIFailurePaths(t *testing.T) {
 			[]string{"-in", fasta, "-gpu", "-faults", "kernel op=1 count=1000000",
 				"-retries", "1", "-nofallback"},
 			"retry budget exhausted"},
+		{"gpclust negative retries", gpclust,
+			[]string{"-in", graphF, "-backend", "gpu", "-retries=-1"}, "-retries must be >= 0"},
+		{"pgraph negative retries", pgraphBin,
+			[]string{"-in", fasta, "-gpu", "-retries=-1"}, "-retries must be >= 0"},
+		{"pgraph trace without gpu", pgraphBin,
+			[]string{"-in", fasta, "-trace", filepath.Join(dir, "t.json")}, "-trace requires -gpu"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -242,6 +249,105 @@ func TestCLIFaultInjectionRecovers(t *testing.T) {
 	}
 	if string(a) != string(b) {
 		t.Fatal("faulted CLI run produced a different cluster file than the clean run")
+	}
+}
+
+// readTraceFile decodes a Chrome-trace JSON file and returns its traceEvents,
+// failing if the array is absent or null (the Perfetto-rejection bug).
+func readTraceFile(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatalf("%s: traceEvents is null or missing", path)
+	}
+	return doc.TraceEvents
+}
+
+// TestCLIObservability drives the -trace/-metrics surface of both tools: a
+// faulted pipelined gpclust run and a pipelined pgraph build must write a
+// parseable merged trace (host phase spans, lane spans and fault instants on
+// distinct tracks) and an OpenMetrics file carrying the run's counters.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	genseq := buildTool(t, dir, "genseq")
+	pgraphBin := buildTool(t, dir, "pgraph")
+	gpclust := buildTool(t, dir, "gpclust")
+
+	fasta := filepath.Join(dir, "orfs.fa")
+	graphF := filepath.Join(dir, "graph.txt")
+	run(t, genseq, "-mode", "seqs", "-n", "200", "-fasta", fasta,
+		"-truth", filepath.Join(dir, "truth.tsv"))
+
+	pTrace := filepath.Join(dir, "pgraph-trace.json")
+	pMetrics := filepath.Join(dir, "pgraph-metrics.txt")
+	run(t, pgraphBin, "-in", fasta, "-out", graphF, "-gpu", "-pipeline",
+		"-batchwords", "8000", "-trace", pTrace, "-metrics", pMetrics)
+	if evs := readTraceFile(t, pTrace); len(evs) == 0 {
+		t.Fatal("pgraph trace has no events")
+	}
+	pm, err := os.ReadFile(pMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pgraph_edges_total", "gpclust_sw_pairs_total", "# EOF"} {
+		if !strings.Contains(string(pm), want) {
+			t.Fatalf("pgraph metrics missing %q:\n%s", want, pm)
+		}
+	}
+
+	gTrace := filepath.Join(dir, "gpclust-trace.json")
+	gMetrics := filepath.Join(dir, "gpclust-metrics.txt")
+	out := run(t, gpclust, "-in", graphF, "-backend", "gpu", "-pipeline",
+		"-c1", "30", "-c2", "15", "-batch", "5000", "-faults", "h2d op=2",
+		"-trace", gTrace, "-metrics", gMetrics, "-out", filepath.Join(dir, "c.txt"))
+	if !strings.Contains(out, "merged timeline written") || !strings.Contains(out, "metrics written") {
+		t.Fatalf("observability summary missing from output:\n%s", out)
+	}
+	evs := readTraceFile(t, gTrace)
+	cats := map[string]bool{}
+	for _, ev := range evs {
+		if cat, ok := ev["cat"].(string); ok {
+			cats[cat] = true
+		}
+	}
+	for _, want := range []string{"phases", "host-cpu", "lane0", "lane1", "faults", "recovery", "compute", "copy"} {
+		if !cats[want] {
+			t.Fatalf("gpclust trace missing %q events (have %v)", want, cats)
+		}
+	}
+	gm, err := os.ReadFile(gMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gpclust_tuples_total", "gpclust_fault_transfer_retries_total",
+		"gpclust_faults_injected_total", "gpclust_clusters", "# EOF"} {
+		if !strings.Contains(string(gm), want) {
+			t.Fatalf("gpclust metrics missing %q:\n%s", want, gm)
+		}
+	}
+
+	// -metrics works on the host backends too (no device, no -trace).
+	sMetrics := filepath.Join(dir, "serial-metrics.txt")
+	run(t, gpclust, "-in", graphF, "-backend", "serial", "-c1", "30", "-c2", "15",
+		"-metrics", sMetrics, "-out", filepath.Join(dir, "cs.txt"))
+	sm, err := os.ReadFile(sMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sm), "gpclust_tuples_total") {
+		t.Fatalf("serial metrics missing gpclust_tuples_total:\n%s", sm)
 	}
 }
 

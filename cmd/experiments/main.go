@@ -23,6 +23,7 @@ import (
 	"gpclust/internal/bench"
 	"gpclust/internal/core"
 	"gpclust/internal/gos"
+	"gpclust/internal/obs"
 )
 
 func main() {
@@ -40,12 +41,29 @@ func main() {
 		pgraphN      = flag.Int("pgraphn", 0, "ORF count for the pgraph backend ablation (0: default)")
 		pgraphBatch  = flag.Int("pgraphbatch", 0, "per-batch word budget for the pgraph ablation (0: default)")
 		benchJSON    = flag.String("benchjson", "", "with -exp pgraph: also write the backend points as JSON to this file")
+		retryBack    = flag.Float64("retrybackoff", 0, "base fault-retry backoff in virtual ns (0 = library default)")
+		traceOut     = flag.String("trace", "", "with -exp table1: write the 20K GPU run's merged chrome://tracing timeline to this file")
+		metricsOut   = flag.String("metrics", "", "write OpenMetrics counters accumulated across the runs to this file")
 	)
 	flag.Parse()
+	if *retryBack < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -retrybackoff must be >= 0 (got %g)\n", *retryBack)
+		os.Exit(2)
+	}
+	if *traceOut != "" && *exp != "table1" {
+		fmt.Fprintln(os.Stderr, "experiments: -trace requires -exp table1")
+		os.Exit(2)
+	}
 
 	perfOpts := core.DefaultOptions()
 	perfOpts.C1, perfOpts.C2 = *c1, *c2
 	perfOpts.Seed = *seed
+	perfOpts.RetryBackoffNs = *retryBack
+	var rec *obs.Recorder
+	if *metricsOut != "" {
+		rec = obs.New()
+		perfOpts.Obs = rec
+	}
 
 	qualOpts := bench.QualityOptions()
 	qualOpts.Seed = *seed
@@ -65,6 +83,13 @@ func main() {
 		rows, err := bench.RunTable1(*scale20k, *scale2m, perfOpts)
 		fatal(err)
 		bench.RenderTable1(out, rows)
+		if *traceOut != "" {
+			tf, terr := os.Create(*traceOut)
+			fatal(terr)
+			fatal(obs.WriteMergedTrace(tf, rows[0].Obs, []obs.DeviceTimeline{rows[0].Timeline}))
+			fatal(tf.Close())
+			fmt.Fprintf(os.Stderr, "experiments: merged timeline written to %s\n", *traceOut)
+		}
 	case "table2":
 		bench.RenderTable2(out, bench.RunTable2(*scale2m), *scale2m)
 	case "table3":
@@ -146,6 +171,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		fatal(err)
+		fatal(rec.WriteOpenMetrics(mf))
+		fatal(mf.Close())
+		fmt.Fprintf(os.Stderr, "experiments: metrics written to %s\n", *metricsOut)
 	}
 }
 

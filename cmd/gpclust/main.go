@@ -26,6 +26,7 @@ import (
 	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
+	"gpclust/internal/obs"
 )
 
 func main() {
@@ -44,18 +45,26 @@ func main() {
 		gpuagg   = flag.Bool("gpuagg", false, "aggregate shingles on the device (gpu backend)")
 		ngpu     = flag.Int("ngpu", 1, "number of simulated devices (gpu backend)")
 		profile  = flag.Bool("profile", false, "print a per-kernel profile of the run (gpu backend)")
-		trace    = flag.String("trace", "", "write a chrome://tracing timeline of device 0 to this file (gpu backend)")
+		trace    = flag.String("trace", "", "write a merged chrome://tracing timeline (host phases + every device) to this file (gpu backend)")
+		metrics  = flag.String("metrics", "", "write OpenMetrics counters for the run to this file (any backend)")
 		batch    = flag.Int("batch", 0, "device batch budget in 32-bit words (0 = derive from device memory)")
 		workers  = flag.Int("workers", 0, "parallel backend: worker-pool size (0 = GOMAXPROCS); serial backend: cluster connected components in parallel with this many workers (0 = whole-graph run)")
 		minOut   = flag.Int("minsize", 1, "only print clusters with at least this many members")
 		faultSch = flag.String("faults", "", "inject device faults from this schedule, e.g. 'h2d op=3; malloc at=2ms count=2' (gpu backend)")
-		retries  = flag.Int("retries", 0, "per-batch fault retry budget (0 = default, negative = no retries; gpu backend)")
+		retries  = flag.Int("retries", 0, "per-batch fault retry budget (0 = library default; must be >= 0; gpu backend)")
 		noFB     = flag.Bool("nofallback", false, "fail instead of degrading to host execution when the fault retry budget is exhausted (gpu backend)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "gpclust: -in is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *retries < 0 {
+		// Negative FaultRetries is the library's explicit disable-retries
+		// sentinel; from the command line it is almost always a typo, so
+		// reject it rather than silently turning recovery off.
+		fmt.Fprintf(os.Stderr, "gpclust: -retries must be >= 0 (got %d; 0 means the default budget)\n", *retries)
 		os.Exit(2)
 	}
 	if *backend != "gpu" {
@@ -102,6 +111,14 @@ func main() {
 	if *overlap {
 		o.Mode = core.ReportOverlapping
 	}
+	var rec *obs.Recorder
+	if *trace != "" || *metrics != "" {
+		rec = obs.New()
+		o.Obs = rec
+		if inj != nil {
+			inj.SetRecorder(rec)
+		}
+	}
 
 	var res *core.Result
 	switch *backend {
@@ -127,7 +144,7 @@ func main() {
 			if *profile {
 				devs[i].EnableProfiling()
 			}
-			if *trace != "" && i == 0 {
+			if *trace != "" {
 				devs[i].EnableTracing()
 			}
 		}
@@ -143,17 +160,29 @@ func main() {
 			}
 		}
 		if err == nil && *trace != "" {
+			tl := make([]obs.DeviceTimeline, len(devs))
+			for i, d := range devs {
+				tl[i] = obs.DeviceTimeline{Name: fmt.Sprintf("device%d", i), Events: d.Trace()}
+			}
 			tf, terr := os.Create(*trace)
 			fatal(terr)
-			fatal(devs[0].WriteChromeTrace(tf))
+			fatal(obs.WriteMergedTrace(tf, rec, tl))
 			fatal(tf.Close())
-			fmt.Fprintf(os.Stderr, "gpclust: timeline written to %s (open in chrome://tracing)\n", *trace)
+			fmt.Fprintf(os.Stderr, "gpclust: merged timeline written to %s (open in chrome://tracing or Perfetto)\n", *trace)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "gpclust: unknown backend %q\n", *backend)
 		os.Exit(2)
 	}
 	fatal(err)
+
+	if *metrics != "" {
+		mf, merr := os.Create(*metrics)
+		fatal(merr)
+		fatal(rec.WriteOpenMetrics(mf))
+		fatal(mf.Close())
+		fmt.Fprintf(os.Stderr, "gpclust: metrics written to %s\n", *metrics)
+	}
 
 	if inj != nil {
 		fmt.Fprintf(os.Stderr, "gpclust: injected faults: %s; recovery: %s\n", inj, &res.Faults)

@@ -24,6 +24,7 @@ import (
 	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
+	"gpclust/internal/obs"
 	"gpclust/internal/pgraph"
 	"gpclust/internal/seq"
 )
@@ -40,13 +41,22 @@ func main() {
 		batchW   = flag.Int("batchwords", 0, "with -gpu: per-batch device budget in words (0 = derive from device memory)")
 		noBin    = flag.Bool("nobin", false, "with -gpu: disable length binning of pairs (more warp divergence)")
 		faultSch = flag.String("faults", "", "with -gpu: inject device faults from this schedule, e.g. 'h2d op=3; malloc at=2ms count=2'")
-		retries  = flag.Int("retries", 0, "with -gpu: per-batch fault retry budget (0 = default, negative = no retries)")
+		retries  = flag.Int("retries", 0, "with -gpu: per-batch fault retry budget (0 = library default; must be >= 0)")
 		noFB     = flag.Bool("nofallback", false, "with -gpu: fail instead of degrading to host scoring when the fault retry budget is exhausted")
+		trace    = flag.String("trace", "", "with -gpu: write a merged chrome://tracing timeline (host phases + device) to this file")
+		metrics  = flag.String("metrics", "", "write OpenMetrics counters for the build to this file (any backend)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "pgraph: -in is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *retries < 0 {
+		// Negative FaultRetries is the library's explicit disable-retries
+		// sentinel; from the command line it is almost always a typo, so
+		// reject it rather than silently turning recovery off.
+		fmt.Fprintf(os.Stderr, "pgraph: -retries must be >= 0 (got %d; 0 means the default budget)\n", *retries)
 		os.Exit(2)
 	}
 	if !*gpu {
@@ -56,6 +66,7 @@ func main() {
 		}{
 			{*pipeline, "-pipeline"}, {*batchW != 0, "-batchwords"}, {*noBin, "-nobin"},
 			{*faultSch != "", "-faults"}, {*retries != 0, "-retries"}, {*noFB, "-nofallback"},
+			{*trace != "", "-trace"},
 		} {
 			if f.set {
 				fmt.Fprintf(os.Stderr, "pgraph: %s requires -gpu\n", f.name)
@@ -89,13 +100,41 @@ func main() {
 	cfg.NoLengthBin = *noBin
 	cfg.FaultRetries = *retries
 	cfg.NoHostFallback = *noFB
-	if inj != nil {
+	if inj != nil || (*gpu && *trace != "") {
 		cfg.Device = gpusim.MustNew(gpusim.K20Config())
-		cfg.Device.SetFaultInjector(inj)
+		if inj != nil {
+			cfg.Device.SetFaultInjector(inj)
+		}
+		if *trace != "" {
+			cfg.Device.EnableTracing()
+		}
+	}
+	var rec *obs.Recorder
+	if *trace != "" || *metrics != "" {
+		rec = obs.New()
+		cfg.Obs = rec
+		if inj != nil {
+			inj.SetRecorder(rec)
+		}
 	}
 
 	g, st, err := pgraph.Build(seqs, cfg)
 	fatal(err)
+	if *trace != "" {
+		tf, terr := os.Create(*trace)
+		fatal(terr)
+		fatal(obs.WriteMergedTrace(tf, rec,
+			[]obs.DeviceTimeline{{Name: "device0", Events: cfg.Device.Trace()}}))
+		fatal(tf.Close())
+		fmt.Fprintf(os.Stderr, "pgraph: merged timeline written to %s (open in chrome://tracing or Perfetto)\n", *trace)
+	}
+	if *metrics != "" {
+		mf, merr := os.Create(*metrics)
+		fatal(merr)
+		fatal(rec.WriteOpenMetrics(mf))
+		fatal(mf.Close())
+		fmt.Fprintf(os.Stderr, "pgraph: metrics written to %s\n", *metrics)
+	}
 	if inj != nil {
 		fmt.Fprintf(os.Stderr, "pgraph: injected faults: %s; recovery: %s\n", inj, &st.Faults)
 	} else if st.Faults.Any() {

@@ -50,7 +50,13 @@ func ClusterByComponent(g *graph.Graph, o Options, workers int) (*Result, error)
 					continue // singleton component: trivially its own cluster
 				}
 				sub, orig := graph.InducedSubgraph(g, members[c])
-				res, err := ClusterSerial(sub, o)
+				// Sub-runs record nothing: concurrent per-component spans
+				// would interleave on one timeline and per-component gauges
+				// would clobber each other; the merged result is recorded
+				// once below.
+				subO := o
+				subO.Obs = nil
+				res, err := ClusterSerial(sub, subO)
 				results[c] = subResult{res: res, orig: orig, err: err}
 			}
 		}()
@@ -103,5 +109,8 @@ func ClusterByComponent(g *graph.Graph, o Options, workers int) (*Result, error)
 	// order; order the cluster list deterministically.
 	sortClusters(clusters)
 	merged.Clustering = Clustering{N: n, Clusters: clusters}
+	recordHostTimeline(o.Obs, merged.Timings.DiskIONs,
+		[2][2]float64{{merged.Timings.ShingleNs, merged.Timings.CPUNs}, {0, 0}}, 0)
+	recordRunMetrics(o.Obs, merged)
 	return merged, nil
 }

@@ -7,6 +7,7 @@ import (
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
+	"gpclust/internal/obs"
 	"gpclust/internal/thrust"
 )
 
@@ -34,11 +35,15 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 
 	// "CPU initiate[s] the task by loading graph into HM" (Algorithm 2).
 	acct.diskBytes = graphDiskBytes(g)
-	dev.AdvanceHost(acct.diskNs())
+	ph := startPhase(dev, o.Obs, obs.NameRead)
+	chargeHost(dev, o.Obs, obs.NameRead, acct.diskNs())
+	endPhase(dev, ph)
 
 	sw := newStopwatch()
 	in := FromGraph(g)
-	gi, err := runPassGPU(dev, in, fam1, o.S1, o, acct, &res.Pass1, &res.Faults)
+	ph = startPhase(dev, o.Obs, "shingle-pass1")
+	gi, err := runPassGPU(dev, in, fam1, o.S1, o, "pass1", acct, &res.Pass1, &res.Faults)
+	endPhase(dev, ph)
 	if err != nil {
 		return nil, fmt.Errorf("core: first-level shingling: %w", err)
 	}
@@ -47,12 +52,16 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	// "CPU aggregates sglsH into a graph" — the filter is part of shingle
 	// graph preparation.
 	beforeAgg := acct.aggOps
+	ph = startPhase(dev, o.Obs, "aggregate")
 	pass2In := gi.filterMinLen(o.S2)
 	acct.aggOps += int64(len(gi.Data))
 	res.Pass1.SharedLists = pass2In.NumLists()
-	dev.AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
+	chargeHost(dev, o.Obs, "aggregate", float64(acct.aggOps-beforeAgg)*AggregateNsPerOp)
+	endPhase(dev, ph)
 
-	gii, err := runPassGPU(dev, pass2In, fam2, o.S2, o, acct, &res.Pass2, &res.Faults)
+	ph = startPhase(dev, o.Obs, "shingle-pass2")
+	gii, err := runPassGPU(dev, pass2In, fam2, o.S2, o, "pass2", acct, &res.Pass2, &res.Faults)
+	endPhase(dev, ph)
 	if err != nil {
 		return nil, fmt.Errorf("core: second-level shingling: %w", err)
 	}
@@ -60,8 +69,10 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 
 	// "final data aggregation on CPU ... CPU reports dense subgraphs".
 	beforeReport := acct.reportOps
+	ph = startPhase(dev, o.Obs, "report")
 	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
-	dev.AdvanceHost(float64(acct.reportOps-beforeReport) * ReportNsPerOp)
+	chargeHost(dev, o.Obs, "report", float64(acct.reportOps-beforeReport)*ReportNsPerOp)
+	endPhase(dev, ph)
 	res.Wall.ReportNs = sw.lap()
 	res.Wall.TotalNs = sw.total()
 
@@ -79,6 +90,7 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 		TotalNs:   dev.HostTime(),
 	}
 	assertDeviceClean(dev)
+	recordRunMetrics(o.Obs, res)
 	return res, nil
 }
 
@@ -197,7 +209,7 @@ func mergeTopS(acc []uint32, piece []uint32, s int) []uint32 {
 // batch loop) on the device and aggregates the result into the next-level
 // shingle graph on the CPU.
 func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
-	o Options, acct *cpuAccount, stats *PassStats, rec *faults.Recovery) (*SegGraph, error) {
+	o Options, label string, acct *cpuAccount, stats *PassStats, rec *faults.Recovery) (*SegGraph, error) {
 
 	stats.Lists = in.NumLists()
 	stats.Elements = int64(len(in.Data))
@@ -246,13 +258,24 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	stats.SplitLists = len(splitLists)
 
 	if o.PipelineBatches {
-		if err := runBatchesPipelinedResilient(dev, in, fam, s, o, plans, tuplesByTrial, pending, acct, stats, rec); err != nil {
+		if err := runBatchesPipelinedResilient(dev, in, fam, s, o, label, plans, tuplesByTrial, pending, acct, stats, rec); err != nil {
 			return nil, err
 		}
 	} else {
-		for _, plan := range plans {
+		for i, plan := range plans {
+			var end obs.Ending
+			var t0 float64
+			if o.Obs.Enabled() {
+				t0 = dev.HostTime()
+				end = o.Obs.Start(obs.TrackBatches, fmt.Sprintf("%s.b%d", label, i), t0)
+			}
 			if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats, rec, 0); err != nil {
 				return nil, err
+			}
+			if o.Obs.Enabled() {
+				t1 := dev.HostTime()
+				end.End(t1)
+				batchHistogram(o.Obs).Observe(t1 - t0)
 			}
 		}
 	}
@@ -267,7 +290,7 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	} else {
 		out = buildShingleGraph(tuplesByTrial, acct, stats)
 	}
-	dev.AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
+	chargeHost(dev, o.Obs, "split-merge", float64(acct.aggOps-beforeAgg)*AggregateNsPerOp)
 	return out, nil
 }
 
@@ -291,7 +314,7 @@ func runBatch(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int, o Opt
 		hostOff[pi+1] = uint32(len(hostData))
 	}
 	acct.aggOps += int64(len(hostData) + numPieces)
-	dev.AdvanceHost(float64(len(hostData)+numPieces) * AggregateNsPerOp)
+	chargeHost(dev, o.Obs, "stage", float64(len(hostData)+numPieces)*AggregateNsPerOp)
 
 	dataBuf, err := dev.Malloc(len(hostData))
 	if err != nil {
@@ -315,7 +338,7 @@ func runBatch(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int, o Opt
 	processTrial := func(trial int, hostOut []uint32) {
 		before := acct.aggOps
 		emitTrialTuples(in, plan, s, trial, c, hostOut, tuplesByTrial, pending, acct, stats)
-		dev.AdvanceHost(float64(acct.aggOps-before) * AggregateNsPerOp)
+		chargeHost(dev, o.Obs, "aggregate", float64(acct.aggOps-before)*AggregateNsPerOp)
 	}
 
 	switch {

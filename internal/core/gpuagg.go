@@ -173,7 +173,7 @@ func runTrialsGPUAgg(dev *gpusim.Device, in *SegGraph, plan batchPlan, segs thru
 				delete(pending, pc.list)
 			}
 		}
-		dev.AdvanceHost(float64(acct.aggOps-before) * AggregateNsPerOp)
+		chargeHost(dev, o.Obs, "aggregate", float64(acct.aggOps-before)*AggregateNsPerOp)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"gpclust/internal/gpusim"
 	"gpclust/internal/minwise"
 	"gpclust/internal/thrust"
@@ -48,7 +50,7 @@ import (
 // split-list merging happen in the identical order and the clustering is
 // bit-identical.
 func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
-	o Options, plans []batchPlan, tuplesByTrial [][]tuple,
+	o Options, label string, plans []batchPlan, tuplesByTrial [][]tuple,
 	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats) error {
 
 	if len(plans) == 0 {
@@ -79,6 +81,10 @@ func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s
 		batch                        int      // batch resident in data/off (-1: none)
 		plan                         *batchPlan
 		t0, t1                       int // in-flight trial group; plan == nil when idle
+
+		track    string  // observability: this lane's span track
+		spanName string  // in-flight item's span name (recording enabled only)
+		spanT0   float64 // virtual time the in-flight item was enqueued
 	}
 
 	var lanes [2]*pipeLane
@@ -95,7 +101,7 @@ func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s
 		}
 	}
 	for i := range lanes {
-		l := &pipeLane{stream: dev.NewStream(), batch: -1}
+		l := &pipeLane{stream: dev.NewStream(), batch: -1, track: fmt.Sprintf("lane%d", i)}
 		lanes[i] = l
 		var err error
 		if l.data, err = dev.Malloc(maxWords); err == nil {
@@ -128,7 +134,11 @@ func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s
 			row := l.hostOut[(trial-l.t0)*rowWords : (trial-l.t0+1)*rowWords]
 			emitTrialTuples(in, *l.plan, s, trial, c, row, tuplesByTrial, pending, acct, stats)
 		}
-		dev.AdvanceHost(float64(acct.aggOps-before) * AggregateNsPerOp)
+		chargeHost(dev, o.Obs, "aggregate", float64(acct.aggOps-before)*AggregateNsPerOp)
+		if l.spanName != "" {
+			o.Obs.Span(l.track, l.spanName, l.spanT0, dev.HostTime())
+			l.spanName = ""
+		}
 		l.plan = nil
 	}
 
@@ -150,7 +160,7 @@ func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s
 		}
 		hostOff[0] = 0
 		acct.aggOps += int64(len(hostData) + numPieces)
-		dev.AdvanceHost(float64(len(hostData)+numPieces) * AggregateNsPerOp)
+		chargeHost(dev, o.Obs, "stage", float64(len(hostData)+numPieces)*AggregateNsPerOp)
 
 		for t0 := 0; t0 < c; t0 += groupTrials {
 			t1 := min(t0+groupTrials, c)
@@ -188,6 +198,10 @@ func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s
 			}
 			if err := dev.CopyD2HAsync(l.stream, l.hostOut[:(t1-t0)*numPieces*s], l.out, 0); err != nil {
 				return err
+			}
+			if o.Obs.Enabled() {
+				l.spanName = fmt.Sprintf("%s.b%d.t%d-%d", label, k, t0, t1)
+				l.spanT0 = dev.HostTime()
 			}
 			l.plan, l.t0, l.t1 = plan, t0, t1
 		}

@@ -7,6 +7,7 @@ import (
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
+	"gpclust/internal/obs"
 )
 
 // ClusterMultiGPU runs gpClust with the batch stream of Algorithm 2
@@ -42,29 +43,47 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 	acct.diskBytes = graphDiskBytes(g)
 	for _, d := range devs {
 		d.Reset()
-		d.AdvanceHost(acct.diskNs())
 	}
+	// The read span is recorded once (the charge repeats per device only to
+	// align their independent virtual timelines).
+	ph := startPhase(devs[0], o.Obs, obs.NameRead)
+	for i, d := range devs {
+		if i == 0 {
+			chargeHost(d, o.Obs, obs.NameRead, acct.diskNs())
+		} else {
+			d.AdvanceHost(acct.diskNs())
+		}
+	}
+	endPhase(devs[0], ph)
 
 	in := FromGraph(g)
-	gi, err := runPassMultiGPU(devs, in, fam1, o.S1, o, acct, &res.Pass1, &res.Faults)
+	ph = startPhase(devs[0], o.Obs, "shingle-pass1")
+	gi, err := runPassMultiGPU(devs, in, fam1, o.S1, o, "pass1", acct, &res.Pass1, &res.Faults)
+	endPhase(devs[0], ph)
 	if err != nil {
 		return nil, fmt.Errorf("core: first-level shingling: %w", err)
 	}
 
 	beforeAgg := acct.aggOps
+	ph = startPhase(devs[0], o.Obs, "aggregate")
 	pass2In := gi.filterMinLen(o.S2)
 	acct.aggOps += int64(len(gi.Data))
 	res.Pass1.SharedLists = pass2In.NumLists()
-	devs[0].AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
+	chargeHost(devs[0], o.Obs, "aggregate", float64(acct.aggOps-beforeAgg)*AggregateNsPerOp)
+	endPhase(devs[0], ph)
 
-	gii, err := runPassMultiGPU(devs, pass2In, fam2, o.S2, o, acct, &res.Pass2, &res.Faults)
+	ph = startPhase(devs[0], o.Obs, "shingle-pass2")
+	gii, err := runPassMultiGPU(devs, pass2In, fam2, o.S2, o, "pass2", acct, &res.Pass2, &res.Faults)
+	endPhase(devs[0], ph)
 	if err != nil {
 		return nil, fmt.Errorf("core: second-level shingling: %w", err)
 	}
 
 	beforeReport := acct.reportOps
+	ph = startPhase(devs[0], o.Obs, "report")
 	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
-	devs[0].AdvanceHost(float64(acct.reportOps-beforeReport) * ReportNsPerOp)
+	chargeHost(devs[0], o.Obs, "report", float64(acct.reportOps-beforeReport)*ReportNsPerOp)
+	endPhase(devs[0], ph)
 
 	var total float64
 	var t Timings
@@ -86,12 +105,13 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 	for _, d := range devs {
 		assertDeviceClean(d)
 	}
+	recordRunMetrics(o.Obs, res)
 	return res, nil
 }
 
 // runPassMultiGPU is runPassGPU with batches dealt round-robin to devices.
 func runPassMultiGPU(devs []*gpusim.Device, in *SegGraph, fam minwise.Family, s int,
-	o Options, acct *cpuAccount, stats *PassStats, rec *faults.Recovery) (*SegGraph, error) {
+	o Options, label string, acct *cpuAccount, stats *PassStats, rec *faults.Recovery) (*SegGraph, error) {
 
 	stats.Lists = in.NumLists()
 	stats.Elements = int64(len(in.Data))
@@ -141,8 +161,19 @@ func runPassMultiGPU(devs []*gpusim.Device, in *SegGraph, fam minwise.Family, s 
 
 	for i, plan := range plans {
 		dev := devs[i%len(devs)]
+		var end obs.Ending
+		var t0 float64
+		if o.Obs.Enabled() {
+			t0 = dev.HostTime()
+			end = o.Obs.Start(obs.TrackBatches, fmt.Sprintf("%s.b%d.dev%d", label, i, i%len(devs)), t0)
+		}
 		if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial, nil, pending, acct, stats, rec, 0); err != nil {
 			return nil, err
+		}
+		if o.Obs.Enabled() {
+			t1 := dev.HostTime()
+			end.End(t1)
+			batchHistogram(o.Obs).Observe(t1 - t0)
 		}
 	}
 	if len(pending) != 0 {
@@ -151,6 +182,6 @@ func runPassMultiGPU(devs []*gpusim.Device, in *SegGraph, fam minwise.Family, s 
 
 	beforeAgg := acct.aggOps
 	out := buildShingleGraph(tuplesByTrial, acct, stats)
-	devs[0].AdvanceHost(float64(acct.aggOps-beforeAgg) * AggregateNsPerOp)
+	chargeHost(devs[0], o.Obs, "split-merge", float64(acct.aggOps-beforeAgg)*AggregateNsPerOp)
 	return out, nil
 }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"gpclust/internal/gpusim"
+	"gpclust/internal/obs"
+)
+
+// Observability plumbing for the backends. The contract with internal/obs:
+// recording is pure observation — chargeHost advances the virtual clock by
+// exactly what dev.AdvanceHost would have, and every other hook only reads
+// clocks — so a nil recorder yields a bit-identical run.
+
+// chargeHost advances the device's host clock by ns of CPU work and, when a
+// recorder is wired, mirrors the charge as a host-cpu span so the Table-I
+// component split can be regenerated from spans (obs.TableSplit).
+func chargeHost(dev *gpusim.Device, r *obs.Recorder, name string, ns float64) {
+	if r.Enabled() && ns > 0 {
+		t0 := dev.HostTime()
+		dev.AdvanceHost(ns)
+		r.Span(obs.TrackHostCPU, name, t0, t0+ns)
+		return
+	}
+	dev.AdvanceHost(ns)
+}
+
+// startPhase opens a coarse phase span at the device's current virtual
+// time; close it with endPhase. Both are inert on a nil recorder.
+func startPhase(dev *gpusim.Device, r *obs.Recorder, name string) obs.Ending {
+	if !r.Enabled() {
+		return obs.Ending{}
+	}
+	return r.Start(obs.TrackPhases, name, dev.HostTime())
+}
+
+func endPhase(dev *gpusim.Device, e obs.Ending) {
+	e.End(dev.HostTime())
+}
+
+// recoveryInstant marks one fault-recovery action (retry, split, fallback,
+// restart) on the recovery track at the device's current virtual time.
+func recoveryInstant(dev *gpusim.Device, r *obs.Recorder, name string) {
+	if r.Enabled() {
+		r.Instant(obs.TrackRecovery, name, dev.HostTime())
+	}
+}
+
+// recordRunMetrics registers the run's counters from the finished Result —
+// sourcing them from Result itself guarantees the exported metrics match it
+// exactly.
+func recordRunMetrics(r *obs.Recorder, res *Result) {
+	if !r.Enabled() {
+		return
+	}
+	r.Counter("gpclust_tuples",
+		"Shingle tuples emitted across both shingling passes.").
+		Add(res.Pass1.Tuples + res.Pass2.Tuples)
+	r.Counter("gpclust_shingles",
+		"Distinct shingles grouped across both shingling passes.").
+		Add(int64(res.Pass1.Shingles + res.Pass2.Shingles))
+	r.Counter("gpclust_batches",
+		"Device batches scheduled across both shingling passes.").
+		Add(int64(res.Pass1.Batches + res.Pass2.Batches))
+	r.Gauge("gpclust_clusters",
+		"Clusters reported by the most recent run.").
+		Set(float64(res.NumClusters()))
+
+	f := res.Faults
+	r.Counter("gpclust_fault_transfer_retries",
+		"Batches retried after an H2D/D2H transfer fault.").Add(f.TransferRetries)
+	r.Counter("gpclust_fault_kernel_retries",
+		"Batches retried after a kernel-launch fault.").Add(f.KernelRetries)
+	r.Counter("gpclust_fault_oom_retries",
+		"Batches retried after an unsplittable device OOM.").Add(f.OOMRetries)
+	r.Counter("gpclust_fault_oom_splits",
+		"Batches split in half after persistent device OOM.").Add(f.OOMSplits)
+	r.Counter("gpclust_fault_host_fallbacks",
+		"Batches degraded to the bit-identical host path.").Add(f.HostFallbacks)
+	r.Counter("gpclust_fault_pipeline_restarts",
+		"Pipelined passes restarted from a clean slate.").Add(f.Restarts)
+	r.Gauge("gpclust_fault_backoff_ns",
+		"Virtual-clock backoff burned between fault retries.").Set(f.BackoffNs)
+}
+
+// recordHostTimeline reconstructs a host-only backend's spans on a
+// sequential virtual timeline: read, then per pass shingle+aggregate, then
+// report. Host-only backends have no device clock, so the components are
+// laid out end to end — which preserves every component sum and the total,
+// exactly the Timings the backend reports. passes holds per-pass
+// (shingleNs, aggregateNs) deltas.
+func recordHostTimeline(r *obs.Recorder, diskNs float64, passes [2][2]float64, reportNs float64) {
+	if !r.Enabled() {
+		return
+	}
+	cur := 0.0
+	span := func(track, name string, ns float64) {
+		if ns > 0 {
+			r.Span(track, name, cur, cur+ns)
+		}
+		cur += ns
+	}
+	phase := func(name string, from float64) {
+		if cur > from {
+			r.Span(obs.TrackPhases, name, from, cur)
+		}
+	}
+	p0 := cur
+	span(obs.TrackHostCPU, obs.NameRead, diskNs)
+	phase(obs.NameRead, p0)
+	for i, p := range passes {
+		p0 = cur
+		span(obs.TrackHostCPU, obs.NameShingle, p[0])
+		span(obs.TrackHostCPU, "aggregate", p[1])
+		phase(fmt.Sprintf("shingle-pass%d", i+1), p0)
+	}
+	p0 = cur
+	span(obs.TrackHostCPU, "report", reportNs)
+	phase("report", p0)
+}
+
+// batchHistogram returns the per-batch virtual-duration histogram (nil when
+// recording is disabled).
+func batchHistogram(r *obs.Recorder) *obs.Histogram {
+	return r.Histogram("gpclust_batch_virtual_ns",
+		"Virtual-clock duration of one device batch through the resilient ladder.",
+		obs.DefBucketsNs)
+}

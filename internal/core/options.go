@@ -12,6 +12,7 @@ import (
 	"runtime"
 
 	"gpclust/internal/minwise"
+	"gpclust/internal/obs"
 )
 
 // ReportMode selects the Phase III cluster-enumeration strategy
@@ -91,8 +92,27 @@ type Options struct {
 	// injected or transient device fault (failed transfer or launch,
 	// allocation failure) before the driver degrades further — splitting
 	// the batch on persistent OOM, then executing it on the bit-identical
-	// host path. 0 means DefaultFaultRetries; negative disables retries.
+	// host path. The zero value is a sentinel meaning DefaultFaultRetries
+	// (3), NOT zero retries; a negative value is the explicit
+	// library-level way to disable retries entirely. The CLIs reject
+	// negative -retries so the sentinel cannot be hit by accident from the
+	// command line.
 	FaultRetries int
+
+	// RetryBackoffNs is the base virtual-clock delay between fault
+	// retries: attempt k waits RetryBackoffNs·2^k simulated nanoseconds.
+	// 0 means DefaultRetryBackoffNs. (Formerly a mutable package variable,
+	// which raced when backends ran concurrently and leaked configuration
+	// across runs — a §6 determinism-contract hole.)
+	RetryBackoffNs float64
+
+	// Obs, when non-nil, records the run into the observability layer:
+	// host phase spans, per-charge host-cpu spans, per-batch and per-lane
+	// device scheduling spans, fault-recovery instants, and the run's
+	// counters (tuples, batches, fault recovery). Recording only observes
+	// virtual times the cost model already produced — a run with a nil
+	// recorder is bit-identical in output and virtual cost.
+	Obs *obs.Recorder
 
 	// NoHostFallback disables the last-resort host execution of a batch
 	// whose retry budget is exhausted: the run then fails with an error
@@ -140,6 +160,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("core: negative Workers %d", o.Workers)
+	}
+	if o.RetryBackoffNs < 0 {
+		return fmt.Errorf("core: negative RetryBackoffNs %g", o.RetryBackoffNs)
 	}
 	if o.PipelineBatches && o.GPUAggregate {
 		return fmt.Errorf("core: PipelineBatches is incompatible with GPUAggregate")

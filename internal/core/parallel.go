@@ -41,6 +41,11 @@ func ClusterParallel(g *graph.Graph, o Options) (*Result, error) {
 	gi := runPassParallel(in, fam1, o.S1, workers, accts, &res.Pass1)
 	res.Pass1.Batches = 1
 	res.Wall.Pass1Ns = sw.lap()
+	var s1, a1 float64
+	for w := range accts {
+		s1 = max(s1, accts[w].serialNs())
+		a1 = max(a1, accts[w].aggNs())
+	}
 
 	pass2In := gi.filterMinLen(o.S2)
 	res.Pass1.SharedLists = pass2In.NumLists()
@@ -70,6 +75,9 @@ func ClusterParallel(g *graph.Graph, o Options) (*Result, error) {
 		DiskIONs:  diskNs,
 		TotalNs:   shingleNs + aggNs + reportNs + diskNs,
 	}
+	recordHostTimeline(o.Obs, diskNs,
+		[2][2]float64{{s1, a1}, {shingleNs - s1, aggNs - a1}}, reportNs)
+	recordRunMetrics(o.Obs, res)
 	return res, nil
 }
 

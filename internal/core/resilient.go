@@ -7,6 +7,7 @@ import (
 	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/minwise"
+	"gpclust/internal/obs"
 	"gpclust/internal/thrust"
 )
 
@@ -31,10 +32,18 @@ const DefaultFaultRetries = 3
 // 32-bit workload with slack.
 const maxSplitDepth = 40
 
-// RetryBackoffNs is the base virtual-clock delay between fault retries;
-// attempt k waits RetryBackoffNs·2^(k-1) simulated nanoseconds. A variable
-// so the experiment harness can expose it.
-var RetryBackoffNs = 2e6
+// DefaultRetryBackoffNs is the base virtual-clock delay between fault
+// retries used when Options.RetryBackoffNs is zero; attempt k waits
+// base·2^k simulated nanoseconds.
+const DefaultRetryBackoffNs = 2e6
+
+// retryBackoff resolves Options.RetryBackoffNs to the concrete base delay.
+func (o Options) retryBackoff() float64 {
+	if o.RetryBackoffNs > 0 {
+		return o.RetryBackoffNs
+	}
+	return DefaultRetryBackoffNs
+}
 
 // ErrRetryBudget is wrapped by batch errors returned once the fault-retry
 // budget is exhausted and host fallback is disabled.
@@ -177,13 +186,16 @@ func runBatchResilient(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s i
 			switch {
 			case errors.Is(err, gpusim.ErrTransferFault):
 				rec.TransferRetries++
+				recoveryInstant(dev, o.Obs, "retry:transfer")
 			case errors.Is(err, gpusim.ErrLaunchFault):
 				rec.KernelRetries++
+				recoveryInstant(dev, o.Obs, "retry:kernel")
 			default:
 				rec.OOMRetries++
+				recoveryInstant(dev, o.Obs, "retry:oom")
 			}
-			backoff := RetryBackoffNs * float64(int64(1)<<attempt)
-			dev.AdvanceHost(backoff)
+			backoff := o.retryBackoff() * float64(int64(1)<<attempt)
+			chargeHost(dev, o.Obs, obs.NameBackoff, backoff)
 			rec.BackoffNs += backoff
 			continue
 		}
@@ -192,6 +204,7 @@ func runBatchResilient(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s i
 		if errors.Is(err, gpusim.ErrOutOfDeviceMemory) && depth < maxSplitDepth {
 			if left, right, ok := splitBatchPlan(plan); ok {
 				rec.OOMSplits++
+				recoveryInstant(dev, o.Obs, "oom-split")
 				if err := runBatchResilient(dev, in, fam, s, o, left, tuplesByTrial,
 					sortedByTrial, pending, acct, stats, rec, depth+1); err != nil {
 					return err
@@ -205,7 +218,8 @@ func runBatchResilient(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s i
 				len(plan.pieces), budget, ErrRetryBudget, err)
 		}
 		rec.HostFallbacks++
-		runBatchHost(dev, in, fam, s, plan, tuplesByTrial, sortedByTrial, pending, acct, stats)
+		recoveryInstant(dev, o.Obs, "host-fallback")
+		runBatchHost(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats)
 		return nil
 	}
 }
@@ -261,7 +275,7 @@ func hostTopS(src []uint32, s int, dst []uint32) {
 // through the same aggregation code. It cannot fail, which makes it the
 // recovery ladder's last resort; its cost is charged at the serial
 // backend's shingling price (this is 2008-era host shingling).
-func runBatchHost(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
+func runBatchHost(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int, o Options,
 	plan batchPlan, tuplesByTrial [][]tuple, sortedByTrial [][][]tuple,
 	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats) {
 
@@ -289,10 +303,10 @@ func runBatchHost(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 		} else {
 			emitTrialTuples(in, plan, s, trial, c, hostOut, tuplesByTrial, pending, acct, stats)
 		}
-		dev.AdvanceHost(float64(acct.aggOps-before) * AggregateNsPerOp)
+		chargeHost(dev, o.Obs, "aggregate", float64(acct.aggOps-before)*AggregateNsPerOp)
 	}
 	acct.serialOps += shingleOps
-	dev.AdvanceHost(float64(shingleOps) * SerialShingleNsPerOp)
+	chargeHost(dev, o.Obs, obs.NameShingle, float64(shingleOps)*SerialShingleNsPerOp)
 }
 
 // emitTrialAggHost is the GPUAggregate-mode twin of emitTrialTuples for
@@ -361,7 +375,7 @@ type passSnapshot struct {
 // back to the host, so it completes whenever recovery is possible at all.
 // pending must be empty at entry (it is: the pass is the first writer).
 func runBatchesPipelinedResilient(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
-	o Options, plans []batchPlan, tuplesByTrial [][]tuple,
+	o Options, label string, plans []batchPlan, tuplesByTrial [][]tuple,
 	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats,
 	rec *faults.Recovery) error {
 
@@ -379,7 +393,7 @@ func runBatchesPipelinedResilient(dev *gpusim.Device, in *SegGraph, fam minwise.
 
 	budget := o.retryBudget()
 	for attempt := 0; ; attempt++ {
-		err := runBatchesPipelined(dev, in, fam, s, o, plans, tuplesByTrial, pending, acct, stats)
+		err := runBatchesPipelined(dev, in, fam, s, o, label, plans, tuplesByTrial, pending, acct, stats)
 		if err == nil {
 			return nil
 		}
@@ -390,6 +404,7 @@ func runBatchesPipelinedResilient(dev *gpusim.Device, in *SegGraph, fam minwise.
 		if attempt >= budget {
 			// Degrade to the sequential per-batch ladder for the whole pass.
 			rec.Restarts++
+			recoveryInstant(dev, o.Obs, "degrade-sequential")
 			for _, plan := range plans {
 				if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial,
 					nil, pending, acct, stats, rec, 0); err != nil {
@@ -399,8 +414,9 @@ func runBatchesPipelinedResilient(dev *gpusim.Device, in *SegGraph, fam minwise.
 			return nil
 		}
 		rec.Restarts++
-		backoff := RetryBackoffNs * float64(int64(1)<<attempt)
-		dev.AdvanceHost(backoff)
+		recoveryInstant(dev, o.Obs, "restart")
+		backoff := o.retryBackoff() * float64(int64(1)<<attempt)
+		chargeHost(dev, o.Obs, obs.NameBackoff, backoff)
 		rec.BackoffNs += backoff
 	}
 }

@@ -25,6 +25,7 @@ func ClusterSerial(g *graph.Graph, o Options) (*Result, error) {
 	gi := runPassSerial(in, fam1, o.S1, acct, &res.Pass1)
 	res.Pass1.Batches = 1
 	res.Wall.Pass1Ns = sw.lap()
+	s1, a1 := acct.serialNs(), acct.aggNs()
 
 	pass2In := gi.filterMinLen(o.S2)
 	res.Pass1.SharedLists = pass2In.NumLists()
@@ -44,6 +45,9 @@ func ClusterSerial(g *graph.Graph, o Options) (*Result, error) {
 		DiskIONs:  acct.diskNs(),
 		TotalNs:   shingleNs + cpuNs + acct.diskNs(),
 	}
+	recordHostTimeline(o.Obs, acct.diskNs(),
+		[2][2]float64{{s1, a1}, {shingleNs - s1, acct.aggNs() - a1}}, acct.reportNs())
+	recordRunMetrics(o.Obs, res)
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"gpclust/internal/gpusim"
+	"gpclust/internal/obs"
 )
 
 // Injector is the schedule-driven gpusim.FaultInjector. It keeps one
@@ -20,6 +21,7 @@ type Injector struct {
 	seen [gpusim.NumFaultKinds]int64 // consultations per kind
 	hits [gpusim.NumFaultKinds]int64 // faults fired per kind
 	evs  []eventState
+	rec  *obs.Recorder // nil: no recording
 }
 
 // eventState is one event plus its arming state: for at= events, the
@@ -45,6 +47,15 @@ func NewInjector(s Schedule) *Injector {
 		inj.evs[i] = eventState{ev: ev}
 	}
 	return inj
+}
+
+// SetRecorder wires an observability recorder: every fired fault is marked
+// as an instant on the faults track at its virtual firing time, and counted
+// in the gpclust_faults_injected counter. Call before the run starts.
+func (inj *Injector) SetRecorder(r *obs.Recorder) {
+	inj.mu.Lock()
+	inj.rec = r
+	inj.mu.Unlock()
 }
 
 // Decide implements gpusim.FaultInjector.
@@ -85,6 +96,13 @@ func (inj *Injector) Decide(kind gpusim.FaultKind, nowNs float64) gpusim.FaultDe
 	}
 	if dec.Fail || dec.Slow > 1 {
 		inj.hits[kind]++
+		if inj.rec.Enabled() {
+			// obs never calls back into faults, so recording under inj.mu
+			// cannot deadlock.
+			inj.rec.Instant(obs.TrackFaults, "fault:"+kind.String(), nowNs)
+			inj.rec.Counter("gpclust_faults_injected",
+				"Faults the injector fired (including slow-SM spikes).").Inc()
+		}
 	}
 	return dec
 }

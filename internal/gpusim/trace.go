@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Timeline tracing: the device can record every kernel and transfer as an
@@ -57,11 +58,26 @@ type chromeEvent struct {
 }
 
 // WriteChromeTrace exports the trace as a Chrome/Perfetto trace JSON file:
-// one thread row per engine (compute, copy, host).
+// one thread row per engine (compute, copy, host). Events are exported
+// sorted by (StartNs, Track, Name) — the recorded order interleaves
+// nondeterministically when concurrent pipeline lanes enqueue — and an
+// empty trace still serializes as an empty array (a nil slice would marshal
+// to null, which Perfetto rejects).
 func (d *Device) WriteChromeTrace(w io.Writer) error {
 	tracks := map[string]int{"host": 0, "compute": 1, "copy": 2}
-	var events []chromeEvent
-	for _, e := range d.Trace() {
+	trace := d.Trace()
+	sort.SliceStable(trace, func(i, j int) bool {
+		a, b := trace[i], trace[j]
+		if a.StartNs != b.StartNs {
+			return a.StartNs < b.StartNs
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Name < b.Name
+	})
+	events := make([]chromeEvent, 0, len(trace))
+	for _, e := range trace {
 		tid, ok := tracks[e.Track]
 		if !ok {
 			return fmt.Errorf("gpusim: unknown trace track %q", e.Track)

@@ -53,6 +53,8 @@ func DefaultConfig() *Config {
 			"lint/testdata/src/globalrand/generator",
 		},
 		WallclockAllow: []FuncAllow{
+			{PkgSuffix: "internal/obs", Func: "nowWall"},
+			{PkgSuffix: "internal/obs", Func: "sinceWall"},
 			{PkgSuffix: "internal/core", Func: "newStopwatch"},
 			{PkgSuffix: "internal/core", Func: "stopwatch.lap"},
 			{PkgSuffix: "internal/core", Func: "stopwatch.total"},

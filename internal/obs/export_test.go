@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpclust/internal/gpusim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// goldenRecorder builds a fixed recorder + device timeline; every export
+// golden derives from it, so the files pin the exact wire formats.
+func goldenRecorder() (*Recorder, []DeviceTimeline) {
+	r := New()
+	r.Span(TrackPhases, "read", 0, 40)
+	r.Span(TrackHostCPU, NameRead, 0, 40)
+	r.Span(TrackPhases, "shingle-pass1", 40, 200)
+	r.Span(TrackBatches, "pass1.b0", 40, 120)
+	r.Span(TrackBatches, "pass1.b1", 120, 200)
+	r.Span(TrackHostCPU, "aggregate", 200, 230)
+	r.Instant(TrackFaults, "fault:h2d", 60)
+	r.Instant(TrackRecovery, "retry:transfer", 61)
+
+	r.Counter("gpclust_tuples", "Shingle tuples emitted.").Add(1234)
+	r.Counter("gpclust_batches", "Device batches run.").Add(2)
+	r.Gauge("gpclust_clusters", "Clusters in the final partition.").Set(17)
+	h := r.Histogram("gpclust_batch_virtual_ns", "Per-batch virtual duration.", []float64{50, 100})
+	h.Observe(80)
+	h.Observe(80)
+	h.Observe(400)
+
+	devs := []DeviceTimeline{{Name: "device0", Events: []gpusim.TraceEvent{
+		{Name: "H2D", Track: "copy", StartNs: 45, EndNs: 55},
+		{Name: "minhash", Track: "compute", StartNs: 55, EndNs: 110},
+		{Name: "D2H", Track: "copy", StartNs: 110, EndNs: 118},
+		{Name: "host-work", Track: "host", StartNs: 0, EndNs: 40},
+	}}}
+	return r, devs
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestWriteOpenMetricsGolden pins the OpenMetrics text format byte-for-byte.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	r, _ := goldenRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden", buf.Bytes())
+}
+
+// TestWriteMergedTraceGolden pins the merged Chrome-trace JSON byte-for-byte,
+// and double-checks it parses with a non-null traceEvents array.
+func TestWriteMergedTraceGolden(t *testing.T) {
+	r, devs := goldenRecorder()
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, r, devs); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.golden", buf.Bytes())
+	assertTraceParses(t, buf.Bytes(), 8+4) // 8 host spans/instants + 4 device events
+}
+
+// TestWriteMergedTraceEmpty guards the traceEvents-never-null contract on the
+// fully empty merge (nil recorder, no devices).
+func TestWriteMergedTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"traceEvents":null`)) {
+		t.Fatalf("empty merge serialized null traceEvents: %s", buf.Bytes())
+	}
+	assertTraceParses(t, buf.Bytes(), 0)
+}
+
+// TestWriteOpenMetricsNil: a nil recorder still emits a valid document.
+func TestWriteOpenMetricsNil(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "# EOF\n" {
+		t.Fatalf("nil recorder export = %q", buf.String())
+	}
+}
+
+// assertTraceParses decodes trace JSON and checks traceEvents is a present,
+// non-null array holding at least n non-metadata events.
+func assertTraceParses(t *testing.T, data []byte, n int) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("traceEvents is null or absent")
+	}
+	events := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "M" {
+			events++
+		}
+	}
+	if events < n {
+		t.Fatalf("trace has %d non-metadata events, want >= %d", events, n)
+	}
+}
+
+// TestMergedTraceDistinctTracks asserts the acceptance criterion that host
+// phases, batch lanes and fault instants land on distinct thread rows.
+func TestMergedTraceDistinctTracks(t *testing.T) {
+	r, devs := goldenRecorder()
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, r, devs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[string]map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" || ev.Pid != hostPid {
+			continue
+		}
+		if tids[ev.Cat] == nil {
+			tids[ev.Cat] = map[int]bool{}
+		}
+		tids[ev.Cat][ev.Tid] = true
+	}
+	for _, track := range []string{TrackPhases, TrackBatches, TrackFaults, TrackRecovery, TrackHostCPU} {
+		if len(tids[track]) != 1 {
+			t.Fatalf("track %q mapped to %d host tids, want exactly 1 (%v)", track, len(tids[track]), tids)
+		}
+	}
+	seen := map[int]string{}
+	for track, m := range tids {
+		for tid := range m {
+			if other, dup := seen[tid]; dup {
+				t.Fatalf("tracks %q and %q share host tid %d", track, other, tid)
+			}
+			seen[tid] = track
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry: named counter/gauge/histogram families registered on
+// a Recorder and exported in the OpenMetrics text format. Families are
+// created on first use and returned on every later request with the same
+// name; a name requested with a different kind returns nil, which — like
+// every instrument here — is safe to use and does nothing.
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n; nil counters ignore it.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v; nil gauges ignore it.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: bounds are the inclusive upper
+// bucket bounds, ascending; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	total  int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.counts[sort.SearchFloat64s(h.bounds, v)]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// DefBucketsNs is the default bucket layout for virtual-clock durations:
+// 0.1ms to 10s in roughly 1-3-10 steps.
+var DefBucketsNs = []float64{1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10}
+
+// family is one registered metric of a single kind.
+type family struct {
+	name string
+	help string
+	kind string // "counter", "gauge" or "histogram"
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// lookup returns the named family, creating it on first use. It returns nil
+// on a nil recorder or a kind clash.
+func (r *Recorder) lookup(name, help, kind string) *family {
+	if r == nil {
+		return nil
+	}
+	r.mmu.Lock()
+	defer r.mmu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			return nil
+		}
+		return f
+	}
+	if r.byName == nil {
+		r.byName = make(map[string]*family)
+	}
+	f := &family{name: name, help: help, kind: kind}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Recorder) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, "counter")
+	if f == nil {
+		return nil
+	}
+	if f.c == nil {
+		f.c = &Counter{}
+	}
+	return f.c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Recorder) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, "gauge")
+	if f == nil {
+		return nil
+	}
+	if f.g == nil {
+		f.g = &Gauge{}
+	}
+	return f.g
+}
+
+// Histogram returns (registering on first use) the named histogram; bounds
+// apply only on first registration and must be ascending.
+func (r *Recorder) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.lookup(name, help, "histogram")
+	if f == nil {
+		return nil
+	}
+	if f.h == nil {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		f.h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+	}
+	return f.h
+}
+
+// WriteOpenMetrics exports every registered family in the OpenMetrics text
+// exposition format, sorted by family name, terminated by "# EOF". Counter
+// families named X expose their sample as X_total. A nil recorder exports
+// an empty (but valid) document.
+func (r *Recorder) WriteOpenMetrics(w io.Writer) error {
+	var buf bytes.Buffer
+	if r != nil {
+		r.mmu.Lock()
+		fams := make([]*family, len(r.families))
+		copy(fams, r.families)
+		r.mmu.Unlock()
+		sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+		for _, f := range fams {
+			f.write(&buf)
+		}
+	}
+	buf.WriteString("# EOF\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func (f *family) write(buf *bytes.Buffer) {
+	if f.help != "" {
+		buf.WriteString("# HELP " + f.name + " " + f.help + "\n")
+	}
+	buf.WriteString("# TYPE " + f.name + " " + f.kind + "\n")
+	switch f.kind {
+	case "counter":
+		buf.WriteString(f.name + "_total " + strconv.FormatInt(f.c.Value(), 10) + "\n")
+	case "gauge":
+		buf.WriteString(f.name + " " + formatFloat(f.g.Value()) + "\n")
+	case "histogram":
+		h := f.h
+		h.mu.Lock()
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			buf.WriteString(f.name + `_bucket{le="` + formatFloat(b) + `"} ` +
+				strconv.FormatInt(cum, 10) + "\n")
+		}
+		cum += h.counts[len(h.bounds)]
+		buf.WriteString(f.name + `_bucket{le="+Inf"} ` + strconv.FormatInt(cum, 10) + "\n")
+		buf.WriteString(f.name + "_sum " + formatFloat(h.sum) + "\n")
+		buf.WriteString(f.name + "_count " + strconv.FormatInt(h.total, 10) + "\n")
+		h.mu.Unlock()
+	}
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

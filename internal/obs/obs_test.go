@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"testing"
+
+	"gpclust/internal/gpusim"
+)
+
+// TestNilRecorderNoOp pins the nil-safety contract: every method of a nil
+// recorder (and the instruments it hands out) must be a silent no-op, so the
+// pipelines can thread a recorder unconditionally.
+func TestNilRecorderNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+	r.Span(TrackPhases, "x", 0, 1)
+	r.Instant(TrackFaults, "x", 0)
+	e := r.Start(TrackPhases, "x", 0)
+	e.End(1)
+	if got := r.Spans(); got != nil {
+		t.Fatalf("nil recorder returned spans: %v", got)
+	}
+	if got := r.Instants(); got != nil {
+		t.Fatalf("nil recorder returned instants: %v", got)
+	}
+	r.Counter("c", "h").Inc()
+	r.Counter("c", "h").Add(5)
+	if v := r.Counter("c", "h").Value(); v != 0 {
+		t.Fatalf("nil counter value %d", v)
+	}
+	r.Gauge("g", "h").Set(3)
+	if v := r.Gauge("g", "h").Value(); v != 0 {
+		t.Fatalf("nil gauge value %g", v)
+	}
+	h := r.Histogram("h", "h", DefBucketsNs)
+	h.Observe(1)
+	if v := h.Count(); v != 0 {
+		t.Fatalf("nil histogram count %d", v)
+	}
+}
+
+// TestNilRecorderZeroAlloc asserts the disabled path costs nothing: a nil
+// recorder's hot-path methods allocate zero bytes, so leaving Obs unset in
+// Options is genuinely free.
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Span(TrackHostCPU, "stage", 0, 1)
+		r.Instant(TrackRecovery, "retry", 0)
+		r.Start(TrackPhases, "p", 0).End(1)
+		c.Add(1)
+		g.Set(2)
+		h.Observe(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder hot path allocates %.1f times per run", allocs)
+	}
+}
+
+// TestRecorderSpansAndInstants covers the live recording path, including the
+// record-order copy semantics of the accessors.
+func TestRecorderSpansAndInstants(t *testing.T) {
+	r := New()
+	if !r.Enabled() {
+		t.Fatal("live recorder not Enabled")
+	}
+	r.Span(TrackHostCPU, NameRead, 0, 100)
+	r.Instant(TrackFaults, "fault:h2d", 50)
+	e := r.Start(TrackPhases, "shingle-pass1", 100)
+	e.End(300)
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0] != (Span{Track: TrackHostCPU, Name: NameRead, StartNs: 0, EndNs: 100}) {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Name != "shingle-pass1" || spans[1].StartNs != 100 || spans[1].EndNs != 300 {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+	if spans[1].WallNs < 0 {
+		t.Fatalf("Start/End span has negative wall time %d", spans[1].WallNs)
+	}
+	insts := r.Instants()
+	if len(insts) != 1 || insts[0] != (Instant{Track: TrackFaults, Name: "fault:h2d", AtNs: 50}) {
+		t.Fatalf("instants = %+v", insts)
+	}
+
+	// Accessors return copies: mutating them must not corrupt the recorder.
+	spans[0].Name = "clobbered"
+	if r.Spans()[0].Name != NameRead {
+		t.Fatal("Spans returned a live reference")
+	}
+}
+
+// TestMetricsRegistry covers counter/gauge/histogram registration semantics:
+// same-name reuse, kind clashes and bucket assignment.
+func TestMetricsRegistry(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs", "requests")
+	c.Inc()
+	r.Counter("reqs", "requests").Add(4)
+	if v := c.Value(); v != 5 {
+		t.Fatalf("counter = %d, want 5", v)
+	}
+	if r.Gauge("reqs", "clash") != nil {
+		t.Fatal("kind clash did not return nil")
+	}
+	g := r.Gauge("temp", "temperature")
+	g.Set(1.5)
+	g.Set(-2.5)
+	if v := g.Value(); v != -2.5 {
+		t.Fatalf("gauge = %g, want -2.5", v)
+	}
+	h := r.Histogram("lat", "latency", []float64{10, 100})
+	for _, v := range []float64{5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	if n := h.Count(); n != 4 {
+		t.Fatalf("histogram count = %d, want 4", n)
+	}
+	// Second registration keeps the first bounds.
+	if h2 := r.Histogram("lat", "latency", []float64{1}); h2 != h {
+		t.Fatal("re-registration returned a different histogram")
+	}
+}
+
+// TestTableSplit reconstructs the Table-I component breakdown from synthetic
+// spans and a synthetic device timeline.
+func TestTableSplit(t *testing.T) {
+	spans := []Span{
+		{Track: TrackHostCPU, Name: NameRead, StartNs: 0, EndNs: 40},
+		{Track: TrackHostCPU, Name: NameShingle, StartNs: 40, EndNs: 100},
+		{Track: TrackHostCPU, Name: "aggregate", StartNs: 100, EndNs: 130},
+		{Track: TrackHostCPU, Name: NameBackoff, StartNs: 130, EndNs: 150},
+		{Track: TrackPhases, Name: "report", StartNs: 150, EndNs: 400}, // not host-cpu: total only
+	}
+	devs := []DeviceTimeline{{Name: "device0", Events: []gpusim.TraceEvent{
+		{Name: "k", Track: "compute", StartNs: 100, EndNs: 160},
+		{Name: "H2D", Track: "copy", StartNs: 90, EndNs: 100},
+		{Name: "D2H", Track: "copy", StartNs: 160, EndNs: 175},
+		{Name: "host-work", Track: "host", StartNs: 0, EndNs: 10},
+	}}}
+	sp := TableSplit(spans, devs)
+	want := Split{ShingleNs: 60, CPUNs: 30, GPUNs: 60, H2DNs: 10, D2HNs: 15, DiskIONs: 40, TotalNs: 400}
+	if sp != want {
+		t.Fatalf("TableSplit = %+v, want %+v", sp, want)
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+// Split is a Table-I-style component breakdown regenerated from recorded
+// spans and device timelines instead of the backends' ad-hoc accumulators:
+// every virtual-clock charge the pipelines make is also recorded as a span
+// on TrackHostCPU, so summing spans by name reconstructs the CPU columns,
+// and the device timelines carry the GPU/transfer columns directly.
+type Split struct {
+	ShingleNs float64 // host-cpu "shingle" spans
+	CPUNs     float64 // every other host-cpu span except read/backoff
+	GPUNs     float64 // device compute-track events
+	H2DNs     float64 // device copy-track H2D events
+	D2HNs     float64 // device copy-track D2H events
+	DiskIONs  float64 // host-cpu "read" spans
+	TotalNs   float64 // latest end across all spans and device events
+}
+
+// TableSplit derives the component breakdown from the given spans and
+// device timelines. Backoff spans (fault-retry stalls) extend TotalNs but
+// belong to no component, matching the accumulator-based Timings.
+func TableSplit(spans []Span, devs []DeviceTimeline) Split {
+	var sp Split
+	for _, s := range spans {
+		if s.EndNs > sp.TotalNs {
+			sp.TotalNs = s.EndNs
+		}
+		if s.Track != TrackHostCPU {
+			continue
+		}
+		d := s.EndNs - s.StartNs
+		switch s.Name {
+		case NameRead:
+			sp.DiskIONs += d
+		case NameShingle:
+			sp.ShingleNs += d
+		case NameBackoff:
+			// stalls: total time only
+		default:
+			sp.CPUNs += d
+		}
+	}
+	for _, dev := range devs {
+		for _, e := range dev.Events {
+			if e.EndNs > sp.TotalNs {
+				sp.TotalNs = e.EndNs
+			}
+			switch e.Track {
+			case "compute":
+				sp.GPUNs += e.EndNs - e.StartNs
+			case "copy":
+				if e.Name == "D2H" {
+					sp.D2HNs += e.EndNs - e.StartNs
+				} else {
+					sp.H2DNs += e.EndNs - e.StartNs
+				}
+			}
+		}
+	}
+	return sp
+}

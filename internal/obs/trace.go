@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gpclust/internal/gpusim"
+)
+
+// The merged Chrome-trace exporter: host spans and instants from a Recorder
+// plus any number of gpusim device timelines land in one Perfetto-loadable
+// JSON file. Track/pid assignment is stable: the host is always pid 1 with
+// one thread row per span track (sorted by track name), and device i is
+// pid 2+i with the fixed gpusim engine rows (host=0, compute=1, copy=2).
+// Events are sorted by (timestamp, pid, tid, name), so the export is a
+// deterministic function of the recorded data regardless of the order
+// concurrent lanes appended it.
+
+// DeviceTimeline is one device's recorded trace, named for the process row
+// it becomes in the merged file.
+type DeviceTimeline struct {
+	Name   string
+	Events []gpusim.TraceEvent
+}
+
+// traceEvent is the Chrome trace format's event record: "X" complete events
+// for spans, "i" instants, "M" metadata naming processes and threads.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// hostPid is the merged file's host process id; device i gets hostPid+1+i.
+const hostPid = 1
+
+// deviceTrackTid maps a gpusim track to its fixed thread row.
+func deviceTrackTid(track string) (int, error) {
+	switch track {
+	case "host":
+		return 0, nil
+	case "compute":
+		return 1, nil
+	case "copy":
+		return 2, nil
+	}
+	return 0, fmt.Errorf("obs: unknown device trace track %q", track)
+}
+
+// WriteMergedTrace writes the combined timeline of the recorder's spans and
+// instants plus the device timelines as Chrome trace JSON (load it in
+// ui.perfetto.dev or chrome://tracing). A nil recorder contributes nothing;
+// an entirely empty merge still produces a valid file with an empty — never
+// null — traceEvents array.
+func WriteMergedTrace(w io.Writer, r *Recorder, devs []DeviceTimeline) error {
+	spans := r.Spans()
+	insts := r.Instants()
+
+	// Stable host thread rows: distinct track names, sorted.
+	seen := make(map[string]bool)
+	var tracks []string
+	for _, s := range spans {
+		if !seen[s.Track] {
+			seen[s.Track] = true
+			tracks = append(tracks, s.Track)
+		}
+	}
+	for _, in := range insts {
+		if !seen[in.Track] {
+			seen[in.Track] = true
+			tracks = append(tracks, in.Track)
+		}
+	}
+	sort.Strings(tracks)
+	tid := make(map[string]int, len(tracks))
+	for i, t := range tracks {
+		tid[t] = i + 1
+	}
+
+	meta := make([]traceEvent, 0, 2+len(tracks)+4*len(devs))
+	nameMeta := func(ph string, pid, t int, name string) {
+		meta = append(meta, traceEvent{
+			Name: ph, Ph: "M", Pid: pid, Tid: t,
+			Args: map[string]any{"name": name},
+		})
+	}
+	if len(tracks) > 0 {
+		nameMeta("process_name", hostPid, 0, "host")
+		for _, t := range tracks {
+			nameMeta("thread_name", hostPid, tid[t], t)
+		}
+	}
+	for i, d := range devs {
+		pid := hostPid + 1 + i
+		name := d.Name
+		if name == "" {
+			name = fmt.Sprintf("device%d", i)
+		}
+		nameMeta("process_name", pid, 0, name)
+		for _, tr := range []string{"host", "compute", "copy"} {
+			t, err := deviceTrackTid(tr)
+			if err != nil {
+				return err
+			}
+			nameMeta("thread_name", pid, t, tr)
+		}
+	}
+
+	events := make([]traceEvent, 0, len(spans)+len(insts))
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: s.Name, Cat: s.Track, Ph: "X",
+			Ts: s.StartNs / 1000, Dur: (s.EndNs - s.StartNs) / 1000,
+			Pid: hostPid, Tid: tid[s.Track],
+		}
+		if s.WallNs > 0 {
+			ev.Args = map[string]any{"wall_ns": s.WallNs}
+		}
+		events = append(events, ev)
+	}
+	for _, in := range insts {
+		events = append(events, traceEvent{
+			Name: in.Name, Cat: in.Track, Ph: "i", S: "t",
+			Ts: in.AtNs / 1000, Pid: hostPid, Tid: tid[in.Track],
+		})
+	}
+	for i, d := range devs {
+		pid := hostPid + 1 + i
+		for _, e := range d.Events {
+			t, err := deviceTrackTid(e.Track)
+			if err != nil {
+				return err
+			}
+			events = append(events, traceEvent{
+				Name: e.Name, Cat: e.Track, Ph: "X",
+				Ts: e.StartNs / 1000, Dur: (e.EndNs - e.StartNs) / 1000,
+				Pid: pid, Tid: t,
+			})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Name < b.Name
+	})
+
+	all := make([]traceEvent, 0, len(meta)+len(events))
+	all = append(all, meta...)
+	all = append(all, events...)
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(map[string]any{
+		"traceEvents":     all,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]string{
+			"note": "virtual-clock timelines merged by internal/obs",
+		},
+	}); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

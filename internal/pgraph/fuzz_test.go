@@ -41,6 +41,7 @@ func FuzzSWBatch(f *testing.F) {
 		}
 		enc := encodeSeqs(seqs)
 		prm := align.DefaultParams()
+		cfg := Config{Align: prm}
 
 		for _, bin := range []bool{true, false} {
 			order := binPairs(enc, pairs, bin)
@@ -53,12 +54,12 @@ func FuzzSWBatch(f *testing.F) {
 			}
 			devSeq := gpusim.MustNew(gpusim.SmallConfig())
 			got := make([]int32, len(pairs))
-			if err := runSWBatchesSequential(devSeq, plans, enc, pairs, order, prm, got); err != nil {
+			if err := runSWBatchesSequential(devSeq, plans, enc, pairs, order, cfg, got); err != nil {
 				t.Fatal(err)
 			}
 			devPipe := gpusim.MustNew(gpusim.SmallConfig())
 			gotPipe := make([]int32, len(pairs))
-			if err := runSWBatchesPipelined(devPipe, plans, enc, pairs, order, prm, gotPipe); err != nil {
+			if err := runSWBatchesPipelined(devPipe, plans, enc, pairs, order, cfg, gotPipe); err != nil {
 				t.Fatal(err)
 			}
 			for k, idx := range order {

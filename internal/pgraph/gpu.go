@@ -7,6 +7,7 @@ import (
 	"gpclust/internal/align"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
+	"gpclust/internal/obs"
 	"gpclust/internal/seq"
 	"gpclust/internal/thrust"
 )
@@ -182,18 +183,19 @@ func packSWBatch(p swBatch, enc [][]byte, pairs []pairKey, order []int, data []u
 
 // swLaunchConfig maps a packed batch onto the single-buffer layout the
 // kernel expects.
-func swLaunchConfig(p swBatch, prm align.Params) thrust.SWConfig {
+func swLaunchConfig(p swBatch, cfg Config) thrust.SWConfig {
 	np := p.hi - p.lo
 	return thrust.SWConfig{
 		NumPairs:  np,
 		Alphabet:  align.AlphabetSize,
-		GapOpen:   int32(prm.GapOpen),
-		GapExtend: int32(prm.GapExtend),
+		GapOpen:   int32(cfg.Align.GapOpen),
+		GapExtend: int32(cfg.Align.GapExtend),
 		TableBase: 0,
 		PairBase:  swTableLen,
 		SeqBase:   swTableLen + 4*np,
 		SeqWords:  p.seqWords,
 		ScoreBase: swTableLen + p.dataWords(),
+		Obs:       cfg.Obs,
 	}
 }
 
@@ -201,12 +203,12 @@ func swLaunchConfig(p swBatch, prm align.Params) thrust.SWConfig {
 // batch, allocate, upload the table and the staging image, launch, read the
 // scores back, free. Every step stalls the host (the paper's mode).
 func runSWBatchesSequential(dev *gpusim.Device, plans []swBatch, enc [][]byte,
-	pairs []pairKey, order []int, prm align.Params, scores []int32) error {
+	pairs []pairKey, order []int, cfg Config, scores []int32) error {
 
 	var data, out []uint32
 	var err error
 	for _, p := range plans {
-		if data, out, err = runOneSWBatch(dev, p, enc, pairs, order, prm, scores, data, out); err != nil {
+		if data, out, err = runOneSWBatch(dev, p, enc, pairs, order, cfg, scores, data, out); err != nil {
 			return err
 		}
 	}
@@ -218,11 +220,15 @@ func runSWBatchesSequential(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 // score writes are idempotent — scores[p.lo+i] depends only on the batch
 // contents — so a failed attempt needs no rollback before a retry.
 func runOneSWBatch(dev *gpusim.Device, p swBatch, enc [][]byte, pairs []pairKey,
-	order []int, prm align.Params, scores []int32, data, out []uint32) ([]uint32, []uint32, error) {
+	order []int, cfg Config, scores []int32, data, out []uint32) ([]uint32, []uint32, error) {
 
 	np := p.hi - p.lo
+	var t0 float64
+	if cfg.Obs.Enabled() {
+		t0 = dev.HostTime()
+	}
 	data = packSWBatch(p, enc, pairs, order, data)
-	dev.AdvanceHost(float64(len(data)) * packNsPerWord)
+	chargeHost(dev, cfg.Obs, "pack", float64(len(data))*packNsPerWord)
 	if cap(out) < np {
 		out = make([]uint32, np)
 	}
@@ -238,16 +244,19 @@ func runOneSWBatch(dev *gpusim.Device, p swBatch, enc [][]byte, pairs []pairKey,
 		if err := dev.CopyH2D(buf, swTableLen, data); err != nil {
 			return err
 		}
-		cfg := swLaunchConfig(p, prm)
-		if err := thrust.SWScoreBatch(dev, nil, buf, cfg); err != nil {
+		lc := swLaunchConfig(p, cfg)
+		if err := thrust.SWScoreBatch(dev, nil, buf, lc); err != nil {
 			return err
 		}
-		return dev.CopyD2H(out[:np], buf, cfg.ScoreBase)
+		return dev.CopyD2H(out[:np], buf, lc.ScoreBase)
 	}(); err != nil {
 		return data, out, err
 	}
 	for i := 0; i < np; i++ {
 		scores[p.lo+i] = int32(out[i])
+	}
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Span(obs.TrackBatches, fmt.Sprintf("pairs%d-%d", p.lo, p.hi), t0, dev.HostTime())
 	}
 	return data, out, nil
 }
@@ -264,7 +273,7 @@ func runOneSWBatch(dev *gpusim.Device, p swBatch, enc [][]byte, pairs []pairKey,
 // Scores land in the same slots as the sequential scheduler, so the edge
 // set is identical.
 func runSWBatchesPipelined(dev *gpusim.Device, plans []swBatch, enc [][]byte,
-	pairs []pairKey, order []int, prm align.Params, scores []int32) error {
+	pairs []pairKey, order []int, cfg Config, scores []int32) error {
 
 	maxData, maxPairs := 0, 0
 	for _, p := range plans {
@@ -278,6 +287,9 @@ func runSWBatchesPipelined(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 		out    []uint32 // in-flight batch's scores
 		plan   int      // in-flight batch index; -1 when idle
 		primed bool     // score table staged
+
+		track  string  // observability: this lane's span track
+		spanT0 float64 // virtual time the in-flight batch was enqueued
 	}
 	var lanes [2]*pipeLane
 	freeAll := func() {
@@ -288,7 +300,8 @@ func runSWBatchesPipelined(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 		}
 	}
 	for i := range lanes {
-		l := &pipeLane{stream: dev.NewStream(), plan: -1, out: make([]uint32, maxPairs)}
+		l := &pipeLane{stream: dev.NewStream(), plan: -1, out: make([]uint32, maxPairs),
+			track: fmt.Sprintf("lane%d", i)}
 		lanes[i] = l
 		var err error
 		if l.buf, err = dev.Malloc(swTableLen + maxData + maxPairs); err != nil {
@@ -307,6 +320,10 @@ func runSWBatchesPipelined(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 		for i := 0; i < p.hi-p.lo; i++ {
 			scores[p.lo+i] = int32(l.out[i])
 		}
+		if cfg.Obs.Enabled() {
+			cfg.Obs.Span(l.track, fmt.Sprintf("b%d.pairs%d-%d", l.plan, p.lo, p.hi),
+				l.spanT0, dev.HostTime())
+		}
 		l.plan = -1
 	}
 
@@ -316,7 +333,7 @@ func runSWBatchesPipelined(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 	for k, p := range plans {
 		np := p.hi - p.lo
 		data = packSWBatch(p, enc, pairs, order, data)
-		dev.AdvanceHost(float64(len(data)) * packNsPerWord)
+		chargeHost(dev, cfg.Obs, "pack", float64(len(data))*packNsPerWord)
 		l := lanes[k%2]
 		drain(l)
 		if !l.primed {
@@ -328,12 +345,15 @@ func runSWBatchesPipelined(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 		if err := dev.CopyH2DAsync(l.stream, l.buf, swTableLen, data); err != nil {
 			return err
 		}
-		cfg := swLaunchConfig(p, prm)
-		if err := thrust.SWScoreBatch(dev, l.stream, l.buf, cfg); err != nil {
+		lc := swLaunchConfig(p, cfg)
+		if err := thrust.SWScoreBatch(dev, l.stream, l.buf, lc); err != nil {
 			return err
 		}
-		if err := dev.CopyD2HAsync(l.stream, l.out[:np], l.buf, cfg.ScoreBase); err != nil {
+		if err := dev.CopyD2HAsync(l.stream, l.out[:np], l.buf, lc.ScoreBase); err != nil {
 			return err
+		}
+		if cfg.Obs.Enabled() {
+			l.spanT0 = dev.HostTime()
 		}
 		l.plan = k
 	}
@@ -355,7 +375,11 @@ func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]g
 	host0 := dev.HostTime()
 	m0 := dev.Metrics()
 	// The CPU filter ran before this point; put it on the virtual clock.
-	dev.AdvanceHost(st.FilterNs)
+	chargeHost(dev, cfg.Obs, "filter", st.FilterNs)
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Span(obs.TrackPhases, "filter", host0, dev.HostTime())
+	}
+	verifyPhase := startVerifyPhase(dev, cfg.Obs)
 
 	var edges []graph.Edge
 	if len(pairs) > 0 {
@@ -399,6 +423,7 @@ func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]g
 		}
 	}
 
+	verifyPhase.End(dev.HostTime())
 	m := dev.Metrics().Sub(m0)
 	st.AlignNs = m.KernelTimeNs
 	st.H2DNs = m.H2DTimeNs
@@ -406,4 +431,13 @@ func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]g
 	st.Divergence = m.DivergenceOverhead()
 	st.TotalNs = dev.HostTime() - host0
 	return edges, nil
+}
+
+// startVerifyPhase opens the verify phase span at the device's current
+// virtual time (inert on a nil recorder).
+func startVerifyPhase(dev *gpusim.Device, r *obs.Recorder) obs.Ending {
+	if !r.Enabled() {
+		return obs.Ending{}
+	}
+	return r.Start(obs.TrackPhases, "verify", dev.HostTime())
 }

@@ -1,0 +1,62 @@
+package pgraph
+
+import (
+	"gpclust/internal/gpusim"
+	"gpclust/internal/obs"
+)
+
+// Observability plumbing for the build pipeline, mirroring internal/core's:
+// recording is pure observation of virtual times the cost model already
+// produced, so a nil recorder yields a bit-identical build.
+
+// chargeHost advances the device's host clock by ns of CPU work and, when a
+// recorder is wired, mirrors the charge as a host-cpu span.
+func chargeHost(dev *gpusim.Device, r *obs.Recorder, name string, ns float64) {
+	if r.Enabled() && ns > 0 {
+		t0 := dev.HostTime()
+		dev.AdvanceHost(ns)
+		r.Span(obs.TrackHostCPU, name, t0, t0+ns)
+		return
+	}
+	dev.AdvanceHost(ns)
+}
+
+// recoveryInstant marks one fault-recovery action on the recovery track at
+// the device's current virtual time.
+func recoveryInstant(dev *gpusim.Device, r *obs.Recorder, name string) {
+	if r.Enabled() {
+		r.Instant(obs.TrackRecovery, name, dev.HostTime())
+	}
+}
+
+// recordBuildMetrics registers the build's counters from the finished Stats,
+// so exported metrics match it exactly.
+func recordBuildMetrics(r *obs.Recorder, st *Stats) {
+	if !r.Enabled() {
+		return
+	}
+	r.Counter("pgraph_candidates",
+		"Promising pairs from the maximal-match filter.").Add(int64(st.Candidates))
+	r.Counter("pgraph_edges",
+		"Edges accepted by Smith-Waterman verification.").Add(st.Edges)
+	r.Counter("pgraph_gpu_batches",
+		"Device verification batches scheduled.").Add(int64(st.GPUBatches))
+	r.Gauge("pgraph_divergence",
+		"SW-kernel warp-divergence overhead of the most recent build.").Set(st.Divergence)
+
+	f := st.Faults
+	r.Counter("pgraph_fault_transfer_retries",
+		"Verification batches retried after a transfer fault.").Add(f.TransferRetries)
+	r.Counter("pgraph_fault_kernel_retries",
+		"Verification batches retried after a kernel-launch fault.").Add(f.KernelRetries)
+	r.Counter("pgraph_fault_oom_retries",
+		"Verification batches retried after an unsplittable device OOM.").Add(f.OOMRetries)
+	r.Counter("pgraph_fault_oom_splits",
+		"Verification batches split in half after persistent device OOM.").Add(f.OOMSplits)
+	r.Counter("pgraph_fault_host_fallbacks",
+		"Verification batches degraded to host scoring.").Add(f.HostFallbacks)
+	r.Counter("pgraph_fault_pipeline_restarts",
+		"Pipelined verification passes restarted.").Add(f.Restarts)
+	r.Gauge("pgraph_fault_backoff_ns",
+		"Virtual-clock backoff burned between fault retries.").Set(f.BackoffNs)
+}

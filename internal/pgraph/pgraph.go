@@ -11,6 +11,7 @@ import (
 	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
+	"gpclust/internal/obs"
 	"gpclust/internal/seq"
 )
 
@@ -67,8 +68,21 @@ type Config struct {
 	// FaultRetries bounds how often one verification batch is retried after
 	// a device fault before the scheduler degrades further — splitting the
 	// batch on persistent OOM, then scoring it on the bit-identical host
-	// path. 0 means DefaultFaultRetries; negative disables retries.
+	// path. The zero value is a sentinel meaning DefaultFaultRetries, NOT
+	// zero retries; a negative value is the explicit library-level way to
+	// disable retries (the CLI rejects negative -retries so the sentinel
+	// cannot be hit by accident).
 	FaultRetries int
+
+	// RetryBackoffNs is the base virtual-clock delay between fault retries
+	// (attempt k waits RetryBackoffNs·2^k); 0 means DefaultRetryBackoffNs.
+	RetryBackoffNs float64
+
+	// Obs, when non-nil, records the build into the observability layer:
+	// filter/verify phase spans, per-batch and per-lane scheduling spans,
+	// fault-recovery instants and the build's counters. A nil recorder is
+	// bit-identical in output and virtual cost.
+	Obs *obs.Recorder
 
 	// NoHostFallback disables the last-resort host scoring of a batch whose
 	// retry budget is exhausted: Build then fails with an error wrapping
@@ -142,6 +156,9 @@ func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
 	if cfg.WindowCap < 1 {
 		return nil, st, fmt.Errorf("pgraph: WindowCap %d < 1", cfg.WindowCap)
 	}
+	if cfg.RetryBackoffNs < 0 {
+		return nil, st, fmt.Errorf("pgraph: negative RetryBackoffNs %g", cfg.RetryBackoffNs)
+	}
 	for i, s := range seqs {
 		if err := align.ValidateSequence(s.Residues); err != nil {
 			return nil, st, fmt.Errorf("pgraph: sequence %d (%s): %w", i, s.ID, err)
@@ -175,6 +192,14 @@ func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
 		}
 	} else {
 		edges = verifyHost(seqs, pairs, cfg, &st)
+		if cfg.Obs.Enabled() {
+			// The host backend has no device clock: lay the stages out on a
+			// synthetic timeline starting at 0.
+			cfg.Obs.Span(obs.TrackPhases, "filter", 0, st.FilterNs)
+			cfg.Obs.Span(obs.TrackHostCPU, "filter", 0, st.FilterNs)
+			cfg.Obs.Span(obs.TrackPhases, "verify", st.FilterNs, st.TotalNs)
+			cfg.Obs.Span(obs.TrackHostCPU, "host-align", st.FilterNs, st.TotalNs)
+		}
 	}
 
 	b := graph.NewBuilder(len(seqs))
@@ -184,6 +209,7 @@ func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
 	g := b.Build()
 	st.Edges = g.NumEdges()
 	st.WallNs = sw.total()
+	recordBuildMetrics(cfg.Obs, &st)
 	return g, st, nil
 }
 

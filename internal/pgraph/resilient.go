@@ -7,6 +7,7 @@ import (
 	"gpclust/internal/align"
 	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
+	"gpclust/internal/obs"
 	"gpclust/internal/seq"
 )
 
@@ -38,10 +39,21 @@ const (
 	maxSplitDepth = 40
 )
 
-// RetryBackoffNs is the virtual-clock backoff before the first retry of a
-// faulted batch; attempt k waits 2^k times as long. A variable so tests
-// can compress it.
-var RetryBackoffNs = 2e6
+// DefaultRetryBackoffNs is the virtual-clock backoff before the first retry
+// of a faulted batch when Config.RetryBackoffNs is zero; attempt k waits 2^k
+// times as long. (Formerly a mutable package variable — moving it into
+// Config removes the data race between concurrent builds and the
+// wall-clock-free determinism hole it opened.)
+const DefaultRetryBackoffNs = 2e6
+
+// retryBackoff resolves Config.RetryBackoffNs (0 = default; negative values
+// are rejected by Build before any scheduling runs).
+func (c Config) retryBackoff() float64 {
+	if c.RetryBackoffNs > 0 {
+		return c.RetryBackoffNs
+	}
+	return DefaultRetryBackoffNs
+}
 
 // ErrRetryBudget is wrapped by verification errors reported after the
 // retry budget is exhausted with the host fallback disabled.
@@ -87,7 +99,7 @@ func runSWBatchResilient(dev *gpusim.Device, p swBatch, seqs []seq.Sequence,
 	budget := cfg.retryBudget()
 	for attempt := 0; ; attempt++ {
 		var err error
-		if data, out, err = runOneSWBatch(dev, p, enc, pairs, order, cfg.Align, scores, data, out); err == nil {
+		if data, out, err = runOneSWBatch(dev, p, enc, pairs, order, cfg, scores, data, out); err == nil {
 			return data, out, nil
 		} else if !retryableFault(err) {
 			return data, out, err
@@ -95,18 +107,22 @@ func runSWBatchResilient(dev *gpusim.Device, p swBatch, seqs []seq.Sequence,
 			switch {
 			case errors.Is(err, gpusim.ErrTransferFault):
 				rec.TransferRetries++
+				recoveryInstant(dev, cfg.Obs, "retry:transfer")
 			case errors.Is(err, gpusim.ErrLaunchFault):
 				rec.KernelRetries++
+				recoveryInstant(dev, cfg.Obs, "retry:kernel")
 			default:
 				rec.OOMRetries++
+				recoveryInstant(dev, cfg.Obs, "retry:oom")
 			}
-			back := RetryBackoffNs * float64(int64(1)<<attempt)
-			dev.AdvanceHost(back)
+			back := cfg.retryBackoff() * float64(int64(1)<<attempt)
+			chargeHost(dev, cfg.Obs, obs.NameBackoff, back)
 			rec.BackoffNs += back
 		} else if errors.Is(err, gpusim.ErrOutOfDeviceMemory) && depth < maxSplitDepth && p.hi-p.lo >= 2 {
 			// Persistent OOM: halve the pair range. Each half re-derives its
 			// distinct-sequence set and gets a fresh budget.
 			rec.OOMSplits++
+			recoveryInstant(dev, cfg.Obs, "oom-split")
 			mid := p.lo + (p.hi-p.lo)/2
 			left := swBatchFor(p.lo, mid, enc, pairs, order)
 			right := swBatchFor(mid, p.hi, enc, pairs, order)
@@ -119,7 +135,8 @@ func runSWBatchResilient(dev *gpusim.Device, p swBatch, seqs []seq.Sequence,
 				p.hi-p.lo, attempt+1, err, ErrRetryBudget)
 		} else {
 			rec.HostFallbacks++
-			runSWBatchHost(dev, p, seqs, pairs, order, cfg.Align, scores)
+			recoveryInstant(dev, cfg.Obs, "host-fallback")
+			runSWBatchHost(dev, p, seqs, pairs, order, cfg, scores)
 			return data, out, nil
 		}
 	}
@@ -150,16 +167,16 @@ func swBatchFor(lo, hi int, enc [][]byte, pairs []pairKey, order []int) swBatch 
 // fallback cannot change the edge set; the work is priced on the virtual
 // clock at HostAlignNsPerCell like the host backend.
 func runSWBatchHost(dev *gpusim.Device, p swBatch, seqs []seq.Sequence,
-	pairs []pairKey, order []int, prm align.Params, scores []int32) {
+	pairs []pairKey, order []int, cfg Config, scores []int32) {
 
 	var cells int64
 	for k := p.lo; k < p.hi; k++ {
 		a, b := pairs[order[k]].unpack()
 		sa, sb := seqs[a].Residues, seqs[b].Residues
 		cells += int64(len(sa)) * int64(len(sb))
-		scores[k] = int32(align.ScoreOnly(sa, sb, prm))
+		scores[k] = int32(align.ScoreOnly(sa, sb, cfg.Align))
 	}
-	dev.AdvanceHost(float64(cells) * HostAlignNsPerCell)
+	chargeHost(dev, cfg.Obs, "host-align", float64(cells)*HostAlignNsPerCell)
 }
 
 // runSWBatchesPipelinedResilient wraps the double-buffered scheduler:
@@ -171,7 +188,7 @@ func runSWBatchesPipelinedResilient(dev *gpusim.Device, plans []swBatch, seqs []
 
 	budget := cfg.retryBudget()
 	for attempt := 0; ; attempt++ {
-		err := runSWBatchesPipelined(dev, plans, enc, pairs, order, cfg.Align, scores)
+		err := runSWBatchesPipelined(dev, plans, enc, pairs, order, cfg, scores)
 		if err == nil {
 			return nil
 		}
@@ -181,10 +198,12 @@ func runSWBatchesPipelinedResilient(dev *gpusim.Device, plans []swBatch, seqs []
 		dev.Synchronize() // settle the failed pass's in-flight stream work
 		rec.Restarts++
 		if attempt >= budget {
+			recoveryInstant(dev, cfg.Obs, "degrade-sequential")
 			return runSWBatchesSequentialResilient(dev, plans, seqs, enc, pairs, order, cfg, scores, rec)
 		}
-		back := RetryBackoffNs * float64(int64(1)<<attempt)
-		dev.AdvanceHost(back)
+		recoveryInstant(dev, cfg.Obs, "restart")
+		back := cfg.retryBackoff() * float64(int64(1)<<attempt)
+		chargeHost(dev, cfg.Obs, obs.NameBackoff, back)
 		rec.BackoffNs += back
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gpclust/internal/gpusim"
+	"gpclust/internal/obs"
 )
 
 // This file implements the batched score-only Smith–Waterman kernel that
@@ -49,6 +50,11 @@ type SWConfig struct {
 	SeqBase   int
 	SeqWords  int // words of packed residues after SeqBase
 	ScoreBase int
+
+	// Obs, when non-nil, counts launches and pairs (launch *attempts*: a
+	// launch that faults after enqueue still counts, matching what the
+	// schedulers asked of the device rather than what survived).
+	Obs *obs.Recorder
 }
 
 // swRows is the reusable thread-local DP state (H and E rows of the Gotoh
@@ -81,6 +87,12 @@ func SWScoreBatch(d *gpusim.Device, s *gpusim.Stream, buf *gpusim.Buffer, cfg SW
 	}
 	if cfg.NumPairs == 0 {
 		return nil
+	}
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Counter("gpclust_sw_kernel_launches",
+			"Batched Smith-Waterman kernel launch attempts.").Inc()
+		cfg.Obs.Counter("gpclust_sw_pairs",
+			"Candidate pairs submitted to the SW kernel (attempts).").Add(int64(cfg.NumPairs))
 	}
 	grid := (cfg.NumPairs + swBlockDim - 1) / swBlockDim
 	// Cooperative table staging: each block loads the query profile into

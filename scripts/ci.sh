@@ -35,8 +35,9 @@ echo "== go build"
 go build ./...
 
 echo "== go test (with coverage profile)"
-cover_out="$(mktemp)"
-trap 'rm -f "$cover_out"' EXIT
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+cover_out="$tmp_dir/cover.out"
 go test -coverprofile="$cover_out" ./...
 
 # Coverage floor: the seed baseline measured 77.6% total statement
@@ -54,6 +55,22 @@ go test -tags invariants ./internal/core/... ./internal/unionfind/... ./internal
 echo "== pgraph backend equivalence gate (GPU-SW must match host-SW bit for bit)"
 go test -run 'TestGoldenPipelineBackends' .
 go test -run 'TestGPUMatchesHostEdges|TestGPUSmallDeviceMemoryLimit|TestGPUPipelinedLowerVirtualTotal' ./internal/pgraph/
+
+echo "== observability smoke (-trace/-metrics on both CLIs, trace JSON validated)"
+go run ./cmd/genseq -mode seqs -n 150 -fasta "$tmp_dir/orfs.fa" -truth "$tmp_dir/truth.tsv"
+go run ./cmd/pgraph -in "$tmp_dir/orfs.fa" -out "$tmp_dir/graph.txt" -gpu -pipeline \
+    -trace "$tmp_dir/pgraph-trace.json" -metrics "$tmp_dir/pgraph-metrics.txt"
+go run ./cmd/gpclust -in "$tmp_dir/graph.txt" -backend gpu -pipeline -c1 30 -c2 15 \
+    -faults 'h2d op=2' -trace "$tmp_dir/gpclust-trace.json" \
+    -metrics "$tmp_dir/gpclust-metrics.txt" -out "$tmp_dir/clusters.txt"
+go run ./scripts/tracecheck -want-cats phases,host-cpu,compute,copy \
+    "$tmp_dir/pgraph-trace.json"
+go run ./scripts/tracecheck -want-cats phases,host-cpu,lane0,lane1,faults,recovery,compute,copy \
+    "$tmp_dir/gpclust-trace.json"
+grep -q '^pgraph_edges_total ' "$tmp_dir/pgraph-metrics.txt"
+grep -q '^gpclust_tuples_total ' "$tmp_dir/gpclust-metrics.txt"
+grep -q '^gpclust_faults_injected_total ' "$tmp_dir/gpclust-metrics.txt"
+grep -q '^# EOF$' "$tmp_dir/gpclust-metrics.txt"
 
 echo "== fuzz smoke (10s per target)"
 go test -run='^$' -fuzz=FuzzRadixSort -fuzztime=10s ./internal/core/

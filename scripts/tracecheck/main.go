@@ -1,0 +1,90 @@
+// Tracecheck validates Chrome-trace JSON files written by the -trace flags:
+// each argument must parse as a JSON object whose "traceEvents" key is a
+// present, non-null array of event objects (the null-traceEvents regression
+// made Perfetto and chrome://tracing reject otherwise well-formed files).
+// With -want-cats, the union of event categories must include every name in
+// the comma-separated list.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type event struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+}
+
+func check(path string, wantCats []string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not a JSON object: %w", err)
+	}
+	rawEvents, ok := doc["traceEvents"]
+	if !ok {
+		return fmt.Errorf("no traceEvents key")
+	}
+	if string(rawEvents) == "null" {
+		return fmt.Errorf("traceEvents is null (must be an array, possibly empty)")
+	}
+	var events []event
+	if err := json.Unmarshal(rawEvents, &events); err != nil {
+		return fmt.Errorf("traceEvents is not an array of events: %w", err)
+	}
+	cats := map[string]bool{}
+	n := 0
+	for i, ev := range events {
+		if ev.Ph == "" {
+			return fmt.Errorf("event %d has no phase", i)
+		}
+		if ev.Ph == "M" {
+			continue
+		}
+		n++
+		cats[ev.Cat] = true
+	}
+	for _, want := range wantCats {
+		if !cats[want] {
+			return fmt.Errorf("no events with category %q (have %d events in %v)", want, n, keys(cats))
+		}
+	}
+	fmt.Printf("tracecheck: %s ok (%d events, %d categories)\n", path, n, len(cats))
+	return nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func main() {
+	wantFlag := flag.String("want-cats", "", "comma-separated event categories that must appear")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-want-cats a,b] trace.json...")
+		os.Exit(2)
+	}
+	var want []string
+	if *wantFlag != "" {
+		want = strings.Split(*wantFlag, ",")
+	}
+	for _, path := range flag.Args() {
+		if err := check(path, want); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
