@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
 	"gpclust/internal/core"
 	"gpclust/internal/faults"
@@ -47,7 +48,7 @@ func main() {
 		profile  = flag.Bool("profile", false, "print a per-kernel profile of the run (gpu backend)")
 		trace    = flag.String("trace", "", "write a merged chrome://tracing timeline (host phases + every device) to this file (gpu backend)")
 		metrics  = flag.String("metrics", "", "write OpenMetrics counters for the run to this file (any backend)")
-		batch    = flag.Int("batch", 0, "device batch budget in 32-bit words (0 = derive from device memory)")
+		batch    = flag.String("batch", "auto", "device batch budget in 32-bit words; \"auto\" lets the cost model pick budget and lanes, 0 derives from device memory")
 		workers  = flag.Int("workers", 0, "parallel backend: worker-pool size (0 = GOMAXPROCS); serial backend: cluster connected components in parallel with this many workers (0 = whole-graph run)")
 		minOut   = flag.Int("minsize", 1, "only print clusters with at least this many members")
 		faultSch = flag.String("faults", "", "inject device faults from this schedule, e.g. 'h2d op=3; malloc at=2ms count=2' (gpu backend)")
@@ -97,6 +98,11 @@ func main() {
 	st := graph.ComputeStats(g)
 	fmt.Fprintf(os.Stderr, "gpclust: loaded %s\n", st)
 
+	batchWords, autoTune, err := parseBatchWords(*batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpclust:", err)
+		os.Exit(2)
+	}
 	o := core.Options{
 		S1: *s1, C1: *c1, S2: *s2, C2: *c2,
 		Seed:            *seed,
@@ -104,7 +110,8 @@ func main() {
 		AsyncTransfer:   *async,
 		PipelineBatches: *pipeline,
 		GPUAggregate:    *gpuagg,
-		BatchWords:      *batch,
+		BatchWords:      batchWords,
+		AutoTune:        autoTune,
 		FaultRetries:    *retries,
 		NoHostFallback:  *noFB,
 	}
@@ -194,6 +201,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "gpclust: wall clock: %s\n", res.Wall.String())
 	fmt.Fprintf(os.Stderr, "gpclust: pass1 %d lists / %d shingles, pass2 %d lists / %d shingles, %d batches\n",
 		res.Pass1.Lists, res.Pass1.Shingles, res.Pass2.Lists, res.Pass2.Shingles, res.Pass1.Batches)
+	if res.Pass1.Plan.Batches > 0 {
+		fmt.Fprintf(os.Stderr, "gpclust: pass1 %s\n", res.Pass1.Plan)
+	}
+	if res.Pass2.Plan.Batches > 0 {
+		fmt.Fprintf(os.Stderr, "gpclust: pass2 %s\n", res.Pass2.Plan)
+	}
 
 	w := io.Writer(os.Stdout)
 	closeOut := func() error { return nil }
@@ -236,6 +249,21 @@ func loadGraph(path string) (*graph.Graph, error) {
 		return graph.ReadBinary(br)
 	}
 	return graph.ReadEdgeList(br)
+}
+
+// parseBatchWords maps the -batch value to (budget, autoTune): "auto" lets
+// the cost-model auto-tuner pick budget and lane count, "0" keeps the
+// legacy free-memory derivation, and a positive integer fixes the
+// per-batch budget.
+func parseBatchWords(s string) (int, bool, error) {
+	if s == "auto" {
+		return 0, true, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false, fmt.Errorf("-batch must be \"auto\" or a non-negative word count, got %q", s)
+	}
+	return n, false, nil
 }
 
 func fatal(err error) {

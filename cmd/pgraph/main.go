@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"gpclust/internal/faults"
@@ -38,7 +39,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "alignment workers (0 = GOMAXPROCS)")
 		gpu      = flag.Bool("gpu", false, "verify candidate pairs on the simulated GPU (batched Smith-Waterman)")
 		pipeline = flag.Bool("pipeline", false, "with -gpu: double-buffer device batches (overlap copies and kernels)")
-		batchW   = flag.Int("batchwords", 0, "with -gpu: per-batch device budget in words (0 = derive from device memory)")
+		batchW   = flag.String("batchwords", "auto", "with -gpu: per-batch device budget in words; \"auto\" lets the cost model pick budget and lanes, 0 derives from device memory")
 		noBin    = flag.Bool("nobin", false, "with -gpu: disable length binning of pairs (more warp divergence)")
 		faultSch = flag.String("faults", "", "with -gpu: inject device faults from this schedule, e.g. 'h2d op=3; malloc at=2ms count=2'")
 		retries  = flag.Int("retries", 0, "with -gpu: per-batch fault retry budget (0 = library default; must be >= 0)")
@@ -64,7 +65,7 @@ func main() {
 			set  bool
 			name string
 		}{
-			{*pipeline, "-pipeline"}, {*batchW != 0, "-batchwords"}, {*noBin, "-nobin"},
+			{*pipeline, "-pipeline"}, {*batchW != "auto", "-batchwords"}, {*noBin, "-nobin"},
 			{*faultSch != "", "-faults"}, {*retries != 0, "-retries"}, {*noFB, "-nofallback"},
 			{*trace != "", "-trace"},
 		} {
@@ -96,7 +97,11 @@ func main() {
 	cfg.Workers = *workers
 	cfg.GPU = *gpu
 	cfg.GPUPipeline = *pipeline
-	cfg.GPUBatchWords = *batchW
+	cfg.GPUBatchWords, cfg.AutoTune, err = parseBatchWords(*batchW)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgraph:", err)
+		os.Exit(2)
+	}
 	cfg.NoLengthBin = *noBin
 	cfg.FaultRetries = *retries
 	cfg.NoHostFallback = *noFB
@@ -147,6 +152,9 @@ func main() {
 			"pgraph: CPU filter %.3fs | GPU SW %.3fs | Data_c→g %.3fs | Data_g→c %.3fs | total %.3fs virtual (%d batches, divergence %.1f%%), wall %dms\n",
 			st.FilterNs/1e9, st.AlignNs/1e9, st.H2DNs/1e9, st.D2HNs/1e9, st.TotalNs/1e9,
 			st.GPUBatches, 100*st.Divergence, st.WallNs/1e6)
+		if st.Plan.Batches > 0 {
+			fmt.Fprintf(os.Stderr, "pgraph: %s\n", st.Plan)
+		}
 	} else {
 		fmt.Fprintf(os.Stderr,
 			"pgraph: CPU filter %.3fs | SW %.3fs (%d workers) | total %.3fs virtual, wall %dms\n",
@@ -165,6 +173,21 @@ func main() {
 		fatal(graph.WriteEdgeList(of, g))
 	}
 	fatal(of.Close())
+}
+
+// parseBatchWords maps the -batchwords value to (budget, autoTune):
+// "auto" lets the cost-model auto-tuner pick budget and lane count, "0"
+// keeps the legacy free-memory derivation, and a positive integer fixes
+// the per-batch budget.
+func parseBatchWords(s string) (int, bool, error) {
+	if s == "auto" {
+		return 0, true, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false, fmt.Errorf("-batchwords must be \"auto\" or a non-negative word count, got %q", s)
+	}
+	return n, false, nil
 }
 
 func fatal(err error) {

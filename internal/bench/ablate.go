@@ -10,6 +10,7 @@ import (
 	"gpclust/internal/graph"
 	"gpclust/internal/mcl"
 	"gpclust/internal/metrics"
+	"gpclust/internal/sched"
 )
 
 // AblationRow is one configuration's outcome in an ablation sweep.
@@ -57,16 +58,21 @@ func AblateBatchSize(scale float64, o core.Options, budgets []int) ([]AblationRo
 	for _, b := range budgets {
 		opt := o
 		opt.BatchWords = b
+		opt.PredictCost = true
 		dev := gpusim.MustNew(gpusim.K20Config())
 		r, err := core.ClusterGPU(g, dev, opt)
 		if err != nil {
 			return nil, fmt.Errorf("bench: batch %d: %w", b, err)
 		}
+		var plan sched.PlanReport
+		plan.Add(r.Pass1.Plan)
+		plan.Add(r.Pass2.Plan)
 		rows = append(rows, AblationRow{
 			Label: fmt.Sprintf("batch=%d words", b),
 			Value: s(r.Timings.TotalNs), Unit: "s",
-			Comment: fmt.Sprintf("%d batches, %d split lists, GPU %.2fs, H2D %.2fs",
-				r.Pass1.Batches, r.Pass1.SplitLists, s(r.Timings.GPUNs), s(r.Timings.H2DNs)),
+			Comment: fmt.Sprintf("%d batches, %d split lists, GPU %.2fs, H2D %.2fs, sched %.2fs (predicted %.2fs)",
+				r.Pass1.Batches, r.Pass1.SplitLists, s(r.Timings.GPUNs), s(r.Timings.H2DNs),
+				s(plan.ActualNs), s(plan.PredictedNs)),
 		})
 	}
 	return rows, nil

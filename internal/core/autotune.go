@@ -1,0 +1,506 @@
+package core
+
+import (
+	"gpclust/internal/gpusim"
+	"gpclust/internal/minwise"
+	"gpclust/internal/sched"
+	"gpclust/internal/thrust"
+)
+
+// Cost-model-driven batch auto-tuning for the shingling passes. With
+// Options.AutoTune (and no explicit BatchWords) the scheduler enumerates
+// candidate plans — a geometric sweep of word budgets crossed with the
+// feasible pipeline lane counts — predicts each candidate's virtual time by
+// replaying its exact operation sequence (stage, H2D, per-trial kernels,
+// D2H, CPU merge) through sched.Sim, and runs the argmin. Kernel throughput
+// is calibrated by probing the real thrust kernels on a *scratch* device
+// with the same gpusim.Config, so planning charges zero time on the run's
+// own virtual clock and the model tracks whatever the simulator charges,
+// occupancy penalty included.
+
+// probeWords caps the calibration probe's data size.
+const probeWords = 1 << 15
+
+// Calibrated kernel names.
+const (
+	kTransform = "transform"
+	kTopS      = "tops"
+	kAggTail   = "aggtail"
+)
+
+// transformThreads is the thread count of one TransformHash launch over n
+// words (thrust's launchGeometry: 8 elements per thread, 256-wide blocks).
+func transformThreads(n int) int {
+	threads := (n + 7) / 8
+	if threads == 0 {
+		threads = 1
+	}
+	return (threads + 255) / 256 * 256
+}
+
+// topsThreads is the thread count of a segmented top-s (or gather) launch:
+// one thread per segment, 256-wide blocks.
+func topsThreads(numSegs int) int {
+	grid := (numSegs + 255) / 256
+	if grid < 1 {
+		grid = 1
+	}
+	return grid * 256
+}
+
+// calibrateShingleModel measures the simulator's charge for the pass's
+// kernels on a scratch device with the same config, normalized per data
+// word at full occupancy (sched.Model re-applies the occupancy penalty for
+// other launch shapes). The probe's segments are shaped like the input's
+// average list. Probe failures leave the affected kernel uncalibrated
+// (predicted at launch cost only) — they cannot occur on a fresh
+// fault-free device.
+func calibrateShingleModel(cfg gpusim.Config, in *SegGraph, fam minwise.Family, s int, o Options) *sched.Model {
+	m := sched.NewModel(cfg)
+	n := min(len(in.Data), probeWords)
+	if n == 0 {
+		return m
+	}
+	avg := len(in.Data) / max(in.NumLists(), 1)
+	avg = min(max(avg, 1), n)
+	numSegs := (n + avg - 1) / avg
+
+	scratch := gpusim.MustNew(cfg)
+	dataBuf, err := scratch.Malloc(n)
+	if err != nil {
+		return m
+	}
+	defer dataBuf.Free()
+	hashBuf, err := scratch.Malloc(n)
+	if err != nil {
+		return m
+	}
+	defer hashBuf.Free()
+	offBuf, err := scratch.Malloc(numSegs + 1)
+	if err != nil {
+		return m
+	}
+	defer offBuf.Free()
+	outBuf, err := scratch.Malloc(numSegs * s)
+	if err != nil {
+		return m
+	}
+	defer outBuf.Free()
+	hostOff := make([]uint32, numSegs+1)
+	for i := range hostOff {
+		hostOff[i] = uint32(min(i*avg, n))
+	}
+	if scratch.CopyH2D(dataBuf, 0, in.Data[:n]) != nil || scratch.CopyH2D(offBuf, 0, hostOff) != nil {
+		return m
+	}
+
+	h := fam.Pairs[0]
+	k0 := scratch.Metrics().KernelTimeNs
+	if thrust.TransformHash(scratch, dataBuf, hashBuf, n, h.A, h.B, minwise.Prime) != nil {
+		return m
+	}
+	k1 := scratch.Metrics().KernelTimeNs
+	m.CalibrateKernel(kTransform, k1-k0-cfg.KernelLaunchNs, float64(n), transformThreads(n))
+
+	segs := thrust.Segments{Offsets: offBuf, NumSegs: numSegs}
+	if topSKernel(scratch, nil, hashBuf, segs, s, outBuf, 0, o.UseFullSort) != nil {
+		return m
+	}
+	k2 := scratch.Metrics().KernelTimeNs
+	launches := 1.0
+	if o.UseFullSort {
+		launches = 2 // segmented sort + gather
+	}
+	m.CalibrateKernel(kTopS, k2-k1-launches*cfg.KernelLaunchNs, float64(n), topsThreads(numSegs))
+
+	if o.GPUAggregate {
+		// Lump the device aggregation tail (shingle_key + sort_by_key +
+		// pack) into one per-piece rate, launch overheads included — the
+		// radix sort's launch count is an implementation detail, and the
+		// occupancy shape is approximated by the probe's (the agg tail is a
+		// small fraction of the pass, so the residual error stays well
+		// inside the drift gate).
+		var flagBuf, ownerBuf, keyHi, keyLo, valBuf, packed *gpusim.Buffer
+		for _, dst := range []**gpusim.Buffer{&flagBuf, &ownerBuf, &keyHi, &keyLo, &valBuf} {
+			if *dst, err = scratch.Malloc(numSegs); err != nil {
+				return m
+			}
+			defer (*dst).Free()
+		}
+		if packed, err = scratch.Malloc(3 * numSegs); err != nil {
+			return m
+		}
+		defer packed.Free()
+		ones := make([]uint32, numSegs)
+		for i := range ones {
+			ones[i] = 1
+		}
+		if scratch.CopyH2D(flagBuf, 0, ones) != nil || scratch.CopyH2D(ownerBuf, 0, ones) != nil {
+			return m
+		}
+		k3 := scratch.Metrics().KernelTimeNs
+		if shingleKeyKernel(scratch, outBuf, flagBuf, ownerBuf, numSegs, s, 0, keyHi, keyLo, valBuf) != nil ||
+			thrust.SortPairs64(scratch, keyHi, keyLo, valBuf, numSegs) != nil ||
+			packKernel(scratch, keyHi, keyLo, valBuf, numSegs, packed) != nil {
+			return m
+		}
+		m.CalibrateKernel(kAggTail, scratch.Metrics().KernelTimeNs-k3, float64(numSegs), 0)
+	}
+	return m
+}
+
+// transformNs predicts one TransformHash launch over words data words.
+func transformNs(m *sched.Model, words int) float64 {
+	return m.KernelNs(kTransform, float64(words), transformThreads(words))
+}
+
+// topsNs predicts one top-s selection over words data words in numSegs
+// segments (two launches under UseFullSort: sort + gather).
+func topsNs(m *sched.Model, words, numSegs int, fullSort bool) float64 {
+	launches := 1.0
+	if fullSort {
+		launches = 2
+	}
+	return launches*m.Cfg.KernelLaunchNs +
+		m.KernelNsPerUnit[kTopS]*float64(words)*m.SatFactor(topsThreads(numSegs))
+}
+
+// stageNs is the host cost of assembling one batch's data and offsets.
+func stageNs(plan *batchPlan) float64 {
+	return float64(plan.words+len(plan.pieces)) * AggregateNsPerOp
+}
+
+// emitNsPerTrial is the host cost of emitTrialTuples for one trial of the
+// plan: s merge ops per piece plus 2s per split piece (trial-independent;
+// the final split-list emission charges nothing).
+func emitNsPerTrial(in *SegGraph, plan *batchPlan, s int) float64 {
+	ops := 0
+	for _, pc := range plan.pieces {
+		ops += s
+		if !pc.isWhole(in) {
+			ops += 2 * s
+		}
+	}
+	return float64(ops) * AggregateNsPerOp
+}
+
+// aggCounts returns the GPUAggregate path's per-plan shape: pieces whose
+// shingle key is computed on the device, and split pieces that come back
+// as per-row copies.
+func aggCounts(in *SegGraph, plan *batchPlan, s int) (validCount, splitPieces int) {
+	for _, pc := range plan.pieces {
+		listLen := in.Offsets[pc.list+1] - in.Offsets[pc.list]
+		if pc.isWhole(in) {
+			if int(listLen) >= s {
+				validCount++
+			}
+		} else {
+			splitPieces++
+		}
+	}
+	return
+}
+
+// predictShinglePlans predicts the virtual time of the scheduler window —
+// everything between planning and the split-list merge — for the given
+// plans under the mode Options select and the given lane count.
+func predictShinglePlans(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
+	o Options, plans []batchPlan, lanes int) float64 {
+
+	switch {
+	case lanes >= 2:
+		return predictPipelined(m, in, fam, s, o, plans, lanes)
+	case o.GPUAggregate:
+		return predictGPUAgg(m, in, fam, s, plans)
+	case o.AsyncTransfer:
+		return predictAsync(m, in, fam, s, o, plans)
+	default:
+		return predictSequential(m, in, fam, s, o, plans)
+	}
+}
+
+// predictSequential replays runBatch + runTrialsSync.
+func predictSequential(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
+	o Options, plans []batchPlan) float64 {
+
+	sim := sched.NewSim(m, 0)
+	c := fam.Size()
+	for i := range plans {
+		plan := &plans[i]
+		np := len(plan.pieces)
+		sim.HostWork(stageNs(plan))
+		sim.Copy(-1, plan.words, true)
+		sim.Copy(-1, np+1, true)
+		emit := emitNsPerTrial(in, plan, s)
+		for trial := 0; trial < c; trial++ {
+			sim.Copy(-1, 2, true) // <A_j, B_j>
+			if plan.words > 0 {
+				sim.KernelRawNs(-1, transformNs(m, plan.words))
+			}
+			sim.KernelRawNs(-1, topsNs(m, plan.words, np, o.UseFullSort))
+			sim.Copy(-1, np*s, false)
+			sim.HostWork(emit)
+		}
+	}
+	return sim.Host
+}
+
+// predictAsync replays runBatch + runTrialsAsync (two per-trial lanes,
+// fresh streams per batch).
+func predictAsync(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
+	o Options, plans []batchPlan) float64 {
+
+	sim := sched.NewSim(m, 2)
+	c := fam.Size()
+	for i := range plans {
+		plan := &plans[i]
+		np := len(plan.pieces)
+		sim.HostWork(stageNs(plan))
+		sim.Copy(-1, plan.words, true)
+		sim.Copy(-1, np+1, true)
+		emit := emitNsPerTrial(in, plan, s)
+		sim.Ready[0], sim.Ready[1] = 0, 0 // fresh streams each batch
+		inFlight := [2]int{-1, -1}
+		drain := func(l int) {
+			if inFlight[l] < 0 {
+				return
+			}
+			sim.SyncLane(l)
+			sim.HostWork(emit)
+			inFlight[l] = -1
+		}
+		for trial := 0; trial < c; trial++ {
+			l := trial % 2
+			drain(l)
+			sim.Copy(l, 2, true)
+			if plan.words > 0 {
+				sim.KernelRawNs(l, transformNs(m, plan.words))
+			}
+			sim.KernelRawNs(l, topsNs(m, plan.words, np, o.UseFullSort))
+			sim.Copy(l, np*s, false)
+			inFlight[l] = trial
+		}
+		drain(0)
+		drain(1)
+	}
+	return sim.Host
+}
+
+// predictGPUAgg replays runBatch + runTrialsGPUAgg.
+func predictGPUAgg(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
+	plans []batchPlan) float64 {
+
+	sim := sched.NewSim(m, 0)
+	c := fam.Size()
+	for i := range plans {
+		plan := &plans[i]
+		np := len(plan.pieces)
+		valid, splits := aggCounts(in, plan, s)
+		sim.HostWork(stageNs(plan))
+		sim.Copy(-1, plan.words, true) // data
+		sim.Copy(-1, np+1, true)       // offsets
+		sim.Copy(-1, np, true)         // owners
+		sim.Copy(-1, np, true)         // flags
+		hostNs := float64(valid+splits*2*s) * AggregateNsPerOp
+		for trial := 0; trial < c; trial++ {
+			sim.Copy(-1, 2, true)
+			if plan.words > 0 {
+				sim.KernelRawNs(-1, transformNs(m, plan.words))
+			}
+			sim.KernelRawNs(-1, topsNs(m, plan.words, np, false))
+			sim.KernelRawNs(-1, m.KernelNsPerUnit[kAggTail]*float64(np))
+			sim.Copy(-1, 3*valid, false)
+			for r := 0; r < splits; r++ {
+				sim.Copy(-1, s, false)
+			}
+			sim.HostWork(hostNs)
+		}
+	}
+	return sim.Host
+}
+
+// predictPipelined replays runBatchesPipelined across the given lane count
+// (the sched.RunLanes round-robin, including the per-lane params table
+// upload and re-staging).
+func predictPipelined(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
+	o Options, plans []batchPlan, lanes int) float64 {
+
+	c := fam.Size()
+	maxWords, maxPieces := 1, 1
+	for _, p := range plans {
+		maxWords = max(maxWords, p.words)
+		maxPieces = max(maxPieces, len(p.pieces))
+	}
+	groupTrials := min(max(maxWords/(maxPieces*s), 1), c)
+	groups := (c + groupTrials - 1) / groupTrials
+	n := len(plans) * groups
+
+	sim := sched.NewSim(m, lanes)
+	laneBatch := make([]int, lanes)
+	inFlight := make([]int, lanes)
+	for i := range laneBatch {
+		laneBatch[i], inFlight[i] = -1, -1
+	}
+	emitNs := make([]float64, len(plans))
+	for i := range plans {
+		emitNs[i] = emitNsPerTrial(in, &plans[i], s)
+	}
+	staged := -1
+	drain := func(lane int) {
+		item := inFlight[lane]
+		if item < 0 {
+			return
+		}
+		k := item / groups
+		t0 := (item % groups) * groupTrials
+		t1 := min(t0+groupTrials, c)
+		sim.SyncLane(lane)
+		sim.HostWork(float64(t1-t0) * emitNs[k])
+		inFlight[lane] = -1
+	}
+	for item := 0; item < n; item++ {
+		k := item / groups
+		t0 := (item % groups) * groupTrials
+		t1 := min(t0+groupTrials, c)
+		plan := &plans[k]
+		np := len(plan.pieces)
+		if t0 == 0 && staged != k {
+			sim.HostWork(stageNs(plan))
+			staged = k
+		}
+		lane := item % lanes
+		drain(lane)
+		if laneBatch[lane] != k {
+			if laneBatch[lane] < 0 {
+				sim.Copy(lane, 2*c, true) // params table
+			}
+			sim.Copy(lane, plan.words, true)
+			sim.Copy(lane, np+1, true)
+			laneBatch[lane] = k
+		}
+		for trial := t0; trial < t1; trial++ {
+			if plan.words > 0 {
+				sim.KernelRawNs(lane, transformNs(m, plan.words))
+			}
+			sim.KernelRawNs(lane, topsNs(m, plan.words, np, o.UseFullSort))
+		}
+		sim.Copy(lane, (t1-t0)*np*s, false)
+		inFlight[lane] = item
+	}
+	for k := 0; k < lanes; k++ {
+		drain((n + k) % lanes)
+	}
+	return sim.Host
+}
+
+// shingleLaneSet is the lane counts the auto-tuner may consider for the
+// configured mode: the per-trial pipelines (AsyncTransfer) and the device
+// aggregation path keep their own internal structure and run sequentially
+// over batches; an explicit PipelineBatches pins the pipelined executor.
+func shingleLaneSet(o Options) []int {
+	switch {
+	case o.GPUAggregate || o.AsyncTransfer:
+		return []int{1}
+	case o.PipelineBatches:
+		return []int{2, 3, 4}
+	default:
+		return []int{1, 2, 3, 4}
+	}
+}
+
+// legacyShingleBudget is the pre-auto-tune budget derivation.
+func legacyShingleBudget(dev *gpusim.Device, o Options) int {
+	// data + hash copies, offsets and output must all fit with slack.
+	budget := int(dev.FreeMemory() / gpusim.WordBytes * 3 / 4)
+	if o.PipelineBatches {
+		// Two batches are resident at once (double-buffered staging),
+		// and each lane packs up to a batch's worth of output rows for
+		// coalesced transfers: halve the derived budget so both fit.
+		budget = budget / 2
+	}
+	return budget
+}
+
+// minShingleBudget is the smallest budget planBatches accepts.
+func minShingleBudget(s int, gpuAggregate bool) int {
+	overhead := 2 * (s + 2)
+	if gpuAggregate {
+		overhead += 9
+	}
+	return 3 + overhead + 2
+}
+
+// shingleFeasible reports whether the candidate's device footprint fits
+// free memory: the planner's budget is itself a conservative footprint
+// bound for the sequential paths, and the pipelined executor keeps
+// `lanes` fully independent stagings resident.
+func shingleFeasible(freeWords int, plans []batchPlan, cand sched.Candidate, s, c int) bool {
+	if cand.Lanes <= 1 {
+		return cand.BudgetWords <= freeWords
+	}
+	maxWords, maxPieces := 1, 1
+	for _, p := range plans {
+		maxWords = max(maxWords, p.words)
+		maxPieces = max(maxPieces, len(p.pieces))
+	}
+	groupTrials := min(max(maxWords/(maxPieces*s), 1), c)
+	laneWords := 2*maxWords + (maxPieces + 1) + groupTrials*maxPieces*s + 2*c
+	return cand.Lanes*laneWords <= freeWords
+}
+
+// autotunePass picks the batch budget and lane count for one shingling
+// pass by predicted virtual time, returning the chosen plan. When no
+// candidate is feasible it falls back to the legacy derivation (reported
+// with AutoTuned=false).
+func autotunePass(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
+	o Options) (sched.PlanReport, []batchPlan, int, error) {
+
+	freeWords := int(dev.FreeMemory() / gpusim.WordBytes)
+	maxB := freeWords * 3 / 4
+	minB := minShingleBudget(s, o.GPUAggregate)
+	m := calibrateShingleModel(dev.Config(), in, fam, s, o)
+	c := fam.Size()
+
+	var cands []sched.Candidate
+	for _, b := range sched.Budgets(maxB, minB) {
+		for _, l := range shingleLaneSet(o) {
+			cands = append(cands, sched.Candidate{BudgetWords: b, Lanes: l})
+		}
+	}
+	planCache := map[int][]batchPlan{}
+	plansFor := func(b int) []batchPlan {
+		if p, ok := planCache[b]; ok {
+			return p
+		}
+		p, err := planBatches(in, s, b, o.GPUAggregate)
+		if err != nil {
+			p = nil
+		}
+		planCache[b] = p
+		return p
+	}
+	best, predicted, ok := sched.Pick(cands, func(cand sched.Candidate) (float64, bool) {
+		plans := plansFor(cand.BudgetWords)
+		if plans == nil || !shingleFeasible(freeWords, plans, cand, s, c) {
+			return 0, false
+		}
+		return predictShinglePlans(m, in, fam, s, o, plans, cand.Lanes), true
+	})
+	if !ok {
+		budget := legacyShingleBudget(dev, o)
+		plans, err := planBatches(in, s, budget, o.GPUAggregate)
+		if err != nil {
+			return sched.PlanReport{}, nil, 0, err
+		}
+		lanes := 1
+		if o.PipelineBatches {
+			lanes = 2
+		}
+		return sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans)},
+			plans, lanes, nil
+	}
+	plans := plansFor(best.BudgetWords)
+	rep := sched.PlanReport{AutoTuned: true, BudgetWords: best.BudgetWords,
+		Lanes: best.Lanes, Batches: len(plans), PredictedNs: predicted}
+	return rep, plans, best.Lanes, nil
+}

@@ -8,6 +8,7 @@ import (
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
 	"gpclust/internal/obs"
+	"gpclust/internal/sched"
 	"gpclust/internal/thrust"
 )
 
@@ -39,7 +40,7 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	chargeHost(dev, o.Obs, obs.NameRead, acct.diskNs())
 	endPhase(dev, ph)
 
-	sw := newStopwatch()
+	sw := sched.NewStopwatch()
 	in := FromGraph(g)
 	ph = startPhase(dev, o.Obs, "shingle-pass1")
 	gi, err := runPassGPU(dev, in, fam1, o.S1, o, "pass1", acct, &res.Pass1, &res.Faults)
@@ -47,7 +48,7 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: first-level shingling: %w", err)
 	}
-	res.Wall.Pass1Ns = sw.lap()
+	res.Wall.Pass1Ns = sw.Lap()
 
 	// "CPU aggregates sglsH into a graph" — the filter is part of shingle
 	// graph preparation.
@@ -65,7 +66,7 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: second-level shingling: %w", err)
 	}
-	res.Wall.Pass2Ns = sw.lap()
+	res.Wall.Pass2Ns = sw.Lap()
 
 	// "final data aggregation on CPU ... CPU reports dense subgraphs".
 	beforeReport := acct.reportOps
@@ -73,8 +74,8 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
 	chargeHost(dev, o.Obs, "report", float64(acct.reportOps-beforeReport)*ReportNsPerOp)
 	endPhase(dev, ph)
-	res.Wall.ReportNs = sw.lap()
-	res.Wall.TotalNs = sw.total()
+	res.Wall.ReportNs = sw.Lap()
+	res.Wall.TotalNs = sw.Total()
 
 	dev.Synchronize()
 	m := dev.Metrics()
@@ -136,39 +137,48 @@ func planBatches(in *SegGraph, s int, budgetWords int, gpuAggregate bool) ([]bat
 		maxPieceWords = 1
 	}
 
-	var plans []batchPlan
-	cur := batchPlan{}
-	cost := 0
-	flush := func() {
-		if len(cur.pieces) > 0 {
-			plans = append(plans, cur)
-			cur = batchPlan{}
-			cost = 0
-		}
-	}
+	// Pre-split lists into pieces no larger than maxPieceWords, then pack
+	// the pieces with the shared greedy planner.
+	var pieces []batchPiece
 	for i := 0; i < in.NumLists(); i++ {
 		listLen := int(in.Offsets[i+1] - in.Offsets[i])
 		lo := 0
 		for lo < listLen || listLen == 0 {
-			n := listLen - lo
-			if n > maxPieceWords {
-				n = maxPieceWords
-			}
-			pieceCost := 3*n + perPieceOverhead
-			if cost+pieceCost > budgetWords {
-				flush()
-			}
-			cur.pieces = append(cur.pieces, batchPiece{list: i, lo: int64(lo), hi: int64(lo + n)})
-			cur.words += n
-			cost += pieceCost
+			n := min(listLen-lo, maxPieceWords)
+			pieces = append(pieces, batchPiece{list: i, lo: int64(lo), hi: int64(lo + n)})
 			lo += n
 			if listLen == 0 {
 				break
 			}
 		}
 	}
-	flush()
+	spans, err := sched.PlanSpans(len(pieces), budgetWords, pieceSizer{pieces, perPieceOverhead})
+	if err != nil {
+		return nil, err
+	}
+	var plans []batchPlan
+	for _, sp := range spans {
+		cur := batchPlan{pieces: pieces[sp.Lo:sp.Hi:sp.Hi]}
+		for _, pc := range cur.pieces {
+			cur.words += pc.words()
+		}
+		plans = append(plans, cur)
+	}
 	return plans, nil
+}
+
+// pieceSizer feeds planBatches' additive piece costs to sched.PlanSpans.
+type pieceSizer struct {
+	pieces   []batchPiece
+	overhead int
+}
+
+func (z pieceSizer) Reset()         {}
+func (z pieceSizer) Commit(int)     {}
+func (z pieceSizer) Cost(k int) int { return 3*z.pieces[k].words() + z.overhead }
+func (z pieceSizer) Fail(k, need int) error {
+	// Unreachable: maxPieceWords caps every piece's cost at the budget.
+	return fmt.Errorf("core: piece of %d words needs %d budget words", z.pieces[k].words(), need)
 }
 
 // pendingShingle accumulates the per-trial partial minima of a list split
@@ -229,20 +239,33 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 		}
 	}
 
-	budget := o.BatchWords
-	if budget == 0 {
-		// data + hash copies, offsets and output must all fit with slack.
-		budget = int(dev.FreeMemory() / gpusim.WordBytes * 3 / 4)
-		if o.PipelineBatches {
-			// Two batches are resident at once (double-buffered staging),
-			// and each lane packs up to a batch's worth of output rows for
-			// coalesced transfers: halve the derived budget so both fit.
-			budget = budget / 2
-		}
+	lanes := 1
+	if o.PipelineBatches {
+		lanes = 2
 	}
-	plans, err := planBatches(in, s, budget, o.GPUAggregate)
-	if err != nil {
-		return nil, err
+	var plans []batchPlan
+	var report sched.PlanReport
+	if o.BatchWords == 0 && o.AutoTune {
+		var err error
+		report, plans, lanes, err = autotunePass(dev, in, fam, s, o)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		budget := o.BatchWords
+		if budget == 0 {
+			budget = legacyShingleBudget(dev, o)
+		}
+		var err error
+		plans, err = planBatches(in, s, budget, o.GPUAggregate)
+		if err != nil {
+			return nil, err
+		}
+		report = sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans)}
+		if o.PredictCost {
+			m := calibrateShingleModel(dev.Config(), in, fam, s, o)
+			report.PredictedNs = predictShinglePlans(m, in, fam, s, o, plans, lanes)
+		}
 	}
 	stats.Batches = len(plans)
 
@@ -257,8 +280,9 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	}
 	stats.SplitLists = len(splitLists)
 
-	if o.PipelineBatches {
-		if err := runBatchesPipelinedResilient(dev, in, fam, s, o, label, plans, tuplesByTrial, pending, acct, stats, rec); err != nil {
+	schedT0 := dev.HostTime()
+	if lanes >= 2 {
+		if err := runBatchesPipelinedResilient(dev, in, fam, s, o, label, plans, lanes, tuplesByTrial, pending, acct, stats, rec); err != nil {
 			return nil, err
 		}
 	} else {
@@ -269,7 +293,7 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 				t0 = dev.HostTime()
 				end = o.Obs.Start(obs.TrackBatches, fmt.Sprintf("%s.b%d", label, i), t0)
 			}
-			if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats, rec, 0); err != nil {
+			if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats, rec); err != nil {
 				return nil, err
 			}
 			if o.Obs.Enabled() {
@@ -279,6 +303,9 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 			}
 		}
 	}
+	report.ActualNs = dev.HostTime() - schedT0
+	stats.Plan = report
+	sched.RecordPlan(o.Obs, "gpclust_"+label, report)
 	if len(pending) != 0 {
 		return nil, fmt.Errorf("core: %d split lists never completed", len(pending))
 	}

@@ -5,15 +5,17 @@ import (
 
 	"gpclust/internal/gpusim"
 	"gpclust/internal/minwise"
+	"gpclust/internal/sched"
 	"gpclust/internal/thrust"
 )
 
 // runBatchesPipelined replaces runPassGPU's strictly sequential batch loop
-// when Options.PipelineBatches is set. Two things change relative to the
-// sequential (and per-batch async) loops, both aimed at the copy engine —
-// which the Table I breakdown shows is the bottleneck: every transfer pays a
-// fixed setup cost ("the overhead to invoke the data transfer mechanism"),
-// and one DMA engine serializes all of them.
+// when Options.PipelineBatches is set (or the auto-tuner picks a multi-lane
+// plan). Two things change relative to the sequential (and per-batch async)
+// loops, both aimed at the copy engine — which the Table I breakdown shows
+// is the bottleneck: every transfer pays a fixed setup cost ("the overhead
+// to invoke the data transfer mechanism"), and one DMA engine serializes
+// all of them.
 //
 //  1. Transfer coalescing. The c hash-pair uploads per batch collapse into
 //     one per-lane table upload for the whole pass, and the per-trial
@@ -24,7 +26,7 @@ import (
 //     the batch data itself.
 //
 //  2. Double-buffered staging. The pass is flattened into a stream of
-//     (batch, trial-group) work items round-robined across two fully
+//     (batch, trial-group) work items round-robined across N fully
 //     independent lanes — each lane owns a stream plus device staging
 //     (data, offsets, hash, packed output, params) sized for the largest
 //     batch of the plan, and re-stages a batch's data the first time one of
@@ -34,11 +36,12 @@ import (
 //     lane 1:           [H2D b0 | g1 kernels | D2H g1]  [g3 kernels | ...
 //     host:                         [merge g0]  [merge g1]  [merge g2] ...
 //
-//     Enqueuing item i only waits for its lane's previous occupant (item
-//     i-2) to drain, so the next group's kernels and the next batch's
-//     host→device staging overlap the previous groups' device→host shingle
-//     transfers and the CPU-side (split-list) merging — across batch
-//     boundaries, which the per-batch AsyncTransfer lanes cannot do.
+//     The round-robin ordering contract lives in sched.RunLanes: enqueuing
+//     item i only waits for its lane's previous occupant (item i-N) to
+//     drain, so the next group's kernels and the next batch's host→device
+//     staging overlap the previous groups' device→host shingle transfers
+//     and the CPU-side (split-list) merging — across batch boundaries,
+//     which the per-batch AsyncTransfer lanes cannot do.
 //
 // End-to-end time approaches max(copy engine, compute engine, host CPU)
 // instead of their sum, with far fewer fixed-cost transfers on the critical
@@ -48,13 +51,132 @@ import (
 // Output equivalence: items drain in item order, which is exactly the
 // sequential loop's (batch, trial) nesting, so tuple emission and pending
 // split-list merging happen in the identical order and the clustering is
-// bit-identical.
+// bit-identical for any lane count.
+
+// shingleLane is one pipeline lane's device staging.
+type shingleLane struct {
+	data, off, hash, out, params *gpusim.Buffer
+	stream                       *gpusim.Stream
+	hostOut                      []uint32 // in-flight item's packed shingle rows
+	batch                        int      // batch resident in data/off (-1: none)
+}
+
+// shingleLanes adapts the shingling pass to sched.LaneWorkload: items are
+// (batch, trial-group) pairs in batch-major order.
+type shingleLanes struct {
+	dev                 *gpusim.Device
+	in                  *SegGraph
+	fam                 minwise.Family
+	s, c                int
+	o                   Options
+	label               string
+	plans               []batchPlan
+	groupTrials, groups int
+	tuplesByTrial       [][]tuple
+	pending             map[int]*pendingShingle
+	acct                *cpuAccount
+	stats               *PassStats
+
+	lanes      []*shingleLane
+	hostParams []uint32 // <A_j, B_j> table for all c trials
+	// Host staging for the current batch, shared across lanes: the H2D
+	// copies capture contents at enqueue, and every item of batch k
+	// enqueues before batch k+1 is staged.
+	hostData []uint32
+	hostOff  []uint32
+	staged   int // batch resident in hostData (-1: none)
+}
+
+// itemGroup decodes a work item into its batch and trial group.
+func (w *shingleLanes) itemGroup(item int) (k, t0, t1 int) {
+	k = item / w.groups
+	t0 = (item % w.groups) * w.groupTrials
+	t1 = min(t0+w.groupTrials, w.c)
+	return
+}
+
+func (w *shingleLanes) Prepare(item int) {
+	k, t0, _ := w.itemGroup(item)
+	if t0 != 0 || w.staged == k {
+		return // batch already staged by its first item
+	}
+	plan := &w.plans[k]
+	w.hostData = w.hostData[:0]
+	for pi, pc := range plan.pieces {
+		base := w.in.Offsets[pc.list]
+		w.hostData = append(w.hostData, w.in.Data[base+pc.lo:base+pc.hi]...)
+		w.hostOff[pi+1] = uint32(len(w.hostData))
+	}
+	w.hostOff[0] = 0
+	w.acct.aggOps += int64(len(w.hostData) + len(plan.pieces))
+	chargeHost(w.dev, w.o.Obs, "stage", float64(len(w.hostData)+len(plan.pieces))*AggregateNsPerOp)
+	w.staged = k
+}
+
+func (w *shingleLanes) Enqueue(item, lane int) error {
+	k, t0, t1 := w.itemGroup(item)
+	l := w.lanes[lane]
+	plan := &w.plans[k]
+	numPieces := len(plan.pieces)
+	if l.batch != k {
+		if l.batch < 0 {
+			// First use of the lane: stage the trial table.
+			if err := w.dev.CopyH2DAsync(l.stream, l.params, 0, w.hostParams); err != nil {
+				return err
+			}
+		}
+		// First item of batch k on this lane: stage the batch.
+		if err := w.dev.CopyH2DAsync(l.stream, l.data, 0, w.hostData); err != nil {
+			return err
+		}
+		if err := w.dev.CopyH2DAsync(l.stream, l.off, 0, w.hostOff[:numPieces+1]); err != nil {
+			return err
+		}
+		l.batch = k
+	}
+	segs := thrust.Segments{Offsets: l.off, NumSegs: numPieces}
+	for trial := t0; trial < t1; trial++ {
+		h := w.fam.Pairs[trial]
+		if err := thrust.TransformHashOnStream(w.dev, l.stream, l.data, l.hash,
+			len(w.hostData), h.A, h.B, minwise.Prime); err != nil {
+			return err
+		}
+		if err := topSKernel(w.dev, l.stream, l.hash, segs, w.s, l.out,
+			(trial-t0)*numPieces*w.s, w.o.UseFullSort); err != nil {
+			return err
+		}
+	}
+	return w.dev.CopyD2HAsync(l.stream, l.hostOut[:(t1-t0)*numPieces*w.s], l.out, 0)
+}
+
+func (w *shingleLanes) Complete(item, lane int) {
+	k, t0, t1 := w.itemGroup(item)
+	l := w.lanes[lane]
+	l.stream.Synchronize()
+	plan := &w.plans[k]
+	before := w.acct.aggOps
+	rowWords := len(plan.pieces) * w.s
+	for trial := t0; trial < t1; trial++ {
+		row := l.hostOut[(trial-t0)*rowWords : (trial-t0+1)*rowWords]
+		emitTrialTuples(w.in, *plan, w.s, trial, w.c, row, w.tuplesByTrial, w.pending, w.acct, w.stats)
+	}
+	chargeHost(w.dev, w.o.Obs, "aggregate", float64(w.acct.aggOps-before)*AggregateNsPerOp)
+}
+
+func (w *shingleLanes) SpanName(item int) string {
+	k, t0, t1 := w.itemGroup(item)
+	return fmt.Sprintf("%s.b%d.t%d-%d", w.label, k, t0, t1)
+}
+
 func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
-	o Options, label string, plans []batchPlan, tuplesByTrial [][]tuple,
+	o Options, label string, plans []batchPlan, lanes int, tuplesByTrial [][]tuple,
 	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats) error {
 
 	if len(plans) == 0 {
 		return nil
+	}
+	if lanes < 2 {
+		lanes = 2
 	}
 	c := fam.Size()
 	maxWords, maxPieces := 1, 1
@@ -74,22 +196,18 @@ func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s
 		hostParams = append(hostParams, uint32(h.A), uint32(h.B))
 	}
 
-	type pipeLane struct {
-		data, off, hash, out, params *gpusim.Buffer
-		stream                       *gpusim.Stream
-		hostOut                      []uint32 // in-flight item's packed shingle rows
-		batch                        int      // batch resident in data/off (-1: none)
-		plan                         *batchPlan
-		t0, t1                       int // in-flight trial group; plan == nil when idle
-
-		track    string  // observability: this lane's span track
-		spanName string  // in-flight item's span name (recording enabled only)
-		spanT0   float64 // virtual time the in-flight item was enqueued
+	w := &shingleLanes{
+		dev: dev, in: in, fam: fam, s: s, c: c, o: o, label: label,
+		plans: plans, groupTrials: groupTrials, groups: (c + groupTrials - 1) / groupTrials,
+		tuplesByTrial: tuplesByTrial, pending: pending, acct: acct, stats: stats,
+		lanes:      make([]*shingleLane, lanes),
+		hostParams: hostParams,
+		hostData:   make([]uint32, 0, maxWords),
+		hostOff:    make([]uint32, maxPieces+1),
+		staged:     -1,
 	}
-
-	var lanes [2]*pipeLane
 	freeAll := func() {
-		for _, l := range lanes {
+		for _, l := range w.lanes {
 			if l == nil {
 				continue
 			}
@@ -100,9 +218,9 @@ func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s
 			}
 		}
 	}
-	for i := range lanes {
-		l := &pipeLane{stream: dev.NewStream(), batch: -1, track: fmt.Sprintf("lane%d", i)}
-		lanes[i] = l
+	for i := range w.lanes {
+		l := &shingleLane{stream: dev.NewStream(), batch: -1}
+		w.lanes[i] = l
 		var err error
 		if l.data, err = dev.Malloc(maxWords); err == nil {
 			if l.off, err = dev.Malloc(maxPieces + 1); err == nil {
@@ -121,94 +239,5 @@ func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s
 	}
 	defer freeAll()
 
-	// drain completes a lane's in-flight (batch, trial-group) item: wait for
-	// the stream, then emit each trial's tuples and merge split-list minima.
-	drain := func(l *pipeLane) {
-		if l.plan == nil {
-			return
-		}
-		l.stream.Synchronize()
-		before := acct.aggOps
-		rowWords := len(l.plan.pieces) * s
-		for trial := l.t0; trial < l.t1; trial++ {
-			row := l.hostOut[(trial-l.t0)*rowWords : (trial-l.t0+1)*rowWords]
-			emitTrialTuples(in, *l.plan, s, trial, c, row, tuplesByTrial, pending, acct, stats)
-		}
-		chargeHost(dev, o.Obs, "aggregate", float64(acct.aggOps-before)*AggregateNsPerOp)
-		if l.spanName != "" {
-			o.Obs.Span(l.track, l.spanName, l.spanT0, dev.HostTime())
-			l.spanName = ""
-		}
-		l.plan = nil
-	}
-
-	// Host staging for the current batch, reused across batches. The lanes'
-	// H2D copies capture the contents at enqueue, so one buffer suffices
-	// even with both lanes staging the same batch.
-	hostData := make([]uint32, 0, maxWords)
-	hostOff := make([]uint32, maxPieces+1)
-
-	item := 0
-	for k := range plans {
-		plan := &plans[k]
-		numPieces := len(plan.pieces)
-		hostData = hostData[:0]
-		for pi, pc := range plan.pieces {
-			base := in.Offsets[pc.list]
-			hostData = append(hostData, in.Data[base+pc.lo:base+pc.hi]...)
-			hostOff[pi+1] = uint32(len(hostData))
-		}
-		hostOff[0] = 0
-		acct.aggOps += int64(len(hostData) + numPieces)
-		chargeHost(dev, o.Obs, "stage", float64(len(hostData)+numPieces)*AggregateNsPerOp)
-
-		for t0 := 0; t0 < c; t0 += groupTrials {
-			t1 := min(t0+groupTrials, c)
-			l := lanes[item%2]
-			item++
-			drain(l)
-
-			if l.batch != k {
-				if l.batch < 0 {
-					// First use of the lane: stage the trial table.
-					if err := dev.CopyH2DAsync(l.stream, l.params, 0, hostParams); err != nil {
-						return err
-					}
-				}
-				// First item of batch k on this lane: stage the batch.
-				if err := dev.CopyH2DAsync(l.stream, l.data, 0, hostData); err != nil {
-					return err
-				}
-				if err := dev.CopyH2DAsync(l.stream, l.off, 0, hostOff[:numPieces+1]); err != nil {
-					return err
-				}
-				l.batch = k
-			}
-			segs := thrust.Segments{Offsets: l.off, NumSegs: numPieces}
-			for trial := t0; trial < t1; trial++ {
-				h := fam.Pairs[trial]
-				if err := thrust.TransformHashOnStream(dev, l.stream, l.data, l.hash,
-					len(hostData), h.A, h.B, minwise.Prime); err != nil {
-					return err
-				}
-				if err := topSKernel(dev, l.stream, l.hash, segs, s, l.out,
-					(trial-t0)*numPieces*s, o.UseFullSort); err != nil {
-					return err
-				}
-			}
-			if err := dev.CopyD2HAsync(l.stream, l.hostOut[:(t1-t0)*numPieces*s], l.out, 0); err != nil {
-				return err
-			}
-			if o.Obs.Enabled() {
-				l.spanName = fmt.Sprintf("%s.b%d.t%d-%d", label, k, t0, t1)
-				l.spanT0 = dev.HostTime()
-			}
-			l.plan, l.t0, l.t1 = plan, t0, t1
-		}
-	}
-
-	// Tail: drain the remaining in-flight items in item order.
-	drain(lanes[item%2])
-	drain(lanes[(item+1)%2])
-	return nil
+	return sched.RunLanes(dev, o.Obs, len(plans)*w.groups, lanes, w)
 }

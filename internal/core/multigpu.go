@@ -167,7 +167,7 @@ func runPassMultiGPU(devs []*gpusim.Device, in *SegGraph, fam minwise.Family, s 
 			t0 = dev.HostTime()
 			end = o.Obs.Start(obs.TrackBatches, fmt.Sprintf("%s.b%d.dev%d", label, i, i%len(devs)), t0)
 		}
-		if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial, nil, pending, acct, stats, rec, 0); err != nil {
+		if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial, nil, pending, acct, stats, rec); err != nil {
 			return nil, err
 		}
 		if o.Obs.Enabled() {

@@ -57,10 +57,25 @@ type Options struct {
 	Mode ReportMode
 
 	// BatchWords caps the device words a single batch of adjacency lists may
-	// occupy (0 = derive from the device's free memory). Lists are split
-	// across batches when they do not fit, and the CPU merges the partial
-	// shingle results (Section III-C).
+	// occupy (0 = derive from the device's free memory, or auto-tune when
+	// AutoTune is set). Lists are split across batches when they do not fit,
+	// and the CPU merges the partial shingle results (Section III-C).
 	BatchWords int
+
+	// AutoTune lets the scheduler pick the batch word budget and pipeline
+	// lane count by predicted virtual time: candidate plans (a geometric
+	// budget sweep crossed with the feasible lane counts) are replayed
+	// through the calibrated cost model (internal/sched) and the argmin
+	// runs. Ignored when BatchWords is set explicitly. The clustering is
+	// bit-identical for every plan; only the virtual schedule changes.
+	// The chosen plan and its predicted-vs-actual cost are reported in
+	// PassStats.Plan.
+	AutoTune bool
+
+	// PredictCost runs the cost model for the fixed plan too (BatchWords
+	// set, or AutoTune off), filling PassStats.Plan.PredictedNs so fixed
+	// sweeps can report predicted-vs-actual drift. AutoTune implies it.
+	PredictCost bool
 
 	// UseFullSort makes the GPU path run Algorithm 1 literally — segmented
 	// sort of the whole permuted list, then select the top s — instead of

@@ -7,6 +7,7 @@ import (
 
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
+	"gpclust/internal/sched"
 	"gpclust/internal/unionfind"
 )
 
@@ -36,11 +37,11 @@ func ClusterParallel(g *graph.Graph, o Options) (*Result, error) {
 
 	accts[0].diskBytes = graphDiskBytes(g)
 
-	sw := newStopwatch()
+	sw := sched.NewStopwatch()
 	in := FromGraph(g)
 	gi := runPassParallel(in, fam1, o.S1, workers, accts, &res.Pass1)
 	res.Pass1.Batches = 1
-	res.Wall.Pass1Ns = sw.lap()
+	res.Wall.Pass1Ns = sw.Lap()
 	var s1, a1 float64
 	for w := range accts {
 		s1 = max(s1, accts[w].serialNs())
@@ -51,11 +52,11 @@ func ClusterParallel(g *graph.Graph, o Options) (*Result, error) {
 	res.Pass1.SharedLists = pass2In.NumLists()
 	gii := runPassParallel(pass2In, fam2, o.S2, workers, accts, &res.Pass2)
 	res.Pass2.Batches = 1
-	res.Wall.Pass2Ns = sw.lap()
+	res.Wall.Pass2Ns = sw.Lap()
 
 	res.Clustering = reportClustersParallel(g.NumVertices(), gi, gii, o.Mode, workers, accts)
-	res.Wall.ReportNs = sw.lap()
-	res.Wall.TotalNs = sw.total()
+	res.Wall.ReportNs = sw.Lap()
+	res.Wall.TotalNs = sw.Total()
 
 	// Critical-path virtual clock: a parallel phase takes as long as its
 	// busiest worker.

@@ -1,71 +1,55 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
 	"gpclust/internal/minwise"
 	"gpclust/internal/obs"
+	"gpclust/internal/sched"
 	"gpclust/internal/thrust"
 )
 
 // Resilient batch execution. The GPU batch loops treat device faults —
-// failed transfers, failed launches, allocation failures — as recoverable:
-// a failed batch rolls back to its pre-attempt state and is retried with
-// exponential virtual-clock backoff; a batch that keeps hitting OOM is
-// split in half (the halves merge bit-identically through the existing
-// split-list machinery); and when the retry budget is exhausted the batch
-// degrades to a bit-identical host-side execution, so the clustering a
-// faulted run produces is byte-for-byte the clustering of a fault-free
-// run. Options.NoHostFallback turns the last resort into a typed
-// ErrRetryBudget failure instead. Every recovery action is counted in
-// faults.Recovery (Result.Faults).
+// failed transfers, failed launches, allocation failures — as recoverable;
+// the generic ladder (retry with exponential virtual-clock backoff, split
+// persistent-OOM batches in half, degrade to a bit-identical host
+// execution, or fail typed under Options.NoHostFallback) lives in
+// internal/sched. This file adapts the shingling pipeline to it: what a
+// batch attempt must roll back, how a plan splits, and what the host
+// fallback emits, so the clustering a faulted run produces stays
+// byte-for-byte the clustering of a fault-free run. Every recovery action
+// is counted in faults.Recovery (Result.Faults).
 
 // DefaultFaultRetries is the per-batch retry budget used when
 // Options.FaultRetries is zero.
-const DefaultFaultRetries = 3
-
-// maxSplitDepth bounds recursive OOM batch splitting; at depth d the batch
-// has at most ceil(words/2^d) data words per piece, so 40 levels cover any
-// 32-bit workload with slack.
-const maxSplitDepth = 40
+const DefaultFaultRetries = sched.DefaultFaultRetries
 
 // DefaultRetryBackoffNs is the base virtual-clock delay between fault
 // retries used when Options.RetryBackoffNs is zero; attempt k waits
 // base·2^k simulated nanoseconds.
-const DefaultRetryBackoffNs = 2e6
+const DefaultRetryBackoffNs = sched.DefaultRetryBackoffNs
 
 // retryBackoff resolves Options.RetryBackoffNs to the concrete base delay.
-func (o Options) retryBackoff() float64 {
-	if o.RetryBackoffNs > 0 {
-		return o.RetryBackoffNs
-	}
-	return DefaultRetryBackoffNs
-}
+func (o Options) retryBackoff() float64 { return sched.ResolveBackoff(o.RetryBackoffNs) }
 
 // ErrRetryBudget is wrapped by batch errors returned once the fault-retry
-// budget is exhausted and host fallback is disabled.
-var ErrRetryBudget = errors.New("core: device fault retry budget exhausted")
+// budget is exhausted and host fallback is disabled. It aliases the sched
+// framework's sentinel so errors.Is works across both.
+var ErrRetryBudget = sched.ErrRetryBudget
 
 // retryBudget resolves Options.FaultRetries to a concrete per-batch
 // budget.
-func (o Options) retryBudget() int {
-	if o.FaultRetries > 0 {
-		return o.FaultRetries
-	}
-	if o.FaultRetries < 0 {
-		return 0
-	}
-	return DefaultFaultRetries
-}
+func (o Options) retryBudget() int { return sched.ResolveRetries(o.FaultRetries) }
 
-// retryableFault reports whether a batch error may be retried: injected
-// device faults and device OOM. Anything else (range errors, invalid
-// launches) is a programming error and stays fatal.
-func retryableFault(err error) bool {
-	return errors.Is(err, gpusim.ErrDeviceFault) || errors.Is(err, gpusim.ErrOutOfDeviceMemory)
+// runner assembles the sched resilience ladder for one scheduling run.
+func (o Options) runner(dev *gpusim.Device, rec *faults.Recovery) *sched.Runner {
+	return &sched.Runner{
+		Dev: dev, Obs: o.Obs, Rec: rec,
+		Policy:         sched.Policy{Retries: o.retryBudget(), BackoffNs: o.retryBackoff()},
+		NoHostFallback: o.NoHostFallback,
+	}
 }
 
 // pendSnap records one split list's pre-attempt pending state; saved is
@@ -163,65 +147,72 @@ func splitBatchPlan(plan batchPlan) (left, right batchPlan, ok bool) {
 	return batchPlan{}, batchPlan{}, false
 }
 
+// batchEnv bundles the pass state threaded through every batch of one
+// scheduling run, so the sched adapters stay one pointer wide.
+type batchEnv struct {
+	dev           *gpusim.Device
+	in            *SegGraph
+	fam           minwise.Family
+	s             int
+	o             Options
+	tuplesByTrial [][]tuple
+	sortedByTrial [][][]tuple
+	pending       map[int]*pendingShingle
+	acct          *cpuAccount
+	stats         *PassStats
+	rec           *faults.Recovery
+}
+
+// coreBatch adapts one shingling batch to sched.Batch: an attempt snapshots
+// the aggregation state and rolls back on any failure, a split halves the
+// plan, and the fallback replays the batch through the host shingler.
+type coreBatch struct {
+	env  *batchEnv
+	plan batchPlan
+}
+
+func (b coreBatch) Attempt() error {
+	e := b.env
+	snap := snapshotBatch(e.in, b.plan, e.tuplesByTrial, e.sortedByTrial, e.pending, e.stats)
+	err := runBatch(e.dev, e.in, e.fam, e.s, e.o, b.plan, e.tuplesByTrial,
+		e.sortedByTrial, e.pending, e.acct, e.stats)
+	if err != nil {
+		snap.restore(e.tuplesByTrial, e.sortedByTrial, e.pending, e.stats)
+	}
+	return err
+}
+
+func (b coreBatch) Split() (sched.Batch, sched.Batch, bool) {
+	left, right, ok := splitBatchPlan(b.plan)
+	if !ok {
+		return nil, nil, false
+	}
+	return coreBatch{b.env, left}, coreBatch{b.env, right}, true
+}
+
+func (b coreBatch) Fallback() {
+	e := b.env
+	runBatchHost(e.dev, e.in, e.fam, e.s, e.o, b.plan, e.tuplesByTrial,
+		e.sortedByTrial, e.pending, e.acct, e.stats)
+}
+
+func (b coreBatch) WrapErr(retries int, last error) error {
+	return fmt.Errorf("core: batch of %d pieces failed after %d retries: %w (last: %v)",
+		len(b.plan.pieces), retries, ErrRetryBudget, last)
+}
+
 // runBatchResilient is runBatch wrapped in the recovery ladder: retry with
 // backoff while the budget lasts, then split on persistent OOM, then
 // degrade to the host path (or fail typed under NoHostFallback).
 func runBatchResilient(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int, o Options,
 	plan batchPlan, tuplesByTrial [][]tuple, sortedByTrial [][][]tuple,
 	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats,
-	rec *faults.Recovery, depth int) error {
+	rec *faults.Recovery) error {
 
-	budget := o.retryBudget()
-	for attempt := 0; ; attempt++ {
-		snap := snapshotBatch(in, plan, tuplesByTrial, sortedByTrial, pending, stats)
-		err := runBatch(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats)
-		if err == nil {
-			return nil
-		}
-		snap.restore(tuplesByTrial, sortedByTrial, pending, stats)
-		if !retryableFault(err) {
-			return err
-		}
-		if attempt < budget {
-			switch {
-			case errors.Is(err, gpusim.ErrTransferFault):
-				rec.TransferRetries++
-				recoveryInstant(dev, o.Obs, "retry:transfer")
-			case errors.Is(err, gpusim.ErrLaunchFault):
-				rec.KernelRetries++
-				recoveryInstant(dev, o.Obs, "retry:kernel")
-			default:
-				rec.OOMRetries++
-				recoveryInstant(dev, o.Obs, "retry:oom")
-			}
-			backoff := o.retryBackoff() * float64(int64(1)<<attempt)
-			chargeHost(dev, o.Obs, obs.NameBackoff, backoff)
-			rec.BackoffNs += backoff
-			continue
-		}
-		// Budget exhausted. Persistent OOM: shrink the footprint and give
-		// each half a fresh budget.
-		if errors.Is(err, gpusim.ErrOutOfDeviceMemory) && depth < maxSplitDepth {
-			if left, right, ok := splitBatchPlan(plan); ok {
-				rec.OOMSplits++
-				recoveryInstant(dev, o.Obs, "oom-split")
-				if err := runBatchResilient(dev, in, fam, s, o, left, tuplesByTrial,
-					sortedByTrial, pending, acct, stats, rec, depth+1); err != nil {
-					return err
-				}
-				return runBatchResilient(dev, in, fam, s, o, right, tuplesByTrial,
-					sortedByTrial, pending, acct, stats, rec, depth+1)
-			}
-		}
-		if o.NoHostFallback {
-			return fmt.Errorf("core: batch of %d pieces failed after %d retries: %w (last: %v)",
-				len(plan.pieces), budget, ErrRetryBudget, err)
-		}
-		rec.HostFallbacks++
-		recoveryInstant(dev, o.Obs, "host-fallback")
-		runBatchHost(dev, in, fam, s, o, plan, tuplesByTrial, sortedByTrial, pending, acct, stats)
-		return nil
-	}
+	env := &batchEnv{dev: dev, in: in, fam: fam, s: s, o: o,
+		tuplesByTrial: tuplesByTrial, sortedByTrial: sortedByTrial,
+		pending: pending, acct: acct, stats: stats}
+	return o.runner(dev, rec).Run(coreBatch{env, plan})
 }
 
 // hostTopS mirrors the thrust.SegmentedTopS kernel on the host: dst (s
@@ -359,64 +350,67 @@ func emitTrialAggHost(in *SegGraph, plan batchPlan, s, trial, c int, hostOut []u
 	acct.aggOps += int64(len(stream))
 }
 
-// passSnapshot captures the (empty) aggregation state before a pipelined
-// pass so a failed pass can restart from a clean slate.
-type passSnapshot struct {
-	tupleLens []int
-	tuples    int64
+// corePass adapts the whole pipelined pass to sched.Pass. The pipelined
+// pass interleaves every batch's device work, so there is no per-batch
+// state to roll back to; instead a faulted pass restarts whole (Reset
+// returns the output state to the pre-pass snapshot), and when the restart
+// budget is exhausted it degrades to the sequential resilient loop — which
+// recovers per batch, splits on OOM and can fall back to the host, so it
+// completes whenever recovery is possible at all.
+type corePass struct {
+	env   *batchEnv
+	label string
+	plans []batchPlan
+	lanes int
+
+	tupleLens []int // pre-pass tuple stream lengths
+	tuples    int64 // pre-pass stats.Tuples
+}
+
+func (p *corePass) Attempt() error {
+	e := p.env
+	return runBatchesPipelined(e.dev, e.in, e.fam, e.s, e.o, p.label, p.plans, p.lanes,
+		e.tuplesByTrial, e.pending, e.acct, e.stats)
+}
+
+func (p *corePass) Reset() {
+	e := p.env
+	for i := range e.tuplesByTrial {
+		e.tuplesByTrial[i] = e.tuplesByTrial[i][:p.tupleLens[i]]
+	}
+	clear(e.pending)
+	e.stats.Tuples = p.tuples
+}
+
+// Settle is a no-op: runBatchesPipelined synchronizes its lanes before
+// returning an error, so the device is already quiet.
+func (p *corePass) Settle() {}
+
+func (p *corePass) Degrade() error {
+	e := p.env
+	for _, plan := range p.plans {
+		if err := runBatchResilient(e.dev, e.in, e.fam, e.s, e.o, plan, e.tuplesByTrial,
+			nil, e.pending, e.acct, e.stats, e.rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runBatchesPipelinedResilient wraps the double-buffered pass in the
-// recovery ladder. The pipelined pass interleaves every batch's device
-// work, so there is no per-batch state to roll back to; instead a faulted
-// pass restarts whole (the pass owns its output state, which is reset),
-// and when the restart budget is exhausted it degrades to the sequential
-// resilient loop — which recovers per batch, splits on OOM and can fall
-// back to the host, so it completes whenever recovery is possible at all.
-// pending must be empty at entry (it is: the pass is the first writer).
+// restart ladder (sched.Runner.RunPass). pending must be empty at entry
+// (it is: the pass is the first writer).
 func runBatchesPipelinedResilient(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
-	o Options, label string, plans []batchPlan, tuplesByTrial [][]tuple,
+	o Options, label string, plans []batchPlan, lanes int, tuplesByTrial [][]tuple,
 	pending map[int]*pendingShingle, acct *cpuAccount, stats *PassStats,
 	rec *faults.Recovery) error {
 
-	snap := passSnapshot{tupleLens: make([]int, len(tuplesByTrial)), tuples: stats.Tuples}
+	env := &batchEnv{dev: dev, in: in, fam: fam, s: s, o: o,
+		tuplesByTrial: tuplesByTrial, pending: pending, acct: acct, stats: stats, rec: rec}
+	pass := &corePass{env: env, label: label, plans: plans, lanes: lanes,
+		tupleLens: make([]int, len(tuplesByTrial)), tuples: stats.Tuples}
 	for i := range tuplesByTrial {
-		snap.tupleLens[i] = len(tuplesByTrial[i])
+		pass.tupleLens[i] = len(tuplesByTrial[i])
 	}
-	restore := func() {
-		for i := range tuplesByTrial {
-			tuplesByTrial[i] = tuplesByTrial[i][:snap.tupleLens[i]]
-		}
-		clear(pending)
-		stats.Tuples = snap.tuples
-	}
-
-	budget := o.retryBudget()
-	for attempt := 0; ; attempt++ {
-		err := runBatchesPipelined(dev, in, fam, s, o, label, plans, tuplesByTrial, pending, acct, stats)
-		if err == nil {
-			return nil
-		}
-		restore()
-		if !retryableFault(err) {
-			return err
-		}
-		if attempt >= budget {
-			// Degrade to the sequential per-batch ladder for the whole pass.
-			rec.Restarts++
-			recoveryInstant(dev, o.Obs, "degrade-sequential")
-			for _, plan := range plans {
-				if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial,
-					nil, pending, acct, stats, rec, 0); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		rec.Restarts++
-		recoveryInstant(dev, o.Obs, "restart")
-		backoff := o.retryBackoff() * float64(int64(1)<<attempt)
-		chargeHost(dev, o.Obs, obs.NameBackoff, backoff)
-		rec.BackoffNs += backoff
-	}
+	return o.runner(dev, rec).RunPass(pass)
 }

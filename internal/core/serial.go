@@ -3,6 +3,7 @@ package core
 import (
 	"gpclust/internal/graph"
 	"gpclust/internal/minwise"
+	"gpclust/internal/sched"
 )
 
 // ClusterSerial runs the serial pClust shingling pipeline of Section III-B:
@@ -20,22 +21,22 @@ func ClusterSerial(g *graph.Graph, o Options) (*Result, error) {
 	// Disk I/O: loading the graph from its binary on-disk form.
 	acct.diskBytes = graphDiskBytes(g)
 
-	sw := newStopwatch()
+	sw := sched.NewStopwatch()
 	in := FromGraph(g)
 	gi := runPassSerial(in, fam1, o.S1, acct, &res.Pass1)
 	res.Pass1.Batches = 1
-	res.Wall.Pass1Ns = sw.lap()
+	res.Wall.Pass1Ns = sw.Lap()
 	s1, a1 := acct.serialNs(), acct.aggNs()
 
 	pass2In := gi.filterMinLen(o.S2)
 	res.Pass1.SharedLists = pass2In.NumLists()
 	gii := runPassSerial(pass2In, fam2, o.S2, acct, &res.Pass2)
 	res.Pass2.Batches = 1
-	res.Wall.Pass2Ns = sw.lap()
+	res.Wall.Pass2Ns = sw.Lap()
 
 	res.Clustering = reportClusters(g.NumVertices(), gi, gii, o.Mode, acct)
-	res.Wall.ReportNs = sw.lap()
-	res.Wall.TotalNs = sw.total()
+	res.Wall.ReportNs = sw.Lap()
+	res.Wall.TotalNs = sw.Total()
 
 	shingleNs := acct.serialNs()
 	cpuNs := acct.aggNs() + acct.reportNs()

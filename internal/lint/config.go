@@ -41,6 +41,7 @@ func DefaultConfig() *Config {
 			"internal/core",
 			"internal/faults",
 			"internal/minwise",
+			"internal/sched",
 			"internal/thrust",
 			"internal/unionfind",
 			"internal/pgraph",
@@ -55,11 +56,9 @@ func DefaultConfig() *Config {
 		WallclockAllow: []FuncAllow{
 			{PkgSuffix: "internal/obs", Func: "nowWall"},
 			{PkgSuffix: "internal/obs", Func: "sinceWall"},
-			{PkgSuffix: "internal/core", Func: "newStopwatch"},
-			{PkgSuffix: "internal/core", Func: "stopwatch.lap"},
-			{PkgSuffix: "internal/core", Func: "stopwatch.total"},
-			{PkgSuffix: "internal/pgraph", Func: "newStopwatch"},
-			{PkgSuffix: "internal/pgraph", Func: "stopwatch.total"},
+			{PkgSuffix: "internal/sched", Func: "NewStopwatch"},
+			{PkgSuffix: "internal/sched", Func: "Stopwatch.Lap"},
+			{PkgSuffix: "internal/sched", Func: "Stopwatch.Total"},
 			{PkgSuffix: "lint/testdata/src/wallclock", Func: "newStopwatch"},
 			{PkgSuffix: "lint/testdata/src/wallclock", Func: "stopwatch.lap"},
 		},

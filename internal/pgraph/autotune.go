@@ -1,0 +1,265 @@
+package pgraph
+
+import (
+	"gpclust/internal/gpusim"
+	"gpclust/internal/sched"
+	"gpclust/internal/thrust"
+)
+
+// Cost-model-driven batch auto-tuning for the verification stage. With
+// Config.AutoTune (and no explicit GPUBatchWords) the scheduler enumerates
+// candidate plans — a geometric sweep of word budgets crossed with the
+// feasible lane counts — predicts each candidate's virtual time by
+// replaying its exact operation sequence (pack, H2D, SW kernel, score
+// readback) through sched.Sim, and runs the argmin. Kernel throughput is
+// calibrated by probing the real SW kernel on a *scratch* device with the
+// same gpusim.Config, so planning charges zero time on the run's own
+// virtual clock.
+
+// kSW is the calibrated kernel name of the batched Smith–Waterman launch.
+const kSW = "sw"
+
+// probePairs caps the calibration probe's pair count; probeCells caps its
+// DP-cell total so the probe stays cheap on long-sequence inputs.
+const (
+	probePairs = 512
+	probeCells = 1 << 21
+)
+
+// swThreads is the thread count of one SW launch over np pairs (one thread
+// per pair, 128-wide blocks).
+func swThreads(np int) int {
+	grid := (np + 127) / 128
+	if grid < 1 {
+		grid = 1
+	}
+	return grid * 128
+}
+
+// swUnits is the divergence-aware work measure of one batch: the simulator
+// serializes each warp at its slowest lane, so the batch costs
+// Σ_warps 32·max(cells in warp) cell-units. Warps cover 32 consecutive
+// batch-local pair indices (the 128-wide blocks never straddle a warp).
+// Per-pair overheads (table staging, row decoding) are absorbed into the
+// calibrated per-unit rate.
+func swUnits(enc [][]byte, pairs []pairKey, order []int, p swBatch) float64 {
+	total := 0.0
+	for w := p.lo; w < p.hi; w += 32 {
+		end := min(w+32, p.hi)
+		maxCells := 0
+		for k := w; k < end; k++ {
+			a, b := pairs[order[k]].unpack()
+			if c := len(enc[a]) * len(enc[b]); c > maxCells {
+				maxCells = c
+			}
+		}
+		total += 32 * float64(maxCells)
+	}
+	return total
+}
+
+// calibrateSWModel measures the simulator's charge for the SW kernel on a
+// scratch device with the same config, normalized per warp-serialized
+// cell-unit at full occupancy. The probe is a contiguous window of the real
+// schedule centered on the median-cost pair, so its shape distribution
+// matches the batches it predicts. Probe failures leave the kernel
+// uncalibrated (predicted at launch cost only) — they cannot occur on a
+// fresh fault-free device.
+func calibrateSWModel(devCfg gpusim.Config, enc [][]byte, pairs []pairKey,
+	order []int, cfg Config) *sched.Model {
+
+	m := sched.NewModel(devCfg)
+	if len(order) == 0 {
+		return m
+	}
+	n := min(len(order), probePairs)
+	lo := (len(order) - n) / 2
+	end, cells := lo, 0
+	for end < lo+n {
+		a, b := pairs[order[end]].unpack()
+		c := len(enc[a]) * len(enc[b])
+		if end > lo && cells+c > probeCells {
+			break
+		}
+		cells += c
+		end++
+	}
+	p := swBatchFor(lo, end, enc, pairs, order)
+
+	scratch := gpusim.MustNew(devCfg)
+	table, err := uploadSWTable(scratch)
+	if err != nil {
+		return m
+	}
+	defer table.Free()
+	buf, err := scratch.Malloc(p.deviceWords())
+	if err != nil {
+		return m
+	}
+	defer buf.Free()
+	if scratch.CopyH2D(buf, 0, packSWBatch(p, enc, pairs, order, nil)) != nil {
+		return m
+	}
+	lc := swLaunchConfig(p, cfg, table)
+	lc.Obs = nil // scratch probe: never record
+	k0 := scratch.Metrics().KernelTimeNs
+	if thrust.SWScoreBatch(scratch, nil, buf, lc) != nil {
+		return m
+	}
+	body := scratch.Metrics().KernelTimeNs - k0 - devCfg.KernelLaunchNs
+	m.CalibrateKernel(kSW, body, swUnits(enc, pairs, order, p), swThreads(end-lo))
+	return m
+}
+
+// predictSWPlans predicts the virtual time of the scheduler window — the
+// resident-table upload through the final score readback — for the given
+// plans and lane count.
+func predictSWPlans(m *sched.Model, enc [][]byte, pairs []pairKey, order []int,
+	plans []swBatch, lanes int) float64 {
+
+	kernelNs := make([]float64, len(plans))
+	for i, p := range plans {
+		kernelNs[i] = m.KernelNs(kSW, swUnits(enc, pairs, order, p), swThreads(p.hi-p.lo))
+	}
+	if lanes < 2 {
+		sim := sched.NewSim(m, 0)
+		sim.Copy(-1, swTableLen, true) // resident table upload
+		for i, p := range plans {
+			sim.HostWork(float64(p.dataWords()) * packNsPerWord)
+			sim.Copy(-1, p.dataWords(), true)
+			sim.KernelRawNs(-1, kernelNs[i])
+			sim.Copy(-1, p.hi-p.lo, false)
+		}
+		sim.SyncAll()
+		return sim.Host
+	}
+
+	// Replay the sched.RunLanes round-robin: enqueuing item i only waits for
+	// its lane's previous occupant to drain.
+	sim := sched.NewSim(m, lanes)
+	sim.Copy(-1, swTableLen, true)
+	inFlight := make([]int, lanes)
+	for i := range inFlight {
+		inFlight[i] = -1
+	}
+	drain := func(lane int) {
+		if inFlight[lane] < 0 {
+			return
+		}
+		sim.SyncLane(lane)
+		inFlight[lane] = -1
+	}
+	n := len(plans)
+	for item := 0; item < n; item++ {
+		p := plans[item]
+		sim.HostWork(float64(p.dataWords()) * packNsPerWord)
+		lane := item % lanes
+		drain(lane)
+		sim.Copy(lane, p.dataWords(), true)
+		sim.KernelRawNs(lane, kernelNs[item])
+		sim.Copy(lane, p.hi-p.lo, false)
+		inFlight[lane] = item
+	}
+	for k := 0; k < lanes; k++ {
+		drain((n + k) % lanes)
+	}
+	sim.SyncAll()
+	return sim.Host
+}
+
+// swLaneSet is the lane counts the auto-tuner may consider: an explicit
+// GPUPipeline pins the pipelined executor.
+func swLaneSet(cfg Config) []int {
+	if cfg.GPUPipeline {
+		return []int{2, 3, 4}
+	}
+	return []int{1, 2, 3, 4}
+}
+
+// legacySWBudget is the pre-auto-tune budget derivation of verifyGPU.
+func legacySWBudget(dev *gpusim.Device, cfg Config) int {
+	budget := int(dev.FreeMemory() / gpusim.WordBytes / 4 * 3)
+	if cfg.GPUPipeline {
+		budget /= 2
+	}
+	return budget
+}
+
+// swFeasible reports whether the candidate's device footprint fits free
+// memory. A sequential batch's footprint (records + residues + scores) is
+// exactly the planner's charge, so the budget bounds it; the pipelined
+// executor keeps `lanes` max-sized stagings resident beside the table.
+func swFeasible(freeWords int, plans []swBatch, cand sched.Candidate) bool {
+	if cand.Lanes <= 1 {
+		return cand.BudgetWords <= freeWords
+	}
+	maxData, maxPairs := 0, 0
+	for _, p := range plans {
+		maxData = max(maxData, p.dataWords())
+		maxPairs = max(maxPairs, p.hi-p.lo)
+	}
+	return swTableLen+cand.Lanes*(maxData+maxPairs) <= freeWords
+}
+
+// autotuneSW picks the batch budget and lane count for the verification
+// stage by predicted virtual time, returning the chosen plan. When no
+// candidate is feasible it falls back to the legacy derivation (reported
+// with AutoTuned=false).
+func autotuneSW(dev *gpusim.Device, enc [][]byte, pairs []pairKey, order []int,
+	cfg Config) (sched.PlanReport, []swBatch, int, error) {
+
+	freeWords := int(dev.FreeMemory() / gpusim.WordBytes)
+	maxB := freeWords * 3 / 4
+	minB := 0
+	for _, idx := range order {
+		a, b := pairs[idx].unpack()
+		if need := 5 + seqWords(enc[a]) + seqWords(enc[b]); need > minB {
+			minB = need
+		}
+	}
+	minB += swTableLen
+	m := calibrateSWModel(dev.Config(), enc, pairs, order, cfg)
+
+	var cands []sched.Candidate
+	for _, b := range sched.Budgets(maxB, minB) {
+		for _, l := range swLaneSet(cfg) {
+			cands = append(cands, sched.Candidate{BudgetWords: b, Lanes: l})
+		}
+	}
+	planCache := map[int][]swBatch{}
+	plansFor := func(b int) []swBatch {
+		if p, ok := planCache[b]; ok {
+			return p
+		}
+		p, err := planSWBatches(enc, pairs, order, b)
+		if err != nil {
+			p = nil
+		}
+		planCache[b] = p
+		return p
+	}
+	best, predicted, ok := sched.Pick(cands, func(cand sched.Candidate) (float64, bool) {
+		plans := plansFor(cand.BudgetWords)
+		if plans == nil || !swFeasible(freeWords, plans, cand) {
+			return 0, false
+		}
+		return predictSWPlans(m, enc, pairs, order, plans, cand.Lanes), true
+	})
+	if !ok {
+		budget := legacySWBudget(dev, cfg)
+		plans, err := planSWBatches(enc, pairs, order, budget)
+		if err != nil {
+			return sched.PlanReport{}, nil, 0, err
+		}
+		lanes := 1
+		if cfg.GPUPipeline {
+			lanes = 2
+		}
+		return sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans)},
+			plans, lanes, nil
+	}
+	plans := plansFor(best.BudgetWords)
+	rep := sched.PlanReport{AutoTuned: true, BudgetWords: best.BudgetWords,
+		Lanes: best.Lanes, Batches: len(plans), PredictedNs: predicted}
+	return rep, plans, best.Lanes, nil
+}

@@ -1,0 +1,156 @@
+package pgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"gpclust/internal/gpusim"
+	"gpclust/internal/sched"
+)
+
+func checkSWPlan(t *testing.T, label string, p sched.PlanReport, wantAuto bool) {
+	t.Helper()
+	if p.AutoTuned != wantAuto {
+		t.Fatalf("%s: AutoTuned=%v, want %v (%s)", label, p.AutoTuned, wantAuto, p.String())
+	}
+	if p.BudgetWords <= 0 || p.Lanes <= 0 || p.Batches <= 0 {
+		t.Fatalf("%s: degenerate plan %s", label, p.String())
+	}
+	if p.PredictedNs <= 0 {
+		t.Fatalf("%s: no cost prediction recorded: %s", label, p.String())
+	}
+	if p.ActualNs <= 0 {
+		t.Fatalf("%s: no scheduler window measured: %s", label, p.String())
+	}
+	if d := p.DriftFrac(); d > 0.25 {
+		t.Fatalf("%s: cost-model drift %.0f%% exceeds the 25%% gate (%s)",
+			label, d*100, p.String())
+	}
+}
+
+// TestAutoTuneMatchesHostEdges is the -batchwords auto contract: the tuner
+// picks the plan, the edge set stays bit-identical to the host pool.
+func TestAutoTuneMatchesHostEdges(t *testing.T) {
+	seqs := testMetagenome(t, 150)
+	host, _, err := Build(seqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.GPU = true
+	cfg.AutoTune = true
+	cfg.Device = gpusim.MustNew(gpusim.K20Config())
+	g, st, err := Build(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, "auto", host, g)
+	checkSWPlan(t, "auto", st.Plan, true)
+	if cfg.Device.AllocatedBuffers() != 0 {
+		t.Fatalf("%d device buffers leaked", cfg.Device.AllocatedBuffers())
+	}
+}
+
+// TestAutoTunePipelinedLaneSet: an explicit -pipeline pins the pipelined
+// executor, so the tuner must choose at least two lanes.
+func TestAutoTunePipelinedLaneSet(t *testing.T) {
+	seqs := testMetagenome(t, 150)
+	host, _, err := Build(seqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.GPU = true
+	cfg.GPUPipeline = true
+	cfg.AutoTune = true
+	cfg.Device = gpusim.MustNew(gpusim.K20Config())
+	g, st, err := Build(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, "auto pipelined", host, g)
+	checkSWPlan(t, "auto pipelined", st.Plan, true)
+	if st.Plan.Lanes < 2 {
+		t.Fatalf("pipelined tuner chose %d lanes (%s)", st.Plan.Lanes, st.Plan.String())
+	}
+}
+
+// TestPredictCostFixedSWPlan prices a fixed budget without tuning and holds
+// it to the same drift gate — the fixed rows of the autotune ablation.
+func TestPredictCostFixedSWPlan(t *testing.T) {
+	seqs := testMetagenome(t, 150)
+	cfg := DefaultConfig()
+	cfg.GPU = true
+	cfg.GPUBatchWords = 40_000
+	cfg.PredictCost = true
+	cfg.Device = gpusim.MustNew(gpusim.K20Config())
+	_, st, err := Build(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSWPlan(t, "fixed", st.Plan, false)
+	if st.Plan.BudgetWords != 40_000 {
+		t.Fatalf("fixed budget not honoured: %s", st.Plan.String())
+	}
+
+	pipeCfg := cfg
+	pipeCfg.GPUPipeline = true
+	pipeCfg.Device = gpusim.MustNew(gpusim.K20Config())
+	_, pst, err := Build(seqs, pipeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSWPlan(t, "fixed pipelined", pst.Plan, false)
+	if pst.Plan.Lanes < 2 {
+		t.Fatalf("pipelined fixed plan reports %d lanes (%s)", pst.Plan.Lanes, pst.Plan.String())
+	}
+}
+
+// TestAutoTuneNotWorseThanLegacySW: the candidate sweep contains the legacy
+// budget derivation, so the tuned build can never be slower than the legacy
+// default.
+func TestAutoTuneNotWorseThanLegacySW(t *testing.T) {
+	seqs := testMetagenome(t, 250)
+	legacyCfg := DefaultConfig()
+	legacyCfg.GPU = true
+	legacyCfg.Device = gpusim.MustNew(gpusim.K20Config())
+	hostG, lst, err := Build(seqs, legacyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoCfg := DefaultConfig()
+	autoCfg.GPU = true
+	autoCfg.AutoTune = true
+	autoCfg.Device = gpusim.MustNew(gpusim.K20Config())
+	g, ast, err := Build(seqs, autoCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, "auto vs legacy", hostG, g)
+	if ast.Plan.ActualNs > lst.Plan.ActualNs {
+		t.Fatalf("auto-tuned scheduler window %.3fms exceeds legacy %.3fms",
+			ast.Plan.ActualNs/1e6, lst.Plan.ActualNs/1e6)
+	}
+}
+
+func TestSWLaneSet(t *testing.T) {
+	if got := swLaneSet(Config{}); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("default lane set %v", got)
+	}
+	if got := swLaneSet(Config{GPUPipeline: true}); !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Fatalf("pipelined lane set %v", got)
+	}
+}
+
+func TestLegacySWBudget(t *testing.T) {
+	dev := gpusim.MustNew(gpusim.K20Config())
+	defer dev.Synchronize()
+	seq := legacySWBudget(dev, Config{})
+	pipe := legacySWBudget(dev, Config{GPUPipeline: true})
+	if seq != int(dev.FreeMemory()/gpusim.WordBytes/4*3) {
+		t.Fatalf("sequential legacy budget %d", seq)
+	}
+	if pipe != seq/2 {
+		t.Fatalf("pipelined legacy budget %d, want half of %d", pipe, seq)
+	}
+}

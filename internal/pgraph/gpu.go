@@ -8,6 +8,7 @@ import (
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 	"gpclust/internal/obs"
+	"gpclust/internal/sched"
 	"gpclust/internal/seq"
 	"gpclust/internal/thrust"
 )
@@ -17,18 +18,19 @@ import (
 // divergence penalty stays small), packs pair records + concatenated residue
 // codes through the device-memory budget exactly like Algorithm 2's
 // adjacency batching, and runs the batches either sequentially or on the
-// double-buffered two-lane stream pipeline the shingling pass introduced —
-// overlapping batch k+1's host→device staging with batch k's kernels and
-// score readback. Both schedulers produce scores bit-identical to
-// align.ScoreOnly, so the accepted edge set never depends on the backend,
-// batch budget, or binning.
+// N-lane stream pipeline of sched.RunLanes — overlapping batch k+1's
+// host→device staging with batch k's kernels and score readback. The
+// substitution-score table is loop-invariant, so it is uploaded once per
+// build and stays device-resident across every batch. Both schedulers
+// produce scores bit-identical to align.ScoreOnly, so the accepted edge set
+// never depends on the backend, batch budget, lane count or binning.
 
 // swTableLen is the word size of the substitution-score table (the BLOSUM62
 // query profile shared by every alignment in a batch).
 const swTableLen = align.AlphabetSize * align.AlphabetSize
 
-// swTable is the packed score table, uploaded once per batch (sequential)
-// or once per lane (pipelined).
+// swTable is the packed score table, uploaded once per build into its own
+// device-resident buffer.
 var swTable = buildSWTable()
 
 func buildSWTable() []uint32 {
@@ -39,6 +41,20 @@ func buildSWTable() []uint32 {
 		}
 	}
 	return t
+}
+
+// uploadSWTable allocates the resident table buffer and stages the score
+// table into it; the caller owns the buffer.
+func uploadSWTable(dev *gpusim.Device) (*gpusim.Buffer, error) {
+	buf, err := dev.Malloc(swTableLen)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.CopyH2D(buf, 0, swTable); err != nil {
+		buf.Free()
+		return nil, err
+	}
+	return buf, nil
 }
 
 // encodeSeqs maps residues to table indices (sequences are validated before
@@ -97,55 +113,65 @@ type swBatch struct {
 // plus the packed residues.
 func (p swBatch) dataWords() int { return 4*(p.hi-p.lo) + p.seqWords }
 
-// deviceWords is the batch's full device footprint including the score
-// table and the score outputs.
-func (p swBatch) deviceWords() int { return swTableLen + p.dataWords() + (p.hi - p.lo) }
+// deviceWords is the batch buffer's device footprint: the staging image plus
+// the score outputs. The resident score table lives in its own buffer and is
+// charged once per build, not against every batch.
+func (p swBatch) deviceWords() int { return p.dataWords() + (p.hi - p.lo) }
+
+// swPairSizer supplies the planner's incremental pair costs: 5 words per
+// pair (record + score) plus the packed residues of any sequence not already
+// staged in the open batch.
+type swPairSizer struct {
+	enc     [][]byte
+	pairs   []pairKey
+	order   []int
+	budget  int // full budget including the table share, for the error message
+	inBatch map[int32]bool
+}
+
+func (z *swPairSizer) Reset() { clear(z.inBatch) }
+
+func (z *swPairSizer) Cost(k int) int {
+	a, b := z.pairs[z.order[k]].unpack()
+	need := 5
+	if !z.inBatch[a] {
+		need += seqWords(z.enc[a])
+	}
+	if !z.inBatch[b] {
+		need += seqWords(z.enc[b])
+	}
+	return need
+}
+
+func (z *swPairSizer) Commit(k int) {
+	a, b := z.pairs[z.order[k]].unpack()
+	z.inBatch[a] = true
+	z.inBatch[b] = true
+}
+
+func (z *swPairSizer) Fail(k, need int) error {
+	a, b := z.pairs[z.order[k]].unpack()
+	return fmt.Errorf("pgraph: GPU batch budget %d words cannot hold pair (%d,%d): needs %d",
+		z.budget, a, b, swTableLen+need)
+}
 
 // planSWBatches greedily packs the scheduled pairs into batches whose
 // device footprint stays within budget words, deduplicating sequences
 // within a batch (a sequence appearing in many candidate pairs uploads
-// once per batch).
+// once per batch). The budget is quoted including the resident score
+// table's share, which the planner subtracts once up front — so explicit
+// budgets keep their historical meaning while batches no longer pay for
+// the table each.
 func planSWBatches(enc [][]byte, pairs []pairKey, order []int, budget int) ([]swBatch, error) {
-	var plans []swBatch
-	cur := swBatch{lo: 0}
-	np := 0 // pairs in cur
-	inBatch := make(map[int32]bool)
-	for k, idx := range order {
-		a, b := pairs[idx].unpack()
-		need := 5 // pair record + score word
-		if !inBatch[a] {
-			need += seqWords(enc[a])
-		}
-		if !inBatch[b] {
-			need += seqWords(enc[b])
-		}
-		if np > 0 && swTableLen+5*np+cur.seqWords+need > budget {
-			cur.hi = k
-			plans = append(plans, cur)
-			cur = swBatch{lo: k}
-			np = 0
-			clear(inBatch)
-			need = 5 + seqWords(enc[a]) + seqWords(enc[b])
-		}
-		if np == 0 && swTableLen+need > budget {
-			return nil, fmt.Errorf("pgraph: GPU batch budget %d words cannot hold pair (%d,%d): needs %d",
-				budget, a, b, swTableLen+need)
-		}
-		np++
-		if !inBatch[a] {
-			inBatch[a] = true
-			cur.seqIDs = append(cur.seqIDs, a)
-			cur.seqWords += seqWords(enc[a])
-		}
-		if !inBatch[b] {
-			inBatch[b] = true
-			cur.seqIDs = append(cur.seqIDs, b)
-			cur.seqWords += seqWords(enc[b])
-		}
+	z := &swPairSizer{enc: enc, pairs: pairs, order: order, budget: budget,
+		inBatch: make(map[int32]bool)}
+	spans, err := sched.PlanSpans(len(order), budget-swTableLen, z)
+	if err != nil {
+		return nil, err
 	}
-	cur.hi = len(order)
-	if cur.hi > cur.lo {
-		plans = append(plans, cur)
+	plans := make([]swBatch, 0, len(spans))
+	for _, sp := range spans {
+		plans = append(plans, swBatchFor(sp.Lo, sp.Hi, enc, pairs, order))
 	}
 	return plans, nil
 }
@@ -181,34 +207,53 @@ func packSWBatch(p swBatch, enc [][]byte, pairs []pairKey, order []int, data []u
 	return data
 }
 
-// swLaunchConfig maps a packed batch onto the single-buffer layout the
-// kernel expects.
-func swLaunchConfig(p swBatch, cfg Config) thrust.SWConfig {
+// swLaunchConfig maps a packed batch onto the kernel's layout: the batch
+// buffer holds [pair records | packed residues | scores] and the resident
+// table buffer supplies the substitution scores.
+func swLaunchConfig(p swBatch, cfg Config, table *gpusim.Buffer) thrust.SWConfig {
 	np := p.hi - p.lo
 	return thrust.SWConfig{
 		NumPairs:  np,
 		Alphabet:  align.AlphabetSize,
 		GapOpen:   int32(cfg.Align.GapOpen),
 		GapExtend: int32(cfg.Align.GapExtend),
+		Table:     table,
 		TableBase: 0,
-		PairBase:  swTableLen,
-		SeqBase:   swTableLen + 4*np,
+		PairBase:  0,
+		SeqBase:   4 * np,
 		SeqWords:  p.seqWords,
-		ScoreBase: swTableLen + p.dataWords(),
+		ScoreBase: p.dataWords(),
 		Obs:       cfg.Obs,
 	}
 }
 
-// runSWBatchesSequential is the Thrust-style synchronous scheduler: per
-// batch, allocate, upload the table and the staging image, launch, read the
-// scores back, free. Every step stalls the host (the paper's mode).
+// runSWBatchesSequential is the Thrust-style synchronous scheduler with a
+// build-resident score table: upload the table once, then per batch
+// allocate, upload the staging image, launch, read the scores back, free.
+// Every step stalls the host (the paper's mode). This entry point owns the
+// table's lifetime (the fuzz oracle's sequential leg); verifyGPU manages
+// the table through the resilience ladder instead and drives
+// runSWBatchesSequentialOn directly.
 func runSWBatchesSequential(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 	pairs []pairKey, order []int, cfg Config, scores []int32) error {
+
+	table, err := uploadSWTable(dev)
+	if err != nil {
+		return err
+	}
+	defer table.Free()
+	return runSWBatchesSequentialOn(dev, table, plans, enc, pairs, order, cfg, scores)
+}
+
+// runSWBatchesSequentialOn runs the batches synchronously against an
+// already-resident score table.
+func runSWBatchesSequentialOn(dev *gpusim.Device, table *gpusim.Buffer, plans []swBatch,
+	enc [][]byte, pairs []pairKey, order []int, cfg Config, scores []int32) error {
 
 	var data, out []uint32
 	var err error
 	for _, p := range plans {
-		if data, out, err = runOneSWBatch(dev, p, enc, pairs, order, cfg, scores, data, out); err != nil {
+		if data, out, err = runOneSWBatch(dev, table, p, enc, pairs, order, cfg, scores, data, out); err != nil {
 			return err
 		}
 	}
@@ -216,11 +261,12 @@ func runSWBatchesSequential(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 }
 
 // runOneSWBatch stages, uploads, launches and reads back one batch
-// synchronously, reusing the data/out scratch slices across calls. The
-// score writes are idempotent — scores[p.lo+i] depends only on the batch
-// contents — so a failed attempt needs no rollback before a retry.
-func runOneSWBatch(dev *gpusim.Device, p swBatch, enc [][]byte, pairs []pairKey,
-	order []int, cfg Config, scores []int32, data, out []uint32) ([]uint32, []uint32, error) {
+// synchronously against the resident table, reusing the data/out scratch
+// slices across calls. The score writes are idempotent — scores[p.lo+i]
+// depends only on the batch contents — so a failed attempt needs no
+// rollback before a retry.
+func runOneSWBatch(dev *gpusim.Device, table *gpusim.Buffer, p swBatch, enc [][]byte,
+	pairs []pairKey, order []int, cfg Config, scores []int32, data, out []uint32) ([]uint32, []uint32, error) {
 
 	np := p.hi - p.lo
 	var t0 float64
@@ -238,13 +284,10 @@ func runOneSWBatch(dev *gpusim.Device, p swBatch, enc [][]byte, pairs []pairKey,
 			return err
 		}
 		defer buf.Free()
-		if err := dev.CopyH2D(buf, 0, swTable); err != nil {
+		if err := dev.CopyH2D(buf, 0, data); err != nil {
 			return err
 		}
-		if err := dev.CopyH2D(buf, swTableLen, data); err != nil {
-			return err
-		}
-		lc := swLaunchConfig(p, cfg)
+		lc := swLaunchConfig(p, cfg, table)
 		if err := thrust.SWScoreBatch(dev, nil, buf, lc); err != nil {
 			return err
 		}
@@ -261,105 +304,121 @@ func runOneSWBatch(dev *gpusim.Device, p swBatch, enc [][]byte, pairs []pairKey,
 	return data, out, nil
 }
 
-// runSWBatchesPipelined is the double-buffered scheduler: two lanes, each
-// owning a max-sized device buffer and a stream, take batches round-robin.
-// The score table uploads once per lane for the whole build, and enqueuing
-// batch k only waits for the lane's previous occupant (batch k-2), so batch
-// k's staging overlaps batch k-1's kernels and score readback:
+// swPipeLane is one lane's device resources: a max-sized batch buffer, a
+// stream, and the in-flight batch's score staging.
+type swPipeLane struct {
+	buf    *gpusim.Buffer
+	stream *gpusim.Stream
+	out    []uint32
+}
+
+// swLaneWork adapts the batch stream to sched.RunLanes. Host staging is
+// reused across batches: async H2D captures the contents at enqueue, so one
+// image suffices.
+type swLaneWork struct {
+	dev    *gpusim.Device
+	table  *gpusim.Buffer
+	plans  []swBatch
+	enc    [][]byte
+	pairs  []pairKey
+	order  []int
+	cfg    Config
+	scores []int32
+	lanes  []*swPipeLane
+	data   []uint32 // shared host staging image
+}
+
+func (w *swLaneWork) Prepare(item int) {
+	w.data = packSWBatch(w.plans[item], w.enc, w.pairs, w.order, w.data)
+	chargeHost(w.dev, w.cfg.Obs, "pack", float64(len(w.data))*packNsPerWord)
+}
+
+func (w *swLaneWork) Enqueue(item, lane int) error {
+	p := w.plans[item]
+	l := w.lanes[lane]
+	if err := w.dev.CopyH2DAsync(l.stream, l.buf, 0, w.data); err != nil {
+		return err
+	}
+	lc := swLaunchConfig(p, w.cfg, w.table)
+	if err := thrust.SWScoreBatch(w.dev, l.stream, l.buf, lc); err != nil {
+		return err
+	}
+	return w.dev.CopyD2HAsync(l.stream, l.out[:p.hi-p.lo], l.buf, lc.ScoreBase)
+}
+
+func (w *swLaneWork) Complete(item, lane int) {
+	l := w.lanes[lane]
+	l.stream.Synchronize()
+	p := w.plans[item]
+	for i := 0; i < p.hi-p.lo; i++ {
+		w.scores[p.lo+i] = int32(l.out[i])
+	}
+}
+
+func (w *swLaneWork) SpanName(item int) string {
+	p := w.plans[item]
+	return fmt.Sprintf("b%d.pairs%d-%d", item, p.lo, p.hi)
+}
+
+// runSWBatchesPipelined is the double-buffered scheduler with a
+// build-resident score table: N lanes, each owning a max-sized device
+// buffer and a stream, take batches round-robin through sched.RunLanes.
+// Enqueuing batch k only waits for the lane's previous occupant (batch
+// k-N), so batch k's staging overlaps earlier batches' kernels and score
+// readback:
 //
-//	lane 0:  [table|H2D b0 | sw b0 | D2H b0]   [H2D b2 | sw b2 | ...
-//	lane 1:          [table|H2D b1 | sw b1 | D2H b1]   [H2D b3 | ...
+//	table:   [upload once]
+//	lane 0:  [H2D b0 | sw b0 | D2H b0]   [H2D b2 | sw b2 | ...
+//	lane 1:          [H2D b1 | sw b1 | D2H b1]   [H2D b3 | ...
 //
 // Scores land in the same slots as the sequential scheduler, so the edge
-// set is identical.
+// set is identical. This entry point owns the table's lifetime and runs two
+// lanes (the fuzz oracle's pipelined leg); verifyGPU manages the table and
+// lane count itself and drives runSWBatchesPipelinedOn directly.
 func runSWBatchesPipelined(dev *gpusim.Device, plans []swBatch, enc [][]byte,
 	pairs []pairKey, order []int, cfg Config, scores []int32) error {
 
+	table, err := uploadSWTable(dev)
+	if err != nil {
+		return err
+	}
+	defer table.Free()
+	return runSWBatchesPipelinedOn(dev, table, plans, enc, pairs, order, cfg, scores, 2)
+}
+
+// runSWBatchesPipelinedOn runs the batch stream across the given lane count
+// against an already-resident score table.
+func runSWBatchesPipelinedOn(dev *gpusim.Device, table *gpusim.Buffer, plans []swBatch,
+	enc [][]byte, pairs []pairKey, order []int, cfg Config, scores []int32, lanes int) error {
+
+	if lanes < 2 {
+		lanes = 2
+	}
 	maxData, maxPairs := 0, 0
 	for _, p := range plans {
 		maxData = max(maxData, p.dataWords())
 		maxPairs = max(maxPairs, p.hi-p.lo)
 	}
-
-	type pipeLane struct {
-		buf    *gpusim.Buffer
-		stream *gpusim.Stream
-		out    []uint32 // in-flight batch's scores
-		plan   int      // in-flight batch index; -1 when idle
-		primed bool     // score table staged
-
-		track  string  // observability: this lane's span track
-		spanT0 float64 // virtual time the in-flight batch was enqueued
-	}
-	var lanes [2]*pipeLane
+	w := &swLaneWork{dev: dev, table: table, plans: plans, enc: enc, pairs: pairs,
+		order: order, cfg: cfg, scores: scores, lanes: make([]*swPipeLane, lanes)}
 	freeAll := func() {
-		for _, l := range lanes {
+		for _, l := range w.lanes {
 			if l != nil && l.buf != nil {
 				l.buf.Free()
 			}
 		}
 	}
-	for i := range lanes {
-		l := &pipeLane{stream: dev.NewStream(), plan: -1, out: make([]uint32, maxPairs),
-			track: fmt.Sprintf("lane%d", i)}
-		lanes[i] = l
+	for i := range w.lanes {
+		l := &swPipeLane{stream: dev.NewStream(), out: make([]uint32, maxPairs)}
+		w.lanes[i] = l
 		var err error
-		if l.buf, err = dev.Malloc(swTableLen + maxData + maxPairs); err != nil {
+		if l.buf, err = dev.Malloc(maxData + maxPairs); err != nil {
 			freeAll()
 			return err
 		}
 	}
 	defer freeAll()
-
-	drain := func(l *pipeLane) {
-		if l.plan < 0 {
-			return
-		}
-		l.stream.Synchronize()
-		p := plans[l.plan]
-		for i := 0; i < p.hi-p.lo; i++ {
-			scores[p.lo+i] = int32(l.out[i])
-		}
-		if cfg.Obs.Enabled() {
-			cfg.Obs.Span(l.track, fmt.Sprintf("b%d.pairs%d-%d", l.plan, p.lo, p.hi),
-				l.spanT0, dev.HostTime())
-		}
-		l.plan = -1
-	}
-
-	// Host staging reused across batches: async H2D captures the contents
-	// at enqueue, so one image suffices.
-	var data []uint32
-	for k, p := range plans {
-		np := p.hi - p.lo
-		data = packSWBatch(p, enc, pairs, order, data)
-		chargeHost(dev, cfg.Obs, "pack", float64(len(data))*packNsPerWord)
-		l := lanes[k%2]
-		drain(l)
-		if !l.primed {
-			if err := dev.CopyH2DAsync(l.stream, l.buf, 0, swTable); err != nil {
-				return err
-			}
-			l.primed = true
-		}
-		if err := dev.CopyH2DAsync(l.stream, l.buf, swTableLen, data); err != nil {
-			return err
-		}
-		lc := swLaunchConfig(p, cfg)
-		if err := thrust.SWScoreBatch(dev, l.stream, l.buf, lc); err != nil {
-			return err
-		}
-		if err := dev.CopyD2HAsync(l.stream, l.out[:np], l.buf, lc.ScoreBase); err != nil {
-			return err
-		}
-		if cfg.Obs.Enabled() {
-			l.spanT0 = dev.HostTime()
-		}
-		l.plan = k
-	}
-	drain(lanes[len(plans)%2])
-	drain(lanes[(len(plans)+1)%2])
-	return nil
+	return sched.RunLanes(dev, cfg.Obs, len(plans), lanes, w)
 }
 
 // verifyGPU is the device-backed verification stage: it schedules every
@@ -385,34 +444,66 @@ func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]g
 	if len(pairs) > 0 {
 		enc := encodeSeqs(seqs)
 		order := binPairs(enc, pairs, !cfg.NoLengthBin)
-		budget := cfg.GPUBatchWords
-		if budget <= 0 {
-			// Leave headroom on a shared device rather than sizing to the
-			// last free word; the pipeline keeps two lanes resident, so its
-			// default batches are half the size. An explicit budget is the
-			// per-batch cap in both modes (the schedulers then run identical
-			// batch plans and their timings compare like for like).
-			budget = int(dev.FreeMemory() / gpusim.WordBytes / 4 * 3)
-			if cfg.GPUPipeline {
-				budget /= 2
-			}
+
+		var report sched.PlanReport
+		var plans []swBatch
+		var err error
+		lanes := 1
+		if cfg.GPUPipeline {
+			lanes = 2
 		}
-		plans, err := planSWBatches(enc, pairs, order, budget)
-		if err != nil {
-			return nil, err
+		if cfg.GPUBatchWords == 0 && cfg.AutoTune {
+			report, plans, lanes, err = autotuneSW(dev, enc, pairs, order, cfg)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			budget := cfg.GPUBatchWords
+			if budget <= 0 {
+				// Leave headroom on a shared device rather than sizing to the
+				// last free word; the pipeline keeps two lanes resident, so its
+				// default batches are half the size. An explicit budget is the
+				// per-batch cap in both modes (the schedulers then run identical
+				// batch plans and their timings compare like for like).
+				budget = int(dev.FreeMemory() / gpusim.WordBytes / 4 * 3)
+				if cfg.GPUPipeline {
+					budget /= 2
+				}
+			}
+			plans, err = planSWBatches(enc, pairs, order, budget)
+			if err != nil {
+				return nil, err
+			}
+			report = sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans)}
+			if cfg.PredictCost {
+				m := calibrateSWModel(dev.Config(), enc, pairs, order, cfg)
+				report.PredictedNs = predictSWPlans(m, enc, pairs, order, plans, lanes)
+			}
 		}
 		st.GPUBatches = len(plans)
 
 		scores := make([]int32, len(pairs))
-		if cfg.GPUPipeline {
-			err = runSWBatchesPipelinedResilient(dev, plans, seqs, enc, pairs, order, cfg, scores, &st.Faults)
-		} else {
-			err = runSWBatchesSequentialResilient(dev, plans, seqs, enc, pairs, order, cfg, scores, &st.Faults)
-		}
-		if err != nil {
+		env := &swEnv{dev: dev, seqs: seqs, enc: enc, pairs: pairs, order: order,
+			cfg: cfg, scores: scores, rec: &st.Faults}
+		schedT0 := dev.HostTime()
+		if err := cfg.runner(dev, &st.Faults).Run(&swTableUpload{env: env}); err != nil {
 			return nil, err
 		}
+		if env.table != nil { // nil after the all-pairs host fallback
+			if lanes >= 2 {
+				err = runSWBatchesPipelinedResilient(env, plans, lanes)
+			} else {
+				err = runSWBatchesSequentialResilient(env, plans)
+			}
+			env.table.Free()
+			if err != nil {
+				return nil, err
+			}
+		}
 		dev.Synchronize()
+		report.ActualNs = dev.HostTime() - schedT0
+		st.Plan = report
+		sched.RecordPlan(cfg.Obs, "pgraph", report)
 
 		for k, idx := range order {
 			a, b := pairs[idx].unpack()

@@ -12,6 +12,7 @@ import (
 	"gpclust/internal/gpusim"
 	"gpclust/internal/graph"
 	"gpclust/internal/obs"
+	"gpclust/internal/sched"
 	"gpclust/internal/seq"
 )
 
@@ -58,6 +59,20 @@ type Config struct {
 	// GPUPipeline, which keeps two lanes resident — an explicit budget
 	// must leave room for both).
 	GPUBatchWords int
+
+	// AutoTune, with GPUBatchWords == 0, lets the cost-model auto-tuner pick
+	// the batch budget and lane count: it calibrates a sched.Model against
+	// the device config with a kernel micro-probe on a scratch device,
+	// predicts the virtual time of each candidate plan (geometric budget
+	// sweep × lane counts), and runs the argmin. The edge set is
+	// bit-identical for every plan, so tuning only moves virtual time.
+	AutoTune bool
+
+	// PredictCost, on a fixed-budget run, additionally calibrates the cost
+	// model and records the predicted virtual time of the chosen plan in
+	// Stats.Plan — the predicted-vs-actual comparison the benchmarks gate on.
+	// Auto-tuned runs always carry a prediction.
+	PredictCost bool
 
 	// NoLengthBin disables ordering candidate pairs by alignment cost
 	// before batching. Binning keeps warps converged — the device
@@ -140,6 +155,11 @@ type Stats struct {
 	// (retries, OOM splits, host fallbacks, pipeline restarts); zero on a
 	// fault-free run. The edge set is bit-identical either way.
 	Faults faults.Recovery
+
+	// Plan describes the batch plan the GPU scheduler ran — budget, lane
+	// count, batch count, whether the auto-tuner chose it, and the
+	// predicted-vs-actual virtual time of the scheduling window.
+	Plan sched.PlanReport
 }
 
 // Build constructs the sequence-similarity graph of the input: vertices are
@@ -167,7 +187,7 @@ func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
 	if len(seqs) == 0 {
 		return graph.FromEdges(0, nil), st, nil
 	}
-	sw := newStopwatch()
+	sw := sched.NewStopwatch()
 
 	// Phase 1: promising pairs via the generalized suffix structure.
 	idx := buildSuffixIndex(seqs)
@@ -208,7 +228,7 @@ func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
 	}
 	g := b.Build()
 	st.Edges = g.NumEdges()
-	st.WallNs = sw.total()
+	st.WallNs = sw.Total()
 	recordBuildMetrics(cfg.Obs, &st)
 	return g, st, nil
 }

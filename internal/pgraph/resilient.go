@@ -1,145 +1,145 @@
 package pgraph
 
 import (
-	"errors"
 	"fmt"
 
 	"gpclust/internal/align"
 	"gpclust/internal/faults"
 	"gpclust/internal/gpusim"
-	"gpclust/internal/obs"
+	"gpclust/internal/sched"
 	"gpclust/internal/seq"
 )
 
-// This file makes the GPU verification schedulers resilient to device
-// faults (injected by internal/faults through gpusim, or any transient
-// gpusim error), mirroring the recovery ladder of internal/core:
-//
-//  1. retry the failed batch with exponential virtual-clock backoff, up to
-//     the configured budget (score writes are idempotent, so a retry needs
-//     no rollback);
-//  2. on persistent allocation failure, split the batch's pair range in
-//     half and recurse with fresh budgets;
-//  3. as a last resort, score the batch's pairs on the host with
-//     align.ScoreOnly — bit-identical to the kernel by construction —
-//     priced at HostAlignNsPerCell, unless Config.NoHostFallback asks for
-//     a typed failure instead.
-//
-// The pipelined scheduler restarts whole passes (its lanes share buffers,
-// so mid-pass state is not worth salvaging) and degrades to the resilient
-// sequential loop when restarts exhaust the budget. Either way the edge
-// set is bit-identical to a fault-free run; Stats.Faults counts what
-// recovery cost.
+// Resilient batch execution for the GPU verification schedulers. The
+// generic ladder — retry with exponential virtual-clock backoff, split
+// persistent-OOM batches in half, degrade to a bit-identical host
+// execution, or fail typed under Config.NoHostFallback — lives in
+// internal/sched; this file adapts the Smith–Waterman batch stream to it.
+// Score writes are idempotent (scores[p.lo+i] depends only on the batch
+// contents), so a failed attempt needs no rollback; the pipelined scheduler
+// restarts whole passes (its lanes share buffers, so mid-pass state is not
+// worth salvaging) and degrades to the resilient sequential loop when
+// restarts exhaust the budget. Either way the edge set is bit-identical to
+// a fault-free run; Stats.Faults counts what recovery cost.
 
-const (
-	// DefaultFaultRetries is the per-batch retry budget when
-	// Config.FaultRetries is zero.
-	DefaultFaultRetries = 3
-	// maxSplitDepth bounds OOM-split recursion; 2^40 exceeds any pair count.
-	maxSplitDepth = 40
-)
+// DefaultFaultRetries is the per-batch retry budget when Config.FaultRetries
+// is zero.
+const DefaultFaultRetries = sched.DefaultFaultRetries
 
 // DefaultRetryBackoffNs is the virtual-clock backoff before the first retry
 // of a faulted batch when Config.RetryBackoffNs is zero; attempt k waits 2^k
-// times as long. (Formerly a mutable package variable — moving it into
-// Config removes the data race between concurrent builds and the
-// wall-clock-free determinism hole it opened.)
-const DefaultRetryBackoffNs = 2e6
+// times as long.
+const DefaultRetryBackoffNs = sched.DefaultRetryBackoffNs
 
 // retryBackoff resolves Config.RetryBackoffNs (0 = default; negative values
 // are rejected by Build before any scheduling runs).
-func (c Config) retryBackoff() float64 {
-	if c.RetryBackoffNs > 0 {
-		return c.RetryBackoffNs
-	}
-	return DefaultRetryBackoffNs
-}
+func (c Config) retryBackoff() float64 { return sched.ResolveBackoff(c.RetryBackoffNs) }
 
 // ErrRetryBudget is wrapped by verification errors reported after the
-// retry budget is exhausted with the host fallback disabled.
-var ErrRetryBudget = errors.New("pgraph: device fault retry budget exhausted")
+// retry budget is exhausted with the host fallback disabled. It aliases the
+// sched framework's sentinel so errors.Is works across both.
+var ErrRetryBudget = sched.ErrRetryBudget
 
 // retryBudget resolves Config.FaultRetries (0 = default, negative = none).
-func (c Config) retryBudget() int {
-	if c.FaultRetries > 0 {
-		return c.FaultRetries
+func (c Config) retryBudget() int { return sched.ResolveRetries(c.FaultRetries) }
+
+// runner assembles the sched resilience ladder for one verification run.
+func (c Config) runner(dev *gpusim.Device, rec *faults.Recovery) *sched.Runner {
+	return &sched.Runner{
+		Dev: dev, Obs: c.Obs, Rec: rec,
+		Policy:         sched.Policy{Retries: c.retryBudget(), BackoffNs: c.retryBackoff()},
+		NoHostFallback: c.NoHostFallback,
 	}
-	if c.FaultRetries < 0 {
-		return 0
-	}
-	return DefaultFaultRetries
 }
 
-// retryableFault reports whether err is worth retrying: an injected or
-// transient device fault, or a device allocation failure.
-func retryableFault(err error) bool {
-	return errors.Is(err, gpusim.ErrDeviceFault) || errors.Is(err, gpusim.ErrOutOfDeviceMemory)
+// swEnv bundles the state the resilient scheduling adapters share: the
+// device, the resident score table, the verification inputs and the score
+// output, plus the sequential path's reusable staging scratch.
+type swEnv struct {
+	dev    *gpusim.Device
+	table  *gpusim.Buffer // resident score table; nil after the all-pairs fallback
+	seqs   []seq.Sequence
+	enc    [][]byte
+	pairs  []pairKey
+	order  []int
+	cfg    Config
+	scores []int32
+	rec    *faults.Recovery
+
+	data, out []uint32 // sequential-path scratch, reused across batches
 }
 
-// runSWBatchesSequentialResilient is runSWBatchesSequential with the
-// recovery ladder applied per batch.
-func runSWBatchesSequentialResilient(dev *gpusim.Device, plans []swBatch, seqs []seq.Sequence,
-	enc [][]byte, pairs []pairKey, order []int, cfg Config, scores []int32, rec *faults.Recovery) error {
+// swTableUpload stages the build-resident substitution table through the
+// ladder. The table cannot shrink, so Split never applies; when the upload
+// fails persistently the whole verification degrades to host scoring —
+// bit-identical by construction — and env.table stays nil so the batch
+// loop is skipped.
+type swTableUpload struct{ env *swEnv }
 
-	var data, out []uint32
+func (u *swTableUpload) Attempt() error {
+	table, err := uploadSWTable(u.env.dev)
+	if err != nil {
+		return err
+	}
+	u.env.table = table
+	return nil
+}
+
+func (u *swTableUpload) Split() (sched.Batch, sched.Batch, bool) { return nil, nil, false }
+
+func (u *swTableUpload) Fallback() {
+	runSWBatchHost(u.env.dev, swBatch{lo: 0, hi: len(u.env.order)}, u.env.seqs,
+		u.env.pairs, u.env.order, u.env.cfg, u.env.scores)
+}
+
+func (u *swTableUpload) WrapErr(retries int, last error) error {
+	return fmt.Errorf("pgraph: score-table upload failed after %d attempts (%v): %w",
+		retries+1, last, ErrRetryBudget)
+}
+
+// swGPUBatch adapts one verification batch to the sched ladder.
+type swGPUBatch struct {
+	env *swEnv
+	p   swBatch
+}
+
+func (b swGPUBatch) Attempt() error {
 	var err error
+	b.env.data, b.env.out, err = runOneSWBatch(b.env.dev, b.env.table, b.p, b.env.enc,
+		b.env.pairs, b.env.order, b.env.cfg, b.env.scores, b.env.data, b.env.out)
+	return err
+}
+
+// Split halves the pair range for OOM recovery. Each half re-derives its
+// distinct-sequence set and gets a fresh budget from the ladder.
+func (b swGPUBatch) Split() (sched.Batch, sched.Batch, bool) {
+	if b.p.hi-b.p.lo < 2 {
+		return nil, nil, false
+	}
+	mid := b.p.lo + (b.p.hi-b.p.lo)/2
+	return swGPUBatch{b.env, swBatchFor(b.p.lo, mid, b.env.enc, b.env.pairs, b.env.order)},
+		swGPUBatch{b.env, swBatchFor(mid, b.p.hi, b.env.enc, b.env.pairs, b.env.order)}, true
+}
+
+func (b swGPUBatch) Fallback() {
+	runSWBatchHost(b.env.dev, b.p, b.env.seqs, b.env.pairs, b.env.order, b.env.cfg, b.env.scores)
+}
+
+func (b swGPUBatch) WrapErr(retries int, last error) error {
+	return fmt.Errorf("pgraph: batch of %d pairs failed after %d attempts (%v): %w",
+		b.p.hi-b.p.lo, retries+1, last, ErrRetryBudget)
+}
+
+// runSWBatchesSequentialResilient is runSWBatchesSequentialOn with the
+// recovery ladder applied per batch.
+func runSWBatchesSequentialResilient(env *swEnv, plans []swBatch) error {
+	run := env.cfg.runner(env.dev, env.rec)
 	for _, p := range plans {
-		if data, out, err = runSWBatchResilient(dev, p, seqs, enc, pairs, order, cfg, scores, rec, data, out, 0); err != nil {
+		if err := run.Run(swGPUBatch{env: env, p: p}); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// runSWBatchResilient runs one batch through the recovery ladder.
-func runSWBatchResilient(dev *gpusim.Device, p swBatch, seqs []seq.Sequence,
-	enc [][]byte, pairs []pairKey, order []int, cfg Config, scores []int32,
-	rec *faults.Recovery, data, out []uint32, depth int) ([]uint32, []uint32, error) {
-
-	budget := cfg.retryBudget()
-	for attempt := 0; ; attempt++ {
-		var err error
-		if data, out, err = runOneSWBatch(dev, p, enc, pairs, order, cfg, scores, data, out); err == nil {
-			return data, out, nil
-		} else if !retryableFault(err) {
-			return data, out, err
-		} else if attempt < budget {
-			switch {
-			case errors.Is(err, gpusim.ErrTransferFault):
-				rec.TransferRetries++
-				recoveryInstant(dev, cfg.Obs, "retry:transfer")
-			case errors.Is(err, gpusim.ErrLaunchFault):
-				rec.KernelRetries++
-				recoveryInstant(dev, cfg.Obs, "retry:kernel")
-			default:
-				rec.OOMRetries++
-				recoveryInstant(dev, cfg.Obs, "retry:oom")
-			}
-			back := cfg.retryBackoff() * float64(int64(1)<<attempt)
-			chargeHost(dev, cfg.Obs, obs.NameBackoff, back)
-			rec.BackoffNs += back
-		} else if errors.Is(err, gpusim.ErrOutOfDeviceMemory) && depth < maxSplitDepth && p.hi-p.lo >= 2 {
-			// Persistent OOM: halve the pair range. Each half re-derives its
-			// distinct-sequence set and gets a fresh budget.
-			rec.OOMSplits++
-			recoveryInstant(dev, cfg.Obs, "oom-split")
-			mid := p.lo + (p.hi-p.lo)/2
-			left := swBatchFor(p.lo, mid, enc, pairs, order)
-			right := swBatchFor(mid, p.hi, enc, pairs, order)
-			if data, out, err = runSWBatchResilient(dev, left, seqs, enc, pairs, order, cfg, scores, rec, data, out, depth+1); err != nil {
-				return data, out, err
-			}
-			return runSWBatchResilient(dev, right, seqs, enc, pairs, order, cfg, scores, rec, data, out, depth+1)
-		} else if cfg.NoHostFallback {
-			return data, out, fmt.Errorf("pgraph: batch of %d pairs failed after %d attempts (%v): %w",
-				p.hi-p.lo, attempt+1, err, ErrRetryBudget)
-		} else {
-			rec.HostFallbacks++
-			recoveryInstant(dev, cfg.Obs, "host-fallback")
-			runSWBatchHost(dev, p, seqs, pairs, order, cfg, scores)
-			return data, out, nil
-		}
-	}
 }
 
 // swBatchFor rebuilds a batch descriptor for a sub-range of the schedule.
@@ -179,31 +179,32 @@ func runSWBatchHost(dev *gpusim.Device, p swBatch, seqs []seq.Sequence,
 	chargeHost(dev, cfg.Obs, "host-align", float64(cells)*HostAlignNsPerCell)
 }
 
-// runSWBatchesPipelinedResilient wraps the double-buffered scheduler:
-// a faulted pass is restarted whole (every score slot is rewritten, so
-// partial state from the failed pass is harmless), and when restarts
-// exhaust the budget the build degrades to the sequential resilient loop.
-func runSWBatchesPipelinedResilient(dev *gpusim.Device, plans []swBatch, seqs []seq.Sequence,
-	enc [][]byte, pairs []pairKey, order []int, cfg Config, scores []int32, rec *faults.Recovery) error {
+// swPipePass adapts the lane executor to restart-based recovery: every
+// score slot is rewritten by a successful pass, so a failed attempt needs
+// no reset, and when restarts exhaust the budget the pass degrades to the
+// sequential resilient loop (which recovers per batch, splits on OOM and
+// can fall back to the host).
+type swPipePass struct {
+	env   *swEnv
+	plans []swBatch
+	lanes int
+}
 
-	budget := cfg.retryBudget()
-	for attempt := 0; ; attempt++ {
-		err := runSWBatchesPipelined(dev, plans, enc, pairs, order, cfg, scores)
-		if err == nil {
-			return nil
-		}
-		if !retryableFault(err) {
-			return err
-		}
-		dev.Synchronize() // settle the failed pass's in-flight stream work
-		rec.Restarts++
-		if attempt >= budget {
-			recoveryInstant(dev, cfg.Obs, "degrade-sequential")
-			return runSWBatchesSequentialResilient(dev, plans, seqs, enc, pairs, order, cfg, scores, rec)
-		}
-		recoveryInstant(dev, cfg.Obs, "restart")
-		back := cfg.retryBackoff() * float64(int64(1)<<attempt)
-		chargeHost(dev, cfg.Obs, obs.NameBackoff, back)
-		rec.BackoffNs += back
-	}
+func (p swPipePass) Attempt() error {
+	return runSWBatchesPipelinedOn(p.env.dev, p.env.table, p.plans, p.env.enc,
+		p.env.pairs, p.env.order, p.env.cfg, p.env.scores, p.lanes)
+}
+
+// Reset: score writes are idempotent; nothing to roll back.
+func (p swPipePass) Reset() {}
+
+// Settle quiesces the failed pass's in-flight stream work.
+func (p swPipePass) Settle() { p.env.dev.Synchronize() }
+
+func (p swPipePass) Degrade() error { return runSWBatchesSequentialResilient(p.env, p.plans) }
+
+// runSWBatchesPipelinedResilient wraps the lane executor in the restart
+// ladder.
+func runSWBatchesPipelinedResilient(env *swEnv, plans []swBatch, lanes int) error {
+	return env.cfg.runner(env.dev, env.rec).RunPass(swPipePass{env: env, plans: plans, lanes: lanes})
 }

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"gpclust/internal/gpusim"
+)
+
+// TestModelTransferNs: transfer cost is setup plus bytes over bandwidth,
+// and zero-word DMAs still pay the setup (gpusim charges it).
+func TestModelTransferNs(t *testing.T) {
+	cfg := gpusim.K20Config()
+	m := NewModel(cfg)
+	words := 1 << 20
+	want := cfg.TransferSetupNs + float64(int64(words)*gpusim.WordBytes)/cfg.H2DBandwidthBps*1e9
+	if got := m.TransferNs(words, true); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("h2d: got %g want %g", got, want)
+	}
+	if d2h, h2d := m.TransferNs(words, false), m.TransferNs(words, true); d2h <= h2d {
+		t.Fatalf("K20 readback should be slower: d2h %g <= h2d %g", d2h, h2d)
+	}
+	if got := m.TransferNs(0, true); got != cfg.TransferSetupNs {
+		t.Fatalf("zero-word copy: got %g want setup %g", got, cfg.TransferSetupNs)
+	}
+}
+
+// TestModelCalibration: CalibrateKernel normalizes out the probe's
+// occupancy penalty so KernelNs re-applies it for any launch shape.
+func TestModelCalibration(t *testing.T) {
+	cfg := gpusim.K20Config()
+	m := NewModel(cfg)
+	sat := cfg.SaturationThreads
+	// Probe at half saturation: the simulator would charge 2× the
+	// full-occupancy body for the same work.
+	m.CalibrateKernel("k", 2000, 100, sat/2)
+	// At full saturation the same 100 units cost the normalized 1000.
+	if got, want := m.KernelNs("k", 100, sat), cfg.KernelLaunchNs+1000; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("full occupancy: got %g want %g", got, want)
+	}
+	// Back at the probe's shape the prediction reproduces the probe.
+	if got, want := m.KernelNs("k", 100, sat/2), cfg.KernelLaunchNs+2000; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("probe shape: got %g want %g", got, want)
+	}
+	// Uncalibrated kernels predict at launch cost only.
+	if got := m.KernelNs("missing", 100, sat); got != cfg.KernelLaunchNs {
+		t.Fatalf("uncalibrated: got %g", got)
+	}
+	// Degenerate probes are ignored.
+	m.CalibrateKernel("bad", 0, 100, sat)
+	m.CalibrateKernel("bad", 100, 0, sat)
+	if _, ok := m.KernelNsPerUnit["bad"]; ok {
+		t.Fatal("degenerate probe calibrated")
+	}
+}
+
+// TestSatFactor pins the occupancy penalty's edges.
+func TestSatFactor(t *testing.T) {
+	m := NewModel(gpusim.K20Config())
+	sat := m.Cfg.SaturationThreads
+	if got := m.SatFactor(sat); got != 1 {
+		t.Fatalf("at saturation: %g", got)
+	}
+	if got := m.SatFactor(2 * sat); got != 1 {
+		t.Fatalf("above saturation: %g", got)
+	}
+	if got := m.SatFactor(sat / 4); got != 4 {
+		t.Fatalf("quarter occupancy: %g", got)
+	}
+	if got := m.SatFactor(0); got != 1 {
+		t.Fatalf("zero threads: %g", got)
+	}
+}
+
+// TestSimMatchesDeviceCopies replays a mixed sync/async copy schedule on a
+// real device and through Sim: the predicted host time must match the
+// device's virtual clock exactly (the model's transfer arithmetic and
+// engine scheduling are the same equations).
+func TestSimMatchesDeviceCopies(t *testing.T) {
+	cfg := gpusim.K20Config()
+	dev := gpusim.MustNew(cfg)
+	buf, err := dev.Malloc(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Free()
+	s0, s1 := dev.NewStream(), dev.NewStream()
+	data := make([]uint32, 1<<14)
+	out := make([]uint32, 1<<12)
+
+	sim := NewSim(NewModel(cfg), 2)
+
+	// Sync upload.
+	if err := dev.CopyH2D(buf, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	sim.Copy(-1, len(data), true)
+	// Host-side staging work between ops.
+	dev.AdvanceHost(12345)
+	sim.HostWork(12345)
+	// Two async uploads racing on the copy engine.
+	if err := dev.CopyH2DAsync(s0, buf, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	sim.Copy(0, len(data), true)
+	if err := dev.CopyH2DAsync(s1, buf, 1<<14, data); err != nil {
+		t.Fatal(err)
+	}
+	sim.Copy(1, len(data), true)
+	// Async readback queued behind lane 0's upload.
+	if err := dev.CopyD2HAsync(s0, out, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	sim.Copy(0, len(out), false)
+	// Drain lane 0, then everything.
+	s0.Synchronize()
+	sim.SyncLane(0)
+	dev.Synchronize()
+	sim.SyncAll()
+
+	if got, want := sim.Host, dev.HostTime(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Sim predicts %g, device charged %g", got, want)
+	}
+}
+
+// TestSimKernelScheduling: kernels serialize on the compute engine and a
+// sync launch stalls the host; an async launch does not.
+func TestSimKernelScheduling(t *testing.T) {
+	m := NewModel(gpusim.K20Config())
+	sim := NewSim(m, 1)
+	sim.KernelRawNs(0, 1000) // async: host unmoved
+	if sim.Host != 0 || sim.ComputeFree != 1000 || sim.Ready[0] != 1000 {
+		t.Fatalf("async kernel: host %g compute %g ready %g", sim.Host, sim.ComputeFree, sim.Ready[0])
+	}
+	sim.KernelRawNs(-1, 500) // sync: waits for the engine, stalls the host
+	if sim.Host != 1500 || sim.ComputeFree != 1500 {
+		t.Fatalf("sync kernel: host %g compute %g", sim.Host, sim.ComputeFree)
+	}
+	// A sync copy waits for in-flight compute (default-stream ordering).
+	sim2 := NewSim(m, 0)
+	sim2.KernelRawNs(-1, 0) // no-op, host at 0
+	sim2.ComputeFree = 2000 // pretend async compute in flight
+	sim2.Copy(-1, 0, true)
+	if want := 2000 + m.Cfg.TransferSetupNs; sim2.Host != want {
+		t.Fatalf("sync copy ignored compute: host %g want %g", sim2.Host, want)
+	}
+}

@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"fmt"
+
+	"gpclust/internal/gpusim"
+	"gpclust/internal/obs"
+)
+
+// The pipelined executor. Both pipelines flatten their pass into a stream
+// of work items round-robined across N independent lanes (stream + device
+// staging); enqueuing item i only waits for its lane's previous occupant
+// (item i-N) to drain, so the next item's host→device staging and kernels
+// overlap the previous items' device→host transfers and CPU-side merging.
+// Items drain strictly in submission order for any lane count — which is
+// exactly the sequential loop's nesting — so tuple emission and split-list
+// merging happen in the identical order and outputs are bit-identical.
+
+// LaneWorkload adapts one pass to RunLanes. The workload owns its lane
+// resources (buffers, streams) and per-item host staging; RunLanes owns the
+// ordering contract and the per-lane observability spans.
+type LaneWorkload interface {
+	// Prepare stages item's host-side inputs. It runs before the item's
+	// lane is drained, preserving the staging-before-drain charge order of
+	// the original loops; it must be idempotent across items that share
+	// staged state (e.g. trial groups of one batch).
+	Prepare(item int)
+	// Enqueue submits item's device work on lane asynchronously.
+	Enqueue(item, lane int) error
+	// Complete waits for lane's stream and consumes item's results.
+	Complete(item, lane int)
+	// SpanName labels item's span on its lane track (recording only).
+	SpanName(item int) string
+}
+
+// RunLanes drives items 0..n-1 through the workload across the given
+// number of lanes. Each lane's span track is "lane<i>", matching the
+// original two-lane schedulers.
+func RunLanes(dev *gpusim.Device, r *obs.Recorder, n, lanes int, w LaneWorkload) error {
+	if lanes < 1 {
+		return fmt.Errorf("sched: RunLanes with %d lanes", lanes)
+	}
+	inFlight := make([]int, lanes)
+	t0s := make([]float64, lanes)
+	for i := range inFlight {
+		inFlight[i] = -1
+	}
+	drain := func(lane int) {
+		item := inFlight[lane]
+		if item < 0 {
+			return
+		}
+		w.Complete(item, lane)
+		if r.Enabled() {
+			r.Span(fmt.Sprintf("lane%d", lane), w.SpanName(item), t0s[lane], dev.HostTime())
+		}
+		inFlight[lane] = -1
+	}
+	for item := 0; item < n; item++ {
+		lane := item % lanes
+		w.Prepare(item)
+		drain(lane)
+		if err := w.Enqueue(item, lane); err != nil {
+			return err
+		}
+		if r.Enabled() {
+			t0s[lane] = dev.HostTime()
+		}
+		inFlight[lane] = item
+	}
+	// Tail: drain the remaining in-flight items in item order.
+	for k := 0; k < lanes; k++ {
+		drain((n + k) % lanes)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gpclust/internal/gpusim"
+	"gpclust/internal/obs"
+)
+
+// traceWork records the executor's callback order.
+type traceWork struct {
+	calls  []string
+	failAt int // Enqueue error at this item (-1 = never)
+	inLane map[int]int
+}
+
+func (w *traceWork) Prepare(item int) { w.calls = append(w.calls, fmt.Sprintf("P%d", item)) }
+func (w *traceWork) Enqueue(item, lane int) error {
+	w.calls = append(w.calls, fmt.Sprintf("E%d", item))
+	w.inLane[item] = lane
+	if item == w.failAt {
+		return gpusim.ErrTransferFault
+	}
+	return nil
+}
+func (w *traceWork) Complete(item, lane int)  { w.calls = append(w.calls, fmt.Sprintf("C%d", item)) }
+func (w *traceWork) SpanName(item int) string { return fmt.Sprintf("item%d", item) }
+
+// TestRunLanesOrdering: for any lane count, items complete strictly in
+// submission order, each item's lane is item mod lanes, Prepare precedes
+// Enqueue, and a lane is drained before its next occupant enqueues.
+func TestRunLanesOrdering(t *testing.T) {
+	for _, lanes := range []int{1, 2, 3, 4} {
+		for _, n := range []int{0, 1, 2, 5, 9} {
+			dev := gpusim.MustNew(gpusim.K20Config())
+			w := &traceWork{failAt: -1, inLane: map[int]int{}}
+			if err := RunLanes(dev, nil, n, lanes, w); err != nil {
+				t.Fatalf("lanes=%d n=%d: %v", lanes, n, err)
+			}
+			pos := map[string]int{}
+			for i, c := range w.calls {
+				pos[c] = i
+			}
+			last := -1
+			for item := 0; item < n; item++ {
+				if w.inLane[item] != item%lanes {
+					t.Fatalf("lanes=%d: item %d on lane %d", lanes, item, w.inLane[item])
+				}
+				c, ok := pos[fmt.Sprintf("C%d", item)]
+				if !ok || c < last {
+					t.Fatalf("lanes=%d n=%d: completes out of order: %v", lanes, n, w.calls)
+				}
+				last = c
+				if pos[fmt.Sprintf("P%d", item)] > pos[fmt.Sprintf("E%d", item)] {
+					t.Fatalf("lanes=%d: item %d enqueued before Prepare: %v", lanes, item, w.calls)
+				}
+				if prev := item - lanes; prev >= 0 {
+					if pos[fmt.Sprintf("C%d", prev)] > pos[fmt.Sprintf("E%d", item)] {
+						t.Fatalf("lanes=%d: item %d enqueued before lane drained item %d: %v",
+							lanes, item, prev, w.calls)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunLanesEnqueueError: an enqueue failure surfaces immediately.
+func TestRunLanesEnqueueError(t *testing.T) {
+	dev := gpusim.MustNew(gpusim.K20Config())
+	w := &traceWork{failAt: 3, inLane: map[int]int{}}
+	err := RunLanes(dev, nil, 6, 2, w)
+	if !errors.Is(err, gpusim.ErrTransferFault) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestRunLanesBadLaneCount: zero lanes is a programming error.
+func TestRunLanesBadLaneCount(t *testing.T) {
+	dev := gpusim.MustNew(gpusim.K20Config())
+	if err := RunLanes(dev, nil, 1, 0, &traceWork{failAt: -1, inLane: map[int]int{}}); err == nil {
+		t.Fatal("0 lanes accepted")
+	}
+}
+
+// TestRunLanesSpans: with a recorder wired, each item lands one span on its
+// lane's track.
+func TestRunLanesSpans(t *testing.T) {
+	dev := gpusim.MustNew(gpusim.K20Config())
+	rec := obs.New()
+	w := &traceWork{failAt: -1, inLane: map[int]int{}}
+	if err := RunLanes(dev, rec, 4, 2, w); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, sp := range rec.Spans() {
+		counts[sp.Track]++
+	}
+	if counts["lane0"] != 2 || counts["lane1"] != 2 {
+		t.Fatalf("lane spans: %v", counts)
+	}
+}

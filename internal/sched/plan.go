@@ -1,0 +1,58 @@
+package sched
+
+// The batch planner. Both pipelines pack a stream of items (adjacency-list
+// pieces, candidate pairs) greedily into batches whose device footprint
+// stays within a word budget; what differs is how an item's incremental
+// cost is computed — internal/core's pieces are additive, internal/pgraph
+// deduplicates sequences shared by pairs in the same batch — so the cost
+// accounting is supplied through the Sizer interface and the packing loop
+// lives here, once.
+
+// Span is one planned batch: a half-open range of the item order.
+type Span struct{ Lo, Hi int }
+
+// Sizer supplies a workload's incremental item costs to PlanSpans. The
+// planner drives it like a state machine: Reset opens an empty batch,
+// Cost(k) quotes item k's incremental footprint against the current batch
+// state, and Commit(k) adds the item (so later Cost calls may quote less —
+// e.g. a sequence already uploaded for an earlier pair in the batch).
+type Sizer interface {
+	// Reset clears per-batch state for a new, empty batch.
+	Reset()
+	// Cost returns item k's incremental cost in the current batch.
+	Cost(k int) int
+	// Commit records item k as packed into the current batch.
+	Commit(k int)
+	// Fail formats the error for an item that exceeds the whole budget on
+	// an empty batch (need is the quoted cost).
+	Fail(k, need int) error
+}
+
+// PlanSpans greedily packs items 0..n-1, in order, into batches whose
+// accumulated incremental cost stays within budget. A batch is closed when
+// the next item would overflow it; an item that overflows an empty batch is
+// an error (the budget cannot hold it at all). Every item lands in exactly
+// one span and spans cover 0..n in order — the property tests pin this.
+func PlanSpans(n, budget int, sz Sizer) ([]Span, error) {
+	var spans []Span
+	lo, cost := 0, 0
+	sz.Reset()
+	for k := 0; k < n; k++ {
+		need := sz.Cost(k)
+		if k > lo && cost+need > budget {
+			spans = append(spans, Span{lo, k})
+			lo, cost = k, 0
+			sz.Reset()
+			need = sz.Cost(k)
+		}
+		if k == lo && need > budget {
+			return nil, sz.Fail(k, need)
+		}
+		cost += need
+		sz.Commit(k)
+	}
+	if n > lo {
+		spans = append(spans, Span{lo, n})
+	}
+	return spans, nil
+}

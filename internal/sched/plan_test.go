@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// addSizer is the simplest Sizer: additive per-item weights, no per-batch
+// state (internal/core's pieces behave like this).
+type addSizer struct{ w []int }
+
+func (z *addSizer) Reset()              {}
+func (z *addSizer) Cost(k int) int      { return z.w[k] }
+func (z *addSizer) Commit(int)          {}
+func (z *addSizer) Fail(k, n int) error { return fmt.Errorf("item %d needs %d", k, n) }
+
+// dedupSizer models internal/pgraph's sequence sharing: each item carries
+// two resource IDs, and a resource already committed in the open batch is
+// free the second time.
+type dedupSizer struct {
+	res  [][2]int
+	cost []int
+	in   map[int]bool
+}
+
+func (z *dedupSizer) Reset() { clear(z.in) }
+func (z *dedupSizer) Cost(k int) int {
+	need := 1
+	if !z.in[z.res[k][0]] {
+		need += z.cost[z.res[k][0]]
+	}
+	if r := z.res[k][1]; r != z.res[k][0] && !z.in[r] {
+		need += z.cost[r]
+	}
+	return need
+}
+func (z *dedupSizer) Commit(k int) {
+	z.in[z.res[k][0]] = true
+	z.in[z.res[k][1]] = true
+}
+func (z *dedupSizer) Fail(k, n int) error { return fmt.Errorf("item %d needs %d", k, n) }
+
+// checkSpans asserts the planner's core contract: spans cover 0..n in
+// order, each item exactly once, and every span's recomputed incremental
+// cost stays within budget.
+func checkSpans(t *testing.T, spans []Span, n, budget int, sz Sizer) {
+	t.Helper()
+	at := 0
+	for i, sp := range spans {
+		if sp.Lo != at || sp.Hi <= sp.Lo {
+			t.Fatalf("span %d is [%d,%d), want contiguous from %d", i, sp.Lo, sp.Hi, at)
+		}
+		at = sp.Hi
+		sz.Reset()
+		cost := 0
+		for k := sp.Lo; k < sp.Hi; k++ {
+			cost += sz.Cost(k)
+			sz.Commit(k)
+		}
+		if cost > budget {
+			t.Fatalf("span %d [%d,%d) costs %d > budget %d", i, sp.Lo, sp.Hi, cost, budget)
+		}
+	}
+	if at != n {
+		t.Fatalf("spans cover 0..%d, want 0..%d", at, n)
+	}
+}
+
+// TestPlanSpansProperties drives the planner over random weights, budgets
+// and both sizer shapes: every plan must stay within budget and cover the
+// items exactly once, in order.
+func TestPlanSpansProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60) + 1
+		w := make([]int, n)
+		maxW := 0
+		for i := range w {
+			w[i] = rng.Intn(50) + 1
+			maxW = max(maxW, w[i])
+		}
+		budget := maxW + rng.Intn(120)
+		sz := &addSizer{w: w}
+		spans, err := PlanSpans(n, budget, sz)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkSpans(t, spans, n, budget, sz)
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60) + 1
+		nres := rng.Intn(20) + 2
+		z := &dedupSizer{res: make([][2]int, n), cost: make([]int, nres), in: map[int]bool{}}
+		maxPair := 0
+		for i := range z.cost {
+			z.cost[i] = rng.Intn(30) + 1
+		}
+		for i := range z.res {
+			z.res[i] = [2]int{rng.Intn(nres), rng.Intn(nres)}
+			maxPair = max(maxPair, 1+z.cost[z.res[i][0]]+z.cost[z.res[i][1]])
+		}
+		budget := maxPair + rng.Intn(100)
+		spans, err := PlanSpans(n, budget, z)
+		if err != nil {
+			t.Fatalf("dedup trial %d: %v", trial, err)
+		}
+		checkSpans(t, spans, n, budget, z)
+	}
+}
+
+// TestPlanSpansTightBudget: at budget == the largest single item, the plan
+// must degrade gracefully (many small batches), never error.
+func TestPlanSpansTightBudget(t *testing.T) {
+	w := []int{3, 7, 2, 7, 1, 5}
+	sz := &addSizer{w: w}
+	spans, err := PlanSpans(len(w), 7, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSpans(t, spans, len(w), 7, sz)
+	// One under the max item must fail with the sizer's typed error.
+	if _, err := PlanSpans(len(w), 6, sz); err == nil {
+		t.Fatal("budget below the largest item did not error")
+	}
+}
+
+// TestPlanSpansEmpty: zero items plan to zero spans.
+func TestPlanSpansEmpty(t *testing.T) {
+	spans, err := PlanSpans(0, 10, &addSizer{})
+	if err != nil || len(spans) != 0 {
+		t.Fatalf("got %v, %v; want no spans, nil", spans, err)
+	}
+}
+
+// FuzzPlanBatches cross-checks PlanSpans against an independent oracle on
+// additive weights: walk the items accumulating weight, close a batch
+// exactly when the next item would overflow.
+func FuzzPlanBatches(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6}, uint8(10))
+	f.Add([]byte{255, 255}, uint8(255))
+	f.Add([]byte{1}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, b uint8) {
+		if len(data) == 0 || len(data) > 256 {
+			return
+		}
+		budget := int(b)
+		w := make([]int, len(data))
+		maxW := 0
+		for i, c := range data {
+			w[i] = int(c)%atLeastOne(budget) + 1
+			maxW = max(maxW, w[i])
+		}
+		if maxW > budget {
+			return
+		}
+		spans, err := PlanSpans(len(w), budget, &addSizer{w: w})
+		if err != nil {
+			t.Fatalf("feasible weights errored: %v", err)
+		}
+		var oracle []Span
+		lo, cost := 0, 0
+		for k, wk := range w {
+			if k > lo && cost+wk > budget {
+				oracle = append(oracle, Span{lo, k})
+				lo, cost = k, 0
+			}
+			cost += wk
+		}
+		oracle = append(oracle, Span{lo, len(w)})
+		if len(spans) != len(oracle) {
+			t.Fatalf("got %d spans, oracle %d", len(spans), len(oracle))
+		}
+		for i := range spans {
+			if spans[i] != oracle[i] {
+				t.Fatalf("span %d: got %v, oracle %v", i, spans[i], oracle[i])
+			}
+		}
+	})
+}
+
+func atLeastOne(b int) int {
+	if b < 1 {
+		return 1
+	}
+	return b
+}

@@ -30,8 +30,8 @@ const swBlockDim = 128
 // and the rolling-row bookkeeping.
 const swCellOps = 12
 
-// SWConfig describes one batched Smith–Waterman launch. All regions live in
-// a single device buffer at the word offsets given here:
+// SWConfig describes one batched Smith–Waterman launch. The batch regions
+// live in a single device buffer at the word offsets given here:
 //
 //	[TableBase : TableBase+Alphabet²)  substitution scores, int32 per word
 //	[PairBase  : PairBase+4·NumPairs)  pair records: aOff, aLen, bOff, bLen
@@ -44,6 +44,13 @@ type SWConfig struct {
 	Alphabet  int // residue-code count; scores index as [a·Alphabet+b]
 	GapOpen   int32
 	GapExtend int32
+
+	// Table, when non-nil, is a separate device buffer holding the
+	// substitution table at TableBase — the table is loop-invariant across a
+	// build's batches, so schedulers keep it device-resident instead of
+	// re-uploading it per batch. Nil keeps the legacy single-buffer layout
+	// with the table inside buf.
+	Table *gpusim.Buffer
 
 	TableBase int
 	PairBase  int
@@ -78,8 +85,12 @@ func SWScoreBatch(d *gpusim.Device, s *gpusim.Stream, buf *gpusim.Buffer, cfg SW
 		return fmt.Errorf("thrust: SWScoreBatch with %d pairs, alphabet %d", cfg.NumPairs, cfg.Alphabet)
 	}
 	tbl := cfg.Alphabet * cfg.Alphabet
+	tblBuf := buf
+	if cfg.Table != nil {
+		tblBuf = cfg.Table
+	}
 	if cfg.TableBase < 0 || cfg.PairBase < 0 || cfg.SeqBase < 0 || cfg.ScoreBase < 0 ||
-		cfg.TableBase+tbl > buf.Len() ||
+		cfg.TableBase+tbl > tblBuf.Len() ||
 		cfg.PairBase+4*cfg.NumPairs > buf.Len() ||
 		cfg.SeqBase+cfg.SeqWords > buf.Len() ||
 		cfg.ScoreBase+cfg.NumPairs > buf.Len() {
@@ -102,7 +113,7 @@ func SWScoreBatch(d *gpusim.Device, s *gpusim.Stream, buf *gpusim.Buffer, cfg SW
 	return launch(d, s, grid, swBlockDim, func(ctx *gpusim.ThreadCtx) {
 		if ctx.Thread < tbl {
 			n := min(tableChunk, (tbl-ctx.Thread+swBlockDim-1)/swBlockDim)
-			ctx.GlobalRead(buf, cfg.TableBase+ctx.Thread, n, swBlockDim)
+			ctx.GlobalRead(tblBuf, cfg.TableBase+ctx.Thread, n, swBlockDim)
 			ctx.Ops(n)
 		}
 		pair := ctx.GlobalID()
@@ -126,11 +137,12 @@ func SWScoreBatch(d *gpusim.Device, s *gpusim.Stream, buf *gpusim.Buffer, cfg SW
 		ctx.GlobalRead(buf, cfg.SeqBase+aw0, aw1-aw0, 1)
 		ctx.GlobalRead(buf, cfg.SeqBase+bw0, bw1-bw0, 1)
 
+		tw := tblBuf.Words()
 		code := func(off int) int32 {
 			return int32(w[cfg.SeqBase+off>>2] >> (8 * (off & 3)) & 0xff)
 		}
 		score := func(ca, cb int32) int32 {
-			return int32(w[cfg.TableBase+int(ca)*cfg.Alphabet+int(cb)])
+			return int32(tw[cfg.TableBase+int(ca)*cfg.Alphabet+int(cb)])
 		}
 
 		const negInf = -1 << 30

@@ -1,14 +1,15 @@
 #!/usr/bin/env sh
 # Benchmark trajectory: runs the key testing.B benchmarks plus the pGraph
-# verification-backend ablation and assembles BENCH_pr3.json in the repo
-# root, recording both virtual-clock and wall-clock numbers so later PRs
-# can diff performance against this one. Run from the repository root.
+# verification-backend ablation and the auto-tuned-vs-fixed batch-plan
+# ablation, and assembles BENCH_pr6.json in the repo root, recording both
+# virtual-clock and wall-clock numbers so later PRs can diff performance
+# against this one. Run from the repository root.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr6.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -22,6 +23,9 @@ go test -run='^$' -bench 'BenchmarkBuild250$|BenchmarkPGraphGPU$|BenchmarkPGraph
 echo "== pGraph verification-backend ablation (virtual clock)"
 go run ./cmd/experiments -exp pgraph -benchjson "$tmp/backends.json"
 
+echo "== auto-tuned vs fixed batch plans (virtual clock)"
+go run ./cmd/experiments -exp autotune -benchjson "$tmp/autotune.json"
+
 awk '/^Benchmark/ {
     sub(/-[0-9]+$/, "", $1)
     printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"wall_ns_per_op\": %s}", sep, $1, $2, $3
@@ -30,16 +34,19 @@ awk '/^Benchmark/ {
 
 {
     echo '{'
-    echo '  "pr": 3,'
+    echo '  "pr": 6,'
     echo '  "go_bench": ['
     cat "$tmp/go_bench.json"
     echo '  ],'
     printf '  "pgraph_backends": '
-    sed -e '1s/^\[/[/' -e 's/^/  /' -e '1s/^  //' "$tmp/backends.json"
+    sed -e 's/^/  /' -e '1s/^  //' "$tmp/backends.json" | sed -e '$s/$/,/'
+    printf '  "autotune": '
+    sed -e 's/^/  /' -e '1s/^  //' "$tmp/autotune.json"
     echo '}'
 } > "$out"
 
-# Sanity-check the JSON and the acceptance criterion: the pipelined GPU
-# backend must post a lower virtual total than the sequential one.
+# Sanity-check the JSON and the acceptance criteria: the pipelined GPU
+# backend must beat the sequential one, and the auto-tuned plan must beat
+# every fixed setting with the cost model inside its drift gate.
 go run ./scripts/benchcheck "$out"
 echo "== bench.sh: wrote $out"

@@ -1,16 +1,26 @@
-// Benchcheck validates a BENCH_pr3.json produced by scripts/bench.sh: the
+// Benchcheck validates a BENCH_pr6.json produced by scripts/bench.sh: the
 // file must parse, every backend point must agree on the accepted edge
-// count, and the pipelined GPU backend must post a lower virtual total than
-// the sequential one — the acceptance criterion of the batched-SW PR.
+// count, the pipelined GPU backend must post a lower virtual total than
+// the sequential one (the batched-SW PR's criterion), and the auto-tune
+// ablation must show the cost-model plan winning — per workload the auto
+// point's virtual total is at or below every fixed setting's, all outputs
+// agree, and every priced point's prediction lands within 25% of the
+// measured scheduler window.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"gpclust/internal/bench"
 )
+
+// maxDriftFrac is the cost-model accuracy gate: |predicted - measured| must
+// stay within this fraction of the measured scheduler window on every
+// priced point of the bench corpus.
+const maxDriftFrac = 0.25
 
 type goBenchEntry struct {
 	Name        string  `json:"name"`
@@ -22,6 +32,7 @@ type benchFile struct {
 	PR       int                        `json:"pr"`
 	GoBench  []goBenchEntry             `json:"go_bench"`
 	Backends []bench.PGraphBackendPoint `json:"pgraph_backends"`
+	Autotune []bench.AutoTunePoint      `json:"autotune"`
 }
 
 // validate checks the whole file and never indexes before checking
@@ -68,12 +79,76 @@ func validate(f benchFile) error {
 		return fmt.Errorf("pipelined virtual total %.3fms is not below sequential %.3fms",
 			pipe.VirtualNs/1e6, seq.VirtualNs/1e6)
 	}
+	return validateAutotune(f.Autotune)
+}
+
+// validateAutotune enforces the auto-tuning PR's acceptance criteria on the
+// auto-vs-fixed sweep.
+func validateAutotune(points []bench.AutoTunePoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("no autotune points")
+	}
+	auto := map[string]bench.AutoTunePoint{}
+	fixed := map[string]int{}
+	first := map[string]bench.AutoTunePoint{}
+	for i, p := range points {
+		if p.Workload == "" || p.Setting == "" {
+			return fmt.Errorf("autotune point %d has no workload/setting", i)
+		}
+		if p.VirtualNs <= 0 {
+			return fmt.Errorf("autotune %s %q reports non-positive virtual total %.3f",
+				p.Workload, p.Setting, p.VirtualNs)
+		}
+		if g, ok := first[p.Workload]; !ok {
+			first[p.Workload] = p
+		} else if p.Output != g.Output {
+			return fmt.Errorf("autotune %s %q produced output %d, %q produced %d",
+				p.Workload, p.Setting, p.Output, g.Setting, g.Output)
+		}
+		if p.Auto {
+			if _, dup := auto[p.Workload]; dup {
+				return fmt.Errorf("autotune workload %q has two auto points", p.Workload)
+			}
+			auto[p.Workload] = p
+		} else {
+			fixed[p.Workload]++
+		}
+		if p.PredictedNs > 0 {
+			if p.SchedNs <= 0 {
+				return fmt.Errorf("autotune %s %q prices a zero-length scheduler window",
+					p.Workload, p.Setting)
+			}
+			if drift := math.Abs(p.PredictedNs-p.SchedNs) / p.SchedNs; drift > maxDriftFrac {
+				return fmt.Errorf("autotune %s %q cost-model drift %.0f%% exceeds %.0f%% (predicted %.3fms, measured %.3fms)",
+					p.Workload, p.Setting, 100*drift, 100*maxDriftFrac,
+					p.PredictedNs/1e6, p.SchedNs/1e6)
+			}
+		}
+	}
+	for w := range first {
+		a, ok := auto[w]
+		if !ok {
+			return fmt.Errorf("autotune workload %q has no auto point", w)
+		}
+		if fixed[w] == 0 {
+			return fmt.Errorf("autotune workload %q has no fixed points to beat", w)
+		}
+		for _, p := range points {
+			if p.Workload != w || p.Auto {
+				continue
+			}
+			if a.VirtualNs > p.VirtualNs {
+				return fmt.Errorf("autotune %s: auto virtual total %.3fms exceeds fixed %q at %.3fms",
+					w, a.VirtualNs/1e6, p.Setting, p.VirtualNs/1e6)
+			}
+		}
+	}
 	return nil
 }
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_pr3.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_pr6.json")
 		os.Exit(2)
 	}
 	blob, err := os.ReadFile(os.Args[1])
@@ -88,6 +163,12 @@ func main() {
 	}
 	fmt.Printf("benchcheck: ok — pipelined %.1fms < sequential %.1fms virtual, %d edges on every backend\n",
 		byName["gpu pipelined"].VirtualNs/1e6, byName["gpu sequential"].VirtualNs/1e6, f.Backends[0].Edges)
+	for _, p := range f.Autotune {
+		if p.Auto {
+			fmt.Printf("benchcheck: ok — %s auto plan (budget=%d, lanes=%d) at %.1fms virtual beats every fixed setting\n",
+				p.Workload, p.BudgetWords, p.Lanes, p.VirtualNs/1e6)
+		}
+	}
 }
 
 func fatal(err error) {

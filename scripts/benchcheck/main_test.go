@@ -18,6 +18,16 @@ func goodFile() benchFile {
 			{Backend: "gpu sequential", VirtualNs: 2e9, Edges: 120},
 			{Backend: "gpu pipelined", VirtualNs: 1.5e9, Edges: 120},
 		},
+		Autotune: []bench.AutoTunePoint{
+			{Workload: "gpclust", Setting: "auto", Auto: true,
+				VirtualNs: 1e9, SchedNs: 5e8, PredictedNs: 4.5e8, Output: 42},
+			{Workload: "gpclust", Setting: "fixed 40K words",
+				VirtualNs: 2e9, SchedNs: 1.5e9, PredictedNs: 1.4e9, Output: 42},
+			{Workload: "pgraph", Setting: "auto", Auto: true,
+				VirtualNs: 1e8, SchedNs: 6e7, PredictedNs: 6e7, Output: 120},
+			{Workload: "pgraph", Setting: "fixed 40K words sequential",
+				VirtualNs: 2e8, SchedNs: 1.6e8, PredictedNs: 1.5e8, Output: 120},
+		},
 	}
 }
 
@@ -46,6 +56,20 @@ func TestValidateRejects(t *testing.T) {
 			f.Backends[2].Backend = "gpu B"
 		}, "missing gpu sequential/pipelined"},
 		{"pipelined not faster", func(f *benchFile) { f.Backends[2].VirtualNs = 3e9 }, "not below sequential"},
+		{"no autotune points", func(f *benchFile) { f.Autotune = nil }, "no autotune points"},
+		{"unnamed autotune point", func(f *benchFile) { f.Autotune[0].Setting = "" }, "no workload/setting"},
+		{"zero autotune total", func(f *benchFile) { f.Autotune[1].VirtualNs = 0 }, "non-positive virtual total"},
+		{"output mismatch", func(f *benchFile) { f.Autotune[1].Output = 43 }, "produced output 43"},
+		{"duplicate auto point", func(f *benchFile) { f.Autotune[1].Auto = true }, "two auto points"},
+		{"no auto point", func(f *benchFile) { f.Autotune[2].Auto = false }, "has no auto point"},
+		{"no fixed points", func(f *benchFile) { f.Autotune = f.Autotune[2:3] }, "no fixed points to beat"},
+		{"priced zero window", func(f *benchFile) { f.Autotune[0].SchedNs = 0 }, "zero-length scheduler window"},
+		{"excess drift", func(f *benchFile) { f.Autotune[0].PredictedNs = 1e9 }, "cost-model drift"},
+		{"auto loses", func(f *benchFile) {
+			f.Autotune[0].VirtualNs = 3e9
+			f.Autotune[0].SchedNs = 2.5e9
+			f.Autotune[0].PredictedNs = 2.5e9
+		}, "exceeds fixed"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -74,12 +74,13 @@ grep -q '^# EOF$' "$tmp_dir/gpclust-metrics.txt"
 
 echo "== fuzz smoke (10s per target)"
 go test -run='^$' -fuzz=FuzzRadixSort -fuzztime=10s ./internal/core/
+go test -run='^$' -fuzz=FuzzPlanBatches -fuzztime=10s ./internal/sched/
 go test -run='^$' -fuzz=FuzzSegmentedSort -fuzztime=10s ./internal/thrust/
 go test -run='^$' -fuzz=FuzzUnionFind -fuzztime=10s ./internal/unionfind/
 go test -run='^$' -fuzz=FuzzSWBatch -fuzztime=10s ./internal/pgraph/
 go test -run='^$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/faults/
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/... ./internal/faults/...
+go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/... ./internal/faults/... ./internal/sched/...
 
 echo "== ci.sh: all green"
