@@ -1,18 +1,31 @@
 // Command gpclint runs gpClust's project-specific static analyzers over
 // the module: determinism discipline (no ordered output from map ranges in
-// clustering packages, no global math/rand), virtual-clock discipline (no
-// stray wall-clock reads), concurrency discipline (no mixed atomic/plain
-// field access), device-memory discipline (every Malloc freed on every
-// return path), and no silently discarded errors.
+// clustering packages, no global math/rand, no shared writes from
+// goroutines, no order-sensitive selects), virtual-clock discipline (no
+// stray wall-clock reads, no wall-clock values flowing into virtual
+// timestamps or cost-model parameters), concurrency discipline (no mixed
+// atomic/plain field access), device-memory discipline (every Malloc freed
+// on every return path, path-sensitively), no silently discarded errors,
+// and a config-drift meta-audit of the gate's own configuration.
 //
 // Usage:
 //
-//	gpclint [-tags taglist] [-rules list] packages...
+//	gpclint [-tags taglist] [-rules list] [-tests] [-json] packages...
 //
 // Package patterns are directories relative to the module root; "./..."
 // expands recursively the way the go tool does (skipping testdata), while
 // naming a testdata directory explicitly lints it — which is how the
-// fixture packages under internal/lint/testdata are exercised.
+// fixture packages under internal/lint/testdata are exercised; those runs
+// automatically use the fixture configuration the self-tests assert.
+//
+// -tests adds each requested package's in-package _test.go files to the
+// analysis, the CI mode for determinism-critical packages. -json switches
+// the output to machine-readable JSON Lines: one
+//
+//	{"type":"finding","rule":...,"file":...,"line":...,"col":...,"message":...}
+//
+// object per finding, then one {"type":"summary","findings":N,"packages":M}
+// record, so CI can archive the artifact and diff runs against a baseline.
 //
 // Exit status: 0 when clean, 1 when any finding is reported, 2 on usage or
 // load errors. Findings are suppressed line-by-line with
@@ -20,9 +33,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gpclust/internal/lint"
@@ -32,13 +47,33 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	Type    string `json:"type"` // "finding"
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// jsonSummary terminates a -json stream; its presence is how a consumer
+// distinguishes "no findings" from "run never finished".
+type jsonSummary struct {
+	Type     string `json:"type"` // "summary"
+	Findings int    `json:"findings"`
+	Packages int    `json:"packages"`
+}
+
 func run() int {
 	tags := flag.String("tags", "", "comma-separated build tags")
 	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	tests := flag.Bool("tests", false, "include in-package _test.go files of the named packages")
+	asJSON := flag.Bool("json", false, "emit findings as JSON Lines plus a summary record")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gpclint [-tags taglist] [-rules list] packages...\nrules:\n")
+		fmt.Fprintf(os.Stderr, "usage: gpclint [-tags taglist] [-rules list] [-tests] [-json] packages...\nrules:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-20s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
@@ -78,10 +113,22 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "gpclint:", err)
 		return 2
 	}
+	loader.IncludeTests = *tests
 	dirs, err := loader.ExpandPatterns(flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpclint:", err)
 		return 2
+	}
+
+	// Fixture runs get the fixture configuration: a testdata directory can
+	// only be linted by naming it explicitly, and the classifications its
+	// findings assert live in FixtureConfig, not in the production config.
+	cfg := lint.DefaultConfig()
+	for _, dir := range dirs {
+		if strings.Contains(filepath.ToSlash(dir), "/lint/testdata/") {
+			cfg = lint.FixtureConfig()
+			break
+		}
 	}
 
 	var pkgs []*lint.Package
@@ -94,12 +141,30 @@ func run() int {
 		pkgs = append(pkgs, pkg)
 	}
 
-	diags := lint.Run(lint.DefaultConfig(), pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d.String())
+	diags := lint.Run(cfg, pkgs, analyzers)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			rec := jsonFinding{Type: "finding", Rule: d.Rule, File: d.Pos.Filename,
+				Line: d.Pos.Line, Col: d.Pos.Column, Message: d.Message}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "gpclint:", err)
+				return 2
+			}
+		}
+		if err := enc.Encode(jsonSummary{Type: "summary", Findings: len(diags), Packages: len(pkgs)}); err != nil {
+			fmt.Fprintln(os.Stderr, "gpclint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "gpclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "gpclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		return 1
 	}
 	return 0

@@ -111,6 +111,7 @@ func TestTopSKernelFullSortShortSegments(t *testing.T) {
 	data := []uint32{5, 3, 9} // segment lens: 1, 2, 0
 	off := []uint32{0, 1, 3, 3}
 	dataBuf := dev.MustMalloc(len(data))
+	defer dataBuf.Free()
 	offBuf := dev.MustMalloc(len(off))
 	if err := dev.CopyH2D(dataBuf, 0, data); err != nil {
 		t.Fatal(err)
@@ -120,6 +121,7 @@ func TestTopSKernelFullSortShortSegments(t *testing.T) {
 	}
 	segs := thrust.Segments{Offsets: offBuf, NumSegs: 3}
 	out := dev.MustMalloc(3 * 2)
+	defer out.Free()
 	if err := topSKernel(dev, nil, dataBuf, segs, 2, out, 0, true); err != nil {
 		t.Fatal(err)
 	}

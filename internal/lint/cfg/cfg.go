@@ -1,0 +1,597 @@
+// Package cfg builds per-function control-flow graphs from go/ast and runs
+// forward dataflow analyses over them to a worklist fixpoint. It is the
+// engine under gpclint's path-sensitive analyzers (devmem, vclock-taint):
+// where the v1 walkers saw statements in source order and were blind to
+// loop back edges, the CFG makes every path explicit — a `continue` that
+// skips a cleanup, a `goto` into a retry label, a `select` arm that
+// returns early — so a dataflow fact ("this buffer is still live", "this
+// value is wall-clock tainted") is propagated exactly along the paths the
+// program can take.
+//
+// The builder covers the full Go statement repertoire that affects control
+// flow: if/else chains, for (all three clauses), range, switch and type
+// switch (including fallthrough), select, labeled break and continue,
+// goto, and return. Defer does not alter the graph — a DeferStmt is an
+// ordinary node in its block, and analyzers that care about deferred
+// effects (devmem's `defer buf.Free()`) interpret it in their transfer
+// functions, which is sound because a defer registered on a path protects
+// exactly the exits reachable from that registration point. Panic calls
+// and calls to functions that provably never return end their block with
+// no successors.
+//
+// Like the rest of internal/lint, the package is stdlib-only.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Block is one basic block: a maximal run of straight-line nodes followed
+// by a control transfer. Nodes holds simple statements (assignments,
+// expression statements, declarations, defers, go statements, sends,
+// returns) in execution order; control conditions live in Cond, not in
+// Nodes.
+type Block struct {
+	Index int    // position in Graph.Blocks, stable across builds
+	Kind  string // "entry", "exit", "if.then", "for.head", ... for debugging and goldens
+
+	// Nodes are the block's straight-line statements in order. A
+	// ReturnStmt, when present, is always last.
+	Nodes []ast.Node
+
+	// Cond is the branch condition when the block ends in a two-way
+	// conditional: Succs[0] is the true edge, Succs[1] the false edge.
+	// Nil for unconditional transfers and multi-way branches (switch
+	// heads, select heads, range heads).
+	Cond ast.Expr
+
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is one function body's control-flow graph. Entry is Blocks[0];
+// Exit is the single synthetic exit block every return and the fall-off
+// end of the body lead to. Blocks unreachable from Entry (dead code after
+// returns, unused labels) are retained but excluded from RPO.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+
+	rpo []*Block // reverse postorder over reachable blocks, memoized
+}
+
+// New builds the CFG for a function body. It never fails: unresolvable
+// gotos (malformed code that would not type-check) simply produce a block
+// with no successors.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		labels: make(map[string]*labelBlocks),
+		gotos:  make(map[string][]*Block),
+	}
+	b.g = &Graph{}
+	entry := b.newBlock("entry")
+	b.g.Entry = entry
+	b.g.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmtList(body.List)
+	// Fall-off end of the body: an implicit return.
+	b.jump(b.cur, b.g.Exit)
+	// Resolve any forward gotos left dangling (labels later in the body
+	// were handled as encountered; anything left names a label that does
+	// not exist, which go/types would reject anyway).
+	for _, bl := range b.g.Blocks {
+		dedupSuccs(bl)
+	}
+	for _, bl := range b.g.Blocks {
+		for _, s := range bl.Succs {
+			s.Preds = append(s.Preds, bl)
+		}
+	}
+	return b.g
+}
+
+// RPO returns the blocks reachable from Entry in reverse postorder — the
+// iteration order that makes forward dataflow converge fastest.
+func (g *Graph) RPO() []*Block {
+	if g.rpo != nil {
+		return g.rpo
+	}
+	seen := make(map[*Block]bool)
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	rpo := make([]*Block, len(post))
+	for i, b := range post {
+		rpo[len(post)-1-i] = b
+	}
+	g.rpo = rpo
+	return rpo
+}
+
+// String renders the graph in a stable, compact text form used by the
+// golden shape tests: one line per reachable block, "idx kind -> succs".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.RPO() {
+		fmt.Fprintf(&sb, "%d %s [%d]", b.Index, b.Kind, len(b.Nodes))
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " %d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// labelBlocks tracks the targets a label exposes: the labeled statement's
+// own block (for goto and labeled continue resolution) plus the break
+// target once known.
+type labelBlocks struct {
+	head     *Block // block of the labeled statement itself (goto target)
+	brk      *Block // break-to block (join after the labeled loop/switch)
+	cont     *Block // continue-to block (loop post/head), loops only
+	resolved bool
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // current block; nil after a terminating transfer
+	labels map[string]*labelBlocks
+	gotos  map[string][]*Block // unresolved forward gotos by label
+
+	// innermost break/continue targets (unlabeled)
+	breakStack []*Block
+	contStack  []*Block
+
+	// pendingLabel is set while building the statement a label names, so
+	// its loop can register labeled break/continue targets.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	bl := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+// jump adds an unconditional edge from from (if live) to to (if known —
+// a nil target, e.g. break outside any loop in code go/types would
+// reject, drops the edge).
+func (b *builder) jump(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock makes a fresh block the current one. Callers add the edge(s)
+// leading to it first.
+func (b *builder) startBlock(kind string) *Block {
+	bl := b.newBlock(kind)
+	b.cur = bl
+	return bl
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		// Dead code after a terminator: park it in an unreachable block
+		// so analyzers that scan all nodes still see it.
+		b.cur = b.newBlock("dead")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.cur = nil // panic: no fallthrough edge, defers still run
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		var tag ast.Stmt
+		if s.Tag != nil {
+			tag = &ast.ExprStmt{X: s.Tag}
+		}
+		b.switchStmt(s.Init, tag, s.Body, "switch")
+
+	case *ast.TypeSwitchStmt:
+		// The assign/guard statement (x := y.(type)) binds the per-case
+		// variable; record it on the head like a switch tag.
+		b.switchStmt(s.Init, s.Assign, s.Body, "typeswitch")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	default:
+		// Future statement kinds: treat as straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.startBlock("dead")
+	}
+	head.Cond = s.Cond
+
+	then := b.newBlock("if.then")
+	b.jump(head, then) // Succs[0]: condition true
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock("if.else")
+		b.jump(head, els) // Succs[1]: condition false
+	}
+
+	join := b.newBlock("if.join")
+	if s.Else == nil {
+		b.jump(head, join) // Succs[1]: condition false
+	}
+
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.jump(b.cur, join)
+
+	if s.Else != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		b.jump(b.cur, join)
+	}
+
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.jump(b.cur, head)
+	b.cur = head
+
+	body := b.newBlock("for.body")
+	exit := b.newBlock("for.exit")
+	if s.Cond != nil {
+		head.Cond = s.Cond
+		head.Succs = append(head.Succs, body, exit) // true, false
+	} else {
+		head.Succs = append(head.Succs, body) // for {}: no exit edge
+	}
+
+	// continue target: the post block when present, else the head.
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		cont = post
+	}
+	b.pushLoop(exit, cont, label)
+
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(b.cur, cont)
+
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.jump(b.cur, head)
+	}
+
+	b.popLoop(label)
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	b.jump(b.cur, head)
+	// The range head both evaluates the operand and binds the iteration
+	// variables; analyzers see the whole RangeStmt as the head's node.
+	head.Nodes = append(head.Nodes, s)
+
+	body := b.newBlock("range.body")
+	exit := b.newBlock("range.exit")
+	head.Succs = append(head.Succs, body, exit) // iterate, done
+
+	b.pushLoop(exit, head, label)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(b.cur, head)
+	b.popLoop(label)
+	b.cur = exit
+}
+
+// switchStmt builds both expression and type switches: a head evaluating
+// init and the tag (or type-switch guard), one block per case, fallthrough
+// edges between consecutive case bodies, and a join that is also the break
+// target.
+func (b *builder) switchStmt(init, tag ast.Stmt, body *ast.BlockStmt, kind string) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.startBlock("dead")
+	}
+	if tag != nil {
+		// The tag/guard is evaluated once at the head; keep it visible
+		// to analyzers as a node.
+		head.Nodes = append(head.Nodes, tag)
+	}
+	head.Kind = kind + ".head"
+
+	join := b.newBlock(kind + ".join")
+
+	var caseBlocks []*Block
+	var caseBodies [][]ast.Stmt
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cb := b.newBlock(kind + ".case")
+		// Case guard expressions are evaluated against the tag; record
+		// them on the case block so analyzers can inspect.
+		for _, e := range cc.List {
+			cb.Nodes = append(cb.Nodes, &ast.ExprStmt{X: e})
+		}
+		b.jump(head, cb)
+		caseBlocks = append(caseBlocks, cb)
+		caseBodies = append(caseBodies, cc.Body)
+	}
+	if !hasDefault {
+		b.jump(head, join) // no case matches
+	}
+
+	// break inside a switch exits to join.
+	b.pushBreak(join, label)
+	for i, cb := range caseBlocks {
+		b.cur = cb
+		b.stmtListWithFallthrough(caseBodies[i], i, caseBlocks)
+		b.jump(b.cur, join)
+	}
+	b.popBreak(label)
+	b.cur = join
+}
+
+// stmtListWithFallthrough builds a case body, turning a trailing
+// fallthrough into an edge to the next case's block.
+func (b *builder) stmtListWithFallthrough(list []ast.Stmt, i int, cases []*Block) {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			if i+1 < len(cases) {
+				b.jump(b.cur, cases[i+1])
+			}
+			b.cur = nil
+			return
+		}
+		b.stmt(s)
+	}
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	if head == nil {
+		head = b.startBlock("dead")
+	}
+	head.Kind = "select.head"
+	join := b.newBlock("select.join")
+
+	var clauses []*ast.CommClause
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	if len(clauses) == 0 {
+		// select{} blocks forever: no successors.
+		b.cur = join
+		join.Kind = "select.join.dead"
+		return
+	}
+	b.pushBreak(join, label)
+	for _, cc := range clauses {
+		cb := b.newBlock("select.case")
+		b.jump(head, cb)
+		if cc.Comm != nil {
+			cb.Nodes = append(cb.Nodes, cc.Comm)
+		}
+		b.cur = cb
+		b.stmtList(cc.Body)
+		b.jump(b.cur, join)
+	}
+	b.popBreak(label)
+	b.cur = join
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{}
+		b.labels[name] = lb
+	}
+	// The label's head block: where gotos land.
+	head := b.newBlock("label." + name)
+	b.jump(b.cur, head)
+	// Earlier forward gotos now resolve.
+	for _, from := range b.gotos[name] {
+		from.Succs = append(from.Succs, head)
+	}
+	delete(b.gotos, name)
+	lb.head = head
+	lb.resolved = true
+	b.cur = head
+	b.pendingLabel = name
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		var target *Block
+		if s.Label != nil {
+			if lb := b.labels[s.Label.Name]; lb != nil {
+				target = lb.brk
+			}
+		} else if n := len(b.breakStack); n > 0 {
+			target = b.breakStack[n-1]
+		}
+		b.jump(b.cur, target)
+		b.cur = nil
+	case "continue":
+		var target *Block
+		if s.Label != nil {
+			if lb := b.labels[s.Label.Name]; lb != nil {
+				target = lb.cont
+			}
+		} else if n := len(b.contStack); n > 0 {
+			target = b.contStack[n-1]
+		}
+		b.jump(b.cur, target)
+		b.cur = nil
+	case "goto":
+		if s.Label == nil {
+			b.cur = nil
+			return
+		}
+		if lb := b.labels[s.Label.Name]; lb != nil && lb.resolved {
+			b.jump(b.cur, lb.head) // backward goto
+		} else if b.cur != nil {
+			// Forward goto: record for resolution at the label.
+			b.gotos[s.Label.Name] = append(b.gotos[s.Label.Name], b.cur)
+		}
+		b.cur = nil
+	case "fallthrough":
+		// Handled inside stmtListWithFallthrough; a stray one (invalid
+		// Go) terminates the block.
+		b.cur = nil
+	}
+}
+
+func (b *builder) pushLoop(brk, cont *Block, label string) {
+	b.breakStack = append(b.breakStack, brk)
+	b.contStack = append(b.contStack, cont)
+	if label != "" {
+		lb := b.labels[label]
+		lb.brk = brk
+		lb.cont = cont
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.contStack = b.contStack[:len(b.contStack)-1]
+	_ = label
+}
+
+func (b *builder) pushBreak(brk *Block, label string) {
+	b.breakStack = append(b.breakStack, brk)
+	if label != "" {
+		b.labels[label].brk = brk
+	}
+}
+
+func (b *builder) popBreak(label string) {
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	_ = label
+}
+
+// takeLabel consumes the pending label set by labeledStmt so the loop or
+// switch being built can register its labeled break/continue targets.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// isPanicCall matches a direct call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// dedupSuccs removes duplicate successor edges while preserving order —
+// a block can acquire the same successor twice through merged paths, and
+// one edge carries the same dataflow information. Conditional blocks
+// (Cond != nil) always have two distinct successors, so the true/false
+// index contract survives deduplication.
+func dedupSuccs(b *Block) {
+	if len(b.Succs) < 2 {
+		return
+	}
+	seen := make(map[*Block]bool, len(b.Succs))
+	out := b.Succs[:0]
+	for _, s := range b.Succs {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	b.Succs = out
+}

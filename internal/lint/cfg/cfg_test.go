@@ -1,0 +1,334 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseBody parses `src` as the body of a function and returns its CFG.
+func parseBody(t *testing.T, src string) *Graph {
+	t.Helper()
+	file := "package p\nfunc f(n int, ch chan int, m map[int]int, xs []int, v any) {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// TestShapes pins the CFG shape for each statement kind: block kinds,
+// node counts, and successor edges in the stable String() rendering.
+func TestShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "straightline",
+			src:  "x := 1\n_ = x",
+			want: "0 entry [2] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "if",
+			src:  "x := 1\nif x > 0 {\nx = 2\n}\n_ = x",
+			want: "0 entry [1] -> 2 3\n2 if.then [1] -> 3\n3 if.join [1] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "ifelse",
+			src:  "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x",
+			want: "0 entry [1] -> 2 3\n3 if.else [1] -> 4\n2 if.then [1] -> 4\n4 if.join [1] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "for",
+			src:  "s := 0\nfor i := 0; i < n; i++ {\ns += i\n}\n_ = s",
+			want: "0 entry [2] -> 2\n2 for.head [0] -> 3 4\n4 for.exit [1] -> 1\n1 exit [0]\n3 for.body [1] -> 5\n5 for.post [1] -> 2\n",
+		},
+		{
+			name: "forever",
+			src:  "for {\nn++\n}",
+			want: "0 entry [0] -> 2\n2 for.head [0] -> 3\n3 for.body [1] -> 2\n",
+		},
+		{
+			name: "range",
+			src:  "s := 0\nfor _, x := range xs {\ns += x\n}\n_ = s",
+			want: "0 entry [1] -> 2\n2 range.head [1] -> 3 4\n4 range.exit [1] -> 1\n1 exit [0]\n3 range.body [1] -> 2\n",
+		},
+		{
+			name: "continue",
+			src:  "for i := 0; i < n; i++ {\nif i == 3 {\ncontinue\n}\nn--\n}",
+			want: "0 entry [1] -> 2\n2 for.head [0] -> 3 4\n4 for.exit [0] -> 1\n1 exit [0]\n3 for.body [0] -> 6 7\n7 if.join [1] -> 5\n6 if.then [0] -> 5\n5 for.post [1] -> 2\n",
+		},
+		{
+			name: "break",
+			src:  "for i := 0; i < n; i++ {\nif i == 3 {\nbreak\n}\n}",
+			want: "0 entry [1] -> 2\n2 for.head [0] -> 3 4\n3 for.body [0] -> 6 7\n7 if.join [0] -> 5\n5 for.post [1] -> 2\n6 if.then [0] -> 4\n4 for.exit [0] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "labeled",
+			src:  "outer:\nfor i := 0; i < n; i++ {\nfor j := 0; j < n; j++ {\nif j == 1 {\ncontinue outer\n}\nif j == 2 {\nbreak outer\n}\n}\n}",
+			want: "", // asserted structurally in TestLabeledTargets
+		},
+		{
+			name: "switch",
+			src:  "switch n {\ncase 1:\nn = 10\ncase 2:\nn = 20\ndefault:\nn = 30\n}",
+			want: "0 switch.head [1] -> 3 4 5\n5 switch.case [1] -> 2\n4 switch.case [2] -> 2\n3 switch.case [2] -> 2\n2 switch.join [0] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "switch_nodefault",
+			src:  "switch n {\ncase 1:\nn = 10\n}",
+			want: "0 switch.head [1] -> 3 2\n3 switch.case [2] -> 2\n2 switch.join [0] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "fallthrough",
+			src:  "switch n {\ncase 1:\nn = 10\nfallthrough\ncase 2:\nn = 20\n}",
+			want: "0 switch.head [1] -> 3 4 2\n3 switch.case [2] -> 4\n4 switch.case [2] -> 2\n2 switch.join [0] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "typeswitch",
+			src:  "switch v.(type) {\ncase int:\nn = 1\ncase string:\nn = 2\n}",
+			want: "0 typeswitch.head [1] -> 3 4 2\n4 typeswitch.case [2] -> 2\n3 typeswitch.case [2] -> 2\n2 typeswitch.join [0] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "select",
+			src:  "select {\ncase x := <-ch:\nn = x\ncase ch <- n:\nn = 0\n}",
+			want: "0 select.head [0] -> 3 4\n4 select.case [2] -> 2\n3 select.case [2] -> 2\n2 select.join [0] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "goto_backward",
+			src:  "retry:\nn--\nif n > 0 {\ngoto retry\n}",
+			want: "0 entry [0] -> 2\n2 label.retry [1] -> 3 4\n4 if.join [0] -> 1\n1 exit [0]\n3 if.then [0] -> 2\n",
+		},
+		{
+			name: "goto_forward",
+			src:  "if n > 0 {\ngoto done\n}\nn = 1\ndone:\nn = 2",
+			want: "0 entry [0] -> 2 3\n3 if.join [1] -> 4\n2 if.then [0] -> 4\n4 label.done [1] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "return",
+			src:  "if n > 0 {\nreturn\n}\nn = 1",
+			want: "0 entry [0] -> 2 3\n3 if.join [1] -> 1\n2 if.then [1] -> 1\n1 exit [0]\n",
+		},
+		{
+			name: "panic",
+			src:  "if n > 0 {\npanic(\"boom\")\n}\nn = 1",
+			want: "0 entry [0] -> 2 3\n3 if.join [1] -> 1\n1 exit [0]\n2 if.then [1]\n",
+		},
+		{
+			name: "defer",
+			src:  "defer func() {}()\nn = 1",
+			want: "0 entry [2] -> 1\n1 exit [0]\n",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := parseBody(t, c.src)
+			if c.want == "" {
+				return
+			}
+			if got := g.String(); got != c.want {
+				t.Errorf("shape mismatch:\n got:\n%s want:\n%s", got, c.want)
+			}
+		})
+	}
+}
+
+// TestLabeledTargets asserts labeled continue/break resolve to the outer
+// loop: continue outer must edge to the outer post block, break outer to
+// the outer exit block.
+func TestLabeledTargets(t *testing.T) {
+	g := parseBody(t, "outer:\nfor i := 0; i < n; i++ {\nfor j := 0; j < n; j++ {\nif j == 1 {\ncontinue outer\n}\nif j == 2 {\nbreak outer\n}\n}\n}")
+	var outerPost, outerExit *Block
+	for _, b := range g.Blocks {
+		// The outer loop is built right after the label head; its post
+		// and exit are the first for.post/for.exit created.
+		if b.Kind == "for.post" && outerPost == nil {
+			outerPost = b
+		}
+		if b.Kind == "for.exit" && outerExit == nil {
+			outerExit = b
+		}
+	}
+	if outerPost == nil || outerExit == nil {
+		t.Fatalf("outer loop blocks not found:\n%s", g.String())
+	}
+	var contOK, breakOK bool
+	for _, b := range g.Blocks {
+		if b.Kind != "if.then" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == outerPost {
+				contOK = true
+			}
+			if s == outerExit {
+				breakOK = true
+			}
+		}
+	}
+	if !contOK {
+		t.Errorf("continue outer does not edge to the outer post block:\n%s", g.String())
+	}
+	if !breakOK {
+		t.Errorf("break outer does not edge to the outer exit block:\n%s", g.String())
+	}
+}
+
+// TestLoopBackEdge asserts every loop head is reachable from its own body
+// — the back edge the v1 statement walker never had.
+func TestLoopBackEdge(t *testing.T) {
+	g := parseBody(t, "for i := 0; i < n; i++ {\nn--\n}")
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	found := false
+	for _, p := range head.Preds {
+		if p.Kind == "for.post" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no back edge into for.head; preds: %v", kinds(head.Preds))
+	}
+}
+
+func kinds(bs []*Block) []string {
+	var out []string
+	for _, b := range bs {
+		out = append(out, b.Kind)
+	}
+	return out
+}
+
+// countFlow is a trivial monotone flow — state is "how many nodes have
+// executed on the longest path here", capped — used by the solver tests.
+type countFlow struct{ cap int }
+
+func (c countFlow) Entry() int                           { return 0 }
+func (c countFlow) Transfer(n ast.Node, s int) int       { return min(s+1, c.cap) }
+func (c countFlow) Refine(_ ast.Expr, _ bool, s int) int { return s }
+func (c countFlow) Join(a, b int) int                    { return max(a, b) }
+func (c countFlow) Equal(a, b int) bool                  { return a == b }
+func (c countFlow) Clone(s int) int                      { return s }
+
+// TestSolveReachesAllBlocks asserts the fixpoint assigns a state to every
+// reachable block, including loop heads fed by back edges.
+func TestSolveReachesAllBlocks(t *testing.T) {
+	g := parseBody(t, "s := 0\nfor i := 0; i < n; i++ {\nif i == 2 {\ncontinue\n}\ns += i\n}\n_ = s")
+	in := Solve[int](g, countFlow{cap: 1000})
+	for _, b := range g.RPO() {
+		if _, ok := in[b]; !ok {
+			t.Errorf("block %d %s has no IN state", b.Index, b.Kind)
+		}
+	}
+}
+
+// buildNest emits a random nest of if/for/switch statements around simple
+// assignments — the adversarial input for the termination property test.
+func buildNest(r *rand.Rand, depth int, sb *strings.Builder) {
+	if depth <= 0 {
+		sb.WriteString("n++\n")
+		return
+	}
+	switch r.Intn(5) {
+	case 0:
+		sb.WriteString("if n > 0 {\n")
+		buildNest(r, depth-1, sb)
+		if r.Intn(2) == 0 {
+			sb.WriteString("} else {\n")
+			buildNest(r, depth-1, sb)
+		}
+		sb.WriteString("}\n")
+	case 1:
+		sb.WriteString("for i := 0; i < n; i++ {\n")
+		if r.Intn(3) == 0 {
+			sb.WriteString("if i == 1 {\ncontinue\n}\n")
+		}
+		if r.Intn(3) == 0 {
+			sb.WriteString("if i == 2 {\nbreak\n}\n")
+		}
+		buildNest(r, depth-1, sb)
+		sb.WriteString("}\n")
+	case 2:
+		sb.WriteString("switch n {\ncase 1:\n")
+		buildNest(r, depth-1, sb)
+		if r.Intn(2) == 0 {
+			sb.WriteString("fallthrough\n")
+		}
+		sb.WriteString("case 2:\n")
+		buildNest(r, depth-1, sb)
+		if r.Intn(2) == 0 {
+			sb.WriteString("default:\n")
+			buildNest(r, depth-1, sb)
+		}
+		sb.WriteString("}\n")
+	case 3:
+		sb.WriteString("for _, x := range xs {\n_ = x\n")
+		buildNest(r, depth-1, sb)
+		sb.WriteString("}\n")
+	case 4:
+		buildNest(r, depth-1, sb)
+		if r.Intn(3) == 0 {
+			sb.WriteString("return\n")
+		}
+	}
+}
+
+// TestSolveTerminationProperty fuzzes the solver with 200 random branch
+// nests: every run must converge (Solve returns) and cover every
+// reachable block. A deliberately hostile flow whose state grows without
+// bound is cut off by the solver's iteration limit rather than hanging.
+func TestSolveTerminationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var sb strings.Builder
+		buildNest(r, 2+r.Intn(4), &sb)
+		src := sb.String()
+		g := parseBody(t, src)
+		in := Solve[int](g, countFlow{cap: 64})
+		for _, b := range g.RPO() {
+			if _, ok := in[b]; !ok {
+				t.Fatalf("trial %d: block %d %s unreached\nsrc:\n%s\ncfg:\n%s",
+					trial, b.Index, b.Kind, src, g.String())
+			}
+		}
+	}
+}
+
+// unboundedFlow violates the finite-height contract: its state strictly
+// grows on every transfer, so only the solver's iteration bound stops it.
+type unboundedFlow struct{}
+
+func (unboundedFlow) Entry() int                           { return 0 }
+func (unboundedFlow) Transfer(n ast.Node, s int) int       { return s + 1 }
+func (unboundedFlow) Refine(_ ast.Expr, _ bool, s int) int { return s }
+func (unboundedFlow) Join(a, b int) int                    { return max(a, b) }
+func (unboundedFlow) Equal(a, b int) bool                  { return a == b }
+func (unboundedFlow) Clone(s int) int                      { return s }
+
+func TestSolveIterationBound(t *testing.T) {
+	g := parseBody(t, "for {\nn++\n}")
+	done := make(chan struct{})
+	go func() {
+		Solve[int](g, unboundedFlow{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Solve did not terminate on a non-monotone flow")
+	}
+}

@@ -1,0 +1,161 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Flow is one forward dataflow analysis over states of type S. The solver
+// owns iteration order and convergence; the Flow owns the lattice (Join,
+// Equal), the per-node transfer function, and optional branch-edge
+// refinement.
+//
+// Convergence contract: Join must be associative, commutative and
+// idempotent, and Transfer/Refine must be monotone over the join order.
+// The solver additionally enforces a hard iteration bound proportional to
+// the graph size, so a non-monotone Flow degrades to a conservative
+// over-approximation instead of hanging the linter.
+type Flow[S any] interface {
+	// Entry returns the state at function entry.
+	Entry() S
+
+	// Transfer applies one straight-line node to the state, returning
+	// the state after it. It may mutate and return s.
+	Transfer(n ast.Node, s S) S
+
+	// Refine narrows the state along a conditional edge: cond is the
+	// block's branch condition, branch is true for the Succs[0] edge.
+	// Called only for blocks with Cond != nil; return s unchanged when
+	// the condition carries no information.
+	Refine(cond ast.Expr, branch bool, s S) S
+
+	// Join merges the states of two incoming edges. It must not mutate
+	// its arguments.
+	Join(a, b S) S
+
+	// Equal reports whether two states carry the same facts; the solver
+	// stops propagating an edge when the joined state is Equal to the
+	// stored one.
+	Equal(a, b S) bool
+
+	// Clone returns an independent copy Transfer may mutate.
+	Clone(s S) S
+}
+
+// Solve runs the flow to fixpoint and returns each reachable block's
+// IN state (the join over incoming edges, before the block's own nodes).
+// Replay a block's transfer over its IN state to observe intermediate
+// facts — that is how analyzers position their diagnostics.
+func Solve[S any](g *Graph, f Flow[S]) map[*Block]S {
+	rpo := g.RPO()
+	in := make(map[*Block]S, len(rpo))
+	have := make(map[*Block]bool, len(rpo))
+	in[g.Entry] = f.Entry()
+	have[g.Entry] = true
+
+	// Worklist seeded in RPO; a simple FIFO with membership dedup is
+	// plenty at lint-function scale.
+	queue := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+
+	// Hard bound: |blocks|^2 * 4 + 64 pops. Any finite-height lattice
+	// converges far below it; the bound only exists to make a buggy
+	// Flow fail safe (see TestSolveTermination).
+	limit := len(rpo)*len(rpo)*4 + 64
+
+	for steps := 0; len(queue) > 0 && steps < limit; steps++ {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+
+		out := f.Clone(in[b])
+		for _, n := range b.Nodes {
+			out = f.Transfer(n, out)
+		}
+		for i, s := range b.Succs {
+			edge := out
+			if b.Cond != nil && len(b.Succs) == 2 {
+				edge = f.Refine(b.Cond, i == 0, f.Clone(out))
+			}
+			var next S
+			if have[s] {
+				next = f.Join(in[s], edge)
+				if f.Equal(next, in[s]) {
+					continue
+				}
+			} else {
+				next = f.Clone(edge)
+				have[s] = true
+			}
+			in[s] = next
+			if !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return in
+}
+
+// Replay is a convenience for analyzers: it walks every reachable
+// block, replays the transfer function over the block's IN state, and
+// invokes visit before each node with the state at that program point.
+func Replay[S any](g *Graph, f Flow[S], in map[*Block]S, visit func(b *Block, n ast.Node, s S)) {
+	for _, b := range g.RPO() {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		cur := f.Clone(s)
+		for _, n := range b.Nodes {
+			visit(b, n, cur)
+			cur = f.Transfer(n, cur)
+		}
+	}
+}
+
+// AtExit invokes visit with the state at each edge into the synthetic
+// exit block that is NOT produced by a return statement — i.e. the
+// fall-off end of the function body. Analyzers use it to check facts at
+// the implicit return.
+func AtExit[S any](g *Graph, f Flow[S], in map[*Block]S, visit func(b *Block, s S)) {
+	for _, b := range g.RPO() {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		toExit := false
+		for _, sc := range b.Succs {
+			if sc == g.Exit {
+				toExit = true
+			}
+		}
+		if !toExit {
+			continue
+		}
+		if n := len(b.Nodes); n > 0 {
+			if _, isRet := b.Nodes[n-1].(*ast.ReturnStmt); isRet {
+				continue
+			}
+		}
+		cur := f.Clone(s)
+		for _, n := range b.Nodes {
+			cur = f.Transfer(n, cur)
+		}
+		visit(b, cur)
+	}
+}
+
+// DebugDump renders block IN states with a caller-supplied formatter;
+// used by the cfg tests and occasionally handy under a debugger.
+func DebugDump[S any](g *Graph, in map[*Block]S, format func(S) string) string {
+	out := ""
+	for _, b := range g.RPO() {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		out += fmt.Sprintf("%d %s: %s\n", b.Index, b.Kind, format(s))
+	}
+	return out
+}

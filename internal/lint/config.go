@@ -10,9 +10,10 @@ type FuncAllow struct {
 }
 
 // Config carries the per-rule package classifications. DefaultConfig is
-// what cmd/gpclint and the fixture self-tests use; the entries naming
-// lint/testdata paths exist so the fixtures exercise the exact
-// configuration the CI gate runs with.
+// the production configuration the CI gate enforces and names only real
+// packages — config-drift audits it against the loaded tree. The fixture
+// self-tests and fixture CLI runs use FixtureConfig, which extends it
+// with the classifications the testdata packages exercise.
 type Config struct {
 	// DeterminismCritical lists packages whose output feeds the clustering
 	// result: ranging over a map in ordered output there is a finding.
@@ -41,17 +42,16 @@ func DefaultConfig() *Config {
 			"internal/core",
 			"internal/faults",
 			"internal/minwise",
+			"internal/obs",
 			"internal/sched",
 			"internal/thrust",
 			"internal/unionfind",
 			"internal/pgraph",
-			"lint/testdata/src/maprange",
 		},
 		Generator: []string{
 			"internal/seq",
 			"internal/graph",
 			"internal/bench",
-			"lint/testdata/src/globalrand/generator",
 		},
 		WallclockAllow: []FuncAllow{
 			{PkgSuffix: "internal/obs", Func: "nowWall"},
@@ -59,8 +59,6 @@ func DefaultConfig() *Config {
 			{PkgSuffix: "internal/sched", Func: "NewStopwatch"},
 			{PkgSuffix: "internal/sched", Func: "Stopwatch.Lap"},
 			{PkgSuffix: "internal/sched", Func: "Stopwatch.Total"},
-			{PkgSuffix: "lint/testdata/src/wallclock", Func: "newStopwatch"},
-			{PkgSuffix: "lint/testdata/src/wallclock", Func: "stopwatch.lap"},
 		},
 		ErrAllow: []string{
 			// fmt printing to stdout/stderr: failures are unactionable and
@@ -77,6 +75,33 @@ func DefaultConfig() *Config {
 			"func (*bytes.Buffer).Write",
 		},
 	}
+}
+
+// FixtureConfig is DefaultConfig plus the classifications the fixture
+// packages under internal/lint/testdata exercise: the rules that gate on
+// DeterminismCritical or an allowlist need fixture packages on both sides
+// of the gate, and the positive device fixtures must be classified so the
+// config-drift import audit tests the audit, not the fixtures. cmd/gpclint
+// switches to this configuration automatically when a named pattern
+// resolves under lint/testdata, which is how the CI fixture-sanity loop
+// runs the exact configuration the self-tests assert.
+func FixtureConfig() *Config {
+	c := DefaultConfig()
+	c.DeterminismCritical = append(c.DeterminismCritical,
+		"lint/testdata/src/maprange",
+		"lint/testdata/src/devmem",
+		"lint/testdata/src/devmemloop",
+		"lint/testdata/src/goroutine",
+	)
+	c.Generator = append(c.Generator,
+		"lint/testdata/src/globalrand/generator",
+	)
+	c.WallclockAllow = append(c.WallclockAllow,
+		FuncAllow{PkgSuffix: "lint/testdata/src/wallclock", Func: "newStopwatch"},
+		FuncAllow{PkgSuffix: "lint/testdata/src/wallclock", Func: "stopwatch.lap"},
+		FuncAllow{PkgSuffix: "lint/testdata/src/vclocktaint", Func: "lapWall"},
+	)
+	return c
 }
 
 // pkgMatch reports whether the import path matches the suffix pattern: an

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ConfigDrift audits the gate's own configuration against the tree it is
+// gating. A lint config rots in a specific direction: packages get
+// renamed and their DeterminismCritical entries silently match nothing,
+// allowlisted helper functions are refactored away while their exemptions
+// linger as an open door, new device-touching packages appear without
+// being classified, and ignore directives outlive the findings they
+// excused. Every one of those failure modes widens the gate without
+// anyone deciding to widen it, so the drift itself is a finding.
+//
+// Per package (any run): an internal package that imports the simulated
+// device (internal/gpusim) or the kernel library (internal/thrust) must
+// be classified DeterminismCritical or Generator — device work feeds the
+// clustering result by construction.
+//
+// Per module (only when the loaded set includes the module root package,
+// i.e. a whole-tree run): DeterminismCritical and Generator entries must
+// match a loaded package; WallclockAllow entries must name a function
+// that still exists in a matching package; ErrAllow entries must be
+// "func "-prefixed object strings. Stale ignore directives — well-formed,
+// full suite running, yet suppressing nothing — are reported by the
+// runner under this rule as well.
+var ConfigDrift = &Analyzer{
+	Name:      ruleConfigDrift,
+	Doc:       "lint configuration out of sync with the tree: dead entries, unclassified device packages, stale ignores",
+	Run:       runConfigDriftPkg,
+	RunModule: runConfigDriftModule,
+}
+
+// devicePkgs are the packages whose importers must be classified.
+var devicePkgs = []string{"internal/gpusim", "internal/thrust"}
+
+func runConfigDriftPkg(cfg *Config, pkg *Package) []Diagnostic {
+	if !strings.Contains("/"+pkg.Path+"/", "/internal/") {
+		return nil
+	}
+	if matchAny(pkg.Path, devicePkgs) {
+		return nil
+	}
+	if matchAny(pkg.Path, cfg.DeterminismCritical) || matchAny(pkg.Path, cfg.Generator) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if matchAny(path, devicePkgs) {
+				diags = append(diags, diag(pkg, ruleConfigDrift, imp,
+					"package %s imports %s but is classified neither DeterminismCritical nor Generator: device work feeds the clustering result", pkg.Path, path))
+			}
+		}
+	}
+	return diags
+}
+
+// configPos is the synthetic position configuration-entry findings carry:
+// they have no source line, the config itself is the subject.
+func configPos() token.Position {
+	return token.Position{Filename: "(gpclint config)"}
+}
+
+func runConfigDriftModule(cfg *Config, pkgs []*Package) []Diagnostic {
+	// Whole-tree gate: configuration entries are only checkable against
+	// the full package set, which every tree run includes via the module
+	// root package (the one import path without a slash).
+	root := false
+	for _, p := range pkgs {
+		if !strings.Contains(p.Path, "/") {
+			root = true
+		}
+	}
+	if !root {
+		return nil
+	}
+	var diags []Diagnostic
+	drift := func(format string, args ...any) {
+		diags = append(diags, Diagnostic{Rule: ruleConfigDrift, Pos: configPos(),
+			Message: fmt.Sprintf(format, args...)})
+	}
+
+	anyPkg := func(suffix string) bool {
+		for _, p := range pkgs {
+			if pkgMatch(p.Path, suffix) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, entry := range cfg.DeterminismCritical {
+		if !anyPkg(entry) {
+			drift("DeterminismCritical entry %q matches no loaded package", entry)
+		}
+	}
+	for _, entry := range cfg.Generator {
+		if !anyPkg(entry) {
+			drift("Generator entry %q matches no loaded package", entry)
+		}
+	}
+
+	// Function-level allowlist entries must still resolve to a declared
+	// function (or method, in "recvtype.name" form) of a matching package.
+	for _, allow := range cfg.WallclockAllow {
+		matched, found := false, false
+		for _, p := range pkgs {
+			if !pkgMatch(p.Path, allow.PkgSuffix) {
+				continue
+			}
+			matched = true
+			forEachFunc(p, func(_ *ast.FuncDecl, name string) {
+				if name == allow.Func {
+					found = true
+				}
+			})
+		}
+		switch {
+		case !matched:
+			drift("WallclockAllow entry %s.%s matches no loaded package", allow.PkgSuffix, allow.Func)
+		case !found:
+			drift("WallclockAllow entry %s.%s names no declared function", allow.PkgSuffix, allow.Func)
+		}
+	}
+
+	for _, entry := range cfg.ErrAllow {
+		if !strings.HasPrefix(entry, "func ") {
+			drift("ErrAllow entry %q is not a types.Object string prefix (want \"func ...\")", entry)
+		}
+	}
+	return diags
+}

@@ -6,50 +6,139 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"gpclust/internal/lint/cfg"
 )
 
 // DevMem flags simulated-device allocations (gpusim Device.Malloc /
-// MustMalloc) whose buffer has no Free reachable on some return path of the
-// enclosing function. The device models a real 5 GB card: a buffer leaked
-// on an early error return permanently shrinks the memory every later batch
-// plan is sized against, which is precisely the kind of bug only the
-// OOM/error paths ever see.
+// MustMalloc) whose buffer has no Free reachable on some path to a return.
+// The device models a real 5 GB card: a buffer leaked on an early error
+// return permanently shrinks the memory every later batch plan is sized
+// against, which is precisely the kind of bug only the OOM/error paths
+// ever see.
 //
-// The analysis is a statement-order walk, not a full CFG: a `defer
-// b.Free()` (directly, or inside a deferred func literal or deferred local
-// closure) protects every later path; a plain b.Free() marks the buffer
-// freed from that point on; storing the buffer into a struct, slice, map,
-// another variable, or returning it transfers ownership and ends tracking.
-// Inside an `if err != nil` guard, the buffer whose allocation most
-// recently assigned that error variable is treated as never allocated —
-// Malloc failed, there is nothing to free.
+// v2 is a forward dataflow analysis over the function's control-flow
+// graph (internal/lint/cfg): buffer states propagate along every path the
+// program can take — through loops, labeled break/continue, goto, switch
+// and select — and a buffer that is still live on ANY path reaching a
+// return is reported there. That closes the v1 statement-walker's
+// documented blind spots: a Malloc inside a `for` with a `continue`
+// before the Free now carries the live buffer around the back edge and
+// out of the loop.
+//
+// The ownership conventions are unchanged: `defer b.Free()` (directly,
+// inside a deferred func literal, or via a deferred local closure)
+// protects every exit reachable from the registration point; a plain
+// b.Free() marks the buffer freed from that point on; storing the buffer
+// into a struct, slice, map, channel, or another variable, or returning
+// it, transfers ownership and ends tracking; call arguments are borrows.
+// On the true edge of `if err != nil` (and the false edge of
+// `if err == nil`) the buffer whose allocation most recently assigned
+// that error variable is treated as never allocated — Malloc failed,
+// there is nothing to free. Function literal bodies are analyzed as
+// functions in their own right, so a leak inside a goroutine body or an
+// immediately-invoked closure is reported too.
 var DevMem = &Analyzer{
 	Name: ruleDevMem,
 	Doc:  "device allocation with no Free reachable on every return path",
 	Run:  runDevMem,
 }
 
-type bufState int
-
+// Buffer state bits. A buffer's dataflow fact is the set of states it may
+// be in at a program point, one bit per state; the join of two paths is
+// the union. Reporting keys off the live bit: "may still be live here".
 const (
-	bufLive bufState = iota
-	bufFreed
-	bufDeferred
-	bufEscaped
+	mLive    uint8 = 1 << iota // allocated, this path has not freed it
+	mFreed                     // a plain Free ran on this path
+	mDefer                     // a deferred Free protects every later exit
+	mEscaped                   // ownership transferred (stored/sent/shared)
 )
 
-// devmemState is the walker's per-path view: buffer states plus, per error
-// variable, the buffer whose Malloc most recently assigned it.
-type devmemState struct {
-	bufs    map[*types.Var]bufState
+type devState struct {
+	bufs map[*types.Var]uint8
+	// lastErr maps an error variable to the buffer whose Malloc most
+	// recently assigned it, for the err-guard refinement.
 	lastErr map[types.Object]*types.Var
 }
 
-func (s *devmemState) clone() *devmemState {
-	c := &devmemState{
-		bufs:    make(map[*types.Var]bufState, len(s.bufs)),
-		lastErr: make(map[types.Object]*types.Var, len(s.lastErr)),
+func newDevState() *devState {
+	return &devState{
+		bufs:    make(map[*types.Var]uint8),
+		lastErr: make(map[types.Object]*types.Var),
 	}
+}
+
+type devmemWalker struct {
+	pkg        *Package
+	closures   map[types.Object]*ast.FuncLit // local name := func(){...}
+	mallocLine map[*types.Var]int
+	diags      []Diagnostic
+}
+
+func runDevMem(_ *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	forEachFunc(pkg, func(fd *ast.FuncDecl, _ string) {
+		w := &devmemWalker{
+			pkg:        pkg,
+			closures:   make(map[types.Object]*ast.FuncLit),
+			mallocLine: make(map[*types.Var]int),
+		}
+		// Collect local cleanup closures (name := func(){...}) from the
+		// whole declaration, so deferred cleanups resolve in the outer
+		// body and in any nested literal alike.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if lit, ok := as.Rhs[0].(*ast.FuncLit); ok {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok {
+						if o := w.obj(id); o != nil {
+							w.closures[o] = lit
+						}
+					}
+				}
+			}
+			return true
+		})
+		// The declaration's own body, then every function literal inside
+		// it, each as an independent graph: a literal's mallocs must be
+		// freed on the literal's own paths (or escape through its
+		// returns), exactly like a named function's.
+		w.analyzeBody(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				w.analyzeBody(lit.Body)
+			}
+			return true
+		})
+		diags = append(diags, w.diags...)
+	})
+	return diags
+}
+
+// analyzeBody solves the buffer-state dataflow over one function body and
+// reports buffers that may still be live at a return.
+func (w *devmemWalker) analyzeBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	flow := &devFlow{w: w}
+	in := cfg.Solve[*devState](g, flow)
+	cfg.Replay[*devState](g, flow, in, func(_ *cfg.Block, n ast.Node, s *devState) {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			w.checkLeaks(s, ret.Pos(), ret.Results)
+		}
+	})
+	cfg.AtExit[*devState](g, flow, in, func(_ *cfg.Block, s *devState) {
+		w.checkLeaks(s, body.Rbrace, nil)
+	})
+}
+
+// devFlow adapts the walker to the generic dataflow solver.
+type devFlow struct {
+	w *devmemWalker
+}
+
+func (f *devFlow) Entry() *devState { return newDevState() }
+
+func (f *devFlow) Clone(s *devState) *devState {
+	c := newDevState()
 	for k, v := range s.bufs {
 		c.bufs[k] = v
 	}
@@ -59,38 +148,107 @@ func (s *devmemState) clone() *devmemState {
 	return c
 }
 
-type devmemWalker struct {
-	pkg        *Package
-	fd         *ast.FuncDecl
-	closures   map[types.Object]*ast.FuncLit // local name := func(){...}
-	mallocLine map[*types.Var]int
-	diags      []Diagnostic
+// Join unions the per-buffer state sets; lastErr associations survive only
+// when both paths agree (a disagreement means the association is stale on
+// one path, and refining on it would be unsound).
+func (f *devFlow) Join(a, b *devState) *devState {
+	j := f.Clone(a)
+	for k, v := range b.bufs {
+		j.bufs[k] |= v
+	}
+	for k, v := range j.lastErr {
+		if bv, ok := b.lastErr[k]; !ok || bv != v {
+			delete(j.lastErr, k)
+		}
+	}
+	return j
 }
 
-func runDevMem(cfg *Config, pkg *Package) []Diagnostic {
-	var diags []Diagnostic
-	forEachFunc(pkg, func(fd *ast.FuncDecl, _ string) {
-		w := &devmemWalker{
-			pkg:        pkg,
-			fd:         fd,
-			closures:   make(map[types.Object]*ast.FuncLit),
-			mallocLine: make(map[*types.Var]int),
+func (f *devFlow) Equal(a, b *devState) bool {
+	if len(a.bufs) != len(b.bufs) || len(a.lastErr) != len(b.lastErr) {
+		return false
+	}
+	for k, v := range a.bufs {
+		if b.bufs[k] != v {
+			return false
 		}
-		st := &devmemState{
-			bufs:    make(map[*types.Var]bufState),
-			lastErr: make(map[types.Object]*types.Var),
+	}
+	for k, v := range a.lastErr {
+		if b.lastErr[k] != v {
+			return false
 		}
-		w.walkStmts(fd.Body.List, st)
-		if !terminates(fd.Body.List) {
-			w.checkLeaks(st, fd.Body.Rbrace, nil)
-		}
-		diags = append(diags, w.diags...)
-	})
-	return diags
+	}
+	return true
 }
 
-// mallocTarget recognizes `b, err := dev.Malloc(n)` / `b := dev.MustMalloc(n)`
-// and returns the method object, or nil.
+// Refine implements the err-guard: on the edge where a Malloc's error is
+// non-nil, the paired buffer was never allocated.
+func (f *devFlow) Refine(cond ast.Expr, branch bool, s *devState) *devState {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return s
+	}
+	var errTaken bool
+	switch be.Op {
+	case token.NEQ: // if err != nil { <- Malloc failed on the true edge
+		errTaken = branch
+	case token.EQL: // if err == nil { ... } else { <- failed on the false edge
+		errTaken = !branch
+	default:
+		return s
+	}
+	if !errTaken {
+		return s
+	}
+	id, ok := be.X.(*ast.Ident)
+	if !ok {
+		if id, ok = be.Y.(*ast.Ident); !ok {
+			return s
+		}
+	}
+	obj := f.w.pkg.Info.Uses[id]
+	if obj == nil {
+		return s
+	}
+	if buf := s.lastErr[obj]; buf != nil {
+		delete(s.bufs, buf)
+	}
+	return s
+}
+
+func (f *devFlow) Transfer(n ast.Node, s *devState) *devState {
+	w := f.w
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		w.transferAssign(n, s)
+	case *ast.DeferStmt:
+		w.transferDefer(n, s)
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			w.transferCall(call, s)
+		}
+	case *ast.GoStmt:
+		// A goroutine capturing the buffer takes shared ownership.
+		w.markContained(n.Call, s, mEscaped)
+	case *ast.SendStmt:
+		// Sending a buffer hands it to the receiver.
+		w.markContained(n.Value, s, mEscaped)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.markEscapesOutsideCalls(v, s)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// mallocCallee recognizes `dev.Malloc(n)` / `dev.MustMalloc(n)` and
+// returns the method object, or nil.
 func mallocCallee(pkg *Package, call *ast.CallExpr) *types.Func {
 	m := methodObj(pkg, call.Fun)
 	if m == nil || m.Pkg() == nil {
@@ -112,115 +270,15 @@ func (w *devmemWalker) obj(id *ast.Ident) types.Object {
 	return w.pkg.Info.Uses[id]
 }
 
-func (w *devmemWalker) walkStmts(stmts []ast.Stmt, st *devmemState) {
-	for _, s := range stmts {
-		w.walkStmt(s, st)
-	}
-}
-
-func (w *devmemWalker) walkStmt(s ast.Stmt, st *devmemState) {
-	switch s := s.(type) {
-	case *ast.AssignStmt:
-		w.walkAssign(s, st)
-	case *ast.DeferStmt:
-		w.walkDefer(s, st)
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			w.walkCallStmt(call, st)
-		}
-	case *ast.ReturnStmt:
-		w.checkLeaks(st, s.Pos(), s.Results)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init, st)
-		}
-		body := st.clone()
-		if buf := errGuardedBuf(w.pkg, s.Cond, st); buf != nil {
-			// Inside `if err != nil` right after buf's Malloc: the
-			// allocation failed, so buf does not exist on this path.
-			delete(body.bufs, buf)
-		}
-		w.walkStmts(s.Body.List, body)
-		w.merge(st, body, s.Body.List)
-		if s.Else != nil {
-			els := st.clone()
-			switch e := s.Else.(type) {
-			case *ast.BlockStmt:
-				w.walkStmts(e.List, els)
-				w.merge(st, els, e.List)
-			case *ast.IfStmt:
-				w.walkStmt(e, els)
-				w.merge(st, els, nil)
-			}
-		}
-	case *ast.BlockStmt:
-		w.walkStmts(s.List, st)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init, st)
-		}
-		w.walkStmts(s.Body.List, st)
-	case *ast.RangeStmt:
-		w.walkStmts(s.Body.List, st)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init, st)
-		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				cs := st.clone()
-				w.walkStmts(cc.Body, cs)
-				w.merge(st, cs, cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				cs := st.clone()
-				w.walkStmts(cc.Body, cs)
-				w.merge(st, cs, cc.Body)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				cs := st.clone()
-				w.walkStmts(cc.Body, cs)
-				w.merge(st, cs, cc.Body)
-			}
-		}
-	case *ast.LabeledStmt:
-		w.walkStmt(s.Stmt, st)
-	case *ast.GoStmt:
-		// A goroutine capturing the buffer takes shared ownership.
-		w.markContained(s.Call, st, bufEscaped)
-	}
-}
-
-// merge folds a non-terminating branch's frees back into the parent state,
-// optimistically: a buffer freed (or defer-freed, or escaped) inside the
-// branch is not reported on later paths. Terminating branches contribute
-// nothing — their returns were checked inside.
-func (w *devmemWalker) merge(parent, branch *devmemState, body []ast.Stmt) {
-	if body != nil && terminates(body) {
-		return
-	}
-	for v, bs := range branch.bufs {
-		if ps, ok := parent.bufs[v]; ok && ps == bufLive && bs != bufLive {
-			parent.bufs[v] = bs
-		}
-	}
-}
-
-func (w *devmemWalker) walkAssign(s *ast.AssignStmt, st *devmemState) {
+func (w *devmemWalker) transferAssign(s *ast.AssignStmt, st *devState) {
 	// Malloc / MustMalloc results begin tracking.
 	if len(s.Rhs) == 1 {
 		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
 			if m := mallocCallee(w.pkg, call); m != nil {
-				w.markContained(call, st, bufEscaped) // args can't be bufs, but be safe
+				w.markContained(call, st, mEscaped) // args can't be bufs, but be safe
 				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
 					if v, ok := w.obj(id).(*types.Var); ok {
-						st.bufs[v] = bufLive
+						st.bufs[v] = mLive
 						w.mallocLine[v] = w.pkg.Fset.Position(call.Pos()).Line
 						if m.Name() == "Malloc" && len(s.Lhs) == 2 {
 							if eid, ok := s.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
@@ -234,17 +292,15 @@ func (w *devmemWalker) walkAssign(s *ast.AssignStmt, st *devmemState) {
 				return
 			}
 		}
-		// Remember local closures for defer/call resolution.
-		if lit, ok := s.Rhs[0].(*ast.FuncLit); ok {
-			if id, ok := s.Lhs[0].(*ast.Ident); ok {
-				if o := w.obj(id); o != nil {
-					w.closures[o] = lit
-				}
-			}
+		// Local closures were collected up front; a FuncLit RHS is not
+		// an escape of the buffers its body mentions (they are resolved
+		// through freedInside when the closure is called or deferred).
+		if _, ok := s.Rhs[0].(*ast.FuncLit); ok {
+			return
 		}
 	}
-	// Any other assignment touching an error variable clears its
-	// malloc association.
+	// Any other assignment touching an error variable clears its malloc
+	// association.
 	for _, lhs := range s.Lhs {
 		if id, ok := lhs.(*ast.Ident); ok {
 			if o := w.obj(id); o != nil {
@@ -259,11 +315,11 @@ func (w *devmemWalker) walkAssign(s *ast.AssignStmt, st *devmemState) {
 	}
 }
 
-func (w *devmemWalker) walkDefer(s *ast.DeferStmt, st *devmemState) {
+func (w *devmemWalker) transferDefer(s *ast.DeferStmt, st *devState) {
 	// defer b.Free()
 	if v := freeReceiver(w.pkg, s.Call); v != nil {
 		if _, ok := st.bufs[v]; ok {
-			st.bufs[v] = bufDeferred
+			st.bufs[v] = mDefer
 		}
 		return
 	}
@@ -271,17 +327,17 @@ func (w *devmemWalker) walkDefer(s *ast.DeferStmt, st *devmemState) {
 	if body := w.deferredBody(s.Call); body != nil {
 		for _, v := range freedInside(w.pkg, body) {
 			if _, ok := st.bufs[v]; ok {
-				st.bufs[v] = bufDeferred
+				st.bufs[v] = mDefer
 			}
 		}
 	}
 }
 
-func (w *devmemWalker) walkCallStmt(call *ast.CallExpr, st *devmemState) {
+func (w *devmemWalker) transferCall(call *ast.CallExpr, st *devState) {
 	// b.Free()
 	if v := freeReceiver(w.pkg, call); v != nil {
-		if _, ok := st.bufs[v]; ok {
-			st.bufs[v] = bufFreed
+		if m, ok := st.bufs[v]; ok && m&mLive != 0 {
+			st.bufs[v] = (m &^ mLive) | mFreed
 		}
 		return
 	}
@@ -289,8 +345,8 @@ func (w *devmemWalker) walkCallStmt(call *ast.CallExpr, st *devmemState) {
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		if lit := w.closures[w.obj(id)]; lit != nil {
 			for _, v := range freedInside(w.pkg, lit.Body) {
-				if _, ok := st.bufs[v]; ok && st.bufs[v] == bufLive {
-					st.bufs[v] = bufFreed
+				if m, ok := st.bufs[v]; ok && m&mLive != 0 {
+					st.bufs[v] = (m &^ mLive) | mFreed
 				}
 			}
 		}
@@ -343,14 +399,14 @@ func freedInside(pkg *Package, body *ast.BlockStmt) []*types.Var {
 // markEscapesOutsideCalls marks tracked buffers referenced by the
 // expression as escaped, except where they appear as plain call arguments
 // (borrows).
-func (w *devmemWalker) markEscapesOutsideCalls(e ast.Expr, st *devmemState) {
+func (w *devmemWalker) markEscapesOutsideCalls(e ast.Expr, st *devState) {
 	switch e := e.(type) {
 	case *ast.CallExpr:
 		return // callee borrows its arguments
 	case *ast.Ident:
 		if v, ok := w.obj(e).(*types.Var); ok {
-			if _, tracked := st.bufs[v]; tracked && st.bufs[v] == bufLive {
-				st.bufs[v] = bufEscaped
+			if m, tracked := st.bufs[v]; tracked && m&mLive != 0 {
+				st.bufs[v] = (m &^ mLive) | mEscaped
 			}
 		}
 	default:
@@ -360,8 +416,8 @@ func (w *devmemWalker) markEscapesOutsideCalls(e ast.Expr, st *devmemState) {
 			}
 			if id, ok := n.(*ast.Ident); ok {
 				if v, ok := w.obj(id).(*types.Var); ok {
-					if s, tracked := st.bufs[v]; tracked && s == bufLive {
-						st.bufs[v] = bufEscaped
+					if m, tracked := st.bufs[v]; tracked && m&mLive != 0 {
+						st.bufs[v] = (m &^ mLive) | mEscaped
 					}
 				}
 			}
@@ -370,14 +426,14 @@ func (w *devmemWalker) markEscapesOutsideCalls(e ast.Expr, st *devmemState) {
 	}
 }
 
-// markContained marks every tracked buffer mentioned anywhere in the
+// markContained marks every tracked live buffer mentioned anywhere in the
 // expression (including call args) with the given state.
-func (w *devmemWalker) markContained(e ast.Expr, st *devmemState, bs bufState) {
+func (w *devmemWalker) markContained(e ast.Expr, st *devState, bit uint8) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		if id, ok := n.(*ast.Ident); ok {
 			if v, ok := w.obj(id).(*types.Var); ok {
-				if s, tracked := st.bufs[v]; tracked && s == bufLive {
-					st.bufs[v] = bs
+				if m, tracked := st.bufs[v]; tracked && m&mLive != 0 {
+					st.bufs[v] = (m &^ mLive) | bit
 				}
 			}
 		}
@@ -385,9 +441,9 @@ func (w *devmemWalker) markContained(e ast.Expr, st *devmemState, bs bufState) {
 	})
 }
 
-// checkLeaks reports every still-live buffer at a return point. Buffers
+// checkLeaks reports every may-live buffer at a return point. Buffers
 // appearing in the return values transfer ownership to the caller.
-func (w *devmemWalker) checkLeaks(st *devmemState, pos token.Pos, results []ast.Expr) {
+func (w *devmemWalker) checkLeaks(st *devState, pos token.Pos, results []ast.Expr) {
 	returned := make(map[*types.Var]bool)
 	for _, r := range results {
 		ast.Inspect(r, func(n ast.Node) bool {
@@ -399,8 +455,8 @@ func (w *devmemWalker) checkLeaks(st *devmemState, pos token.Pos, results []ast.
 			return true
 		})
 	}
-	for v, bs := range st.bufs {
-		if bs == bufLive && !returned[v] {
+	for v, m := range st.bufs {
+		if m&mLive != 0 && !returned[v] {
 			w.diags = append(w.diags, Diagnostic{
 				Rule: ruleDevMem,
 				Pos:  w.pkg.Fset.Position(pos),
@@ -409,45 +465,4 @@ func (w *devmemWalker) checkLeaks(st *devmemState, pos token.Pos, results []ast.
 			})
 		}
 	}
-}
-
-// terminates reports whether a statement list always transfers control out
-// (return or panic as its last statement).
-func terminates(stmts []ast.Stmt) bool {
-	if len(stmts) == 0 {
-		return false
-	}
-	switch s := stmts[len(stmts)-1].(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok {
-				return id.Name == "panic"
-			}
-		}
-	case *ast.BlockStmt:
-		return terminates(s.List)
-	}
-	return false
-}
-
-// errGuardedBuf matches the `if err != nil` condition and returns the
-// buffer whose Malloc most recently assigned err, if any.
-func errGuardedBuf(pkg *Package, cond ast.Expr, st *devmemState) *types.Var {
-	be, ok := cond.(*ast.BinaryExpr)
-	if !ok || be.Op != token.NEQ {
-		return nil
-	}
-	id, ok := be.X.(*ast.Ident)
-	if !ok {
-		if id, ok = be.Y.(*ast.Ident); !ok {
-			return nil
-		}
-	}
-	obj := pkg.Info.Uses[id]
-	if obj == nil {
-		return nil
-	}
-	return st.lastErr[obj]
 }

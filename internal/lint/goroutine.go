@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroutineDiscipline enforces the two concurrency rules the bit-identical
+// contract rests on, in determinism-critical packages only.
+//
+// First: a goroutine body (a `go func(){...}` literal, or a literal handed
+// to a parallel runner — any callee whose name mentions parallel,
+// concurrent, lanes, spawn or worker) must not write shared captured
+// state. The sanctioned patterns survive: indexing into a slice is the
+// disjoint-partition idiom (each worker owns its stripe), taking a
+// pointer to your own element and writing through the local is fine, and
+// a body that takes a lock is assumed to know what it is doing. What gets
+// flagged is the state that actually races or reorders: plain captured
+// scalars, appends to a shared slice, and writes into a shared map —
+// concurrent map writes are a runtime fault, and even "safe" ones insert
+// in scheduler order.
+//
+// Second: a `select` over two or more ready channels picks a case
+// pseudo-randomly by design. When the winning case emits ordered output —
+// appends to a result slice, forwards on a channel, writes a stream — the
+// output order is a scheduler artifact. Draining channels in a fixed
+// sequence (or tagging and sorting afterwards) is the deterministic shape.
+var GoroutineDiscipline = &Analyzer{
+	Name: ruleGoroutine,
+	Doc:  "goroutine writes shared captured state, or select feeds ordered output, in a determinism-critical package",
+	Run:  runGoroutineDiscipline,
+}
+
+// parallelishCallee reports whether a call plausibly runs its function
+// literal arguments concurrently, by callee name.
+func parallelishCallee(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	name = strings.ToLower(name)
+	for _, hint := range []string{"parallel", "concurrent", "lanes", "spawn", "worker"} {
+		if strings.Contains(name, hint) {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroutineDiscipline(cfg *Config, pkg *Package) []Diagnostic {
+	if !matchAny(pkg.Path, cfg.DeterminismCritical) {
+		return nil
+	}
+	var diags []Diagnostic
+	forEachFunc(pkg, func(fd *ast.FuncDecl, _ string) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					diags = append(diags, checkSharedWrites(pkg, lit)...)
+				}
+			case *ast.CallExpr:
+				if parallelishCallee(s) {
+					for _, arg := range s.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							diags = append(diags, checkSharedWrites(pkg, lit)...)
+						}
+					}
+				}
+			case *ast.SelectStmt:
+				diags = append(diags, checkSelectOrder(pkg, s)...)
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// declaredWithin reports whether the object's declaration lies inside the
+// node's source range — the "captured from outside" test.
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+// takesLock reports whether the body calls a Lock/RLock method; such
+// bodies are presumed to serialize their shared writes.
+func takesLock(body *ast.BlockStmt) bool {
+	locked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					locked = true
+				}
+			}
+		}
+		return !locked
+	})
+	return locked
+}
+
+// checkSharedWrites flags assignments inside a concurrently-run literal
+// whose target is state captured from the enclosing function.
+func checkSharedWrites(pkg *Package, lit *ast.FuncLit) []Diagnostic {
+	if takesLock(lit.Body) {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal is a separate function; if it is itself
+			// launched concurrently the outer walk visits it directly.
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if d, ok := sharedWrite(pkg, lit, lhs); ok {
+					diags = append(diags, d)
+				}
+			}
+		case *ast.IncDecStmt:
+			if d, ok := sharedWrite(pkg, lit, s.X); ok {
+				diags = append(diags, d)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// sharedWrite classifies one assignment target inside the literal.
+// Slice/array element writes are the disjoint-partition idiom and pass;
+// a captured plain variable or a captured map element is a finding.
+func sharedWrite(pkg *Package, lit *ast.FuncLit, lhs ast.Expr) (Diagnostic, bool) {
+	e := lhs
+	sawMapIndex := false
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			// Field path: keep walking to the base object. pkg-qualified
+			// idents resolve below via the Ident case.
+			e = v.X
+		case *ast.IndexExpr:
+			switch pkg.Info.TypeOf(v.X).Underlying().(type) {
+			case *types.Map:
+				sawMapIndex = true
+				e = v.X
+			default:
+				// Slice/array element: each worker writes its own index.
+				return Diagnostic{}, false
+			}
+		case *ast.StarExpr:
+			// Writing through a pointer the body derived locally is the
+			// own-element idiom; the pointer variable itself is checked.
+			e = v.X
+		case *ast.Ident:
+			obj := pkg.Info.Uses[v]
+			if obj == nil {
+				obj = pkg.Info.Defs[v]
+			}
+			vr, ok := obj.(*types.Var)
+			if !ok || declaredWithin(vr, lit) {
+				return Diagnostic{}, false
+			}
+			what := "captured variable"
+			if sawMapIndex {
+				what = "captured map"
+			}
+			return diag(pkg, ruleGoroutine, lhs,
+				"goroutine writes %s %q without synchronization: give each worker its own slot and merge deterministically", what, vr.Name()), true
+		default:
+			return Diagnostic{}, false
+		}
+	}
+}
+
+// checkSelectOrder flags selects over multiple channels whose winning
+// case emits ordered output.
+func checkSelectOrder(pkg *Package, sel *ast.SelectStmt) []Diagnostic {
+	comm := 0
+	for _, cl := range sel.Body.List {
+		if c, ok := cl.(*ast.CommClause); ok && c.Comm != nil {
+			comm++
+		}
+	}
+	if comm < 2 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, cl := range sel.Body.List {
+		c, ok := cl.(*ast.CommClause)
+		if !ok || c.Comm == nil {
+			continue
+		}
+		for _, st := range c.Body {
+			if emitsOrderedOutput(pkg, sel, st) {
+				diags = append(diags, diag(pkg, ruleGoroutine,
+					sel, "select over %d channels feeds ordered output: winner order is scheduler-dependent, drain channels in a fixed sequence", comm))
+				return diags
+			}
+		}
+	}
+	return diags
+}
+
+// emitsOrderedOutput reports whether the statement appends to state from
+// outside the select, sends on a channel, or writes a stream.
+func emitsOrderedOutput(pkg *Package, sel *ast.SelectStmt, st ast.Stmt) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if _, ok := orderedWriteCall(pkg, s); ok {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pkg, call) || i >= len(s.Lhs) {
+					continue
+				}
+				if obj := rootObj(pkg, s.Lhs[i]); obj != nil && !declaredWithin(obj, sel) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -36,6 +36,9 @@ const (
 	ruleAtomicMix      = "atomic-mix"
 	ruleDevMem         = "devmem"
 	ruleUncheckedError = "unchecked-error"
+	ruleVClockTaint    = "vclock-taint"
+	ruleGoroutine      = "goroutine-discipline"
+	ruleConfigDrift    = "config-drift"
 )
 
 // Diagnostic is one finding: a rule name, a position, and a message.
@@ -59,11 +62,15 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one lint rule.
+// Analyzer is one lint rule. Run sees one package at a time; RunModule,
+// when set, additionally runs once over the whole loaded package set —
+// the hook the config-drift meta-audit uses to compare the configuration
+// against everything it is supposed to govern.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(cfg *Config, pkg *Package) []Diagnostic
+	Name      string
+	Doc       string
+	Run       func(cfg *Config, pkg *Package) []Diagnostic
+	RunModule func(cfg *Config, pkgs []*Package) []Diagnostic
 }
 
 // Analyzers returns the full rule suite in reporting order.
@@ -75,6 +82,9 @@ func Analyzers() []*Analyzer {
 		AtomicMix,
 		DevMem,
 		UncheckedError,
+		VClockTaint,
+		GoroutineDiscipline,
+		ConfigDrift,
 	}
 }
 
@@ -82,21 +92,76 @@ func Analyzers() []*Analyzer {
 // through the //gpclint:ignore directives, and returns the remainder in
 // (file, line, column, rule) order. Malformed directives and directives
 // naming unknown rules are reported under the pseudo-rule "gpclint".
+//
+// After the per-package pass, analyzers with a RunModule hook run once
+// over the whole package set. Finally, when the full rule suite ran and
+// config-drift is among it, every well-formed ignore directive that
+// suppressed nothing is itself reported: a directive with no finding
+// under it is drift — either the excused code was fixed (delete the
+// directive) or the rule no longer sees the pattern (investigate).
 func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	fullSuite := true
+	for _, a := range Analyzers() {
+		if !known[a.Name] {
+			fullSuite = false
+		}
+	}
+
 	var out []Diagnostic
+	allSup := make(suppressions)
+	used := make(map[ignoreKey]bool)
+	var directives []directive
 	for _, pkg := range pkgs {
-		sup, bad := collectIgnores(pkg, known)
+		sup, dirs, bad := collectIgnores(pkg, known)
 		out = append(out, bad...)
+		directives = append(directives, dirs...)
+		for k := range sup {
+			allSup[k] = true
+		}
 		for _, a := range analyzers {
 			for _, d := range a.Run(cfg, pkg) {
-				if !sup.suppresses(d) {
-					out = append(out, d)
+				if key, ok := sup.match(d); ok {
+					used[key] = true
+					continue
 				}
+				out = append(out, d)
 			}
+		}
+	}
+
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		for _, d := range a.RunModule(cfg, pkgs) {
+			if key, ok := allSup.match(d); ok {
+				used[key] = true
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+
+	if known[ruleConfigDrift] && fullSuite {
+		for _, dir := range directives {
+			if dir.rule == ruleConfigDrift || used[dir.key] {
+				continue
+			}
+			d := Diagnostic{
+				Rule: ruleConfigDrift,
+				Pos:  dir.pos,
+				Message: fmt.Sprintf("stale ignore directive for %q: it suppresses nothing — the excused finding is gone, delete the directive",
+					dir.rule),
+			}
+			if key, ok := allSup.match(d); ok {
+				used[key] = true
+				continue
+			}
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -43,8 +43,12 @@ var fixtureDirs = []string{
 	"testdata/src/wallclock",
 	"testdata/src/atomicmix",
 	"testdata/src/devmem",
+	"testdata/src/devmemloop",
 	"testdata/src/errcheck",
 	"testdata/src/suppress",
+	"testdata/src/vclocktaint",
+	"testdata/src/goroutine",
+	"testdata/src/configdrift",
 }
 
 // loadFixture type-checks one fixture package through the same loader and
@@ -99,7 +103,7 @@ func TestFixtures(t *testing.T) {
 		t.Run(filepath.Base(filepath.Dir(dir))+"/"+filepath.Base(dir), func(t *testing.T) {
 			pkg := loadFixture(t, dir)
 			wants := collectWants(pkg)
-			diags := Run(DefaultConfig(), []*Package{pkg}, Analyzers())
+			diags := Run(FixtureConfig(), []*Package{pkg}, Analyzers())
 
 			for _, d := range diags {
 				matched := false
@@ -155,7 +159,7 @@ func TestFixtureCoverage(t *testing.T) {
 func TestFixturePositivesFailCLI(t *testing.T) {
 	for _, dir := range fixtureDirs {
 		pkg := loadFixture(t, dir)
-		diags := Run(DefaultConfig(), []*Package{pkg}, Analyzers())
+		diags := Run(FixtureConfig(), []*Package{pkg}, Analyzers())
 		clean := strings.HasSuffix(dir, "/generator")
 		if clean && len(diags) != 0 {
 			t.Errorf("%s: want 0 findings, got %d (first: %s)", dir, len(diags), diags[0])
@@ -192,7 +196,7 @@ func TestPkgMatch(t *testing.T) {
 // so gate output is stable across map-ordered analyzer internals.
 func TestRunOrdering(t *testing.T) {
 	pkg := loadFixture(t, "testdata/src/suppress")
-	diags := Run(DefaultConfig(), []*Package{pkg}, Analyzers())
+	diags := Run(FixtureConfig(), []*Package{pkg}, Analyzers())
 	if !sort.SliceIsSorted(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

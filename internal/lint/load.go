@@ -24,10 +24,21 @@ type Loader struct {
 	ModulePath string // module path declared in go.mod
 	BuildTags  []string
 
-	ctx     build.Context
-	std     types.ImporterFrom
-	pkgs    map[string]*Package // by import path
-	loading map[string]bool     // import-cycle detection
+	// IncludeTests adds each REQUESTED package's in-package _test.go
+	// files to the analyzed file set (the cmd/gpclint -tests flag).
+	// External test packages (package foo_test) are separate packages
+	// with their own import graphs and are not loaded; transitively
+	// imported dependencies always load without their tests, so a test
+	// file importing a package that imports the package under test — a
+	// cycle only the go tool's two-pass build can untangle — stays
+	// loadable.
+	IncludeTests bool
+
+	ctx       build.Context
+	std       types.ImporterFrom
+	pkgs      map[string]*Package // by import path
+	withTests map[string]bool     // cache entry includes _test.go files
+	loading   map[string]bool     // import-cycle detection
 }
 
 // NewLoader creates a loader rooted at the module containing dir.
@@ -47,6 +58,7 @@ func NewLoader(dir string, tags []string) (*Loader, error) {
 		ctx:        ctx,
 		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		pkgs:       make(map[string]*Package),
+		withTests:  make(map[string]bool),
 		loading:    make(map[string]bool),
 	}, nil
 }
@@ -90,12 +102,16 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if rel != "." {
 		path = l.ModulePath + "/" + filepath.ToSlash(rel)
 	}
-	return l.load(path)
+	return l.load(path, l.IncludeTests)
 }
 
 // load returns the type-checked package for a module-internal import path.
-func (l *Loader) load(path string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
+// A package cached without its test files is re-checked when it is later
+// requested with them (the reverse downgrade never happens: dependencies
+// always load test-free, and a cached with-tests package type-checks the
+// same non-test declarations its importers need).
+func (l *Loader) load(path string, includeTests bool) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok && (!includeTests || l.withTests[path]) {
 		return p, nil
 	}
 	if l.loading[path] {
@@ -113,8 +129,12 @@ func (l *Loader) load(path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: %s: %w", dir, err)
 	}
 
+	names := append([]string(nil), bp.GoFiles...)
+	if includeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
 	var files []*ast.File
-	for _, name := range bp.GoFiles {
+	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
@@ -136,6 +156,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	}
 	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = p
+	l.withTests[path] = includeTests
 	return p, nil
 }
 
@@ -150,7 +171,7 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	l := (*Loader)(li)
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
-		p, err := l.load(path)
+		p, err := l.load(path, false)
 		if err != nil {
 			return nil, err
 		}

@@ -16,25 +16,39 @@ type ignoreKey struct {
 
 type suppressions map[ignoreKey]bool
 
-// suppresses reports whether the diagnostic is covered by an ignore
-// directive on its own line or the line directly above.
-func (s suppressions) suppresses(d Diagnostic) bool {
+// match returns the directive key covering the diagnostic — on its own
+// line or the line directly above, under its rule name or "all" — so the
+// runner can both suppress the finding and record the directive as used
+// for the stale-directive audit.
+func (s suppressions) match(d Diagnostic) (ignoreKey, bool) {
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if s[ignoreKey{d.Pos.Filename, line, d.Rule}] || s[ignoreKey{d.Pos.Filename, line, "all"}] {
-			return true
+		for _, rule := range [2]string{d.Rule, "all"} {
+			k := ignoreKey{d.Pos.Filename, line, rule}
+			if s[k] {
+				return k, true
+			}
 		}
 	}
-	return false
+	return ignoreKey{}, false
 }
 
 const ignorePrefix = "//gpclint:ignore"
 
+// directive is one well-formed ignore directive, kept for the stale audit.
+type directive struct {
+	key  ignoreKey
+	pos  token.Position
+	rule string
+}
+
 // collectIgnores scans a package's comments for //gpclint:ignore
 // directives. Well-formed directives — a known rule name (or "all") plus a
-// non-empty reason — populate the suppression set; malformed ones are
-// returned as findings so a bare ignore can't silently disable a rule.
-func collectIgnores(pkg *Package, knownRules map[string]bool) (suppressions, []Diagnostic) {
+// non-empty reason — populate the suppression set and the directive list;
+// malformed ones are returned as findings so a bare ignore can't silently
+// disable a rule.
+func collectIgnores(pkg *Package, knownRules map[string]bool) (suppressions, []directive, []Diagnostic) {
 	sup := make(suppressions)
+	var dirs []directive
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -53,12 +67,14 @@ func collectIgnores(pkg *Package, knownRules map[string]bool) (suppressions, []D
 				case len(fields) < 2:
 					bad = append(bad, badIgnore(pos, "missing reason after rule %q", fields[0]))
 				default:
-					sup[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+					key := ignoreKey{pos.Filename, pos.Line, fields[0]}
+					sup[key] = true
+					dirs = append(dirs, directive{key: key, pos: pos, rule: fields[0]})
 				}
 			}
 		}
 	}
-	return sup, bad
+	return sup, dirs, bad
 }
 
 func badIgnore(pos token.Position, format string, args ...any) Diagnostic {

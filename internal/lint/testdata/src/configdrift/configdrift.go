@@ -1,0 +1,37 @@
+// Package configdrift is the config-drift fixture. It imports the
+// simulated device while being deliberately absent from the fixture
+// configuration's DeterminismCritical and Generator lists — the
+// classification gap the import audit exists to catch — and carries one
+// ignore directive that excuses nothing (stale) next to one that excuses
+// a real finding (used, and therefore silent).
+package configdrift
+
+import "gpclust/internal/gpusim" // want config-drift "neither DeterminismCritical nor Generator"
+
+// scratchSum is disciplined device code: the finding against this package
+// is about its missing classification, not its memory handling.
+func scratchSum(dev *gpusim.Device) error {
+	buf, err := dev.Malloc(64)
+	if err != nil {
+		return err
+	}
+	defer buf.Free()
+	return nil
+}
+
+// staleExcuse carries a well-formed directive with nothing under it: the
+// wallclock rule has no finding on that line, so the directive is drift.
+func staleExcuse() int {
+	x := 1
+	// want:+1 config-drift "stale ignore directive"
+	x++ //gpclint:ignore wallclock this line reads no clock at all
+	return x
+}
+
+func mayFail() error { return nil }
+
+// usedExcuse shows the contrast: this directive suppresses a live
+// unchecked-error finding, so the stale audit leaves it alone.
+func usedExcuse() {
+	mayFail() //gpclint:ignore unchecked-error fixture demonstrates a used directive staying silent
+}

@@ -1,0 +1,138 @@
+// Package devmemloop is the path-sensitivity fixture for devmem v2: leaks
+// that only exist on paths a statement-order walk never follows — a
+// continue before the Free carrying a live buffer around a loop back edge,
+// a switch case that forgets its cleanup, and an allocation inside a
+// function literal. The negatives exercise the same control flow with the
+// Free on every path, so the analyzer has to track paths, not patterns.
+package devmemloop
+
+import "gpclust/internal/gpusim"
+
+// loopContinueLeak is the v1 blind spot from DESIGN §6: when the last
+// element hits the continue, its buffer is still live at the return.
+func loopContinueLeak(dev *gpusim.Device, sizes []int) error {
+	for _, n := range sizes {
+		buf, err := dev.Malloc(n)
+		if err != nil {
+			return err
+		}
+		if n%2 == 0 {
+			continue
+		}
+		buf.Free()
+	}
+	return nil // want devmem "buf"
+}
+
+// switchCaseLeak frees in two of three arms; the middle one leaks.
+func switchCaseLeak(dev *gpusim.Device, mode int) error {
+	buf := dev.MustMalloc(256)
+	switch mode {
+	case 0:
+		buf.Free()
+	case 1:
+		bump(buf)
+	default:
+		buf.Free()
+	}
+	return nil // want devmem "buf"
+}
+
+// literalLeak allocates inside a goroutine body and never frees; the
+// literal is a function in its own right and is checked like one.
+func literalLeak(dev *gpusim.Device) {
+	go func() {
+		tmp, err := dev.Malloc(32)
+		if err != nil {
+			return
+		}
+		bump(tmp)
+	}() // want devmem "tmp"
+}
+
+// breakBeforeFree leaks on the labeled break path only.
+func breakBeforeFree(dev *gpusim.Device, sizes []int) error {
+outer:
+	for _, n := range sizes {
+		buf, err := dev.Malloc(n)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if i == 7 {
+				break outer
+			}
+		}
+		buf.Free()
+	}
+	return nil // want devmem "buf"
+}
+
+// loopContinueFreed is the clean mirror of loopContinueLeak: the continue
+// path frees first, so every way around the loop is balanced.
+func loopContinueFreed(dev *gpusim.Device, sizes []int) error {
+	for _, n := range sizes {
+		buf, err := dev.Malloc(n)
+		if err != nil {
+			return err
+		}
+		if n%2 == 0 {
+			buf.Free()
+			continue
+		}
+		bump(buf)
+		buf.Free()
+	}
+	return nil
+}
+
+// switchAllArmsFree frees in every arm, including default.
+func switchAllArmsFree(dev *gpusim.Device, mode int) {
+	buf := dev.MustMalloc(64)
+	switch mode {
+	case 0:
+		buf.Free()
+	default:
+		bump(buf)
+		buf.Free()
+	}
+}
+
+// deferInLoopBody registers the Free inside an immediately-invoked
+// literal per iteration — the per-iteration scope the real pipelines use.
+func deferInLoopBody(dev *gpusim.Device, sizes []int) error {
+	for _, n := range sizes {
+		if err := func() error {
+			buf, err := dev.Malloc(n)
+			if err != nil {
+				return err
+			}
+			defer buf.Free()
+			bump(buf)
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gotoRetry re-runs the allocation after a goto; both the retry path and
+// the straight path free before returning.
+func gotoRetry(dev *gpusim.Device) error {
+	tries := 0
+retry:
+	buf, err := dev.Malloc(128)
+	if err != nil {
+		tries++
+		if tries < 3 {
+			goto retry
+		}
+		return err
+	}
+	bump(buf)
+	buf.Free()
+	return nil
+}
+
+func bump(b *gpusim.Buffer) {}

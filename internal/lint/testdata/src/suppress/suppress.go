@@ -59,8 +59,10 @@ func missingReason() {
 }
 
 // wrongRule: a well-formed directive naming a different rule leaves this
-// rule's finding live.
+// rule's finding live — and, suppressing nothing, the directive itself is
+// stale drift.
 func wrongRule() int64 {
-	// want:+1 wallclock "time.Now outside"
+	// want:+2 wallclock "time.Now outside"
+	// want:+1 config-drift "stale ignore directive"
 	return time.Now().UnixNano() //gpclint:ignore unchecked-error a mismatched rule does not suppress wallclock
 }

@@ -1,0 +1,90 @@
+// Package vclocktaint is the vclock-taint fixture: wall-clock-sourced
+// values must not flow into virtual-clock or cost-model parameters.
+// lapWall is allowlisted in FixtureConfig — reading the wall clock there
+// is sanctioned — but its RESULT is still wall time, and the positives
+// push that result (directly, through arithmetic, through a loop-carried
+// accumulator, through a branch join) into obs span timestamps and sched
+// cost-model knobs. The negatives keep wall time in the wall lane:
+// virtual quantities from plain parameters, overwritten taint, and the
+// Span.WallNs field that exists precisely to hold host time.
+package vclocktaint
+
+import (
+	"time"
+
+	"gpclust/internal/obs"
+	"gpclust/internal/sched"
+)
+
+// lapWall is this fixture's allowlisted wall reader (see FixtureConfig).
+func lapWall(since time.Time) float64 {
+	return float64(time.Since(since).Nanoseconds())
+}
+
+// spanFromWall stamps a span with wall readings: both timestamp
+// parameters are virtual-clock sinks.
+func spanFromWall(r *obs.Recorder, t0 time.Time) {
+	start := lapWall(t0)
+	end := lapWall(t0)
+	r.Span(obs.TrackPhases, "align", start, end) // want vclock-taint "startNs" // want vclock-taint "endNs"
+}
+
+// calibrateFromWall launders wall time through a loop-carried accumulator
+// and arithmetic before feeding the cost model: still caught, because the
+// taint flows around the back edge with the state.
+func calibrateFromWall(m *sched.Model, t0 time.Time, n int) {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += lapWall(t0)
+	}
+	m.CalibrateKernel("shingle", total/float64(n), float64(n), 32) // want vclock-taint "bodyNs"
+}
+
+// polluteModel writes wall time straight into the per-unit kernel cost
+// table — the knob every later batch plan is priced with.
+func polluteModel(m *sched.Model, t0 time.Time) {
+	m.KernelNsPerUnit["minhash"] = lapWall(t0) // want vclock-taint "KernelNsPerUnit"
+}
+
+// rawClock reads the clock without any allowlist cover: the wallclock
+// rule flags the read, and the taint rule flags where it went.
+func rawClock(r *obs.Recorder) {
+	at := float64(time.Now().UnixNano())   // want wallclock "time.Now"
+	r.Instant(obs.TrackPhases, "mark", at) // want vclock-taint "atNs"
+}
+
+// branchJoin taints only one arm; the join keeps the may-taint, as it
+// must — half the runs would stamp host time.
+func branchJoin(r *obs.Recorder, t0 time.Time, cold bool, devNs float64) {
+	at := devNs
+	if cold {
+		at = lapWall(t0)
+	}
+	r.Instant(obs.TrackPhases, "maybe", at) // want vclock-taint "atNs"
+}
+
+// virtualOnly moves virtual-clock values around: no sources, no findings.
+func virtualOnly(r *obs.Recorder, devNs float64) {
+	start := devNs
+	end := start + 1500
+	r.Span(obs.TrackPhases, "kernel", start, end)
+}
+
+// overwritten kills the taint with a strong update before the sink.
+func overwritten(r *obs.Recorder, t0 time.Time, devNs float64) {
+	v := lapWall(t0)
+	v = devNs
+	r.Instant(obs.TrackPhases, "ok", v)
+}
+
+// wallLane keeps wall time where it belongs: WallNs says "wall" in its
+// name and is exempt by design.
+func wallLane(t0 time.Time, devStart, devEnd float64) obs.Span {
+	return obs.Span{
+		Track:   obs.TrackPhases,
+		Name:    "stage",
+		StartNs: devStart,
+		EndNs:   devEnd,
+		WallNs:  int64(lapWall(t0)),
+	}
+}

@@ -1,0 +1,400 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gpclust/internal/lint/cfg"
+)
+
+// VClockTaint tracks wall-clock-sourced values through assignments and
+// flags them flowing into virtual-clock quantities. The wallclock rule
+// polices WHERE the host clock may be read (the allowlisted stopwatch
+// wrappers); this rule polices where those readings may GO: a wrapper's
+// result is fine in a log line or a Result.Wall field, but the moment it
+// reaches an obs span timestamp, a gpusim device-clock knob, or a sched
+// cost-model parameter, host timing has leaked into state the determinism
+// contract says must be a function of the seed. That is the exact bug
+// class the PR 5/PR 6 trace work guards by convention only.
+//
+// Sources: calls to time.Now/Since/Until, and calls to any function on
+// the WallclockAllow list (their results ARE wall time, that is their
+// job). Taint propagates through assignments, arithmetic, conversions,
+// and range statements along the function's control-flow graph, so a
+// value laundered through a loop-carried accumulator is still caught.
+// Sinks: arguments to functions declared in internal/obs, internal/gpusim
+// or internal/sched whose parameter name is nanosecond-ish ("ns" or a
+// *Ns suffix), and writes to Ns-named fields of types declared there —
+// except parameters and fields that say "wall" in their name, which are
+// the sanctioned host-time lane.
+var VClockTaint = &Analyzer{
+	Name: ruleVClockTaint,
+	Doc:  "wall-clock-sourced value flows into a virtual-clock or cost-model parameter",
+	Run:  runVClockTaint,
+}
+
+// vclockSinkPkgs are the package suffixes whose Ns-named parameters and
+// fields are virtual-clock quantities.
+var vclockSinkPkgs = []string{"internal/obs", "internal/gpusim", "internal/sched"}
+
+func runVClockTaint(cfg_ *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	analyze := func(body *ast.BlockStmt) {
+		t := &taintFlow{cfg: cfg_, pkg: pkg}
+		g := cfg.New(body)
+		in := cfg.Solve[taintSet](g, t)
+		cfg.Replay[taintSet](g, t, in, func(_ *cfg.Block, n ast.Node, s taintSet) {
+			diags = append(diags, t.checkSinks(n, s)...)
+		})
+	}
+	forEachFunc(pkg, func(fd *ast.FuncDecl, _ string) {
+		analyze(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				analyze(lit.Body)
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// taintSet is the dataflow state: the set of variables that may hold a
+// wall-clock-derived value at this program point.
+type taintSet map[types.Object]bool
+
+type taintFlow struct {
+	cfg *Config
+	pkg *Package
+}
+
+func (t *taintFlow) Entry() taintSet { return make(taintSet) }
+
+func (t *taintFlow) Clone(s taintSet) taintSet {
+	c := make(taintSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (t *taintFlow) Join(a, b taintSet) taintSet {
+	j := t.Clone(a)
+	for k := range b {
+		j[k] = true
+	}
+	return j
+}
+
+func (t *taintFlow) Equal(a, b taintSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Refine: branch conditions carry no taint information.
+func (t *taintFlow) Refine(_ ast.Expr, _ bool, s taintSet) taintSet { return s }
+
+func (t *taintFlow) Transfer(n ast.Node, s taintSet) taintSet {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		t.transferAssign(n, s)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Values) == len(vs.Names) {
+					for i, name := range vs.Names {
+						t.setTaint(name, t.tainted(vs.Values[i], s), s)
+					}
+				} else if len(vs.Values) == 1 {
+					v := t.tainted(vs.Values[0], s)
+					for _, name := range vs.Names {
+						t.setTaint(name, v, s)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Ranging over a tainted collection taints the iteration vars.
+		if t.tainted(n.X, s) {
+			if id, ok := n.Key.(*ast.Ident); ok {
+				t.setTaint(id, true, s)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				t.setTaint(id, true, s)
+			}
+		}
+	}
+	return s
+}
+
+func (t *taintFlow) transferAssign(as *ast.AssignStmt, s taintSet) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		// x += expr and friends: the target keeps any taint it had and
+		// picks up the operand's.
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				if t.tainted(as.Rhs[0], s) {
+					t.setTaint(id, true, s)
+				}
+			}
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				t.setTaint(id, t.tainted(as.Rhs[i], s), s)
+			}
+		}
+		return
+	}
+	// Multi-value form: the whole tuple is tainted if the source is.
+	if len(as.Rhs) == 1 {
+		v := t.tainted(as.Rhs[0], s)
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				t.setTaint(id, v, s)
+			}
+		}
+	}
+}
+
+// setTaint applies a strong update to a plain identifier.
+func (t *taintFlow) setTaint(id *ast.Ident, v bool, s taintSet) {
+	if id.Name == "_" {
+		return
+	}
+	obj := t.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = t.pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if v {
+		s[obj] = true
+	} else {
+		delete(s, obj)
+	}
+}
+
+// tainted reports whether evaluating the expression may yield a
+// wall-clock-derived value under the current state: it mentions a tainted
+// variable or contains a wall-clock source call. Function literals are
+// opaque values, not evaluations.
+func (t *taintFlow) tainted(e ast.Expr, s taintSet) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := t.pkg.Info.Uses[n]; obj != nil && s[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if t.isWallSource(n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWallSource recognizes the taint sources: the time package's clock
+// readers and every function on the WallclockAllow list.
+func (t *taintFlow) isWallSource(call *ast.CallExpr) bool {
+	if f := pkgFuncObj(t.pkg, call.Fun, "time"); f != nil && wallclockFuncs[f.Name()] {
+		return true
+	}
+	if f := pkgFuncObj(t.pkg, call.Fun, ""); f != nil {
+		return t.cfg.wallclockAllowed(f.Pkg().Path(), f.Name())
+	}
+	if m := methodObj(t.pkg, call.Fun); m != nil && m.Pkg() != nil {
+		if recv := m.Type().(*types.Signature).Recv(); recv != nil {
+			if _, recvName := typePath(recv.Type()); recvName != "" {
+				return t.cfg.wallclockAllowed(m.Pkg().Path(), recvName+"."+m.Name())
+			}
+		}
+	}
+	// A local closure or ident call inside an allowlisted wrapper's own
+	// package: resolve plain idents to package-level functions too.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if f, ok := t.pkg.Info.Uses[id].(*types.Func); ok && f.Pkg() != nil {
+			return t.cfg.wallclockAllowed(f.Pkg().Path(), f.Name())
+		}
+	}
+	return false
+}
+
+// checkSinks inspects one statement for tainted values reaching
+// virtual-clock parameters or fields. Nested blocks and function literals
+// belong to other CFG nodes and are skipped.
+func (t *taintFlow) checkSinks(stmt ast.Node, s taintSet) []Diagnostic {
+	var diags []Diagnostic
+	shallowInspect(stmt, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			diags = append(diags, t.checkCallSink(n, s)...)
+		case *ast.AssignStmt:
+			diags = append(diags, t.checkFieldWrite(n, s)...)
+		case *ast.CompositeLit:
+			diags = append(diags, t.checkCompositeSink(n, s)...)
+		}
+	})
+	return diags
+}
+
+// shallowInspect walks the statement's expressions without descending
+// into nested blocks (they are separate CFG nodes) or function literals
+// (separate functions).
+func shallowInspect(root ast.Node, f func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		case nil:
+			return true
+		}
+		f(n)
+		return true
+	})
+}
+
+// nsParam reports whether a parameter or field name denotes a
+// virtual-clock nanosecond quantity.
+func nsParam(name string) bool {
+	if strings.Contains(strings.ToLower(name), "wall") {
+		return false
+	}
+	return name == "ns" || strings.HasSuffix(name, "Ns") || strings.Contains(name, "NsPer")
+}
+
+// vclockCallee resolves a call to a function or method declared in one of
+// the virtual-clock packages, returning its signature and display name.
+func (t *taintFlow) vclockCallee(call *ast.CallExpr) (*types.Signature, string) {
+	var f *types.Func
+	if pf := pkgFuncObj(t.pkg, call.Fun, ""); pf != nil {
+		f = pf
+	} else if m := methodObj(t.pkg, call.Fun); m != nil {
+		f = m
+	}
+	if f == nil || f.Pkg() == nil || !matchAny(f.Pkg().Path(), vclockSinkPkgs) {
+		return nil, ""
+	}
+	return f.Type().(*types.Signature), f.Name()
+}
+
+func (t *taintFlow) checkCallSink(call *ast.CallExpr, s taintSet) []Diagnostic {
+	sig, name := t.vclockCallee(call)
+	if sig == nil {
+		return nil
+	}
+	params := sig.Params()
+	var diags []Diagnostic
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pname := params.At(pi).Name()
+		if nsParam(pname) && t.tainted(arg, s) {
+			diags = append(diags, diag(t.pkg, ruleVClockTaint, arg,
+				"wall-clock-derived value reaches virtual-clock parameter %q of %s: virtual timestamps must come from the device clock or cost model", pname, name))
+		}
+	}
+	return diags
+}
+
+// checkFieldWrite flags `x.SomethingNs = tainted` (possibly through an
+// index) when the field belongs to a virtual-clock package's type.
+func (t *taintFlow) checkFieldWrite(as *ast.AssignStmt, s taintSet) []Diagnostic {
+	var diags []Diagnostic
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		fieldName, ownerType := t.vclockField(lhs)
+		if fieldName == "" || !t.tainted(as.Rhs[i], s) {
+			continue
+		}
+		diags = append(diags, diag(t.pkg, ruleVClockTaint, lhs,
+			"wall-clock-derived value stored into virtual-clock field %s.%s", ownerType, fieldName))
+	}
+	return diags
+}
+
+// vclockField resolves an lvalue to an Ns-named field (or Ns-named map,
+// e.g. KernelNsPerUnit[...]) of a type declared in a virtual-clock
+// package.
+func (t *taintFlow) vclockField(lhs ast.Expr) (field, typeName string) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.ParenExpr:
+			lhs = e.X
+			continue
+		case *ast.SelectorExpr:
+			sel, ok := t.pkg.Info.Selections[e]
+			if !ok || sel.Kind() != types.FieldVal {
+				return "", ""
+			}
+			v, ok := sel.Obj().(*types.Var)
+			if !ok || v.Pkg() == nil || !matchAny(v.Pkg().Path(), vclockSinkPkgs) || !nsParam(v.Name()) {
+				return "", ""
+			}
+			_, tn := typePath(t.pkg.Info.TypeOf(e.X))
+			return v.Name(), tn
+		default:
+			return "", ""
+		}
+	}
+}
+
+// checkCompositeSink flags Ns-named fields initialized with tainted
+// values in composite literals of virtual-clock types.
+func (t *taintFlow) checkCompositeSink(cl *ast.CompositeLit, s taintSet) []Diagnostic {
+	typ := t.pkg.Info.TypeOf(cl)
+	pkgPath, typeName := typePath(typ)
+	if pkgPath == "" || !matchAny(pkgPath, vclockSinkPkgs) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !nsParam(key.Name) {
+			continue
+		}
+		if t.tainted(kv.Value, s) {
+			diags = append(diags, diag(t.pkg, ruleVClockTaint, kv.Value,
+				"wall-clock-derived value stored into virtual-clock field %s.%s", typeName, key.Name))
+		}
+	}
+	return diags
+}

@@ -445,7 +445,9 @@ func BenchmarkSegmentedTopS(b *testing.B) {
 	offBuf := d.MustMalloc(len(off))
 	_ = d.CopyH2D(offBuf, 0, off)
 	data := d.MustMalloc(total)
+	defer data.Free()
 	out := d.MustMalloc(len(lens) * 2)
+	defer out.Free()
 	segs := Segments{Offsets: offBuf, NumSegs: len(lens)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

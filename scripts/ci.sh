@@ -23,8 +23,13 @@ echo "== gpclint"
 go run ./cmd/gpclint ./...
 go run ./cmd/gpclint -tags invariants ./...
 
+echo "== gpclint -tests (determinism-critical packages, test files included)"
+go run ./cmd/gpclint -tests ./internal/core ./internal/faults ./internal/minwise \
+    ./internal/obs ./internal/sched ./internal/thrust ./internal/unionfind ./internal/pgraph
+
 echo "== gpclint fixture sanity (each positive fixture must fail the gate)"
-for fixture in maprange globalrand wallclock atomicmix devmem errcheck suppress; do
+for fixture in maprange globalrand wallclock atomicmix devmem devmemloop errcheck suppress \
+    vclocktaint goroutine configdrift; do
     if go run ./cmd/gpclint "internal/lint/testdata/src/$fixture" >/dev/null 2>&1; then
         echo "gpclint found nothing in positive fixture $fixture" >&2
         exit 1
@@ -34,9 +39,17 @@ done
 echo "== go build"
 go build ./...
 
-echo "== go test (with coverage profile)"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
+
+echo "== gpclint -json round-trip (artifact validated by lintcheck)"
+go run ./cmd/gpclint -json ./... > "$tmp_dir/gpclint.jsonl"
+go run ./scripts/lintcheck -clean "$tmp_dir/gpclint.jsonl"
+go run ./cmd/gpclint -json internal/lint/testdata/src/devmemloop \
+    > "$tmp_dir/gpclint-positive.jsonl" || true
+go run ./scripts/lintcheck -nonzero "$tmp_dir/gpclint-positive.jsonl"
+
+echo "== go test (with coverage profile)"
 cover_out="$tmp_dir/cover.out"
 go test -coverprofile="$cover_out" ./...
 
@@ -81,6 +94,6 @@ go test -run='^$' -fuzz=FuzzSWBatch -fuzztime=10s ./internal/pgraph/
 go test -run='^$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/faults/
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/... ./internal/faults/... ./internal/sched/...
+go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/... ./internal/faults/... ./internal/sched/... ./internal/obs/... ./internal/unionfind/...
 
 echo "== ci.sh: all green"

@@ -1,0 +1,103 @@
+// Command lintcheck validates a gpclint -json artifact: every line must be
+// a well-formed finding or summary record, the summary must come last and
+// exactly once, and its findings count must equal the number of finding
+// lines. CI uses it to round-trip the machine-readable output — both on
+// the clean whole-tree artifact (-clean: the summary must report zero) and
+// on a positive fixture run (-nonzero: it must report at least one).
+//
+// Usage:
+//
+//	lintcheck [-clean | -nonzero] artifact.jsonl
+//
+// Exit status: 0 when the artifact is valid (and satisfies the requested
+// count constraint), 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type record struct {
+	Type     string `json:"type"`
+	Rule     string `json:"rule"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Findings int    `json:"findings"`
+	Packages int    `json:"packages"`
+}
+
+func main() {
+	clean := flag.Bool("clean", false, "require the summary to report zero findings")
+	nonzero := flag.Bool("nonzero", false, "require the summary to report at least one finding")
+	flag.Parse()
+	if flag.NArg() != 1 || (*clean && *nonzero) {
+		fmt.Fprintln(os.Stderr, "usage: lintcheck [-clean | -nonzero] artifact.jsonl")
+		os.Exit(1)
+	}
+	if err := validate(flag.Arg(0), *clean, *nonzero); err != nil {
+		fmt.Fprintln(os.Stderr, "lintcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func validate(path string, clean, nonzero bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //gpclint:ignore unchecked-error read-only file, Close reports nothing actionable
+
+	findings := 0
+	var summary *record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if summary != nil {
+			return fmt.Errorf("%s:%d: record after the summary", path, lineNo)
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("%s:%d: %v", path, lineNo, err)
+		}
+		switch rec.Type {
+		case "finding":
+			if rec.Rule == "" || rec.File == "" || rec.Message == "" || rec.Line < 0 {
+				return fmt.Errorf("%s:%d: finding missing rule/file/message", path, lineNo)
+			}
+			findings++
+		case "summary":
+			s := rec
+			summary = &s
+		default:
+			return fmt.Errorf("%s:%d: unknown record type %q", path, lineNo, rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	switch {
+	case summary == nil:
+		return fmt.Errorf("%s: no summary record — the run never finished", path)
+	case summary.Findings != findings:
+		return fmt.Errorf("%s: summary claims %d findings, artifact holds %d", path, summary.Findings, findings)
+	case summary.Packages <= 0:
+		return fmt.Errorf("%s: summary reports %d packages", path, summary.Packages)
+	case clean && findings != 0:
+		return fmt.Errorf("%s: expected a clean run, artifact holds %d finding(s)", path, findings)
+	case nonzero && findings == 0:
+		return fmt.Errorf("%s: expected findings, artifact holds none", path)
+	}
+	return nil
+}
