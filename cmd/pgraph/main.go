@@ -40,6 +40,8 @@ func main() {
 		gpu      = flag.Bool("gpu", false, "verify candidate pairs on the simulated GPU (batched Smith-Waterman)")
 		pipeline = flag.Bool("pipeline", false, "with -gpu: double-buffer device batches (overlap copies and kernels)")
 		batchW   = flag.String("batchwords", "auto", "with -gpu: per-batch device budget in words; \"auto\" lets the cost model pick budget and lanes, 0 derives from device memory")
+		packed   = flag.Bool("packed", true, "with -gpu: stage batch residues as a 5-bit packed device image")
+		fuse     = flag.Bool("fuse", true, "with -gpu -packed: let the SW kernel decode the packed image in place where the cost model says it wins")
 		noBin    = flag.Bool("nobin", false, "with -gpu: disable length binning of pairs (more warp divergence)")
 		faultSch = flag.String("faults", "", "with -gpu: inject device faults from this schedule, e.g. 'h2d op=3; malloc at=2ms count=2'")
 		retries  = flag.Int("retries", 0, "with -gpu: per-batch fault retry budget (0 = library default; must be >= 0)")
@@ -67,7 +69,7 @@ func main() {
 		}{
 			{*pipeline, "-pipeline"}, {*batchW != "auto", "-batchwords"}, {*noBin, "-nobin"},
 			{*faultSch != "", "-faults"}, {*retries != 0, "-retries"}, {*noFB, "-nofallback"},
-			{*trace != "", "-trace"},
+			{*trace != "", "-trace"}, {!*packed, "-packed=false"}, {!*fuse, "-fuse=false"},
 		} {
 			if f.set {
 				fmt.Fprintf(os.Stderr, "pgraph: %s requires -gpu\n", f.name)
@@ -102,6 +104,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pgraph:", err)
 		os.Exit(2)
 	}
+	cfg.Packed = *packed
+	cfg.Fuse = *fuse
 	cfg.NoLengthBin = *noBin
 	cfg.FaultRetries = *retries
 	cfg.NoHostFallback = *noFB

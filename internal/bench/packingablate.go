@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+
+	"gpclust/internal/core"
+	"gpclust/internal/gpusim"
+	"gpclust/internal/graph"
+	"gpclust/internal/pgraph"
+	"gpclust/internal/sched"
+	"gpclust/internal/seq"
+)
+
+// PackingPoint is one (workload, residue-layout) outcome of the packed-image
+// ablation: the end-to-end virtual total, the Data_c→g cost split into fixed
+// setup and byte-proportional volume, the bytes actually shipped, and the
+// cost model's price next to the measured scheduler window.
+// scripts/benchcheck enforces the packing PR's acceptance criteria on these
+// records: per workload every layout must produce the identical output,
+// packed+fused must post a lower virtual total than unpacked+unfused, the
+// gpclust packed image must cut the H2D byte volume by at least 30%, and
+// every priced point must stay inside the drift gate.
+type PackingPoint struct {
+	Workload    string  `json:"workload"` // "gpclust" | "pgraph"
+	Setting     string  `json:"setting"`  // "unpacked" .. "packed+fused"
+	Packed      bool    `json:"packed"`
+	Fused       bool    `json:"fused"`
+	VirtualNs   float64 `json:"virtual_ns"`     // end-to-end run, virtual clock
+	H2DNs       float64 `json:"data_c2g_ns"`    // Data_c→g total (setup + volume)
+	H2DSetupNs  float64 `json:"h2d_setup_ns"`   // fixed per-copy setup share
+	H2DVolumeNs float64 `json:"h2d_volume_ns"`  // byte-proportional share
+	H2DBytes    int64   `json:"data_c2g_bytes"` // bytes shipped host→device
+	SchedNs     float64 `json:"sched_ns"`       // measured scheduler window
+	PredictedNs float64 `json:"predicted_ns"`   // cost model's price (0: not priced)
+	Output      int64   `json:"output"`         // clusters / edges; identical per workload
+}
+
+// packingSettings is the {packed,unpacked}×{fused,unfused} sweep. For
+// gpclust every cell is distinct (the fused kernels read full-width words
+// when the image is unpacked); for pgraph fusion without packing degenerates
+// to the byte layout, and the sweep doubles as proof of that no-op.
+var packingSettings = []struct {
+	label        string
+	packed, fuse bool
+}{
+	{"unpacked", false, false},
+	{"unpacked+fused", false, true},
+	{"packed", true, false},
+	{"packed+fused", true, true},
+}
+
+func packingRow(p PackingPoint, plan sched.PlanReport) AblationRow {
+	comment := fmt.Sprintf("Data_c→g %.2fs (%.0f%% volume), %.1f MB shipped",
+		s(p.H2DNs), 100*p.H2DVolumeNs/max(p.H2DNs, 1), float64(p.H2DBytes)/1e6)
+	if p.PredictedNs > 0 {
+		comment = fmt.Sprintf("%s, drift %.0f%%", comment, 100*plan.DriftFrac())
+	}
+	return AblationRow{
+		Label: p.Workload + " " + p.Setting,
+		Value: s(p.VirtualNs), Unit: "s",
+		Comment: comment,
+	}
+}
+
+// AblatePacking sweeps the packed-image and kernel-fusion levers on both
+// consumers of the device: the shingling passes (gpclust, images at the
+// graph's MinBits width) and the Smith–Waterman verification (pgraph, 5-bit
+// protein residues). Every setting runs a fixed batch plan with
+// PredictCost, so the cost model prices the exact layout it executed;
+// outputs must be bit-identical across every cell of a workload — packing
+// and fusion change bytes moved and launches issued, never a result. scale
+// sizes the gpclust graph (Paper20KConfig), pgraphN the metagenome (0: the
+// 1200-ORF default).
+func AblatePacking(scale float64, o core.Options, pgraphN int) ([]AblationRow, []PackingPoint, error) {
+	var (
+		rows   []AblationRow
+		points []PackingPoint
+	)
+
+	g, _ := graph.Planted(Paper20KConfig(scale))
+	var goldenClusters [][]uint32
+	for _, ps := range packingSettings {
+		opt := o
+		opt.BatchWords = 200_000
+		opt.PredictCost = true
+		opt.Packed, opt.Fuse = ps.packed, ps.fuse
+		dev := gpusim.MustNew(gpusim.K20Config())
+		r, err := core.ClusterGPU(g, dev, opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: gpclust %s: %w", ps.label, err)
+		}
+		if goldenClusters == nil {
+			goldenClusters = r.Clustering.Clusters
+		} else if !clusteringEqual(goldenClusters, r.Clustering.Clusters) {
+			return nil, nil, fmt.Errorf("bench: gpclust %s: clustering diverged from %s",
+				ps.label, packingSettings[0].label)
+		}
+		var plan sched.PlanReport
+		plan.Add(r.Pass1.Plan)
+		plan.Add(r.Pass2.Plan)
+		p := PackingPoint{
+			Workload: "gpclust", Setting: ps.label, Packed: ps.packed, Fused: ps.fuse,
+			VirtualNs: r.Timings.TotalNs,
+			H2DNs:     r.Timings.H2DNs, H2DSetupNs: r.Timings.H2DSetupNs,
+			H2DVolumeNs: r.Timings.H2DVolumeNs, H2DBytes: r.Timings.H2DBytes,
+			SchedNs: plan.ActualNs, PredictedNs: plan.PredictedNs,
+			Output: int64(r.NumClusters()),
+		}
+		points = append(points, p)
+		rows = append(rows, packingRow(p, plan))
+	}
+
+	if pgraphN <= 0 {
+		pgraphN = 1200
+	}
+	mgCfg := seq.DefaultMetagenomeConfig(pgraphN)
+	mgCfg.Seed = 7
+	mg, err := seq.GenerateMetagenome(mgCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var golden *graph.Graph
+	for _, ps := range packingSettings {
+		cfg := pgraph.DefaultConfig()
+		cfg.GPU = true
+		cfg.GPUBatchWords = 40_000
+		cfg.PredictCost = true
+		cfg.Packed, cfg.Fuse = ps.packed, ps.fuse
+		cfg.Device = gpusim.MustNew(gpusim.K20Config())
+		pg, st, err := pgraph.Build(mg.Seqs, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: pgraph %s: %w", ps.label, err)
+		}
+		if golden == nil {
+			golden = pg
+		} else if !graphEqual(golden, pg) {
+			return nil, nil, fmt.Errorf("bench: pgraph %s: edge set diverged from %s",
+				ps.label, packingSettings[0].label)
+		}
+		p := PackingPoint{
+			Workload: "pgraph", Setting: ps.label, Packed: ps.packed, Fused: ps.fuse,
+			VirtualNs: st.TotalNs,
+			H2DNs:     st.H2DNs, H2DSetupNs: st.H2DSetupNs,
+			H2DVolumeNs: st.H2DVolumeNs, H2DBytes: st.H2DBytes,
+			SchedNs: st.Plan.ActualNs, PredictedNs: st.Plan.PredictedNs,
+			Output: st.Edges,
+		}
+		points = append(points, p)
+		rows = append(rows, packingRow(p, st.Plan))
+	}
+	return rows, points, nil
+}

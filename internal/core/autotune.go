@@ -26,6 +26,8 @@ const (
 	kTransform = "transform"
 	kTopS      = "tops"
 	kAggTail   = "aggtail"
+	kFused     = "fused"  // fused hash + top-s (or hash + sort) launch
+	kUnpack    = "unpack" // packed-image expansion
 )
 
 // transformThreads is the thread count of one TransformHash launch over n
@@ -113,6 +115,47 @@ func calibrateShingleModel(cfg gpusim.Config, in *SegGraph, fam minwise.Family, 
 	}
 	m.CalibrateKernel(kTopS, k2-k1-launches*cfg.KernelLaunchNs, float64(n), topsThreads(numSegs))
 
+	// Probe the packed/fused side at the pass's actual bit width so the
+	// auto-tuner can price fused and unfused candidates against each other.
+	var fusedData *gpusim.Buffer = dataBuf
+	if o.dataBits > 0 {
+		hostPacked := gpusim.PackBits(in.Data[:n], o.dataBits)
+		packedBuf, err := scratch.Malloc(len(hostPacked))
+		if err != nil {
+			return m
+		}
+		defer packedBuf.Free()
+		if scratch.CopyH2D(packedBuf, 0, hostPacked) != nil {
+			return m
+		}
+		fusedData = packedBuf
+	}
+	if o.Fuse {
+		kf0 := scratch.Metrics().KernelTimeNs
+		fusedLaunches := 1.0
+		if !o.UseFullSort {
+			if thrust.FusedHashTopS(scratch, nil, fusedData, o.dataBits, segs, s, h.A, h.B, minwise.Prime, outBuf, 0) != nil {
+				return m
+			}
+		} else {
+			fusedLaunches = 2 // fused sort + gather
+			if thrust.FusedHashSort(scratch, nil, fusedData, o.dataBits, segs, h.A, h.B, minwise.Prime, hashBuf) != nil ||
+				gatherTopS(scratch, nil, hashBuf, segs, s, outBuf, 0) != nil {
+				return m
+			}
+		}
+		m.CalibrateKernel(kFused, scratch.Metrics().KernelTimeNs-kf0-fusedLaunches*cfg.KernelLaunchNs,
+			float64(n), topsThreads(numSegs))
+	}
+	if o.dataBits > 0 {
+		ku0 := scratch.Metrics().KernelTimeNs
+		if thrust.UnpackBits(scratch, fusedData, hashBuf, n, o.dataBits) != nil {
+			return m
+		}
+		m.CalibrateKernel(kUnpack, scratch.Metrics().KernelTimeNs-ku0-cfg.KernelLaunchNs,
+			float64(n), transformThreads(n))
+	}
+
 	if o.GPUAggregate {
 		// Lump the device aggregation tail (shingle_key + sort_by_key +
 		// pack) into one per-piece rate, launch overheads included — the
@@ -165,6 +208,69 @@ func topsNs(m *sched.Model, words, numSegs int, fullSort bool) float64 {
 		m.KernelNsPerUnit[kTopS]*float64(words)*m.SatFactor(topsThreads(numSegs))
 }
 
+// fusedNs predicts one fused hash+select launch over words data words in
+// numSegs segments (two launches under UseFullSort: fused sort + gather).
+func fusedNs(m *sched.Model, words, numSegs int, fullSort bool) float64 {
+	launches := 1.0
+	if fullSort {
+		launches = 2
+	}
+	return launches*m.Cfg.KernelLaunchNs +
+		m.KernelNsPerUnit[kFused]*float64(words)*m.SatFactor(topsThreads(numSegs))
+}
+
+// unpackNs predicts one unpack launch expanding words packed values.
+func unpackNs(m *sched.Model, words int) float64 {
+	return m.KernelNs(kUnpack, float64(words), transformThreads(words))
+}
+
+// packNs is the host cost of packing one batch's data into the device
+// image; zero when the pass is unpacked.
+func packNs(o Options, words int) float64 {
+	if o.dataBits <= 0 {
+		return 0
+	}
+	return float64(words) * PackNsPerOp
+}
+
+// trialKernelsNs predicts one trial's device launches for the plan's
+// resolved kernel choice, mirroring trialKernels.
+func trialKernelsNs(m *sched.Model, o Options, words, numSegs int) float64 {
+	if o.fusedPlan {
+		return fusedNs(m, words, numSegs, o.UseFullSort)
+	}
+	ns := topsNs(m, words, numSegs, o.UseFullSort)
+	if words > 0 {
+		ns += transformNs(m, words)
+	}
+	return ns
+}
+
+// replayBatchUpload replays one batch's image upload on the sim lane:
+// the (possibly packed) data copy, the offsets copy, and the unpack kernel
+// of a packed-unfused plan, in runBatch's enqueue order.
+func replayBatchUpload(sim *sched.Sim, m *sched.Model, o Options, lane, words, numPieces int) {
+	sim.CopyPacked(lane, words, o.dataBits, true)
+	if o.dataBits > 0 && o.fusedPlan {
+		sim.Copy(lane, numPieces+1, true)
+		return
+	}
+	if o.dataBits > 0 {
+		if lane >= 0 {
+			// Pipelined enqueue order: off copy precedes the on-stream unpack.
+			sim.Copy(lane, numPieces+1, true)
+			if words > 0 {
+				sim.KernelRawNs(lane, unpackNs(m, words))
+			}
+			return
+		}
+		if words > 0 {
+			sim.KernelRawNs(lane, unpackNs(m, words))
+		}
+	}
+	sim.Copy(lane, numPieces+1, true)
+}
+
 // stageNs is the host cost of assembling one batch's data and offsets.
 func stageNs(plan *batchPlan) float64 {
 	return float64(plan.words+len(plan.pieces)) * AggregateNsPerOp
@@ -211,7 +317,7 @@ func predictShinglePlans(m *sched.Model, in *SegGraph, fam minwise.Family, s int
 	case lanes >= 2:
 		return predictPipelined(m, in, fam, s, o, plans, lanes)
 	case o.GPUAggregate:
-		return predictGPUAgg(m, in, fam, s, plans)
+		return predictGPUAgg(m, in, fam, s, o, plans)
 	case o.AsyncTransfer:
 		return predictAsync(m, in, fam, s, o, plans)
 	default:
@@ -228,16 +334,14 @@ func predictSequential(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
 	for i := range plans {
 		plan := &plans[i]
 		np := len(plan.pieces)
-		sim.HostWork(stageNs(plan))
-		sim.Copy(-1, plan.words, true)
-		sim.Copy(-1, np+1, true)
+		sim.HostWork(stageNs(plan) + packNs(o, plan.words))
+		replayBatchUpload(sim, m, o, -1, plan.words, np)
 		emit := emitNsPerTrial(in, plan, s)
 		for trial := 0; trial < c; trial++ {
-			sim.Copy(-1, 2, true) // <A_j, B_j>
-			if plan.words > 0 {
-				sim.KernelRawNs(-1, transformNs(m, plan.words))
+			if o.residentParams == nil {
+				sim.Copy(-1, 2, true) // <A_j, B_j>
 			}
-			sim.KernelRawNs(-1, topsNs(m, plan.words, np, o.UseFullSort))
+			sim.KernelRawNs(-1, trialKernelsNs(m, o, plan.words, np))
 			sim.Copy(-1, np*s, false)
 			sim.HostWork(emit)
 		}
@@ -255,9 +359,8 @@ func predictAsync(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
 	for i := range plans {
 		plan := &plans[i]
 		np := len(plan.pieces)
-		sim.HostWork(stageNs(plan))
-		sim.Copy(-1, plan.words, true)
-		sim.Copy(-1, np+1, true)
+		sim.HostWork(stageNs(plan) + packNs(o, plan.words))
+		replayBatchUpload(sim, m, o, -1, plan.words, np)
 		emit := emitNsPerTrial(in, plan, s)
 		sim.Ready[0], sim.Ready[1] = 0, 0 // fresh streams each batch
 		inFlight := [2]int{-1, -1}
@@ -272,11 +375,10 @@ func predictAsync(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
 		for trial := 0; trial < c; trial++ {
 			l := trial % 2
 			drain(l)
-			sim.Copy(l, 2, true)
-			if plan.words > 0 {
-				sim.KernelRawNs(l, transformNs(m, plan.words))
+			if o.residentParams == nil {
+				sim.Copy(l, 2, true)
 			}
-			sim.KernelRawNs(l, topsNs(m, plan.words, np, o.UseFullSort))
+			sim.KernelRawNs(l, trialKernelsNs(m, o, plan.words, np))
 			sim.Copy(l, np*s, false)
 			inFlight[l] = trial
 		}
@@ -288,7 +390,7 @@ func predictAsync(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
 
 // predictGPUAgg replays runBatch + runTrialsGPUAgg.
 func predictGPUAgg(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
-	plans []batchPlan) float64 {
+	o Options, plans []batchPlan) float64 {
 
 	sim := sched.NewSim(m, 0)
 	c := fam.Size()
@@ -296,18 +398,16 @@ func predictGPUAgg(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
 		plan := &plans[i]
 		np := len(plan.pieces)
 		valid, splits := aggCounts(in, plan, s)
-		sim.HostWork(stageNs(plan))
-		sim.Copy(-1, plan.words, true) // data
-		sim.Copy(-1, np+1, true)       // offsets
-		sim.Copy(-1, np, true)         // owners
-		sim.Copy(-1, np, true)         // flags
+		sim.HostWork(stageNs(plan) + packNs(o, plan.words))
+		replayBatchUpload(sim, m, o, -1, plan.words, np) // data + offsets
+		sim.Copy(-1, np, true)                           // owners
+		sim.Copy(-1, np, true)                           // flags
 		hostNs := float64(valid+splits*2*s) * AggregateNsPerOp
 		for trial := 0; trial < c; trial++ {
-			sim.Copy(-1, 2, true)
-			if plan.words > 0 {
-				sim.KernelRawNs(-1, transformNs(m, plan.words))
+			if o.residentParams == nil {
+				sim.Copy(-1, 2, true)
 			}
-			sim.KernelRawNs(-1, topsNs(m, plan.words, np, false))
+			sim.KernelRawNs(-1, trialKernelsNs(m, o, plan.words, np))
 			sim.KernelRawNs(-1, m.KernelNsPerUnit[kAggTail]*float64(np))
 			sim.Copy(-1, 3*valid, false)
 			for r := 0; r < splits; r++ {
@@ -365,24 +465,20 @@ func predictPipelined(m *sched.Model, in *SegGraph, fam minwise.Family, s int,
 		plan := &plans[k]
 		np := len(plan.pieces)
 		if t0 == 0 && staged != k {
-			sim.HostWork(stageNs(plan))
+			sim.HostWork(stageNs(plan) + packNs(o, plan.words))
 			staged = k
 		}
 		lane := item % lanes
 		drain(lane)
 		if laneBatch[lane] != k {
-			if laneBatch[lane] < 0 {
+			if laneBatch[lane] < 0 && o.residentParams == nil {
 				sim.Copy(lane, 2*c, true) // params table
 			}
-			sim.Copy(lane, plan.words, true)
-			sim.Copy(lane, np+1, true)
+			replayBatchUpload(sim, m, o, lane, plan.words, np)
 			laneBatch[lane] = k
 		}
 		for trial := t0; trial < t1; trial++ {
-			if plan.words > 0 {
-				sim.KernelRawNs(lane, transformNs(m, plan.words))
-			}
-			sim.KernelRawNs(lane, topsNs(m, plan.words, np, o.UseFullSort))
+			sim.KernelRawNs(lane, trialKernelsNs(m, o, plan.words, np))
 		}
 		sim.Copy(lane, (t1-t0)*np*s, false)
 		inFlight[lane] = item
@@ -433,8 +529,10 @@ func minShingleBudget(s int, gpuAggregate bool) int {
 // shingleFeasible reports whether the candidate's device footprint fits
 // free memory: the planner's budget is itself a conservative footprint
 // bound for the sequential paths, and the pipelined executor keeps
-// `lanes` fully independent stagings resident.
-func shingleFeasible(freeWords int, plans []batchPlan, cand sched.Candidate, s, c int) bool {
+// `lanes` fully independent stagings resident. o carries the resolved pass
+// shape (packed width, residency) whose buffers the lanes actually allocate;
+// o.fusedPlan must hold the candidate's fusion choice.
+func shingleFeasible(freeWords int, plans []batchPlan, cand sched.Candidate, s, c int, o Options) bool {
 	if cand.Lanes <= 1 {
 		return cand.BudgetWords <= freeWords
 	}
@@ -444,7 +542,23 @@ func shingleFeasible(freeWords int, plans []batchPlan, cand sched.Candidate, s, 
 		maxPieces = max(maxPieces, len(p.pieces))
 	}
 	groupTrials := min(max(maxWords/(maxPieces*s), 1), c)
-	laneWords := 2*maxWords + (maxPieces + 1) + groupTrials*maxPieces*s + 2*c
+	packedWords := gpusim.PackedLen(maxWords, o.dataBits)
+	var laneWords int
+	switch {
+	case o.dataBits > 0 && o.fusedPlan:
+		laneWords = packedWords // the in-place image
+	case o.dataBits > 0:
+		laneWords = maxWords + packedWords // expanded data + packed staging
+	default:
+		laneWords = maxWords
+	}
+	if needsHashBuf(o) {
+		laneWords += maxWords
+	}
+	laneWords += (maxPieces + 1) + groupTrials*maxPieces*s
+	if o.residentParams == nil {
+		laneWords += 2 * c
+	}
 	return cand.Lanes*laneWords <= freeWords
 }
 
@@ -461,10 +575,21 @@ func autotunePass(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	m := calibrateShingleModel(dev.Config(), in, fam, s, o)
 	c := fam.Size()
 
+	// Fusion is a per-candidate choice: with o.Fuse the sweep crosses every
+	// budget × lane pair with both kernel shapes and the argmin decides —
+	// the fused kernel trades a launch and the hash-buffer round trip for
+	// hash work at the selection kernel's occupancy, so neither side wins
+	// universally.
+	fusedSet := []bool{false}
+	if o.Fuse {
+		fusedSet = []bool{false, true}
+	}
 	var cands []sched.Candidate
 	for _, b := range sched.Budgets(maxB, minB) {
 		for _, l := range shingleLaneSet(o) {
-			cands = append(cands, sched.Candidate{BudgetWords: b, Lanes: l})
+			for _, f := range fusedSet {
+				cands = append(cands, sched.Candidate{BudgetWords: b, Lanes: l, Fused: f})
+			}
 		}
 	}
 	planCache := map[int][]batchPlan{}
@@ -481,10 +606,12 @@ func autotunePass(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	}
 	best, predicted, ok := sched.Pick(cands, func(cand sched.Candidate) (float64, bool) {
 		plans := plansFor(cand.BudgetWords)
-		if plans == nil || !shingleFeasible(freeWords, plans, cand, s, c) {
+		po := o
+		po.fusedPlan = cand.Fused
+		if plans == nil || !shingleFeasible(freeWords, plans, cand, s, c, po) {
 			return 0, false
 		}
-		return predictShinglePlans(m, in, fam, s, o, plans, cand.Lanes), true
+		return predictShinglePlans(m, in, fam, s, po, plans, cand.Lanes), true
 	})
 	if !ok {
 		budget := legacyShingleBudget(dev, o)
@@ -496,11 +623,11 @@ func autotunePass(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 		if o.PipelineBatches {
 			lanes = 2
 		}
-		return sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans)},
+		return sched.PlanReport{BudgetWords: budget, Lanes: lanes, Fused: o.Fuse, Batches: len(plans)},
 			plans, lanes, nil
 	}
 	plans := plansFor(best.BudgetWords)
 	rep := sched.PlanReport{AutoTuned: true, BudgetWords: best.BudgetWords,
-		Lanes: best.Lanes, Batches: len(plans), PredictedNs: predicted}
+		Lanes: best.Lanes, Fused: best.Fused, Batches: len(plans), PredictedNs: predicted}
 	return rep, plans, best.Lanes, nil
 }

@@ -23,6 +23,11 @@ var (
 	// unions/finds, component walks).
 	ReportNsPerOp = 20.0
 
+	// PackNsPerOp prices packing one 32-bit adjacency value into the packed
+	// device image (bit-offset arithmetic, shift, or) before an H2D copy.
+	// The same rate the pgraph staging path charges for residue packing.
+	PackNsPerOp = 8.0
+
 	// DiskBytesPerSec models the experimental platform's disk for the
 	// "Disk I/O" column of Table I.
 	DiskBytesPerSec = 14e6
@@ -33,12 +38,14 @@ type cpuAccount struct {
 	serialOps int64 // serial shingle extraction (serial backend only)
 	aggOps    int64 // tuple aggregation + shingle-graph building
 	reportOps int64 // Phase III reporting
+	packOps   int64 // packed-image assembly before H2D staging
 	diskBytes int64
 }
 
 func (a *cpuAccount) serialNs() float64 { return float64(a.serialOps) * SerialShingleNsPerOp }
 func (a *cpuAccount) aggNs() float64    { return float64(a.aggOps) * AggregateNsPerOp }
 func (a *cpuAccount) reportNs() float64 { return float64(a.reportOps) * ReportNsPerOp }
+func (a *cpuAccount) packNs() float64   { return float64(a.packOps) * PackNsPerOp }
 func (a *cpuAccount) diskNs() float64 {
 	return float64(a.diskBytes) / DiskBytesPerSec * 1e9
 }

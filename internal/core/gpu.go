@@ -34,6 +34,20 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 
 	dev.Reset()
 
+	// Both passes' hash-pair tables <A_j, B_j> are loop-invariant for the
+	// whole run: stage them device-resident once, for every batch and lane
+	// of both passes. On allocation or transfer failure the run degrades to
+	// the per-batch upload path (residentParams == nil), mirroring the
+	// BLOSUM62 residency ladder in pgraph.
+	o.residentParams = uploadResidentParams(dev, fam1, fam2)
+	freeResident := func() {
+		if o.residentParams != nil {
+			o.residentParams.Free()
+			o.residentParams = nil
+		}
+	}
+	defer freeResident()
+
 	// "CPU initiate[s] the task by loading graph into HM" (Algorithm 2).
 	acct.diskBytes = graphDiskBytes(g)
 	ph := startPhase(dev, o.Obs, obs.NameRead)
@@ -77,18 +91,25 @@ func ClusterGPU(g *graph.Graph, dev *gpusim.Device, o Options) (*Result, error) 
 	res.Wall.ReportNs = sw.Lap()
 	res.Wall.TotalNs = sw.Total()
 
+	freeResident()
 	dev.Synchronize()
 	m := dev.Metrics()
 	res.Timings = Timings{
 		// ShingleNs is nonzero only when fault recovery degraded batches
 		// to host-side shingling.
-		ShingleNs: acct.serialNs(),
-		CPUNs:     acct.aggNs() + acct.reportNs(),
-		GPUNs:     m.KernelTimeNs,
-		H2DNs:     m.H2DTimeNs,
-		D2HNs:     m.D2HTimeNs,
-		DiskIONs:  acct.diskNs(),
-		TotalNs:   dev.HostTime(),
+		ShingleNs:   acct.serialNs(),
+		CPUNs:       acct.aggNs() + acct.reportNs() + acct.packNs(),
+		GPUNs:       m.KernelTimeNs,
+		H2DNs:       m.H2DTimeNs,
+		D2HNs:       m.D2HTimeNs,
+		DiskIONs:    acct.diskNs(),
+		TotalNs:     dev.HostTime(),
+		H2DSetupNs:  m.H2DSetupNs,
+		H2DVolumeNs: m.H2DVolumeNs,
+		D2HSetupNs:  m.D2HSetupNs,
+		D2HVolumeNs: m.D2HVolumeNs,
+		H2DBytes:    m.H2DBytes,
+		D2HBytes:    m.D2HBytes,
 	}
 	assertDeviceClean(dev)
 	recordRunMetrics(o.Obs, res)
@@ -239,6 +260,11 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 		}
 	}
 
+	// Resolve the pass's packed image width: every adjacency value at the
+	// smallest width that holds the pass's maximum. Planning-time host work,
+	// uncharged like the batch planner itself.
+	o.dataBits = packWidth(o, in)
+
 	lanes := 1
 	if o.PipelineBatches {
 		lanes = 2
@@ -251,7 +277,12 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 		if err != nil {
 			return nil, err
 		}
+		// Fusion only where the model says it wins: the candidate sweep
+		// crossed fused with unfused plans and the argmin decided.
+		o.fusedPlan = report.Fused
 	} else {
+		// Fixed and legacy plans fuse unconditionally when allowed.
+		o.fusedPlan = o.Fuse
 		budget := o.BatchWords
 		if budget == 0 {
 			budget = legacyShingleBudget(dev, o)
@@ -261,7 +292,7 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 		if err != nil {
 			return nil, err
 		}
-		report = sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans)}
+		report = sched.PlanReport{BudgetWords: budget, Lanes: lanes, Fused: o.fusedPlan, Batches: len(plans)}
 		if o.PredictCost {
 			m := calibrateShingleModel(dev.Config(), in, fam, s, o)
 			report.PredictedNs = predictShinglePlans(m, in, fam, s, o, plans, lanes)
@@ -321,6 +352,97 @@ func runPassGPU(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int,
 	return out, nil
 }
 
+// packWidth resolves a pass's packed image width: the smallest bit width
+// that holds every adjacency value, or 0 (unpacked) when Packed is off or
+// the values need full words anyway.
+func packWidth(o Options, in *SegGraph) int {
+	if !o.Packed || len(in.Data) == 0 {
+		return 0
+	}
+	if bits := gpusim.MinBits(in.Data); bits < 32 {
+		return bits
+	}
+	return 0
+}
+
+// uploadResidentParams stages both trial families' <A_j, B_j> tables in one
+// device buffer for the whole run ([2·c1 words | 2·c2 words]). Returns nil
+// on any allocation or transfer failure: the caller then degrades to the
+// per-batch upload path, exactly like a failed BLOSUM62 residency upload.
+func uploadResidentParams(dev *gpusim.Device, fam1, fam2 minwise.Family) *gpusim.Buffer {
+	host := make([]uint32, 0, 2*(fam1.Size()+fam2.Size()))
+	for _, fam := range []minwise.Family{fam1, fam2} {
+		for _, h := range fam.Pairs {
+			host = append(host, uint32(h.A), uint32(h.B))
+		}
+	}
+	buf, err := dev.Malloc(len(host))
+	if err != nil {
+		return nil
+	}
+	if err := dev.CopyH2D(buf, 0, host); err != nil {
+		buf.Free()
+		return nil
+	}
+	return buf
+}
+
+// batchImage is the device-resident form of one batch's adjacency data:
+// the plain full-width word buffer (bits == 0), or a packed image at bits
+// per value that the fused kernels read in place.
+type batchImage struct {
+	buf  *gpusim.Buffer
+	bits int
+}
+
+// uploadBatchImage moves one batch's adjacency data to the device in the
+// form the pass's plan calls for. Packed passes ship the packed image —
+// cutting the copy's bandwidth-proportional cost by bits/32 — and either
+// leave it packed for the fused kernels or expand it with the unpack kernel
+// when the plan is unfused; the packed staging is freed right after the
+// expansion so the batch footprint stays inside the planner's bound.
+func uploadBatchImage(dev *gpusim.Device, o Options, hostData []uint32, acct *cpuAccount) (batchImage, func(), error) {
+	none := func() {}
+	if o.dataBits <= 0 {
+		buf, err := dev.Malloc(len(hostData))
+		if err != nil {
+			return batchImage{}, none, err
+		}
+		if err := dev.CopyH2D(buf, 0, hostData); err != nil {
+			buf.Free()
+			return batchImage{}, none, err
+		}
+		return batchImage{buf: buf}, func() { buf.Free() }, nil
+	}
+
+	hostPacked := gpusim.PackBits(hostData, o.dataBits)
+	acct.packOps += int64(len(hostData))
+	chargeHost(dev, o.Obs, "pack", float64(len(hostData))*PackNsPerOp)
+	packedBuf, err := dev.Malloc(len(hostPacked))
+	if err != nil {
+		return batchImage{}, none, err
+	}
+	if err := dev.CopyH2D(packedBuf, 0, hostPacked); err != nil {
+		packedBuf.Free()
+		return batchImage{}, none, err
+	}
+	if o.fusedPlan {
+		return batchImage{buf: packedBuf, bits: o.dataBits}, func() { packedBuf.Free() }, nil
+	}
+	dataBuf, err := dev.Malloc(len(hostData))
+	if err != nil {
+		packedBuf.Free()
+		return batchImage{}, none, err
+	}
+	if err := thrust.UnpackBits(dev, packedBuf, dataBuf, len(hostData), o.dataBits); err != nil {
+		packedBuf.Free()
+		dataBuf.Free()
+		return batchImage{}, none, err
+	}
+	packedBuf.Free()
+	return batchImage{buf: dataBuf}, func() { dataBuf.Free() }, nil
+}
+
 // runBatch moves one batch of adjacency-list pieces to the device, runs all
 // c shingling trials on it, and streams the shingle results back for CPU
 // aggregation. With o.AsyncTransfer the trials are double-buffered across
@@ -343,19 +465,16 @@ func runBatch(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int, o Opt
 	acct.aggOps += int64(len(hostData) + numPieces)
 	chargeHost(dev, o.Obs, "stage", float64(len(hostData)+numPieces)*AggregateNsPerOp)
 
-	dataBuf, err := dev.Malloc(len(hostData))
+	img, freeImg, err := uploadBatchImage(dev, o, hostData, acct)
 	if err != nil {
 		return err
 	}
-	defer dataBuf.Free()
+	defer freeImg()
 	offBuf, err := dev.Malloc(numPieces + 1)
 	if err != nil {
 		return err
 	}
 	defer offBuf.Free()
-	if err := dev.CopyH2D(dataBuf, 0, hostData); err != nil {
-		return err
-	}
 	if err := dev.CopyH2D(offBuf, 0, hostOff); err != nil {
 		return err
 	}
@@ -370,50 +489,88 @@ func runBatch(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s int, o Opt
 
 	switch {
 	case o.GPUAggregate:
-		return runTrialsGPUAgg(dev, in, plan, segs, fam, s, o, dataBuf, len(hostData),
+		return runTrialsGPUAgg(dev, in, plan, segs, fam, s, o, img, len(hostData),
 			tuplesByTrial, sortedByTrial, pending, acct, stats)
 	case o.AsyncTransfer:
-		return runTrialsAsync(dev, dataBuf, segs, fam, s, o, len(hostData), numPieces, processTrial)
+		return runTrialsAsync(dev, img, segs, fam, s, o, len(hostData), numPieces, processTrial)
 	default:
-		return runTrialsSync(dev, dataBuf, segs, fam, s, o, len(hostData), numPieces, processTrial)
+		return runTrialsSync(dev, img, segs, fam, s, o, len(hostData), numPieces, processTrial)
 	}
+}
+
+// needsHashBuf reports whether the plan's trial kernels stage hashed values
+// in a full-width scratch buffer: always when unfused, and under UseFullSort
+// even fused (the fused sort writes the sorted hashes for the gather).
+func needsHashBuf(o Options) bool {
+	return !o.fusedPlan || o.UseFullSort
+}
+
+// trialKernels enqueues one trial's device work over the batch image: the
+// fused single launch (hash + top-s selection reading the image in place),
+// the fused sort + gather pair under UseFullSort, or the classic
+// transform_hash + top-s sequence. All forms write the trial's
+// sentinel-padded minima rows at out[outBase:...] and are bit-identical.
+func trialKernels(dev *gpusim.Device, st *gpusim.Stream, img batchImage, hashBuf *gpusim.Buffer,
+	segs thrust.Segments, s int, o Options, dataWords int, a, b uint64,
+	outBuf *gpusim.Buffer, outBase int) error {
+
+	if o.fusedPlan {
+		if !o.UseFullSort {
+			return thrust.FusedHashTopS(dev, st, img.buf, img.bits, segs, s, a, b, minwise.Prime, outBuf, outBase)
+		}
+		if err := thrust.FusedHashSort(dev, st, img.buf, img.bits, segs, a, b, minwise.Prime, hashBuf); err != nil {
+			return err
+		}
+		return gatherTopS(dev, st, hashBuf, segs, s, outBuf, outBase)
+	}
+	if err := thrust.TransformHashOnStream(dev, st, img.buf, hashBuf, dataWords, a, b, minwise.Prime); err != nil {
+		return err
+	}
+	return topSKernel(dev, st, hashBuf, segs, s, outBuf, outBase, o.UseFullSort)
 }
 
 // runTrialsSync is the paper's synchronous pipeline: per trial, hash
 // transform, segmented top-s (or full sort), synchronous D2H, then CPU
 // aggregation — "the data movement operations are implemented using
 // synchronous mechanism, and the overhead ... is unavoidable".
-func runTrialsSync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segments,
+func runTrialsSync(dev *gpusim.Device, img batchImage, segs thrust.Segments,
 	fam minwise.Family, s int, o Options, dataWords, numPieces int,
 	processTrial func(int, []uint32)) error {
 
-	hashBuf, err := dev.Malloc(dataWords)
-	if err != nil {
-		return err
+	var hashBuf *gpusim.Buffer
+	if needsHashBuf(o) {
+		var err error
+		hashBuf, err = dev.Malloc(dataWords)
+		if err != nil {
+			return err
+		}
+		defer hashBuf.Free()
 	}
-	defer hashBuf.Free()
 	outBuf, err := dev.Malloc(numPieces * s)
 	if err != nil {
 		return err
 	}
 	defer outBuf.Free()
 	// The trial's hash-pair constants <A_j, B_j> travel to the device each
-	// iteration (the functor state of the thrust::transform call).
-	paramsBuf, err := dev.Malloc(2)
-	if err != nil {
-		return err
+	// iteration (the functor state of the thrust::transform call) — unless
+	// the whole table is already device-resident for the run.
+	var paramsBuf *gpusim.Buffer
+	if o.residentParams == nil {
+		paramsBuf, err = dev.Malloc(2)
+		if err != nil {
+			return err
+		}
+		defer paramsBuf.Free()
 	}
-	defer paramsBuf.Free()
 	hostOut := make([]uint32, numPieces*s)
 
 	for trial, h := range fam.Pairs {
-		if err := dev.CopyH2D(paramsBuf, 0, []uint32{uint32(h.A), uint32(h.B)}); err != nil {
-			return err
+		if paramsBuf != nil {
+			if err := dev.CopyH2D(paramsBuf, 0, []uint32{uint32(h.A), uint32(h.B)}); err != nil {
+				return err
+			}
 		}
-		if err := thrust.TransformHash(dev, dataBuf, hashBuf, dataWords, h.A, h.B, minwise.Prime); err != nil {
-			return err
-		}
-		if err := topSKernel(dev, nil, hashBuf, segs, s, outBuf, 0, o.UseFullSort); err != nil {
+		if err := trialKernels(dev, nil, img, hashBuf, segs, s, o, dataWords, h.A, h.B, outBuf, 0); err != nil {
 			return err
 		}
 		if err := dev.CopyD2H(hostOut, outBuf, 0); err != nil {
@@ -428,7 +585,7 @@ func runTrialsSync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segme
 // streams: while trial t's shingles transfer back and are aggregated on the
 // CPU, trial t+1's kernels already run — the asynchronous operation the
 // paper names as the path to better performance (Sections III-C, V).
-func runTrialsAsync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segments,
+func runTrialsAsync(dev *gpusim.Device, img batchImage, segs thrust.Segments,
 	fam minwise.Family, s int, o Options, dataWords, numPieces int,
 	processTrial func(int, []uint32)) error {
 
@@ -446,32 +603,33 @@ func runTrialsAsync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segm
 			if l == nil {
 				continue
 			}
-			l.hash.Free()
-			l.out.Free()
-			l.params.Free()
+			for _, b := range []*gpusim.Buffer{l.hash, l.out, l.params} {
+				if b != nil {
+					b.Free()
+				}
+			}
 		}
 	}()
 	for i := range lanes {
-		hash, err := dev.Malloc(dataWords)
-		if err != nil {
-			return err
-		}
-		out, err := dev.Malloc(numPieces * s)
-		if err != nil {
-			hash.Free()
-			return err
-		}
-		params, err := dev.Malloc(2)
-		if err != nil {
-			hash.Free()
-			out.Free()
-			return err
-		}
-		lanes[i] = &lane{
-			hash: hash, out: out, params: params,
+		l := &lane{
 			stream:   dev.NewStream(),
 			host:     make([]uint32, numPieces*s),
 			inFlight: -1,
+		}
+		lanes[i] = l
+		var err error
+		if needsHashBuf(o) {
+			if l.hash, err = dev.Malloc(dataWords); err != nil {
+				return err
+			}
+		}
+		if l.out, err = dev.Malloc(numPieces * s); err != nil {
+			return err
+		}
+		if o.residentParams == nil {
+			if l.params, err = dev.Malloc(2); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -486,13 +644,12 @@ func runTrialsAsync(dev *gpusim.Device, dataBuf *gpusim.Buffer, segs thrust.Segm
 	for trial, h := range fam.Pairs {
 		l := lanes[trial%2]
 		drain(l)
-		if err := dev.CopyH2DAsync(l.stream, l.params, 0, []uint32{uint32(h.A), uint32(h.B)}); err != nil {
-			return err
+		if l.params != nil {
+			if err := dev.CopyH2DAsync(l.stream, l.params, 0, []uint32{uint32(h.A), uint32(h.B)}); err != nil {
+				return err
+			}
 		}
-		if err := thrust.TransformHashOnStream(dev, l.stream, dataBuf, l.hash, dataWords, h.A, h.B, minwise.Prime); err != nil {
-			return err
-		}
-		if err := topSKernel(dev, l.stream, l.hash, segs, s, l.out, 0, o.UseFullSort); err != nil {
+		if err := trialKernels(dev, l.stream, img, l.hash, segs, s, o, dataWords, h.A, h.B, l.out, 0); err != nil {
 			return err
 		}
 		if err := dev.CopyD2HAsync(l.stream, l.host, l.out, 0); err != nil {
@@ -522,7 +679,14 @@ func topSKernel(dev *gpusim.Device, st *gpusim.Stream, hashBuf *gpusim.Buffer,
 	if err := thrust.SegmentedSortOnStream(dev, st, hashBuf, segs); err != nil {
 		return err
 	}
-	// Gather the first s elements of each (now sorted) segment.
+	return gatherTopS(dev, st, hashBuf, segs, s, outBuf, outBase)
+}
+
+// gatherTopS gathers the first s elements of each (already sorted) segment
+// of hashBuf into sentinel-padded rows at outBuf[outBase:...). Shared by the
+// full-sort path's tail and the fused sort's tail.
+func gatherTopS(dev *gpusim.Device, st *gpusim.Stream, hashBuf *gpusim.Buffer,
+	segs thrust.Segments, s int, outBuf *gpusim.Buffer, outBase int) error {
 	const bd = 256
 	grid := (segs.NumSegs + bd - 1) / bd
 	dev.NextKernelName("gather_top_s")

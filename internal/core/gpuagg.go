@@ -27,28 +27,35 @@ const invalidWord = 0xFFFFFFFF
 // and sorting. For split pieces the per-trial minima still come back via
 // small per-row copies and are merged on the CPU as usual.
 func runTrialsGPUAgg(dev *gpusim.Device, in *SegGraph, plan batchPlan, segs thrust.Segments,
-	fam minwise.Family, s int, o Options, dataBuf *gpusim.Buffer, dataWords int,
+	fam minwise.Family, s int, o Options, img batchImage, dataWords int,
 	tuplesByTrial [][]tuple, sortedByTrial [][][]tuple, pending map[int]*pendingShingle,
 	acct *cpuAccount, stats *PassStats) error {
 
 	numPieces := len(plan.pieces)
 	c := fam.Size()
 
-	hashBuf, err := dev.Malloc(dataWords)
-	if err != nil {
-		return err
+	var hashBuf *gpusim.Buffer
+	var err error
+	if needsHashBuf(o) {
+		hashBuf, err = dev.Malloc(dataWords)
+		if err != nil {
+			return err
+		}
+		defer hashBuf.Free()
 	}
-	defer hashBuf.Free()
 	outBuf, err := dev.Malloc(numPieces * s)
 	if err != nil {
 		return err
 	}
 	defer outBuf.Free()
-	paramsBuf, err := dev.Malloc(2)
-	if err != nil {
-		return err
+	var paramsBuf *gpusim.Buffer
+	if o.residentParams == nil {
+		paramsBuf, err = dev.Malloc(2)
+		if err != nil {
+			return err
+		}
+		defer paramsBuf.Free()
 	}
-	defer paramsBuf.Free()
 
 	// Owner ids and validity flags are static per batch: upload once.
 	hostOwner := make([]uint32, numPieces)
@@ -110,13 +117,12 @@ func runTrialsGPUAgg(dev *gpusim.Device, in *SegGraph, plan batchPlan, segs thru
 	hostRow := make([]uint32, s)
 
 	for trial, h := range fam.Pairs {
-		if err := dev.CopyH2D(paramsBuf, 0, []uint32{uint32(h.A), uint32(h.B)}); err != nil {
-			return err
+		if paramsBuf != nil {
+			if err := dev.CopyH2D(paramsBuf, 0, []uint32{uint32(h.A), uint32(h.B)}); err != nil {
+				return err
+			}
 		}
-		if err := thrust.TransformHash(dev, dataBuf, hashBuf, dataWords, h.A, h.B, minwise.Prime); err != nil {
-			return err
-		}
-		if err := thrust.SegmentedTopS(dev, hashBuf, segs, s, outBuf); err != nil {
+		if err := trialKernels(dev, nil, img, hashBuf, segs, s, o, dataWords, h.A, h.B, outBuf, 0); err != nil {
 			return err
 		}
 		if err := shingleKeyKernel(dev, outBuf, flagBuf, ownerBuf, numPieces, s, uint32(trial), keyHi, keyLo, valBuf); err != nil {

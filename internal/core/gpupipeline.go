@@ -53,12 +53,17 @@ import (
 // split-list merging happen in the identical order and the clustering is
 // bit-identical for any lane count.
 
-// shingleLane is one pipeline lane's device staging.
+// shingleLane is one pipeline lane's device staging. Under a packed+fused
+// plan `data` holds the packed image the fused kernels read in place; under
+// a packed+unfused plan `packed` receives the H2D image and the unpack
+// kernel expands it into the full-width `data`. `hash` exists only when the
+// plan's trial kernels stage full-width hashes (unfused, or full-sort);
+// `params` only when the hash-pair table is not device-resident run-wide.
 type shingleLane struct {
-	data, off, hash, out, params *gpusim.Buffer
-	stream                       *gpusim.Stream
-	hostOut                      []uint32 // in-flight item's packed shingle rows
-	batch                        int      // batch resident in data/off (-1: none)
+	data, packed, off, hash, out, params *gpusim.Buffer
+	stream                               *gpusim.Stream
+	hostOut                              []uint32 // in-flight item's packed shingle rows
+	batch                                int      // batch resident in data/off (-1: none)
 }
 
 // shingleLanes adapts the shingling pass to sched.LaneWorkload: items are
@@ -81,10 +86,12 @@ type shingleLanes struct {
 	hostParams []uint32 // <A_j, B_j> table for all c trials
 	// Host staging for the current batch, shared across lanes: the H2D
 	// copies capture contents at enqueue, and every item of batch k
-	// enqueues before batch k+1 is staged.
-	hostData []uint32
-	hostOff  []uint32
-	staged   int // batch resident in hostData (-1: none)
+	// enqueues before batch k+1 is staged. hostPacked is the batch's packed
+	// image, built once per batch alongside hostData when the pass packs.
+	hostData   []uint32
+	hostPacked []uint32
+	hostOff    []uint32
+	staged     int // batch resident in hostData (-1: none)
 }
 
 // itemGroup decodes a work item into its batch and trial group.
@@ -110,6 +117,11 @@ func (w *shingleLanes) Prepare(item int) {
 	w.hostOff[0] = 0
 	w.acct.aggOps += int64(len(w.hostData) + len(plan.pieces))
 	chargeHost(w.dev, w.o.Obs, "stage", float64(len(w.hostData)+len(plan.pieces))*AggregateNsPerOp)
+	if w.o.dataBits > 0 {
+		w.hostPacked = gpusim.PackBits(w.hostData, w.o.dataBits)
+		w.acct.packOps += int64(len(w.hostData))
+		chargeHost(w.dev, w.o.Obs, "pack", float64(len(w.hostData))*PackNsPerOp)
+	}
 	w.staged = k
 }
 
@@ -119,30 +131,50 @@ func (w *shingleLanes) Enqueue(item, lane int) error {
 	plan := &w.plans[k]
 	numPieces := len(plan.pieces)
 	if l.batch != k {
-		if l.batch < 0 {
+		if l.batch < 0 && l.params != nil {
 			// First use of the lane: stage the trial table.
 			if err := w.dev.CopyH2DAsync(l.stream, l.params, 0, w.hostParams); err != nil {
 				return err
 			}
 		}
-		// First item of batch k on this lane: stage the batch.
-		if err := w.dev.CopyH2DAsync(l.stream, l.data, 0, w.hostData); err != nil {
-			return err
+		// First item of batch k on this lane: stage the batch — the packed
+		// image when the pass packs, expanded on-stream when the plan is
+		// unfused so the trial kernels read full-width words.
+		bits := w.o.dataBits
+		switch {
+		case bits > 0 && w.o.fusedPlan:
+			if err := w.dev.CopyH2DAsync(l.stream, l.data, 0, w.hostPacked); err != nil {
+				return err
+			}
+		case bits > 0:
+			if err := w.dev.CopyH2DAsync(l.stream, l.packed, 0, w.hostPacked); err != nil {
+				return err
+			}
+		default:
+			if err := w.dev.CopyH2DAsync(l.stream, l.data, 0, w.hostData); err != nil {
+				return err
+			}
 		}
 		if err := w.dev.CopyH2DAsync(l.stream, l.off, 0, w.hostOff[:numPieces+1]); err != nil {
 			return err
 		}
+		if bits > 0 && !w.o.fusedPlan {
+			if err := thrust.UnpackBitsOnStream(w.dev, l.stream, l.packed, l.data,
+				len(w.hostData), bits); err != nil {
+				return err
+			}
+		}
 		l.batch = k
 	}
 	segs := thrust.Segments{Offsets: l.off, NumSegs: numPieces}
+	img := batchImage{buf: l.data}
+	if w.o.dataBits > 0 && w.o.fusedPlan {
+		img.bits = w.o.dataBits
+	}
 	for trial := t0; trial < t1; trial++ {
 		h := w.fam.Pairs[trial]
-		if err := thrust.TransformHashOnStream(w.dev, l.stream, l.data, l.hash,
-			len(w.hostData), h.A, h.B, minwise.Prime); err != nil {
-			return err
-		}
-		if err := topSKernel(w.dev, l.stream, l.hash, segs, w.s, l.out,
-			(trial-t0)*numPieces*w.s, w.o.UseFullSort); err != nil {
+		if err := trialKernels(w.dev, l.stream, img, l.hash, segs, w.s, w.o,
+			len(w.hostData), h.A, h.B, l.out, (trial-t0)*numPieces*w.s); err != nil {
 			return err
 		}
 	}
@@ -211,25 +243,38 @@ func runBatchesPipelined(dev *gpusim.Device, in *SegGraph, fam minwise.Family, s
 			if l == nil {
 				continue
 			}
-			for _, b := range []*gpusim.Buffer{l.data, l.off, l.hash, l.out, l.params} {
+			for _, b := range []*gpusim.Buffer{l.data, l.packed, l.off, l.hash, l.out, l.params} {
 				if b != nil {
 					b.Free()
 				}
 			}
 		}
 	}
+	packedWords := gpusim.PackedLen(maxWords, o.dataBits)
 	for i := range w.lanes {
 		l := &shingleLane{stream: dev.NewStream(), batch: -1}
 		w.lanes[i] = l
 		var err error
-		if l.data, err = dev.Malloc(maxWords); err == nil {
-			if l.off, err = dev.Malloc(maxPieces + 1); err == nil {
-				if l.hash, err = dev.Malloc(maxWords); err == nil {
-					if l.out, err = dev.Malloc(groupTrials * maxPieces * s); err == nil {
-						l.params, err = dev.Malloc(2 * c)
-					}
-				}
+		alloc := func(dst **gpusim.Buffer, n int) {
+			if err == nil {
+				*dst, err = dev.Malloc(n)
 			}
+		}
+		if o.dataBits > 0 && o.fusedPlan {
+			alloc(&l.data, packedWords) // the packed image, read in place
+		} else {
+			alloc(&l.data, maxWords)
+			if o.dataBits > 0 {
+				alloc(&l.packed, packedWords) // H2D staging for the unpack
+			}
+		}
+		alloc(&l.off, maxPieces+1)
+		if needsHashBuf(o) {
+			alloc(&l.hash, maxWords)
+		}
+		alloc(&l.out, groupTrials*maxPieces*s)
+		if o.residentParams == nil {
+			alloc(&l.params, 2*c)
 		}
 		if err != nil {
 			freeAll()

@@ -44,6 +44,22 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 	for _, d := range devs {
 		d.Reset()
 	}
+	// Per-device hash-table residency: each device stages both passes'
+	// <A_j, B_j> tables once; a device whose upload fails degrades to the
+	// per-batch path independently of its peers.
+	resident := make([]*gpusim.Buffer, len(devs))
+	for i, d := range devs {
+		resident[i] = uploadResidentParams(d, fam1, fam2)
+	}
+	freeResident := func() {
+		for i, b := range resident {
+			if b != nil {
+				b.Free()
+				resident[i] = nil
+			}
+		}
+	}
+	defer freeResident()
 	// The read span is recorded once (the charge repeats per device only to
 	// align their independent virtual timelines).
 	ph := startPhase(devs[0], o.Obs, obs.NameRead)
@@ -58,7 +74,7 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 
 	in := FromGraph(g)
 	ph = startPhase(devs[0], o.Obs, "shingle-pass1")
-	gi, err := runPassMultiGPU(devs, in, fam1, o.S1, o, "pass1", acct, &res.Pass1, &res.Faults)
+	gi, err := runPassMultiGPU(devs, resident, in, fam1, o.S1, o, "pass1", acct, &res.Pass1, &res.Faults)
 	endPhase(devs[0], ph)
 	if err != nil {
 		return nil, fmt.Errorf("core: first-level shingling: %w", err)
@@ -73,7 +89,7 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 	endPhase(devs[0], ph)
 
 	ph = startPhase(devs[0], o.Obs, "shingle-pass2")
-	gii, err := runPassMultiGPU(devs, pass2In, fam2, o.S2, o, "pass2", acct, &res.Pass2, &res.Faults)
+	gii, err := runPassMultiGPU(devs, resident, pass2In, fam2, o.S2, o, "pass2", acct, &res.Pass2, &res.Faults)
 	endPhase(devs[0], ph)
 	if err != nil {
 		return nil, fmt.Errorf("core: second-level shingling: %w", err)
@@ -85,6 +101,7 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 	chargeHost(devs[0], o.Obs, "report", float64(acct.reportOps-beforeReport)*ReportNsPerOp)
 	endPhase(devs[0], ph)
 
+	freeResident()
 	var total float64
 	var t Timings
 	for _, d := range devs {
@@ -93,12 +110,18 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 		t.GPUNs += m.KernelTimeNs
 		t.H2DNs += m.H2DTimeNs
 		t.D2HNs += m.D2HTimeNs
+		t.H2DSetupNs += m.H2DSetupNs
+		t.H2DVolumeNs += m.H2DVolumeNs
+		t.D2HSetupNs += m.D2HSetupNs
+		t.D2HVolumeNs += m.D2HVolumeNs
+		t.H2DBytes += m.H2DBytes
+		t.D2HBytes += m.D2HBytes
 		if d.HostTime() > total {
 			total = d.HostTime()
 		}
 	}
 	t.ShingleNs = acct.serialNs() // nonzero only after host-fallback recovery
-	t.CPUNs = acct.aggNs() + acct.reportNs()
+	t.CPUNs = acct.aggNs() + acct.reportNs() + acct.packNs()
 	t.DiskIONs = acct.diskNs()
 	t.TotalNs = total
 	res.Timings = t
@@ -110,8 +133,13 @@ func ClusterMultiGPU(g *graph.Graph, devs []*gpusim.Device, o Options) (*Result,
 }
 
 // runPassMultiGPU is runPassGPU with batches dealt round-robin to devices.
-func runPassMultiGPU(devs []*gpusim.Device, in *SegGraph, fam minwise.Family, s int,
+func runPassMultiGPU(devs []*gpusim.Device, resident []*gpusim.Buffer, in *SegGraph, fam minwise.Family, s int,
 	o Options, label string, acct *cpuAccount, stats *PassStats, rec *faults.Recovery) (*SegGraph, error) {
+
+	// Fixed-plan pass: the packed width and fusion choice resolve exactly
+	// as in runPassGPU's non-auto-tuned branch.
+	o.dataBits = packWidth(o, in)
+	o.fusedPlan = o.Fuse
 
 	stats.Lists = in.NumLists()
 	stats.Elements = int64(len(in.Data))
@@ -161,13 +189,15 @@ func runPassMultiGPU(devs []*gpusim.Device, in *SegGraph, fam minwise.Family, s 
 
 	for i, plan := range plans {
 		dev := devs[i%len(devs)]
+		od := o
+		od.residentParams = resident[i%len(devs)]
 		var end obs.Ending
 		var t0 float64
 		if o.Obs.Enabled() {
 			t0 = dev.HostTime()
 			end = o.Obs.Start(obs.TrackBatches, fmt.Sprintf("%s.b%d.dev%d", label, i, i%len(devs)), t0)
 		}
-		if err := runBatchResilient(dev, in, fam, s, o, plan, tuplesByTrial, nil, pending, acct, stats, rec); err != nil {
+		if err := runBatchResilient(dev, in, fam, s, od, plan, tuplesByTrial, nil, pending, acct, stats, rec); err != nil {
 			return nil, err
 		}
 		if o.Obs.Enabled() {

@@ -66,6 +66,24 @@ func recordRunMetrics(r *obs.Recorder, res *Result) {
 		"Clusters reported by the most recent run.").
 		Set(float64(res.NumClusters()))
 
+	// Transfer-cost split: the fixed per-copy setup ns versus the
+	// bandwidth-proportional volume ns, per direction. Packing shrinks only
+	// the volume term; coalescing shrinks only the setup term — the pair of
+	// gauges shows which lever a configuration actually pulled.
+	t := res.Timings
+	r.Gauge("gpclust_h2d_setup_ns",
+		"Fixed per-copy setup time across all host→device transfers.").Set(t.H2DSetupNs)
+	r.Gauge("gpclust_h2d_volume_ns",
+		"Bandwidth-proportional time across all host→device transfers.").Set(t.H2DVolumeNs)
+	r.Gauge("gpclust_d2h_setup_ns",
+		"Fixed per-copy setup time across all device→host transfers.").Set(t.D2HSetupNs)
+	r.Gauge("gpclust_d2h_volume_ns",
+		"Bandwidth-proportional time across all device→host transfers.").Set(t.D2HVolumeNs)
+	r.Gauge("gpclust_h2d_bytes",
+		"Bytes moved host→device by the most recent run.").Set(float64(t.H2DBytes))
+	r.Gauge("gpclust_d2h_bytes",
+		"Bytes moved device→host by the most recent run.").Set(float64(t.D2HBytes))
+
 	f := res.Faults
 	r.Counter("gpclust_fault_transfer_retries",
 		"Batches retried after an H2D/D2H transfer fault.").Add(f.TransferRetries)

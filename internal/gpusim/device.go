@@ -114,11 +114,21 @@ var ErrOutOfDeviceMemory = errors.New("gpusim: out of device memory")
 // Metrics aggregates the device's virtual-clock accounting.
 type Metrics struct {
 	KernelTimeNs   float64 // total simulated kernel execution time
-	H2DTimeNs      float64 // host→device copy time
-	D2HTimeNs      float64 // device→host copy time
+	H2DTimeNs      float64 // host→device copy time (setup + volume)
+	D2HTimeNs      float64 // device→host copy time (setup + volume)
 	H2DBytes       int64
 	D2HBytes       int64
 	KernelLaunches int64
+
+	// Transfer time split into the fixed per-call DMA/driver setup and the
+	// bandwidth-proportional volume component. H2DTimeNs = H2DSetupNs +
+	// H2DVolumeNs (likewise D2H); a zero-length copy charges setup only.
+	// Packed device images shrink the volume term while leaving setup
+	// untouched, which is why the split is reported separately.
+	H2DSetupNs  float64
+	H2DVolumeNs float64
+	D2HSetupNs  float64
+	D2HVolumeNs float64
 
 	ComputeTimeNs float64 // compute-bound portion across kernels
 	MemoryTimeNs  float64 // memory-bound portion across kernels
@@ -141,6 +151,10 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		H2DBytes:           m.H2DBytes - prev.H2DBytes,
 		D2HBytes:           m.D2HBytes - prev.D2HBytes,
 		KernelLaunches:     m.KernelLaunches - prev.KernelLaunches,
+		H2DSetupNs:         m.H2DSetupNs - prev.H2DSetupNs,
+		H2DVolumeNs:        m.H2DVolumeNs - prev.H2DVolumeNs,
+		D2HSetupNs:         m.D2HSetupNs - prev.D2HSetupNs,
+		D2HVolumeNs:        m.D2HVolumeNs - prev.D2HVolumeNs,
 		ComputeTimeNs:      m.ComputeTimeNs - prev.ComputeTimeNs,
 		MemoryTimeNs:       m.MemoryTimeNs - prev.MemoryTimeNs,
 		GlobalTransactions: m.GlobalTransactions - prev.GlobalTransactions,

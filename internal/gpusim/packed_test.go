@@ -1,0 +1,140 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPackedLen(t *testing.T) {
+	cases := []struct{ n, bits, want int }{
+		{0, 5, 0}, {-3, 5, 0}, {1, 1, 1}, {32, 1, 1}, {33, 1, 2},
+		{1, 5, 1}, {6, 5, 1}, {7, 5, 2}, {16, 2, 1}, {17, 2, 2},
+		{1, 32, 1}, {4, 32, 4},
+	}
+	for _, c := range cases {
+		if got := PackedLen(c.n, c.bits); got != c.want {
+			t.Errorf("PackedLen(%d, %d) = %d, want %d", c.n, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestMinBits(t *testing.T) {
+	cases := []struct {
+		vals []uint32
+		want int
+	}{
+		{nil, 1}, {[]uint32{0, 0}, 1}, {[]uint32{1}, 1}, {[]uint32{2}, 2},
+		{[]uint32{3}, 2}, {[]uint32{4}, 3}, {[]uint32{20}, 5},
+		{[]uint32{255}, 8}, {[]uint32{256}, 9}, {[]uint32{1 << 31}, 32},
+	}
+	for _, c := range cases {
+		if got := MinBits(c.vals); got != c.want {
+			t.Errorf("MinBits(%v) = %d, want %d", c.vals, got, c.want)
+		}
+	}
+}
+
+// TestPackBitsRoundTrip: UnpackBits(PackBits(v)) is the identity at every
+// width, including widths whose values straddle word boundaries.
+func TestPackBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for bits := 1; bits <= 32; bits++ {
+		for _, n := range []int{0, 1, 2, 31, 32, 33, 257} {
+			vals := make([]uint32, n)
+			mask := uint32(0xFFFFFFFF)
+			if bits < 32 {
+				mask = 1<<uint(bits) - 1
+			}
+			for i := range vals {
+				vals[i] = rng.Uint32() & mask
+			}
+			packed := PackBits(vals, bits)
+			if len(packed) != PackedLen(n, bits) {
+				t.Fatalf("bits=%d n=%d: packed length %d, want %d", bits, n, len(packed), PackedLen(n, bits))
+			}
+			got := UnpackBits(packed, n, bits)
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("bits=%d n=%d: value %d round-tripped to %d, want %d", bits, n, i, got[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPackBitsRejectsOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PackBits accepted a value wider than the image width")
+		}
+	}()
+	PackBits([]uint32{1 << 5}, 5)
+}
+
+// TestZeroLengthCopyChargesSetupOnly pins the transfer cost split: a
+// zero-length copy programs the DMA engine (fixed setup time) but moves no
+// bytes, so it contributes to the setup term and nothing to the volume term.
+func TestZeroLengthCopyChargesSetupOnly(t *testing.T) {
+	d := MustNew(K20Config())
+	buf := d.MustMalloc(16)
+	defer buf.Free()
+
+	if err := d.CopyH2D(buf, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyD2H(nil, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := d.Metrics()
+	setup := K20Config().TransferSetupNs
+	if m.H2DSetupNs != setup || m.D2HSetupNs != setup {
+		t.Fatalf("zero-length copies charged setup %.0f/%.0f ns, want %.0f each",
+			m.H2DSetupNs, m.D2HSetupNs, setup)
+	}
+	if m.H2DVolumeNs != 0 || m.D2HVolumeNs != 0 {
+		t.Fatalf("zero-length copies charged volume %.0f/%.0f ns, want 0", m.H2DVolumeNs, m.D2HVolumeNs)
+	}
+	if m.H2DBytes != 0 || m.D2HBytes != 0 {
+		t.Fatalf("zero-length copies moved %d/%d bytes, want 0", m.H2DBytes, m.D2HBytes)
+	}
+	if m.H2DTimeNs != m.H2DSetupNs+m.H2DVolumeNs || m.D2HTimeNs != m.D2HSetupNs+m.D2HVolumeNs {
+		t.Fatalf("transfer time is not setup+volume: %+v", m)
+	}
+}
+
+// TestMetricsTransferSplit: a real copy's time decomposes exactly into the
+// fixed setup and the byte-proportional volume, and Sub carries the split.
+func TestMetricsTransferSplit(t *testing.T) {
+	cfg := K20Config()
+	d := MustNew(cfg)
+	buf := d.MustMalloc(4096)
+	defer buf.Free()
+	before := d.Metrics()
+
+	data := make([]uint32, 4096)
+	if err := d.CopyH2D(buf, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, 1024)
+	if err := d.CopyD2H(out, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	m := d.Metrics().Sub(before)
+	wantH2DBytes := int64(4096) * WordBytes
+	wantD2HBytes := int64(1024) * WordBytes
+	if m.H2DBytes != wantH2DBytes || m.D2HBytes != wantD2HBytes {
+		t.Fatalf("moved %d/%d bytes, want %d/%d", m.H2DBytes, m.D2HBytes, wantH2DBytes, wantD2HBytes)
+	}
+	if m.H2DSetupNs != cfg.TransferSetupNs || m.D2HSetupNs != cfg.TransferSetupNs {
+		t.Fatalf("setup %.0f/%.0f ns, want %.0f per copy", m.H2DSetupNs, m.D2HSetupNs, cfg.TransferSetupNs)
+	}
+	wantH2DVol := float64(wantH2DBytes) / cfg.H2DBandwidthBps * 1e9
+	wantD2HVol := float64(wantD2HBytes) / cfg.D2HBandwidthBps * 1e9
+	if m.H2DVolumeNs != wantH2DVol || m.D2HVolumeNs != wantD2HVol {
+		t.Fatalf("volume %.0f/%.0f ns, want %.0f/%.0f", m.H2DVolumeNs, m.D2HVolumeNs, wantH2DVol, wantD2HVol)
+	}
+	if m.H2DTimeNs != m.H2DSetupNs+m.H2DVolumeNs || m.D2HTimeNs != m.D2HSetupNs+m.D2HVolumeNs {
+		t.Fatalf("transfer time is not setup+volume: %+v", m)
+	}
+}

@@ -33,6 +33,13 @@ func (d *Device) transferCost(bytes int64, bw float64) float64 {
 	return d.cfg.TransferSetupNs + float64(bytes)/bw*1e9
 }
 
+// transferVolumeNs returns only the bandwidth-proportional part of a
+// transfer: zero for a zero-length copy, which still pays TransferSetupNs
+// (the DMA descriptor is programmed whether or not it moves data).
+func (d *Device) transferVolumeNs(bytes int64, bw float64) float64 {
+	return float64(bytes) / bw * 1e9
+}
+
 // CopyH2D copies len(src) words from host memory into buf starting at word
 // offset dst. Synchronous: the host clock advances past completion
 // (Thrust-style, the paper's mode).
@@ -60,8 +67,8 @@ func (d *Device) copyH2D(buf *Buffer, dst int, src []uint32, s *Stream) error {
 	}
 	copy(buf.words[dst:], src)
 	bytes := int64(len(src)) * WordBytes
-	cost := d.transferCost(bytes, d.cfg.H2DBandwidthBps)
-	d.scheduleCopy(cost, bytes, true, s)
+	volume := d.transferVolumeNs(bytes, d.cfg.H2DBandwidthBps)
+	d.scheduleCopy(d.cfg.TransferSetupNs, volume, bytes, true, s)
 	return nil
 }
 
@@ -91,8 +98,8 @@ func (d *Device) copyD2H(dst []uint32, buf *Buffer, src int, s *Stream) error {
 	}
 	copy(dst, buf.words[src:])
 	bytes := int64(len(dst)) * WordBytes
-	cost := d.transferCost(bytes, d.cfg.D2HBandwidthBps)
-	d.scheduleCopy(cost, bytes, false, s)
+	volume := d.transferVolumeNs(bytes, d.cfg.D2HBandwidthBps)
+	d.scheduleCopy(d.cfg.TransferSetupNs, volume, bytes, false, s)
 	return nil
 }
 
@@ -100,7 +107,11 @@ func (d *Device) copyD2H(dst []uint32, buf *Buffer, src int, s *Stream) error {
 // additionally waits for prior stream work and does not stall the host.
 // A synchronous copy implicitly waits for outstanding kernels that produced
 // its source (matching CUDA's default-stream semantics) and stalls the host.
-func (d *Device) scheduleCopy(cost float64, bytes int64, h2d bool, s *Stream) {
+// The duration is setupNs + volumeNs; the two parts are accounted
+// separately in Metrics so the fixed per-call cost and the byte-volume cost
+// stay distinguishable (a zero-length copy has volumeNs == 0, bytes == 0).
+func (d *Device) scheduleCopy(setupNs, volumeNs float64, bytes int64, h2d bool, s *Stream) {
+	cost := setupNs + volumeNs
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	start := d.hostClock
@@ -129,9 +140,13 @@ func (d *Device) scheduleCopy(cost float64, bytes int64, h2d bool, s *Stream) {
 	}
 	if h2d {
 		d.metrics.H2DTimeNs += cost
+		d.metrics.H2DSetupNs += setupNs
+		d.metrics.H2DVolumeNs += volumeNs
 		d.metrics.H2DBytes += bytes
 	} else {
 		d.metrics.D2HTimeNs += cost
+		d.metrics.D2HSetupNs += setupNs
+		d.metrics.D2HVolumeNs += volumeNs
 		d.metrics.D2HBytes += bytes
 	}
 }

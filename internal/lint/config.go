@@ -41,6 +41,7 @@ func DefaultConfig() *Config {
 		DeterminismCritical: []string{
 			"internal/core",
 			"internal/faults",
+			"internal/gpusim",
 			"internal/minwise",
 			"internal/obs",
 			"internal/sched",

@@ -16,8 +16,16 @@ import (
 // same gpusim.Config, so planning charges zero time on the run's own
 // virtual clock.
 
-// kSW is the calibrated kernel name of the batched Smith–Waterman launch.
-const kSW = "sw"
+// kSW is the calibrated kernel name of the batched Smith–Waterman launch
+// reading byte-layout residues (the unpacked and packed+unfused modes run
+// the identical kernel configuration); kSWFused is the same launch decoding
+// the bit-packed image in place, and kSWUnpack is the unfused mode's
+// image-expansion kernel.
+const (
+	kSW       = "sw"
+	kSWFused  = "swfused"
+	kSWUnpack = "swunpack"
+)
 
 // probePairs caps the calibration probe's pair count; probeCells caps its
 // DP-cell total so the probe stays cheap on long-sequence inputs.
@@ -34,6 +42,35 @@ func swThreads(np int) int {
 		grid = 1
 	}
 	return grid * 128
+}
+
+// swKernelName resolves the calibrated SW-kernel entry for a layout.
+func swKernelName(ly swLayout) string {
+	if ly.bits > 0 && ly.fused {
+		return kSWFused
+	}
+	return kSW
+}
+
+// swUnpackThreads is the thread count of one UnpackResidues launch over the
+// given output words (thrust's elementwise geometry: 8 elements per thread,
+// 256-wide blocks).
+func swUnpackThreads(words int) int {
+	threads := (words + 7) / 8
+	if threads == 0 {
+		threads = 1
+	}
+	grid := (threads + 255) / 256
+	return grid * 256
+}
+
+// swUnpackNs predicts one batch's image-expansion kernel (zero in modes
+// that don't unpack).
+func swUnpackNs(m *sched.Model, p swBatch, ly swLayout) float64 {
+	if ly.bits == 0 || ly.fused {
+		return 0
+	}
+	return m.KernelNs(kSWUnpack, float64(p.seqWords), swUnpackThreads(p.seqWords))
 }
 
 // swUnits is the divergence-aware work measure of one batch: the simulator
@@ -92,22 +129,45 @@ func calibrateSWModel(devCfg gpusim.Config, enc [][]byte, pairs []pairKey,
 		return m
 	}
 	defer table.Free()
-	buf, err := scratch.Malloc(p.deviceWords())
-	if err != nil {
-		return m
+
+	// One probe per kernel the planner may price: the byte-layout SW launch
+	// (shared by the unpacked and packed+unfused modes), the in-place
+	// packed decoder, and the unfused mode's expansion kernel. Each probe
+	// stages its own image so the measured traffic matches the mode.
+	probeSW := func(ly swLayout, name string) {
+		buf, err := scratch.Malloc(ly.deviceWords(p))
+		if err != nil {
+			return
+		}
+		defer buf.Free()
+		if scratch.CopyH2D(buf, 0, packSWBatch(p, enc, pairs, order, ly, nil)) != nil {
+			return
+		}
+		if ly.bits > 0 && !ly.fused {
+			k0 := scratch.Metrics().KernelTimeNs
+			if unpackSWBatch(scratch, nil, buf, p, ly) != nil {
+				return
+			}
+			body := scratch.Metrics().KernelTimeNs - k0 - devCfg.KernelLaunchNs
+			m.CalibrateKernel(kSWUnpack, body, float64(p.seqWords), swUnpackThreads(p.seqWords))
+		}
+		lc := swLaunchConfig(p, cfg, table, ly)
+		lc.Obs = nil // scratch probe: never record
+		k0 := scratch.Metrics().KernelTimeNs
+		if thrust.SWScoreBatch(scratch, nil, buf, lc) != nil {
+			return
+		}
+		body := scratch.Metrics().KernelTimeNs - k0 - devCfg.KernelLaunchNs
+		m.CalibrateKernel(name, body, swUnits(enc, pairs, order, p), swThreads(end-lo))
 	}
-	defer buf.Free()
-	if scratch.CopyH2D(buf, 0, packSWBatch(p, enc, pairs, order, nil)) != nil {
-		return m
+	if cfg.Packed {
+		probeSW(swLayout{bits: residueBits, fused: false}, kSW)
+		if cfg.Fuse {
+			probeSW(swLayout{bits: residueBits, fused: true}, kSWFused)
+		}
+	} else {
+		probeSW(swLayout{}, kSW)
 	}
-	lc := swLaunchConfig(p, cfg, table)
-	lc.Obs = nil // scratch probe: never record
-	k0 := scratch.Metrics().KernelTimeNs
-	if thrust.SWScoreBatch(scratch, nil, buf, lc) != nil {
-		return m
-	}
-	body := scratch.Metrics().KernelTimeNs - k0 - devCfg.KernelLaunchNs
-	m.CalibrateKernel(kSW, body, swUnits(enc, pairs, order, p), swThreads(end-lo))
 	return m
 }
 
@@ -115,18 +175,22 @@ func calibrateSWModel(devCfg gpusim.Config, enc [][]byte, pairs []pairKey,
 // resident-table upload through the final score readback — for the given
 // plans and lane count.
 func predictSWPlans(m *sched.Model, enc [][]byte, pairs []pairKey, order []int,
-	plans []swBatch, lanes int) float64 {
+	plans []swBatch, lanes int, ly swLayout) float64 {
 
+	// Per-batch device compute: the unfused packed mode's expansion kernel
+	// (when present) runs back-to-back with the SW launch on the same
+	// engine, so summing the two is timing-equivalent to replaying each.
 	kernelNs := make([]float64, len(plans))
 	for i, p := range plans {
-		kernelNs[i] = m.KernelNs(kSW, swUnits(enc, pairs, order, p), swThreads(p.hi-p.lo))
+		kernelNs[i] = swUnpackNs(m, p, ly) +
+			m.KernelNs(swKernelName(ly), swUnits(enc, pairs, order, p), swThreads(p.hi-p.lo))
 	}
 	if lanes < 2 {
 		sim := sched.NewSim(m, 0)
 		sim.Copy(-1, swTableLen, true) // resident table upload
 		for i, p := range plans {
-			sim.HostWork(float64(p.dataWords()) * packNsPerWord)
-			sim.Copy(-1, p.dataWords(), true)
+			sim.HostWork(float64(ly.packWords(p)) * packNsPerWord)
+			sim.Copy(-1, ly.dataWords(p), true)
 			sim.KernelRawNs(-1, kernelNs[i])
 			sim.Copy(-1, p.hi-p.lo, false)
 		}
@@ -152,10 +216,10 @@ func predictSWPlans(m *sched.Model, enc [][]byte, pairs []pairKey, order []int,
 	n := len(plans)
 	for item := 0; item < n; item++ {
 		p := plans[item]
-		sim.HostWork(float64(p.dataWords()) * packNsPerWord)
+		sim.HostWork(float64(ly.packWords(p)) * packNsPerWord)
 		lane := item % lanes
 		drain(lane)
-		sim.Copy(lane, p.dataWords(), true)
+		sim.Copy(lane, ly.dataWords(p), true)
 		sim.KernelRawNs(lane, kernelNs[item])
 		sim.Copy(lane, p.hi-p.lo, false)
 		inFlight[lane] = item
@@ -186,68 +250,97 @@ func legacySWBudget(dev *gpusim.Device, cfg Config) int {
 }
 
 // swFeasible reports whether the candidate's device footprint fits free
-// memory. A sequential batch's footprint (records + residues + scores) is
-// exactly the planner's charge, so the budget bounds it; the pipelined
-// executor keeps `lanes` max-sized stagings resident beside the table.
-func swFeasible(freeWords int, plans []swBatch, cand sched.Candidate) bool {
+// memory. A sequential batch's footprint (records + residues + workspace +
+// scores) is exactly the planner's charge, so the budget bounds it; the
+// pipelined executor keeps `lanes` max-sized stagings resident beside the
+// table.
+func swFeasible(freeWords int, plans []swBatch, cand sched.Candidate, ly swLayout) bool {
 	if cand.Lanes <= 1 {
 		return cand.BudgetWords <= freeWords
 	}
-	maxData, maxPairs := 0, 0
+	maxDev := 0
 	for _, p := range plans {
-		maxData = max(maxData, p.dataWords())
-		maxPairs = max(maxPairs, p.hi-p.lo)
+		maxDev = max(maxDev, ly.deviceWords(p))
 	}
-	return swTableLen+cand.Lanes*(maxData+maxPairs) <= freeWords
+	return swTableLen+cand.Lanes*maxDev <= freeWords
 }
 
-// autotuneSW picks the batch budget and lane count for the verification
-// stage by predicted virtual time, returning the chosen plan. When no
-// candidate is feasible it falls back to the legacy derivation (reported
-// with AutoTuned=false).
+// swLayoutOf resolves a candidate's fusion choice into a layout under the
+// run's packing mode.
+func swLayoutOf(cfg Config, fused bool) swLayout {
+	if !cfg.Packed {
+		return swLayout{}
+	}
+	return swLayout{bits: residueBits, fused: fused}
+}
+
+// autotuneSW picks the batch budget, lane count and — when packing with
+// fusion enabled — whether the SW kernel decodes the packed image in place,
+// by predicted virtual time, returning the chosen plan (the fusion choice
+// rides in PlanReport.Fused). When no candidate is feasible it falls back
+// to the legacy derivation (reported with AutoTuned=false).
 func autotuneSW(dev *gpusim.Device, enc [][]byte, pairs []pairKey, order []int,
 	cfg Config) (sched.PlanReport, []swBatch, int, error) {
 
 	freeWords := int(dev.FreeMemory() / gpusim.WordBytes)
 	maxB := freeWords * 3 / 4
+	// The minimum budget must hold any single pair under the bulkiest
+	// layout in the sweep (the unfused packed mode stages image plus
+	// workspace; the byte layout is never larger).
+	lyMax := swLayoutOf(cfg, false)
 	minB := 0
 	for _, idx := range order {
 		a, b := pairs[idx].unpack()
-		if need := 5 + seqWords(enc[a]) + seqWords(enc[b]); need > minB {
+		if need := 5 + lyMax.pairWords(seqWords(enc[a]), seqWords(enc[b])); need > minB {
 			minB = need
 		}
 	}
 	minB += swTableLen
 	m := calibrateSWModel(dev.Config(), enc, pairs, order, cfg)
 
+	fusedSet := []bool{cfg.Packed && cfg.Fuse}
+	if cfg.Packed && cfg.Fuse {
+		// Fusion is priced, not assumed: the sweep may keep the unpack
+		// kernel where its elementwise occupancy beats in-place decoding.
+		fusedSet = []bool{false, true}
+	}
 	var cands []sched.Candidate
 	for _, b := range sched.Budgets(maxB, minB) {
 		for _, l := range swLaneSet(cfg) {
-			cands = append(cands, sched.Candidate{BudgetWords: b, Lanes: l})
+			for _, f := range fusedSet {
+				cands = append(cands, sched.Candidate{BudgetWords: b, Lanes: l, Fused: f})
+			}
 		}
 	}
-	planCache := map[int][]swBatch{}
-	plansFor := func(b int) []swBatch {
-		if p, ok := planCache[b]; ok {
+	type planKey struct {
+		budget int
+		fused  bool
+	}
+	planCache := map[planKey][]swBatch{}
+	plansFor := func(b int, fused bool) []swBatch {
+		key := planKey{b, fused}
+		if p, ok := planCache[key]; ok {
 			return p
 		}
-		p, err := planSWBatches(enc, pairs, order, b)
+		p, err := planSWBatches(enc, pairs, order, b, swLayoutOf(cfg, fused))
 		if err != nil {
 			p = nil
 		}
-		planCache[b] = p
+		planCache[key] = p
 		return p
 	}
 	best, predicted, ok := sched.Pick(cands, func(cand sched.Candidate) (float64, bool) {
-		plans := plansFor(cand.BudgetWords)
-		if plans == nil || !swFeasible(freeWords, plans, cand) {
+		ly := swLayoutOf(cfg, cand.Fused)
+		plans := plansFor(cand.BudgetWords, cand.Fused)
+		if plans == nil || !swFeasible(freeWords, plans, cand, ly) {
 			return 0, false
 		}
-		return predictSWPlans(m, enc, pairs, order, plans, cand.Lanes), true
+		return predictSWPlans(m, enc, pairs, order, plans, cand.Lanes, ly), true
 	})
 	if !ok {
 		budget := legacySWBudget(dev, cfg)
-		plans, err := planSWBatches(enc, pairs, order, budget)
+		fused := cfg.Packed && cfg.Fuse
+		plans, err := planSWBatches(enc, pairs, order, budget, swLayoutOf(cfg, fused))
 		if err != nil {
 			return sched.PlanReport{}, nil, 0, err
 		}
@@ -255,11 +348,11 @@ func autotuneSW(dev *gpusim.Device, enc [][]byte, pairs []pairKey, order []int,
 		if cfg.GPUPipeline {
 			lanes = 2
 		}
-		return sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans)},
+		return sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans), Fused: fused},
 			plans, lanes, nil
 	}
-	plans := plansFor(best.BudgetWords)
+	plans := plansFor(best.BudgetWords, best.Fused)
 	rep := sched.PlanReport{AutoTuned: true, BudgetWords: best.BudgetWords,
-		Lanes: best.Lanes, Batches: len(plans), PredictedNs: predicted}
+		Lanes: best.Lanes, Batches: len(plans), PredictedNs: predicted, Fused: best.Fused}
 	return rep, plans, best.Lanes, nil
 }

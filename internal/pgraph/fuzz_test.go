@@ -41,44 +41,53 @@ func FuzzSWBatch(f *testing.F) {
 		}
 		enc := encodeSeqs(seqs)
 		prm := align.DefaultParams()
-		cfg := Config{Align: prm}
+		// Every residue layout must reproduce the host scores: byte image,
+		// packed image expanded on device, packed image decoded in place.
+		modes := []Config{
+			{Align: prm},
+			{Align: prm, Packed: true},
+			{Align: prm, Packed: true, Fuse: true},
+		}
 
 		for _, bin := range []bool{true, false} {
 			order := binPairs(enc, pairs, bin)
-			// Budget always admits the costliest pair; extra varies how many
-			// pairs share a batch.
-			budget := swTableLen + 5 + 2*seqWords(make([]byte, longest)) + int(extra)
-			plans, err := planSWBatches(enc, pairs, order, budget)
-			if err != nil {
-				t.Fatal(err)
-			}
-			devSeq := gpusim.MustNew(gpusim.SmallConfig())
-			got := make([]int32, len(pairs))
-			if err := runSWBatchesSequential(devSeq, plans, enc, pairs, order, cfg, got); err != nil {
-				t.Fatal(err)
-			}
-			devPipe := gpusim.MustNew(gpusim.SmallConfig())
-			gotPipe := make([]int32, len(pairs))
-			if err := runSWBatchesPipelined(devPipe, plans, enc, pairs, order, cfg, gotPipe); err != nil {
-				t.Fatal(err)
-			}
-			for k, idx := range order {
-				a, b := pairs[idx].unpack()
-				want := align.ScoreOnly(seqs[a].Residues, seqs[b].Residues, prm)
-				if int(got[k]) != want {
-					t.Fatalf("bin=%v pair (%d,%d): sequential device score %d, ScoreOnly %d",
-						bin, a, b, got[k], want)
+			for _, cfg := range modes {
+				// Budget always admits the costliest pair under the bulkiest
+				// layout; extra varies how many pairs share a batch.
+				w := 2 * seqWords(make([]byte, longest))
+				budget := swTableLen + 5 + swLayoutOf(cfg, false).pairWords(w, 0) + int(extra)
+				plans, err := planSWBatches(enc, pairs, order, budget, layoutFor(cfg))
+				if err != nil {
+					t.Fatal(err)
 				}
-				if gotPipe[k] != got[k] {
-					t.Fatalf("bin=%v pair (%d,%d): pipelined score %d != sequential %d",
-						bin, a, b, gotPipe[k], got[k])
+				devSeq := gpusim.MustNew(gpusim.SmallConfig())
+				got := make([]int32, len(pairs))
+				if err := runSWBatchesSequential(devSeq, plans, enc, pairs, order, cfg, got); err != nil {
+					t.Fatal(err)
 				}
-			}
-			if err := devSeq.LeakCheck(); err != nil {
-				t.Fatal(err)
-			}
-			if err := devPipe.LeakCheck(); err != nil {
-				t.Fatal(err)
+				devPipe := gpusim.MustNew(gpusim.SmallConfig())
+				gotPipe := make([]int32, len(pairs))
+				if err := runSWBatchesPipelined(devPipe, plans, enc, pairs, order, cfg, gotPipe); err != nil {
+					t.Fatal(err)
+				}
+				for k, idx := range order {
+					a, b := pairs[idx].unpack()
+					want := align.ScoreOnly(seqs[a].Residues, seqs[b].Residues, prm)
+					if int(got[k]) != want {
+						t.Fatalf("bin=%v packed=%v fuse=%v pair (%d,%d): sequential device score %d, ScoreOnly %d",
+							bin, cfg.Packed, cfg.Fuse, a, b, got[k], want)
+					}
+					if gotPipe[k] != got[k] {
+						t.Fatalf("bin=%v packed=%v fuse=%v pair (%d,%d): pipelined score %d != sequential %d",
+							bin, cfg.Packed, cfg.Fuse, a, b, gotPipe[k], got[k])
+					}
+				}
+				if err := devSeq.LeakCheck(); err != nil {
+					t.Fatal(err)
+				}
+				if err := devPipe.LeakCheck(); err != nil {
+					t.Fatal(err)
+				}
 			}
 		}
 	})

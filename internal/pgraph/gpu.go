@@ -75,6 +75,83 @@ func encodeSeqs(seqs []seq.Sequence) [][]byte {
 // codes per word; every sequence starts word-aligned).
 func seqWords(enc []byte) int { return (len(enc) + 3) / 4 }
 
+// residueBits is the packed image's per-residue width: align's 21-code
+// alphabet fits 5 bits (asserted in tests against align.AlphabetSize).
+const residueBits = 5
+
+// swLayout resolves Config.Packed/Fuse into the batch buffer's residue
+// layout. Residue offsets in pair records stay the byte layout's
+// word-aligned offsets in every mode, so the packed image is the byte
+// stream (padding included) re-packed at bits per residue — the unpack
+// kernel and the in-place decoder both map offset r to the same residue.
+//
+//	bits == 0           [records | byte residues | scores]
+//	bits > 0, fused     [records | packed residues | scores]
+//	bits > 0, unfused   [records | packed residues | byte workspace | scores]
+//
+// The H2D image is the region before the workspace/scores; only the byte
+// layout uploads full-width residues.
+type swLayout struct {
+	bits  int  // 0: byte layout; residueBits: packed image
+	fused bool // kernel decodes the image in place (no workspace, no unpack launch)
+}
+
+func layoutFor(cfg Config) swLayout {
+	if !cfg.Packed {
+		return swLayout{}
+	}
+	return swLayout{bits: residueBits, fused: cfg.Fuse}
+}
+
+// packedSeqWords is the packed image's word count for a residue region of
+// seqWords byte-layout words (4·seqWords padded residues).
+func (ly swLayout) packedSeqWords(seqWords int) int {
+	return gpusim.PackedLen(4*seqWords, ly.bits)
+}
+
+// dataWords is the batch's H2D staging image size under this layout.
+func (ly swLayout) dataWords(p swBatch) int {
+	if ly.bits == 0 {
+		return p.dataWords()
+	}
+	return 4*(p.hi-p.lo) + ly.packedSeqWords(p.seqWords)
+}
+
+// deviceWords is the batch buffer's device footprint: the staging image,
+// the unfused mode's unpack workspace, and the score outputs.
+func (ly swLayout) deviceWords(p swBatch) int {
+	n := ly.dataWords(p) + (p.hi - p.lo)
+	if ly.bits > 0 && !ly.fused {
+		n += p.seqWords
+	}
+	return n
+}
+
+// packWords is the host staging cost in words: records plus byte-layout
+// residues either way (the codes are produced regardless), plus the
+// bit-packing surcharge of the packed image.
+func (ly swLayout) packWords(p swBatch) int {
+	n := p.dataWords()
+	if ly.bits > 0 {
+		n += ly.packedSeqWords(p.seqWords)
+	}
+	return n
+}
+
+// pairWords is the residue footprint one pair adds to an empty batch (for
+// the planner's minimum-budget bound).
+func (ly swLayout) pairWords(wa, wb int) int {
+	w := wa + wb
+	if ly.bits == 0 {
+		return w
+	}
+	n := ly.packedSeqWords(w)
+	if !ly.fused {
+		n += w
+	}
+	return n
+}
+
 // binPairs returns the order in which pairs are scheduled. With binning the
 // order is ascending DP-cell cost (ties broken by the pair key, so the
 // order is a deterministic function of the input); without, the natural
@@ -119,34 +196,61 @@ func (p swBatch) dataWords() int { return 4*(p.hi-p.lo) + p.seqWords }
 func (p swBatch) deviceWords() int { return p.dataWords() + (p.hi - p.lo) }
 
 // swPairSizer supplies the planner's incremental pair costs: 5 words per
-// pair (record + score) plus the packed residues of any sequence not already
-// staged in the open batch.
+// pair (record + score) plus the residue footprint of any sequence not
+// already staged in the open batch — under the packed layouts, the packed
+// image's word delta (exact by telescoping: the image is one continuous bit
+// stream, so the batch total is PackedLen of the running residue count)
+// plus the unfused workspace.
 type swPairSizer struct {
 	enc     [][]byte
 	pairs   []pairKey
 	order   []int
 	budget  int // full budget including the table share, for the error message
+	ly      swLayout
 	inBatch map[int32]bool
+	seqW    int // byte-layout residue words staged in the open batch
 }
 
-func (z *swPairSizer) Reset() { clear(z.inBatch) }
+func (z *swPairSizer) Reset() {
+	clear(z.inBatch)
+	z.seqW = 0
+}
 
-func (z *swPairSizer) Cost(k int) int {
-	a, b := z.pairs[z.order[k]].unpack()
-	need := 5
-	if !z.inBatch[a] {
-		need += seqWords(z.enc[a])
+// residueCost is the device-word delta of growing the open batch's residue
+// region from seqW to seqW+addW byte-layout words.
+func (z *swPairSizer) residueCost(addW int) int {
+	if z.ly.bits == 0 {
+		return addW
 	}
-	if !z.inBatch[b] {
-		need += seqWords(z.enc[b])
+	need := z.ly.packedSeqWords(z.seqW+addW) - z.ly.packedSeqWords(z.seqW)
+	if !z.ly.fused {
+		need += addW
 	}
 	return need
 }
 
+func (z *swPairSizer) Cost(k int) int {
+	a, b := z.pairs[z.order[k]].unpack()
+	addW := 0
+	if !z.inBatch[a] {
+		addW += seqWords(z.enc[a])
+	}
+	if !z.inBatch[b] {
+		addW += seqWords(z.enc[b])
+	}
+	return 5 + z.residueCost(addW)
+}
+
 func (z *swPairSizer) Commit(k int) {
 	a, b := z.pairs[z.order[k]].unpack()
-	z.inBatch[a] = true
-	z.inBatch[b] = true
+	if !z.inBatch[a] {
+		z.inBatch[a] = true
+		z.seqW += seqWords(z.enc[a])
+	}
+	if !z.inBatch[b] {
+		z.inBatch[b] = true
+		z.seqW += seqWords(z.enc[b])
+	}
 }
 
 func (z *swPairSizer) Fail(k, need int) error {
@@ -162,8 +266,8 @@ func (z *swPairSizer) Fail(k, need int) error {
 // table's share, which the planner subtracts once up front — so explicit
 // budgets keep their historical meaning while batches no longer pay for
 // the table each.
-func planSWBatches(enc [][]byte, pairs []pairKey, order []int, budget int) ([]swBatch, error) {
-	z := &swPairSizer{enc: enc, pairs: pairs, order: order, budget: budget,
+func planSWBatches(enc [][]byte, pairs []pairKey, order []int, budget int, ly swLayout) ([]swBatch, error) {
+	z := &swPairSizer{enc: enc, pairs: pairs, order: order, budget: budget, ly: ly,
 		inBatch: make(map[int32]bool)}
 	spans, err := sched.PlanSpans(len(order), budget-swTableLen, z)
 	if err != nil {
@@ -176,25 +280,39 @@ func planSWBatches(enc [][]byte, pairs []pairKey, order []int, budget int) ([]sw
 	return plans, nil
 }
 
-// packSWBatch builds the batch's host staging image, [pair records | packed
-// residues], reusing data's capacity. Pair-record offsets count residues
-// from the start of the packed region.
-func packSWBatch(p swBatch, enc [][]byte, pairs []pairKey, order []int, data []uint32) []uint32 {
+// packSWBatch builds the batch's host staging image — [pair records | byte
+// or bit-packed residues] per the layout — reusing data's capacity.
+// Pair-record offsets count residues from the start of the residue region
+// in every mode (sequences stay word-aligned in residue terms, so the
+// packed image is the byte stream re-packed at ly.bits per residue).
+func packSWBatch(p swBatch, enc [][]byte, pairs []pairKey, order []int, ly swLayout, data []uint32) []uint32 {
 	np := p.hi - p.lo
-	n := p.dataWords()
+	n := ly.dataWords(p)
 	if cap(data) < n {
 		data = make([]uint32, n)
 	} else {
 		data = data[:n]
 		clear(data)
 	}
+	seq := data[4*np:]
+	put := func(r int, c uint32) { // byte layout: 4 codes per word
+		seq[r>>2] |= c << (8 * (r & 3))
+	}
+	if ly.bits > 0 {
+		put = func(r int, c uint32) { // bit-continuous little-endian image
+			bit := r * ly.bits
+			seq[bit>>5] |= c << (bit & 31)
+			if rem := 32 - bit&31; rem < ly.bits {
+				seq[bit>>5+1] |= c >> rem
+			}
+		}
+	}
 	off := make(map[int32]uint32, len(p.seqIDs))
 	pos := uint32(0)
 	for _, id := range p.seqIDs {
 		off[id] = pos
 		for k, c := range enc[id] {
-			r := pos + uint32(k)
-			data[4*np+int(r>>2)] |= uint32(c) << (8 * (r & 3))
+			put(int(pos)+k, uint32(c))
 		}
 		pos += uint32(4 * seqWords(enc[id])) // next sequence starts word-aligned
 	}
@@ -207,12 +325,14 @@ func packSWBatch(p swBatch, enc [][]byte, pairs []pairKey, order []int, data []u
 	return data
 }
 
-// swLaunchConfig maps a packed batch onto the kernel's layout: the batch
-// buffer holds [pair records | packed residues | scores] and the resident
-// table buffer supplies the substitution scores.
-func swLaunchConfig(p swBatch, cfg Config, table *gpusim.Buffer) thrust.SWConfig {
+// swLaunchConfig maps a staged batch onto the kernel's layout under the
+// resolved residue format; the resident table buffer supplies the
+// substitution scores. The fused packed mode hands the kernel the image
+// directly (SeqBits); the unfused mode points SeqBase past the image at the
+// workspace UnpackResidues fills.
+func swLaunchConfig(p swBatch, cfg Config, table *gpusim.Buffer, ly swLayout) thrust.SWConfig {
 	np := p.hi - p.lo
-	return thrust.SWConfig{
+	lc := thrust.SWConfig{
 		NumPairs:  np,
 		Alphabet:  align.AlphabetSize,
 		GapOpen:   int32(cfg.Align.GapOpen),
@@ -225,6 +345,28 @@ func swLaunchConfig(p swBatch, cfg Config, table *gpusim.Buffer) thrust.SWConfig
 		ScoreBase: p.dataWords(),
 		Obs:       cfg.Obs,
 	}
+	switch {
+	case ly.bits > 0 && ly.fused:
+		lc.SeqBits = ly.bits
+		lc.SeqWords = ly.packedSeqWords(p.seqWords)
+		lc.ScoreBase = 4*np + lc.SeqWords
+	case ly.bits > 0:
+		packed := ly.packedSeqWords(p.seqWords)
+		lc.SeqBase = 4*np + packed
+		lc.ScoreBase = 4*np + packed + p.seqWords
+	}
+	return lc
+}
+
+// unpackSWBatch enqueues the unfused packed mode's expansion of the batch
+// buffer's image into its byte-layout workspace (no-op in other modes).
+func unpackSWBatch(dev *gpusim.Device, st *gpusim.Stream, buf *gpusim.Buffer, p swBatch, ly swLayout) error {
+	if ly.bits == 0 || ly.fused {
+		return nil
+	}
+	np := p.hi - p.lo
+	packed := ly.packedSeqWords(p.seqWords)
+	return thrust.UnpackResidues(dev, st, buf, 4*np, 4*np+packed, 4*p.seqWords, ly.bits)
 }
 
 // runSWBatchesSequential is the Thrust-style synchronous scheduler with a
@@ -269,17 +411,18 @@ func runOneSWBatch(dev *gpusim.Device, table *gpusim.Buffer, p swBatch, enc [][]
 	pairs []pairKey, order []int, cfg Config, scores []int32, data, out []uint32) ([]uint32, []uint32, error) {
 
 	np := p.hi - p.lo
+	ly := layoutFor(cfg)
 	var t0 float64
 	if cfg.Obs.Enabled() {
 		t0 = dev.HostTime()
 	}
-	data = packSWBatch(p, enc, pairs, order, data)
-	chargeHost(dev, cfg.Obs, "pack", float64(len(data))*packNsPerWord)
+	data = packSWBatch(p, enc, pairs, order, ly, data)
+	chargeHost(dev, cfg.Obs, "pack", float64(ly.packWords(p))*packNsPerWord)
 	if cap(out) < np {
 		out = make([]uint32, np)
 	}
 	if err := func() error {
-		buf, err := dev.Malloc(p.deviceWords())
+		buf, err := dev.Malloc(ly.deviceWords(p))
 		if err != nil {
 			return err
 		}
@@ -287,7 +430,10 @@ func runOneSWBatch(dev *gpusim.Device, table *gpusim.Buffer, p swBatch, enc [][]
 		if err := dev.CopyH2D(buf, 0, data); err != nil {
 			return err
 		}
-		lc := swLaunchConfig(p, cfg, table)
+		if err := unpackSWBatch(dev, nil, buf, p, ly); err != nil {
+			return err
+		}
+		lc := swLaunchConfig(p, cfg, table, ly)
 		if err := thrust.SWScoreBatch(dev, nil, buf, lc); err != nil {
 			return err
 		}
@@ -329,17 +475,22 @@ type swLaneWork struct {
 }
 
 func (w *swLaneWork) Prepare(item int) {
-	w.data = packSWBatch(w.plans[item], w.enc, w.pairs, w.order, w.data)
-	chargeHost(w.dev, w.cfg.Obs, "pack", float64(len(w.data))*packNsPerWord)
+	ly := layoutFor(w.cfg)
+	w.data = packSWBatch(w.plans[item], w.enc, w.pairs, w.order, ly, w.data)
+	chargeHost(w.dev, w.cfg.Obs, "pack", float64(ly.packWords(w.plans[item]))*packNsPerWord)
 }
 
 func (w *swLaneWork) Enqueue(item, lane int) error {
 	p := w.plans[item]
 	l := w.lanes[lane]
+	ly := layoutFor(w.cfg)
 	if err := w.dev.CopyH2DAsync(l.stream, l.buf, 0, w.data); err != nil {
 		return err
 	}
-	lc := swLaunchConfig(p, w.cfg, w.table)
+	if err := unpackSWBatch(w.dev, l.stream, l.buf, p, ly); err != nil {
+		return err
+	}
+	lc := swLaunchConfig(p, w.cfg, w.table, ly)
 	if err := thrust.SWScoreBatch(w.dev, l.stream, l.buf, lc); err != nil {
 		return err
 	}
@@ -394,9 +545,10 @@ func runSWBatchesPipelinedOn(dev *gpusim.Device, table *gpusim.Buffer, plans []s
 	if lanes < 2 {
 		lanes = 2
 	}
-	maxData, maxPairs := 0, 0
+	ly := layoutFor(cfg)
+	maxDev, maxPairs := 0, 0
 	for _, p := range plans {
-		maxData = max(maxData, p.dataWords())
+		maxDev = max(maxDev, ly.deviceWords(p))
 		maxPairs = max(maxPairs, p.hi-p.lo)
 	}
 	w := &swLaneWork{dev: dev, table: table, plans: plans, enc: enc, pairs: pairs,
@@ -412,7 +564,7 @@ func runSWBatchesPipelinedOn(dev *gpusim.Device, table *gpusim.Buffer, plans []s
 		l := &swPipeLane{stream: dev.NewStream(), out: make([]uint32, maxPairs)}
 		w.lanes[i] = l
 		var err error
-		if l.buf, err = dev.Malloc(maxData + maxPairs); err != nil {
+		if l.buf, err = dev.Malloc(maxDev); err != nil {
 			freeAll()
 			return err
 		}
@@ -457,6 +609,9 @@ func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]g
 			if err != nil {
 				return nil, err
 			}
+			// The executors resolve the layout from cfg; pin the tuner's
+			// fusion choice so they run the plans the sizer measured.
+			cfg.Fuse = report.Fused
 		} else {
 			budget := cfg.GPUBatchWords
 			if budget <= 0 {
@@ -470,14 +625,15 @@ func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]g
 					budget /= 2
 				}
 			}
-			plans, err = planSWBatches(enc, pairs, order, budget)
+			plans, err = planSWBatches(enc, pairs, order, budget, layoutFor(cfg))
 			if err != nil {
 				return nil, err
 			}
-			report = sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans)}
+			report = sched.PlanReport{BudgetWords: budget, Lanes: lanes, Batches: len(plans),
+				Fused: cfg.Packed && cfg.Fuse}
 			if cfg.PredictCost {
 				m := calibrateSWModel(dev.Config(), enc, pairs, order, cfg)
-				report.PredictedNs = predictSWPlans(m, enc, pairs, order, plans, lanes)
+				report.PredictedNs = predictSWPlans(m, enc, pairs, order, plans, lanes, layoutFor(cfg))
 			}
 		}
 		st.GPUBatches = len(plans)
@@ -519,6 +675,12 @@ func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]g
 	st.AlignNs = m.KernelTimeNs
 	st.H2DNs = m.H2DTimeNs
 	st.D2HNs = m.D2HTimeNs
+	st.H2DSetupNs = m.H2DSetupNs
+	st.H2DVolumeNs = m.H2DVolumeNs
+	st.D2HSetupNs = m.D2HSetupNs
+	st.D2HVolumeNs = m.D2HVolumeNs
+	st.H2DBytes = m.H2DBytes
+	st.D2HBytes = m.D2HBytes
 	st.Divergence = m.DivergenceOverhead()
 	st.TotalNs = dev.HostTime() - host0
 	return edges, nil

@@ -44,6 +44,21 @@ func recordBuildMetrics(r *obs.Recorder, st *Stats) {
 	r.Gauge("pgraph_divergence",
 		"SW-kernel warp-divergence overhead of the most recent build.").Set(st.Divergence)
 
+	// Transfer-cost split: fixed setup vs bandwidth-proportional volume per
+	// direction — the packed image shrinks only the volume terms.
+	r.Gauge("pgraph_h2d_setup_ns",
+		"Fixed per-copy setup time across all host→device transfers.").Set(st.H2DSetupNs)
+	r.Gauge("pgraph_h2d_volume_ns",
+		"Bandwidth-proportional time across all host→device transfers.").Set(st.H2DVolumeNs)
+	r.Gauge("pgraph_d2h_setup_ns",
+		"Fixed per-copy setup time across all device→host transfers.").Set(st.D2HSetupNs)
+	r.Gauge("pgraph_d2h_volume_ns",
+		"Bandwidth-proportional time across all device→host transfers.").Set(st.D2HVolumeNs)
+	r.Gauge("pgraph_h2d_bytes",
+		"Bytes moved host→device by the most recent build.").Set(float64(st.H2DBytes))
+	r.Gauge("pgraph_d2h_bytes",
+		"Bytes moved device→host by the most recent build.").Set(float64(st.D2HBytes))
+
 	f := st.Faults
 	r.Counter("pgraph_fault_transfer_retries",
 		"Verification batches retried after a transfer fault.").Add(f.TransferRetries)

@@ -25,7 +25,9 @@ func TestObsRecorderGPUBuild(t *testing.T) {
 		base := DefaultConfig()
 		base.GPU = true
 		base.GPUPipeline = pipeline
-		base.GPUBatchWords = 6_000
+		// Small enough that even the packed layout (which fits more pairs
+		// per batch) schedules several batches, so both lanes see work.
+		base.GPUBatchWords = 3_000
 		base.Device = gpusim.MustNew(gpusim.K20Config())
 		gPlain, stPlain, err := Build(seqs, base)
 		if err != nil {

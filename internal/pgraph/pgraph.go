@@ -74,6 +74,21 @@ type Config struct {
 	// Auto-tuned runs always carry a prediction.
 	PredictCost bool
 
+	// Packed stages each batch's residues as a 5-bit packed device image
+	// (align's 21-code alphabet fits 5 bits) instead of the byte layout,
+	// cutting the residue region's H2D bytes by ~37%. Scores and the edge
+	// set are bit-identical either way; only bytes moved and kernel
+	// instruction counts change. GPU backend only.
+	Packed bool
+
+	// Fuse, with Packed, lets the SW kernel decode the packed image in
+	// place (one launch, SWConfig.SeqBits) instead of expanding it into a
+	// byte-layout workspace with a separate unpack kernel. Fusion trades a
+	// launch plus a device-side workspace for per-cell decode instructions;
+	// the cost model prices both. No-op without Packed — the unpacked path
+	// is already a single launch.
+	Fuse bool
+
 	// NoLengthBin disables ordering candidate pairs by alignment cost
 	// before batching. Binning keeps warps converged — the device
 	// serializes a warp at its slowest lane — so this knob exists for the
@@ -112,6 +127,8 @@ func DefaultConfig() Config {
 		WindowCap:          24,
 		MinScorePerResidue: 1.2,
 		Align:              align.DefaultParams(),
+		Packed:             true,
+		Fuse:               true,
 	}
 }
 
@@ -150,6 +167,17 @@ type Stats struct {
 	D2HNs      float64 // Data_g→c: score readback
 	TotalNs    float64 // end-to-end virtual time of Build
 	WallNs     int64   // real elapsed time of Build on this host
+
+	// Transfer-cost split (gpu backend): each direction's time divides into
+	// the fixed per-copy setup and the bandwidth-proportional volume
+	// (H2DNs = H2DSetupNs + H2DVolumeNs, likewise D2H). Packing shrinks the
+	// volume terms and the byte counts; coalescing shrinks the setup terms.
+	H2DSetupNs  float64
+	H2DVolumeNs float64
+	D2HSetupNs  float64
+	D2HVolumeNs float64
+	H2DBytes    int64 // Data_c→g bytes actually moved
+	D2HBytes    int64 // Data_g→c bytes actually moved
 
 	// Faults counts the fault-recovery actions the GPU schedulers took
 	// (retries, OOM splits, host fallbacks, pipeline restarts); zero on a

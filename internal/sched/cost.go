@@ -111,6 +111,25 @@ func (s *Sim) Copy(lane, words int, h2d bool) {
 	}
 }
 
+// PackedWords returns the words a transfer of `values` values moves at the
+// given packed bit width: gpusim.PackedLen when bits > 0, one word per value
+// when bits == 0 (unpacked). Predictors price packed uploads through this so
+// a candidate plan's transfer volume matches the bytes the device run will
+// actually move.
+func PackedWords(values, bits int) int {
+	if bits > 0 {
+		return gpusim.PackedLen(values, bits)
+	}
+	return values
+}
+
+// CopyPacked replays one DMA of `values` values at the given packed bit
+// width (0 = unpacked). Identical scheduling to Copy; only the priced word
+// count shrinks.
+func (s *Sim) CopyPacked(lane, values, bits int, h2d bool) {
+	s.Copy(lane, PackedWords(values, bits), h2d)
+}
+
 // Kernel replays one launch of the named calibrated kernel. Synchronous
 // launches stall the host; stream launches wait for the lane's prior work.
 // Both serialize on the compute engine.

@@ -16,8 +16,9 @@ import (
 
 // Candidate is one batch plan under consideration.
 type Candidate struct {
-	BudgetWords int // per-batch device footprint cap
-	Lanes       int // 1 = sequential, ≥2 = pipelined across that many lanes
+	BudgetWords int  // per-batch device footprint cap
+	Lanes       int  // 1 = sequential, ≥2 = pipelined across that many lanes
+	Fused       bool // run the fused hash+select kernel instead of transform+top-s
 }
 
 // PlanReport describes the batch plan a scheduling pass ran, for
@@ -26,6 +27,7 @@ type PlanReport struct {
 	AutoTuned   bool    `json:"auto_tuned"`
 	BudgetWords int     `json:"budget_words"`
 	Lanes       int     `json:"lanes"`
+	Fused       bool    `json:"fused"` // the plan runs the fused hash+select kernel
 	Batches     int     `json:"batches"`
 	PredictedNs float64 `json:"predicted_ns"` // cost-model prediction for the chosen plan
 	ActualNs    float64 `json:"actual_ns"`    // measured virtual time of the scheduler window
@@ -37,6 +39,7 @@ type PlanReport struct {
 func (p *PlanReport) Add(q PlanReport) {
 	if p.Batches == 0 {
 		p.AutoTuned, p.BudgetWords, p.Lanes, p.Batches = q.AutoTuned, q.BudgetWords, q.Lanes, q.Batches
+		p.Fused = q.Fused
 	}
 	p.PredictedNs += q.PredictedNs
 	p.ActualNs += q.ActualNs
@@ -108,6 +111,11 @@ func RecordPlan(r *obs.Recorder, prefix string, p PlanReport) {
 	r.Gauge(prefix+"_plan_autotuned", "1 when the batch plan was auto-tuned.").Set(auto)
 	r.Gauge(prefix+"_plan_budget_words", "Per-batch device budget of the chosen plan.").Set(float64(p.BudgetWords))
 	r.Gauge(prefix+"_plan_lanes", "Pipeline lanes of the chosen plan (1 = sequential).").Set(float64(p.Lanes))
+	fused := 0.0
+	if p.Fused {
+		fused = 1
+	}
+	r.Gauge(prefix+"_plan_fused", "1 when the plan runs the fused hash+select kernel.").Set(fused)
 	r.Gauge(prefix+"_plan_batches", "Batches the chosen plan scheduled.").Set(float64(p.Batches))
 	r.Gauge(prefix+"_plan_predicted_ns", "Cost-model predicted virtual time of the plan.").Set(p.PredictedNs)
 	r.Gauge(prefix+"_plan_actual_ns", "Measured virtual time of the scheduler window.").Set(p.ActualNs)
@@ -119,6 +127,10 @@ func (p PlanReport) String() string {
 	if p.AutoTuned {
 		mode = "auto"
 	}
-	return fmt.Sprintf("%s plan: budget=%d words, lanes=%d, batches=%d, predicted=%.2fms, actual=%.2fms",
-		mode, p.BudgetWords, p.Lanes, p.Batches, p.PredictedNs/1e6, p.ActualNs/1e6)
+	kernel := "split"
+	if p.Fused {
+		kernel = "fused"
+	}
+	return fmt.Sprintf("%s plan: budget=%d words, lanes=%d, kernel=%s, batches=%d, predicted=%.2fms, actual=%.2fms",
+		mode, p.BudgetWords, p.Lanes, kernel, p.Batches, p.PredictedNs/1e6, p.ActualNs/1e6)
 }

@@ -32,7 +32,10 @@ func TestBudgets(t *testing.T) {
 // TestPick: argmin over feasible candidates, deterministic on ties, and
 // ok=false when nothing is feasible.
 func TestPick(t *testing.T) {
-	cands := []Candidate{{100, 1}, {100, 2}, {50, 1}, {50, 2}}
+	cands := []Candidate{
+		{BudgetWords: 100, Lanes: 1}, {BudgetWords: 100, Lanes: 2},
+		{BudgetWords: 50, Lanes: 1}, {BudgetWords: 50, Lanes: 2},
+	}
 	pred := func(c Candidate) (float64, bool) {
 		if c.BudgetWords == 50 && c.Lanes == 2 {
 			return 0, false // infeasible
@@ -40,14 +43,14 @@ func TestPick(t *testing.T) {
 		return float64(c.BudgetWords) / float64(c.Lanes), true
 	}
 	best, ns, ok := Pick(cands, pred)
-	if !ok || best != (Candidate{100, 2}) || ns != 50 {
+	if !ok || best != (Candidate{BudgetWords: 100, Lanes: 2}) || ns != 50 {
 		t.Fatalf("got %+v, %g, %v", best, ns, ok)
 	}
 	// Tie between {100,2} (50) and a hypothetical equal candidate keeps the
 	// earliest.
-	tied := []Candidate{{100, 2}, {50, 1}}
+	tied := []Candidate{{BudgetWords: 100, Lanes: 2}, {BudgetWords: 50, Lanes: 1}}
 	best, _, _ = Pick(tied, pred)
-	if best != (Candidate{100, 2}) {
+	if best != (Candidate{BudgetWords: 100, Lanes: 2}) {
 		t.Fatalf("tie broke to %+v", best)
 	}
 	if _, _, ok := Pick(cands, func(Candidate) (float64, bool) { return 0, false }); ok {

@@ -1,0 +1,365 @@
+package thrust
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"gpclust/internal/gpusim"
+)
+
+// Packed-image kernels. The host packs residues and adjacency values
+// bit-continuously (gpusim.PackBits) before the H2D copy; on the device the
+// image is either expanded back to one value per word by UnpackBits — the
+// device twin of gpusim.UnpackBits — or read in place by the fused
+// shingling kernels below, which extract values on the fly. Packing changes
+// the bytes a transfer moves and the instructions a kernel issues, never a
+// computed value: every kernel here extracts exactly the words the host
+// packed, so outputs stay bit-identical to the unpacked path.
+
+// unpackOps is the charged arithmetic cost of extracting one value from a
+// packed image: bit-offset arithmetic, up to two shifts, an or and a mask.
+const unpackOps = 4
+
+// packedAt extracts value i from a bit-continuous little-endian image.
+func packedAt(w []uint32, i, nbits int, mask uint32) uint32 {
+	bit := i * nbits
+	word, off := bit/32, uint(bit%32)
+	v := w[word] >> off
+	if off+uint(nbits) > 32 {
+		v |= w[word+1] << (32 - off)
+	}
+	return v & mask
+}
+
+func packedMask(nbits int) uint32 {
+	if nbits >= 32 {
+		return 0xFFFFFFFF
+	}
+	return 1<<uint(nbits) - 1
+}
+
+// UnpackBits expands a packed image of n values at the given bit width into
+// one value per word of dst: dst[i] = value i of src. Grid-stride
+// elementwise like Transform; consecutive lanes read overlapping packed
+// words, so the reads are better than fully coalesced and the model sees
+// the shrunken footprint through the run stride.
+func UnpackBits(d *gpusim.Device, src, dst *gpusim.Buffer, n, nbits int) error {
+	return UnpackBitsOnStream(d, nil, src, dst, n, nbits)
+}
+
+// UnpackBitsOnStream is UnpackBits enqueued on a stream (nil stream =
+// synchronous).
+func UnpackBitsOnStream(d *gpusim.Device, st *gpusim.Stream, src, dst *gpusim.Buffer, n, nbits int) error {
+	if nbits < 1 || nbits > 32 {
+		return fmt.Errorf("thrust: UnpackBits width %d outside [1,32]", nbits)
+	}
+	if n < 0 || gpusim.PackedLen(n, nbits) > src.Len() || n > dst.Len() {
+		return fmt.Errorf("thrust: UnpackBits of %d values at %d bits with buffers of %d/%d",
+			n, nbits, src.Len(), dst.Len())
+	}
+	if n == 0 {
+		return nil
+	}
+	grid, total := launchGeometry(n)
+	// Word stride between a thread's successive packed reads; successive
+	// lanes start fractions of a word apart, which the run model rounds to
+	// shared segments — the coalescing win of the compact image.
+	packedStride := total * nbits / 32
+	if packedStride < 1 {
+		packedStride = 1
+	}
+	mask := packedMask(nbits)
+	d.NextKernelName("unpack_bits")
+	return launch(d, st, grid, blockDim, func(ctx *gpusim.ThreadCtx) {
+		gid := ctx.GlobalID()
+		s, t := src.Words(), dst.Words()
+		count := 0
+		for i := gid; i < n; i += total {
+			t[i] = packedAt(s, i, nbits, mask)
+			count++
+		}
+		if count > 0 {
+			ctx.GlobalRead(src, gid*nbits/32, count, packedStride)
+			ctx.GlobalWrite(dst, gid, count, total)
+			ctx.Ops(count * unpackOps)
+		}
+	})
+}
+
+// UnpackResidues expands a bit-packed residue image into the byte layout
+// the SW kernel's default decoder reads (4 codes per little-endian word):
+// value r of the packed image at word offset srcBase becomes byte r of the
+// region at word offset dstBase, within the same buffer — pgraph's
+// packed+unfused staging, where one H2D moves [records | packed residues]
+// and this kernel materializes the workspace the unchanged kernel expects.
+// Each thread owns whole output words (4 residues), so no two threads touch
+// the same destination word.
+func UnpackResidues(d *gpusim.Device, st *gpusim.Stream, buf *gpusim.Buffer,
+	srcBase, dstBase, n, nbits int) error {
+
+	if nbits < 1 || nbits > 8 {
+		return fmt.Errorf("thrust: UnpackResidues width %d outside [1,8]", nbits)
+	}
+	if n < 0 || srcBase < 0 || dstBase < 0 {
+		return fmt.Errorf("thrust: UnpackResidues with n=%d, srcBase=%d, dstBase=%d", n, srcBase, dstBase)
+	}
+	srcWords := gpusim.PackedLen(n, nbits)
+	outWords := (n + 3) / 4
+	if srcBase+srcWords > buf.Len() || dstBase+outWords > buf.Len() {
+		return fmt.Errorf("thrust: UnpackResidues regions [%d,%d)+[%d,%d) exceed buffer of %d words",
+			srcBase, srcBase+srcWords, dstBase, dstBase+outWords, buf.Len())
+	}
+	if srcBase < dstBase+outWords && dstBase < srcBase+srcWords {
+		return fmt.Errorf("thrust: UnpackResidues source and destination regions overlap")
+	}
+	if n == 0 {
+		return nil
+	}
+	grid, total := launchGeometry(outWords)
+	// A thread's successive packed reads advance 4·nbits bits per output
+	// word; the run model rounds the fractional-word starts of neighboring
+	// lanes into shared segments — the compact image's coalescing win.
+	packedStride := total * 4 * nbits / 32
+	if packedStride < 1 {
+		packedStride = 1
+	}
+	mask := packedMask(nbits)
+	d.NextKernelName("unpack_residues")
+	return launch(d, st, grid, blockDim, func(ctx *gpusim.ThreadCtx) {
+		gid := ctx.GlobalID()
+		w := buf.Words()
+		src := w[srcBase : srcBase+srcWords]
+		count := 0
+		for wi := gid; wi < outWords; wi += total {
+			var acc uint32
+			for lane := 0; lane < 4; lane++ {
+				if r := 4*wi + lane; r < n {
+					acc |= packedAt(src, r, nbits, mask) << (8 * lane)
+				}
+			}
+			w[dstBase+wi] = acc
+			count++
+		}
+		if count > 0 {
+			ctx.GlobalRead(buf, srcBase+gid*4*nbits/32, count, packedStride)
+			ctx.GlobalWrite(buf, dstBase+gid, count, total)
+			ctx.Ops(count * 4 * unpackOps)
+		}
+	})
+}
+
+// FusedHashTopS fuses TransformHash with SegmentedTopS into one launch:
+// for each segment the owning thread reads the segment's values — from the
+// packed image directly when dataBits > 0, from full-width words when
+// dataBits == 0 — applies the min-wise hash (a·v + b) mod prime to each,
+// and maintains the running s minima with the same insertion scan as
+// SegmentedTopS, writing them sentinel-padded at out[outBase+seg*s:...).
+// The fusion eliminates one kernel launch and the full-width hash buffer's
+// global write + re-read per trial; the price is that the hash work runs at
+// the top-s kernel's one-thread-per-segment occupancy instead of the
+// elementwise transform's, which is why the cost model — not a flag alone —
+// decides where fusion wins. Segment offsets index values (not packed
+// words) in both modes, so the two modes are interchangeable bit for bit.
+func FusedHashTopS(d *gpusim.Device, st *gpusim.Stream, data *gpusim.Buffer, dataBits int,
+	segs Segments, s int, a, b, prime uint64, out *gpusim.Buffer, outBase int) error {
+
+	if s <= 0 {
+		return fmt.Errorf("thrust: FusedHashTopS with s=%d", s)
+	}
+	if outBase < 0 {
+		return fmt.Errorf("thrust: FusedHashTopS with outBase=%d", outBase)
+	}
+	if dataBits < 0 || dataBits > 32 {
+		return fmt.Errorf("thrust: FusedHashTopS width %d outside [0,32]", dataBits)
+	}
+	if err := validatePackedSegments(segs, data, dataBits); err != nil {
+		return err
+	}
+	if out.Len() < outBase+segs.NumSegs*s {
+		return fmt.Errorf("thrust: FusedHashTopS output of %d words, need %d", out.Len(), outBase+segs.NumSegs*s)
+	}
+	if segs.NumSegs == 0 {
+		return nil
+	}
+	grid := (segs.NumSegs + blockDim - 1) / blockDim
+	mask := packedMask(max(dataBits, 1))
+	d.NextKernelName("fused_hash_top_s")
+	return launch(d, st, grid, blockDim, func(ctx *gpusim.ThreadCtx) {
+		seg := ctx.GlobalID()
+		if seg >= segs.NumSegs {
+			return
+		}
+		off := segs.Offsets.Words()
+		lo, hi := int(off[seg]), int(off[seg+1])
+		n := hi - lo
+		ctx.GlobalRead(segs.Offsets, seg, 2, 1)
+		w := data.Words()
+		hash := func(i int) uint32 {
+			var v uint32
+			if dataBits > 0 {
+				v = packedAt(w, lo+i, dataBits, mask)
+			} else {
+				v = w[lo+i]
+			}
+			return uint32((a*uint64(v) + b) % prime)
+		}
+		dst := out.Words()[outBase+seg*s : outBase+(seg+1)*s]
+		elemOps := hashOps
+		if dataBits > 0 {
+			elemOps += unpackOps
+		}
+		if n < s {
+			for i := 0; i < n; i++ {
+				dst[i] = hash(i)
+			}
+			insertionSort(dst[:n])
+			for i := n; i < s; i++ {
+				dst[i] = TopSSentinel
+			}
+			chargeSegmentRead(ctx, data, lo, n, dataBits)
+			ctx.GlobalWrite(out, outBase+seg*s, s, 1)
+			ctx.Ops(n*n/2 + s + n*elemOps)
+			return
+		}
+		ops := n * elemOps
+		// Seed with the first s hashes, insertion-sorted.
+		filled := 0
+		for i := 0; i < s; i++ {
+			x := hash(i)
+			j := filled
+			for j > 0 && dst[j-1] > x {
+				dst[j] = dst[j-1]
+				j--
+				ops++
+			}
+			dst[j] = x
+			filled++
+			ops += 2
+		}
+		// Stream the remainder keeping the s minima.
+		for i := s; i < n; i++ {
+			x := hash(i)
+			ops++
+			if x >= dst[s-1] {
+				continue
+			}
+			j := s - 1
+			for j > 0 && dst[j-1] > x {
+				dst[j] = dst[j-1]
+				j--
+				ops++
+			}
+			dst[j] = x
+			ops += 2
+		}
+		chargeSegmentRead(ctx, data, lo, n, dataBits)
+		ctx.GlobalWrite(out, outBase+seg*s, s, 1)
+		ctx.Ops(ops)
+	})
+}
+
+// FusedHashSort fuses TransformHash with SegmentedSort for the full-sort
+// ablation path: for each segment the owning thread hashes the segment's
+// values — packed image when dataBits > 0 — and writes them sorted
+// ascending into dst[lo:hi). dst then holds exactly what TransformHash
+// followed by SegmentedSort would have produced, so the downstream top-s
+// gather is unchanged.
+func FusedHashSort(d *gpusim.Device, st *gpusim.Stream, data *gpusim.Buffer, dataBits int,
+	segs Segments, a, b, prime uint64, dst *gpusim.Buffer) error {
+
+	if dataBits < 0 || dataBits > 32 {
+		return fmt.Errorf("thrust: FusedHashSort width %d outside [0,32]", dataBits)
+	}
+	if err := validatePackedSegments(segs, data, dataBits); err != nil {
+		return err
+	}
+	if segs.NumSegs == 0 {
+		return nil
+	}
+	off := segs.Offsets.Words()
+	if int(off[segs.NumSegs]) > dst.Len() {
+		return fmt.Errorf("thrust: FusedHashSort dst of %d words, segments end at %d",
+			dst.Len(), off[segs.NumSegs])
+	}
+	grid := (segs.NumSegs + blockDim - 1) / blockDim
+	mask := packedMask(max(dataBits, 1))
+	d.NextKernelName("fused_hash_sort")
+	return launch(d, st, grid, blockDim, func(ctx *gpusim.ThreadCtx) {
+		seg := ctx.GlobalID()
+		if seg >= segs.NumSegs {
+			return
+		}
+		off := segs.Offsets.Words()
+		lo, hi := int(off[seg]), int(off[seg+1])
+		n := hi - lo
+		if n == 0 {
+			return
+		}
+		w := data.Words()
+		t := dst.Words()[lo:hi]
+		for i := 0; i < n; i++ {
+			var v uint32
+			if dataBits > 0 {
+				v = packedAt(w, lo+i, dataBits, mask)
+			} else {
+				v = w[lo+i]
+			}
+			t[i] = uint32((a*uint64(v) + b) % prime)
+		}
+		if n <= segSortThreshold {
+			insertionSort(t)
+		} else {
+			slices.Sort(t)
+		}
+		elemOps := hashOps
+		if dataBits > 0 {
+			elemOps += unpackOps
+		}
+		passes := bits.Len(uint(n))
+		ctx.GlobalRead(segs.Offsets, seg, 2, 1)
+		chargeSegmentRead(ctx, data, lo, n, dataBits)
+		// The sort's remaining passes run over dst in place.
+		ctx.GlobalRead(dst, lo, n*(passes-1), 1)
+		ctx.GlobalWrite(dst, lo, n*passes, 1)
+		ctx.Ops(n*elemOps + n*passes*3)
+	})
+}
+
+// chargeSegmentRead records one segment's input traffic: n full-width words
+// when the data is unpacked, or the packed words actually touched when it
+// is a packed image — the footprint reduction the fused kernels exist for.
+func chargeSegmentRead(ctx *gpusim.ThreadCtx, data *gpusim.Buffer, lo, n, dataBits int) {
+	if dataBits <= 0 {
+		ctx.GlobalRead(data, lo, n, 1)
+		return
+	}
+	first := lo * dataBits / 32
+	last := ((lo+n)*dataBits + 31) / 32
+	ctx.GlobalRead(data, first, last-first, 1)
+}
+
+// validatePackedSegments is Segments.Validate generalized over packed
+// images: offsets count values, the buffer holds PackedLen(end, bits)
+// words when bits > 0.
+func validatePackedSegments(segs Segments, data *gpusim.Buffer, dataBits int) error {
+	off := segs.Offsets.Words()
+	if len(off) < segs.NumSegs+1 {
+		return fmt.Errorf("thrust: %d segments need %d offsets, buffer has %d",
+			segs.NumSegs, segs.NumSegs+1, len(off))
+	}
+	for i := 0; i < segs.NumSegs; i++ {
+		if off[i] > off[i+1] {
+			return fmt.Errorf("thrust: segment offsets not monotone at %d: %d > %d", i, off[i], off[i+1])
+		}
+	}
+	end := int(off[segs.NumSegs])
+	need := end
+	if dataBits > 0 {
+		need = gpusim.PackedLen(end, dataBits)
+	}
+	if need > data.Len() {
+		return fmt.Errorf("thrust: segments need %d data words, buffer has %d", need, data.Len())
+	}
+	return nil
+}

@@ -30,6 +30,12 @@ const swBlockDim = 128
 // and the rolling-row bookkeeping.
 const swCellOps = 12
 
+// swDecodeOps is the per-cell surcharge of decoding the b-operand's residue
+// from a bit-packed image (SeqBits > 0): the shift/or/mask extraction
+// replaces a byte load. The a-operand decodes once per row and is absorbed
+// into the aLen term.
+const swDecodeOps = 2
+
 // SWConfig describes one batched Smith–Waterman launch. The batch regions
 // live in a single device buffer at the word offsets given here:
 //
@@ -58,6 +64,15 @@ type SWConfig struct {
 	SeqWords  int // words of packed residues after SeqBase
 	ScoreBase int
 
+	// SeqBits, when nonzero, marks the residue region as a bit-continuous
+	// packed image: residue off occupies bits [off·SeqBits, (off+1)·SeqBits)
+	// after SeqBase (gpusim.PackBits layout) and the kernel decodes codes on
+	// the fly at swDecodeOps per cell — pgraph's packed+fused mode. Zero
+	// keeps the byte layout of 4 codes per little-endian word. Scores are
+	// bit-identical either way; only the region's word footprint and the
+	// kernel's instruction count change.
+	SeqBits int
+
 	// Obs, when non-nil, counts launches and pairs (launch *attempts*: a
 	// launch that faults after enqueue still counts, matching what the
 	// schedulers asked of the device rather than what survived).
@@ -83,6 +98,9 @@ var swPool = sync.Pool{New: func() any { return new(swRows) }}
 func SWScoreBatch(d *gpusim.Device, s *gpusim.Stream, buf *gpusim.Buffer, cfg SWConfig) error {
 	if cfg.NumPairs < 0 || cfg.Alphabet <= 0 {
 		return fmt.Errorf("thrust: SWScoreBatch with %d pairs, alphabet %d", cfg.NumPairs, cfg.Alphabet)
+	}
+	if cfg.SeqBits < 0 || cfg.SeqBits > 32 {
+		return fmt.Errorf("thrust: SWScoreBatch residue width %d outside [0,32]", cfg.SeqBits)
 	}
 	tbl := cfg.Alphabet * cfg.Alphabet
 	tblBuf := buf
@@ -131,15 +149,27 @@ func SWScoreBatch(d *gpusim.Device, s *gpusim.Stream, buf *gpusim.Buffer, cfg SW
 			return
 		}
 		// Each sequence streams through registers once: one contiguous run of
-		// packed words per operand.
+		// packed words per operand (the bit-packed image's run is SeqBits/32
+		// the width of the byte layout's — the fused transfer saving).
 		aw0, aw1 := aOff>>2, (aOff+aLen+3)>>2
 		bw0, bw1 := bOff>>2, (bOff+bLen+3)>>2
+		if cfg.SeqBits > 0 {
+			aw0, aw1 = aOff*cfg.SeqBits/32, ((aOff+aLen)*cfg.SeqBits+31)/32
+			bw0, bw1 = bOff*cfg.SeqBits/32, ((bOff+bLen)*cfg.SeqBits+31)/32
+		}
 		ctx.GlobalRead(buf, cfg.SeqBase+aw0, aw1-aw0, 1)
 		ctx.GlobalRead(buf, cfg.SeqBase+bw0, bw1-bw0, 1)
 
 		tw := tblBuf.Words()
 		code := func(off int) int32 {
 			return int32(w[cfg.SeqBase+off>>2] >> (8 * (off & 3)) & 0xff)
+		}
+		if cfg.SeqBits > 0 {
+			seq := w[cfg.SeqBase:]
+			mask := packedMask(cfg.SeqBits)
+			code = func(off int) int32 {
+				return int32(packedAt(seq, off, cfg.SeqBits, mask))
+			}
 		}
 		score := func(ca, cb int32) int32 {
 			return int32(tw[cfg.TableBase+int(ca)*cfg.Alphabet+int(cb)])
@@ -183,8 +213,12 @@ func SWScoreBatch(d *gpusim.Device, s *gpusim.Stream, buf *gpusim.Buffer, cfg SW
 		w[cfg.ScoreBase+pair] = uint32(best)
 		cells := aLen * bLen
 		// One shared-memory profile lookup per cell, plus the row-streaming
-		// decode work.
+		// decode work (pricier per cell when decoding the packed image).
+		cellOps := swCellOps
+		if cfg.SeqBits > 0 {
+			cellOps += swDecodeOps
+		}
 		ctx.SharedAccess(cells)
-		ctx.Ops(cells*swCellOps + aLen + bLen)
+		ctx.Ops(cells*cellOps + aLen + bLen)
 	})
 }

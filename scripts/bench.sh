@@ -1,15 +1,16 @@
 #!/usr/bin/env sh
 # Benchmark trajectory: runs the key testing.B benchmarks plus the pGraph
-# verification-backend ablation and the auto-tuned-vs-fixed batch-plan
-# ablation, and assembles BENCH_pr6.json in the repo root, recording both
-# virtual-clock and wall-clock numbers so later PRs can diff performance
-# against this one. Run from the repository root.
+# verification-backend ablation, the auto-tuned-vs-fixed batch-plan
+# ablation, and the packed-image/kernel-fusion ablation, and assembles
+# BENCH_pr8.json in the repo root, recording both virtual-clock and
+# wall-clock numbers so later PRs can diff performance against this one.
+# Run from the repository root.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr8.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -26,6 +27,9 @@ go run ./cmd/experiments -exp pgraph -benchjson "$tmp/backends.json"
 echo "== auto-tuned vs fixed batch plans (virtual clock)"
 go run ./cmd/experiments -exp autotune -benchjson "$tmp/autotune.json"
 
+echo "== packed device images and kernel fusion (virtual clock)"
+go run ./cmd/experiments -exp packing -benchjson "$tmp/packing.json"
+
 awk '/^Benchmark/ {
     sub(/-[0-9]+$/, "", $1)
     printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"wall_ns_per_op\": %s}", sep, $1, $2, $3
@@ -34,19 +38,22 @@ awk '/^Benchmark/ {
 
 {
     echo '{'
-    echo '  "pr": 6,'
+    echo '  "pr": 8,'
     echo '  "go_bench": ['
     cat "$tmp/go_bench.json"
     echo '  ],'
     printf '  "pgraph_backends": '
     sed -e 's/^/  /' -e '1s/^  //' "$tmp/backends.json" | sed -e '$s/$/,/'
     printf '  "autotune": '
-    sed -e 's/^/  /' -e '1s/^  //' "$tmp/autotune.json"
+    sed -e 's/^/  /' -e '1s/^  //' "$tmp/autotune.json" | sed -e '$s/$/,/'
+    printf '  "packing": '
+    sed -e 's/^/  /' -e '1s/^  //' "$tmp/packing.json"
     echo '}'
 } > "$out"
 
 # Sanity-check the JSON and the acceptance criteria: the pipelined GPU
-# backend must beat the sequential one, and the auto-tuned plan must beat
-# every fixed setting with the cost model inside its drift gate.
+# backend must beat the sequential one, the auto-tuned plan must beat every
+# fixed setting with the cost model inside its drift gate, and the
+# packed+fused layout must beat the unpacked one while shipping fewer bytes.
 go run ./scripts/benchcheck "$out"
 echo "== bench.sh: wrote $out"

@@ -1,11 +1,13 @@
-// Benchcheck validates a BENCH_pr6.json produced by scripts/bench.sh: the
+// Benchcheck validates a BENCH_pr8.json produced by scripts/bench.sh: the
 // file must parse, every backend point must agree on the accepted edge
 // count, the pipelined GPU backend must post a lower virtual total than
-// the sequential one (the batched-SW PR's criterion), and the auto-tune
+// the sequential one (the batched-SW PR's criterion), the auto-tune
 // ablation must show the cost-model plan winning — per workload the auto
 // point's virtual total is at or below every fixed setting's, all outputs
 // agree, and every priced point's prediction lands within 25% of the
-// measured scheduler window.
+// measured scheduler window — and the packing ablation must show the
+// packed+fused layout beating unpacked+unfused per workload with the
+// gpclust image cutting the H2D byte volume by at least 30%.
 package main
 
 import (
@@ -33,6 +35,7 @@ type benchFile struct {
 	GoBench  []goBenchEntry             `json:"go_bench"`
 	Backends []bench.PGraphBackendPoint `json:"pgraph_backends"`
 	Autotune []bench.AutoTunePoint      `json:"autotune"`
+	Packing  []bench.PackingPoint       `json:"packing"`
 }
 
 // validate checks the whole file and never indexes before checking
@@ -79,7 +82,82 @@ func validate(f benchFile) error {
 		return fmt.Errorf("pipelined virtual total %.3fms is not below sequential %.3fms",
 			pipe.VirtualNs/1e6, seq.VirtualNs/1e6)
 	}
-	return validateAutotune(f.Autotune)
+	if err := validateAutotune(f.Autotune); err != nil {
+		return err
+	}
+	return validatePacking(f.Packing)
+}
+
+// gpclustPackingCut is the packing PR's byte-volume gate: the gpclust packed
+// image must ship at most this fraction of the unpacked H2D bytes. The
+// image packs adjacency values at the graph's MinBits width, so the cut is
+// well past 30% on any realistic graph.
+const gpclustPackingCut = 0.70
+
+// validatePacking enforces the packed-image PR's acceptance criteria on the
+// {packed,unpacked}×{fused,unfused} sweep.
+func validatePacking(points []bench.PackingPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("no packing points")
+	}
+	type cell struct{ packed, fused bool }
+	byCell := map[string]map[cell]bench.PackingPoint{}
+	first := map[string]bench.PackingPoint{}
+	for i, p := range points {
+		if p.Workload == "" || p.Setting == "" {
+			return fmt.Errorf("packing point %d has no workload/setting", i)
+		}
+		if p.VirtualNs <= 0 {
+			return fmt.Errorf("packing %s %q reports non-positive virtual total %.3f",
+				p.Workload, p.Setting, p.VirtualNs)
+		}
+		if p.H2DBytes <= 0 {
+			return fmt.Errorf("packing %s %q shipped %d H2D bytes", p.Workload, p.Setting, p.H2DBytes)
+		}
+		if g, ok := first[p.Workload]; !ok {
+			first[p.Workload] = p
+		} else if p.Output != g.Output {
+			return fmt.Errorf("packing %s %q produced output %d, %q produced %d",
+				p.Workload, p.Setting, p.Output, g.Setting, g.Output)
+		}
+		if byCell[p.Workload] == nil {
+			byCell[p.Workload] = map[cell]bench.PackingPoint{}
+		}
+		byCell[p.Workload][cell{p.Packed, p.Fused}] = p
+		if p.Packed && p.PredictedNs > 0 {
+			if p.SchedNs <= 0 {
+				return fmt.Errorf("packing %s %q prices a zero-length scheduler window",
+					p.Workload, p.Setting)
+			}
+			if drift := math.Abs(p.PredictedNs-p.SchedNs) / p.SchedNs; drift > maxDriftFrac {
+				return fmt.Errorf("packing %s %q cost-model drift %.0f%% exceeds %.0f%% (predicted %.3fms, measured %.3fms)",
+					p.Workload, p.Setting, 100*drift, 100*maxDriftFrac,
+					p.PredictedNs/1e6, p.SchedNs/1e6)
+			}
+		}
+	}
+	for _, w := range []string{"gpclust", "pgraph"} {
+		cells := byCell[w]
+		base, okBase := cells[cell{false, false}]
+		best, okBest := cells[cell{true, true}]
+		if !okBase || !okBest {
+			return fmt.Errorf("packing workload %q is missing the unpacked+unfused or packed+fused point", w)
+		}
+		if best.VirtualNs >= base.VirtualNs {
+			return fmt.Errorf("packing %s: packed+fused virtual total %.3fms is not below unpacked %.3fms",
+				w, best.VirtualNs/1e6, base.VirtualNs/1e6)
+		}
+		if best.H2DBytes >= base.H2DBytes {
+			return fmt.Errorf("packing %s: packed image shipped %d H2D bytes, unpacked %d",
+				w, best.H2DBytes, base.H2DBytes)
+		}
+		if w == "gpclust" && float64(best.H2DBytes) > gpclustPackingCut*float64(base.H2DBytes) {
+			return fmt.Errorf("packing gpclust: packed image shipped %d of %d H2D bytes (%.0f%%), want at most %.0f%%",
+				best.H2DBytes, base.H2DBytes,
+				100*float64(best.H2DBytes)/float64(base.H2DBytes), 100*gpclustPackingCut)
+		}
+	}
+	return nil
 }
 
 // validateAutotune enforces the auto-tuning PR's acceptance criteria on the
@@ -148,7 +226,7 @@ func validateAutotune(points []bench.AutoTunePoint) error {
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_pr6.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_pr8.json")
 		os.Exit(2)
 	}
 	blob, err := os.ReadFile(os.Args[1])
@@ -168,6 +246,21 @@ func main() {
 			fmt.Printf("benchcheck: ok — %s auto plan (budget=%d, lanes=%d) at %.1fms virtual beats every fixed setting\n",
 				p.Workload, p.BudgetWords, p.Lanes, p.VirtualNs/1e6)
 		}
+	}
+	packing := map[string]map[bool]bench.PackingPoint{}
+	for _, p := range f.Packing {
+		if p.Packed == p.Fused { // the gate's two corners
+			if packing[p.Workload] == nil {
+				packing[p.Workload] = map[bool]bench.PackingPoint{}
+			}
+			packing[p.Workload][p.Packed] = p
+		}
+	}
+	for _, w := range []string{"gpclust", "pgraph"} {
+		base, best := packing[w][false], packing[w][true]
+		fmt.Printf("benchcheck: ok — %s packed+fused %.1fms < unpacked %.1fms virtual, H2D bytes %.0f%% of unpacked\n",
+			w, best.VirtualNs/1e6, base.VirtualNs/1e6,
+			100*float64(best.H2DBytes)/float64(base.H2DBytes))
 	}
 }
 

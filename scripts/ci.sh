@@ -26,6 +26,10 @@ go run ./cmd/gpclint -tags invariants ./...
 echo "== gpclint -tests (determinism-critical packages, test files included)"
 go run ./cmd/gpclint -tests ./internal/core ./internal/faults ./internal/minwise \
     ./internal/obs ./internal/sched ./internal/thrust ./internal/unionfind ./internal/pgraph
+# gpusim runs in its own invocation: loading it as a test root next to
+# packages whose tests import it makes the loader mix its test variant with
+# the plain one and fail type-checking.
+go run ./cmd/gpclint -tests ./internal/gpusim
 
 echo "== gpclint fixture sanity (each positive fixture must fail the gate)"
 for fixture in maprange globalrand wallclock atomicmix devmem devmemloop errcheck suppress \
@@ -89,6 +93,7 @@ echo "== fuzz smoke (10s per target)"
 go test -run='^$' -fuzz=FuzzRadixSort -fuzztime=10s ./internal/core/
 go test -run='^$' -fuzz=FuzzPlanBatches -fuzztime=10s ./internal/sched/
 go test -run='^$' -fuzz=FuzzSegmentedSort -fuzztime=10s ./internal/thrust/
+go test -run='^$' -fuzz=FuzzPackResidues -fuzztime=10s ./internal/thrust/
 go test -run='^$' -fuzz=FuzzUnionFind -fuzztime=10s ./internal/unionfind/
 go test -run='^$' -fuzz=FuzzSWBatch -fuzztime=10s ./internal/pgraph/
 go test -run='^$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/faults/
