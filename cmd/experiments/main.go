@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig5|quality|qualityscaling|largescale|memory|theory|pgraph|autotune|packing|faults|ablations|all")
+		exp          = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig5|quality|qualityscaling|largescale|memory|theory|pgraph|autotune|packing|lsh|faults|ablations|all")
 		scale20k     = flag.Float64("scale20k", 1.0, "scale of the paper's 20K graph for Table I")
 		scale2m      = flag.Float64("scale2m", 0.02, "scale of the paper's 2M graph for Tables I–II")
 		scaleQuality = flag.Float64("scalequality", 0.005, "scale of the 2M graph for Tables III–IV / Figure 5")
@@ -40,7 +40,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed")
 		pgraphN      = flag.Int("pgraphn", 0, "ORF count for the pgraph backend ablation (0: default)")
 		pgraphBatch  = flag.Int("pgraphbatch", 0, "per-batch word budget for the pgraph ablation (0: default)")
-		benchJSON    = flag.String("benchjson", "", "with -exp pgraph/autotune/packing: also write the machine-readable points as JSON to this file")
+		benchJSON    = flag.String("benchjson", "", "with -exp pgraph/autotune/packing/lsh: also write the machine-readable points as JSON to this file")
 		retryBack    = flag.Float64("retrybackoff", 0, "base fault-retry backoff in virtual ns (0 = library default)")
 		traceOut     = flag.String("trace", "", "with -exp table1: write the 20K GPU run's merged chrome://tracing timeline to this file")
 		metricsOut   = flag.String("metrics", "", "write OpenMetrics counters accumulated across the runs to this file")
@@ -153,6 +153,15 @@ func main() {
 			fatal(err)
 			fatal(os.WriteFile(*benchJSON, append(blob, '\n'), 0o644))
 		}
+	case "lsh":
+		rows, points, err := bench.AblateLSH(*pgraphN)
+		fatal(err)
+		bench.RenderAblation(out, "LSH banding candidate filter (recall vs candidate volume)", rows)
+		if *benchJSON != "" {
+			blob, err := json.MarshalIndent(points, "", "  ")
+			fatal(err)
+			fatal(os.WriteFile(*benchJSON, append(blob, '\n'), 0o644))
+		}
 	case "faults":
 		rows, err := bench.AblateFaults(*scale20k, perfOpts)
 		fatal(err)
@@ -223,6 +232,10 @@ func runAblations(out *os.File, qualityScale float64, perfOpts core.Options, min
 	rows, _, err = bench.AblatePacking(0.25, smallPerf, 0)
 	fatal(err)
 	bench.RenderAblation(out, "packed device images and kernel fusion (H2D volume vs launch count)", rows)
+
+	rows, _, err = bench.AblateLSH(0)
+	fatal(err)
+	bench.RenderAblation(out, "LSH banding candidate filter (recall vs candidate volume)", rows)
 
 	rows, err = bench.AblateFullSort(0.25, smallPerf)
 	fatal(err)

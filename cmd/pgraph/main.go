@@ -8,11 +8,19 @@
 //	pgraph -in orfs.fa -out graph.txt
 //	pgraph -in orfs.fa -out graph.bin -minmatch 12 -score 1.2
 //	pgraph -in orfs.fa -out graph.txt -gpu -pipeline
+//	pgraph -in orfs.fa -out graph.txt -gpu -filter cascade -bands conservative
+//	pgraph -in orfs.fa -out graph.txt -filter lsh -bands 64 -rows 1
 //
 // With -gpu the Smith–Waterman verification runs as batched score-only
 // kernels on the simulated device (bit-identical edge set to the host
 // path), and stderr reports the paper's Table-I-style component split:
 // CPU filter, GPU SW, Data_c→g, Data_g→c.
+//
+// -filter swaps the exact suffix-structure candidate filter for MinHash/LSH
+// banding (with -gpu, band hashing and bucket grouping run on the device):
+// "lsh" verifies LSH candidates only, "cascade" restricts the exact filter's
+// pairs to LSH-connected components — bit-identical to the exact path at
+// -bands conservative, recall-traded otherwise.
 package main
 
 import (
@@ -43,6 +51,9 @@ func main() {
 		packed   = flag.Bool("packed", true, "with -gpu: stage batch residues as a 5-bit packed device image")
 		fuse     = flag.Bool("fuse", true, "with -gpu -packed: let the SW kernel decode the packed image in place where the cost model says it wins")
 		noBin    = flag.Bool("nobin", false, "with -gpu: disable length binning of pairs (more warp divergence)")
+		filter   = flag.String("filter", "exact", "candidate filter: exact (suffix oracle), lsh (MinHash banding), cascade (LSH pass, then exact pairs restricted to LSH components; bit-identical at the conservative preset)")
+		bands    = flag.String("bands", "", "with -filter lsh|cascade: band count, or \"conservative\" to bucket on raw shingles (default: the tuned shape)")
+		rows     = flag.Int("rows", 0, "with -filter lsh|cascade: signature rows per band (default: the tuned shape)")
 		faultSch = flag.String("faults", "", "with -gpu: inject device faults from this schedule, e.g. 'h2d op=3; malloc at=2ms count=2'")
 		retries  = flag.Int("retries", 0, "with -gpu: per-batch fault retry budget (0 = library default; must be >= 0)")
 		noFB     = flag.Bool("nofallback", false, "with -gpu: fail instead of degrading to host scoring when the fault retry budget is exhausted")
@@ -77,6 +88,25 @@ func main() {
 			}
 		}
 	}
+	if *filter == pgraph.FilterExact {
+		// The library enforces the same rule; rejecting here names the flags.
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*bands != "", "-bands"}, {*rows != 0, "-rows"},
+		} {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "pgraph: %s requires -filter lsh or -filter cascade\n", f.name)
+				os.Exit(2)
+			}
+		}
+	}
+	lshBands, err := parseBands(*bands)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgraph:", err)
+		os.Exit(2)
+	}
 	var inj *faults.Injector
 	if *faultSch != "" {
 		sched, err := faults.Parse(*faultSch)
@@ -97,6 +127,9 @@ func main() {
 	cfg.MinExactMatch = *minMatch
 	cfg.MinScorePerResidue = *score
 	cfg.Workers = *workers
+	cfg.Filter = *filter
+	cfg.LSHBands = lshBands
+	cfg.LSHRows = *rows
 	cfg.GPU = *gpu
 	cfg.GPUPipeline = *pipeline
 	cfg.GPUBatchWords, cfg.AutoTune, err = parseBatchWords(*batchW)
@@ -149,13 +182,16 @@ func main() {
 	} else if st.Faults.Any() {
 		fmt.Fprintf(os.Stderr, "pgraph: fault recovery: %s\n", &st.Faults)
 	}
-	fmt.Fprintf(os.Stderr, "pgraph: %d sequences, %d candidate pairs, %d edges (%s backend)\n",
-		st.Sequences, st.Candidates, st.Edges, st.Backend)
+	fmt.Fprintf(os.Stderr, "pgraph: %d sequences, %d candidate pairs (%s filter), %d edges (%s backend)\n",
+		st.Sequences, st.Candidates, st.Filter, st.Edges, st.Backend)
 	if st.Backend == "gpu" {
 		fmt.Fprintf(os.Stderr,
 			"pgraph: CPU filter %.3fs | GPU SW %.3fs | Data_c→g %.3fs | Data_g→c %.3fs | total %.3fs virtual (%d batches, divergence %.1f%%), wall %dms\n",
 			st.FilterNs/1e9, st.AlignNs/1e9, st.H2DNs/1e9, st.D2HNs/1e9, st.TotalNs/1e9,
 			st.GPUBatches, 100*st.Divergence, st.WallNs/1e6)
+		if st.LSHPlan.Batches > 0 {
+			fmt.Fprintf(os.Stderr, "pgraph: lsh %s\n", st.LSHPlan)
+		}
 		if st.Plan.Batches > 0 {
 			fmt.Fprintf(os.Stderr, "pgraph: %s\n", st.Plan)
 		}
@@ -177,6 +213,23 @@ func main() {
 		fatal(graph.WriteEdgeList(of, g))
 	}
 	fatal(of.Close())
+}
+
+// parseBands maps the -bands value to Config.LSHBands: empty keeps the
+// library default, "conservative" selects the raw-shingle bucket preset, and
+// a positive integer fixes the band count.
+func parseBands(s string) (int, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "conservative":
+		return pgraph.ConservativeBands, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("-bands must be \"conservative\" or a positive band count, got %q", s)
+	}
+	return n, nil
 }
 
 // parseBatchWords maps the -batchwords value to (budget, autoTune):

@@ -8,6 +8,11 @@
 //
 //	quality -clusters clusters.txt -truth truth.tsv -minsize 20
 //	quality -clusters clusters.txt -truth truth.tsv -graph graph.txt -column superfamily
+//
+// With -compare a second cluster file is scored pairwise against the first
+// (PPV, sensitivity and their F-score), the measurement the LSH-cascade
+// experiments use to quantify how far an approximate filter's final
+// clustering drifts from the exact pipeline's.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 		graphPath    = flag.String("graph", "", "optional similarity graph (edge list or binary) for density")
 		column       = flag.String("column", "superfamily", "truth column to score against: family|superfamily")
 		minSize      = flag.Int("minsize", 20, "evaluate clusters of at least this many members (paper: 20)")
+		comparePath  = flag.String("compare", "", "optional second cluster file scored pairwise against -clusters (PPV/SE/F)")
 	)
 	flag.Parse()
 	if *clustersPath == "" || *truthPath == "" {
@@ -66,6 +72,28 @@ func main() {
 		}
 		mean, std := metrics.DensityStats(g, kept)
 		fmt.Printf("cluster density: %.2f±%.2f\n", mean, std)
+	}
+
+	if *comparePath != "" {
+		other, err := readClusters(*comparePath, n)
+		fatal(err)
+		keptOther := other[:0]
+		for _, cl := range other {
+			if len(cl) >= *minSize {
+				keptOther = append(keptOther, cl)
+			}
+		}
+		// -clusters is the benchmark, -compare the test partition, so PPV
+		// reads "fraction of the compared clustering's co-clustered pairs the
+		// reference also co-clusters".
+		oc := metrics.PairConfusion(metrics.LabelsFromClusters(keptOther, n, *minSize), labels, n)
+		ppv, se := oc.PPV(), oc.Sensitivity()
+		f := 0.0
+		if ppv+se > 0 {
+			f = 2 * ppv * se / (ppv + se)
+		}
+		fmt.Printf("vs %s: PPV=%.2f%% SE=%.2f%% F=%.4f  (TP=%d FP=%d FN=%d TN=%d)\n",
+			*comparePath, 100*ppv, 100*se, f, oc.TP, oc.FP, oc.FN, oc.TN)
 	}
 }
 

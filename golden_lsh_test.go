@@ -1,0 +1,93 @@
+package gpclust_test
+
+import (
+	"reflect"
+	"testing"
+
+	"gpclust"
+)
+
+// TestGoldenCascadeConservative is the cascade half of the golden gate: at
+// the conservative LSH preset the cascaded pGraph (LSH pass → component
+// restriction → full Smith–Waterman on survivors) must reproduce the exact
+// filter's homology graph bit-identically — on the host and on the GPU —
+// and every clustering backend must then agree on the partition.
+func TestGoldenCascadeConservative(t *testing.T) {
+	mgCfg := gpclust.DefaultMetagenomeConfig(250)
+	mgCfg.Seed = 7
+	mg, err := gpclust.GenerateMetagenome(mgCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exactCfg := gpclust.DefaultPGraphConfig()
+	gExact, exactStats, err := gpclust.BuildHomologyGraph(mg.Seqs, exactCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactStats.Edges == 0 {
+		t.Fatal("exact build produced no edges; golden test needs a non-trivial graph")
+	}
+
+	casCfg := exactCfg
+	casCfg.Filter = gpclust.FilterCascade
+	casCfg.LSHBands = gpclust.ConservativeBands
+	gCas, casStats, err := gpclust.BuildHomologyGraph(mg.Seqs, casCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if casStats.Filter != gpclust.FilterCascade {
+		t.Fatalf("Stats.Filter = %q, want %q", casStats.Filter, gpclust.FilterCascade)
+	}
+	if !reflect.DeepEqual(gExact.Offsets, gCas.Offsets) || !reflect.DeepEqual(gExact.Adj, gCas.Adj) {
+		t.Fatal("host cascade graph differs from the exact-filter graph")
+	}
+
+	gpuCfg := casCfg
+	gpuCfg.GPU = true
+	// The batch budget is shared by the LSH pass and verification; the
+	// conservative bucket pass needs 4 words per shingle occurrence, so the
+	// budget must hold the whole corpus' shingles while still being small
+	// enough to keep verification honest.
+	gpuCfg.GPUBatchWords = 200_000
+	gGPU, _, err := gpclust.BuildHomologyGraph(mg.Seqs, gpuCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gExact.Offsets, gGPU.Offsets) || !reflect.DeepEqual(gExact.Adj, gGPU.Adj) {
+		t.Fatal("GPU cascade graph differs from the exact-filter graph")
+	}
+
+	opts := gpclust.DefaultOptions()
+	opts.C1, opts.C2 = 60, 30
+
+	serial, err := gpclust.Cluster(gExact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Clustering.Clusters
+	if len(want) == 0 {
+		t.Fatal("no clusters; golden test needs a non-trivial partition")
+	}
+	for _, g := range map[string]*gpclust.Graph{"host-cascade": gCas, "gpu-cascade": gGPU} {
+		ser, err := gpclust.Cluster(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parOpts := opts
+		parOpts.Workers = 3
+		par, err := gpclust.ClusterParallel(g, parOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu, err := gpclust.ClusterGPU(g, gpclust.NewK20(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, r := range map[string]*gpclust.Result{"Cluster": ser, "ClusterParallel": par, "ClusterGPU": gpu} {
+			if !reflect.DeepEqual(r.Clustering.Clusters, want) {
+				t.Fatalf("%s on the cascade graph diverged from the exact-path partition", name)
+			}
+		}
+	}
+}

@@ -225,6 +225,16 @@ type PGraphStats = pgraph.Stats
 // DefaultPGraphConfig returns settings suitable for synthetic metagenomes.
 func DefaultPGraphConfig() PGraphConfig { return pgraph.DefaultConfig() }
 
+// Candidate filter backends for PGraphConfig.Filter, and the conservative
+// LSH preset (PGraphConfig.LSHBands = ConservativeBands buckets on raw
+// shingles, making the candidate set a superset of the exact filter's).
+const (
+	FilterExact       = pgraph.FilterExact
+	FilterLSH         = pgraph.FilterLSH
+	FilterCascade     = pgraph.FilterCascade
+	ConservativeBands = pgraph.ConservativeBands
+)
+
 // BuildHomologyGraph constructs the sequence-similarity graph: exact-match
 // filtering via a generalized suffix structure, then Smith–Waterman
 // verification (the pGraph phase of the pipeline).

@@ -34,15 +34,8 @@ type AutoTunePoint struct {
 
 // autoTuneRow renders one point for the human-readable sweep.
 func autoTuneRow(p AutoTunePoint, plan sched.PlanReport) AblationRow {
-	comment := plan.String()
-	if p.PredictedNs > 0 {
-		comment = fmt.Sprintf("%s, drift %.0f%%", comment, 100*plan.DriftFrac())
-	}
-	return AblationRow{
-		Label: p.Workload + " " + p.Setting,
-		Value: s(p.VirtualNs), Unit: "s",
-		Comment: comment,
-	}
+	return timedRow(p.Workload+" "+p.Setting, p.VirtualNs,
+		driftComment(plan.String(), p.PredictedNs, plan))
 }
 
 // AblateAutoTune compares the cost-model auto-tuner against fixed batch

@@ -55,16 +55,10 @@ func AblateFaults(scale float64, o core.Options) ([]AblationRow, error) {
 				return nil, fmt.Errorf("bench: schedule %q: recovered clustering diverged from the fault-free run", c.schedule)
 			}
 		}
-		comment := c.comment
-		if r.Faults.Any() {
-			comment = fmt.Sprintf("%s (%s)", c.comment, &r.Faults)
-		}
-		rows = append(rows, AblationRow{
-			Label: c.label,
-			Value: s(r.Timings.TotalNs), Unit: "s",
-			Comment: fmt.Sprintf("%s; identical clustering, +%.3fs vs fault-free",
-				comment, s(r.Timings.TotalNs-clean.Timings.TotalNs)),
-		})
+		comment := recoveryComment(c.comment, r.Faults)
+		rows = append(rows, timedRow(c.label, r.Timings.TotalNs,
+			fmt.Sprintf("%s; identical clustering, +%.3fs vs fault-free",
+				comment, s(r.Timings.TotalNs-clean.Timings.TotalNs))))
 	}
 	return rows, nil
 }

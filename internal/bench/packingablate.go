@@ -52,14 +52,8 @@ var packingSettings = []struct {
 func packingRow(p PackingPoint, plan sched.PlanReport) AblationRow {
 	comment := fmt.Sprintf("Data_c→g %.2fs (%.0f%% volume), %.1f MB shipped",
 		s(p.H2DNs), 100*p.H2DVolumeNs/max(p.H2DNs, 1), float64(p.H2DBytes)/1e6)
-	if p.PredictedNs > 0 {
-		comment = fmt.Sprintf("%s, drift %.0f%%", comment, 100*plan.DriftFrac())
-	}
-	return AblationRow{
-		Label: p.Workload + " " + p.Setting,
-		Value: s(p.VirtualNs), Unit: "s",
-		Comment: comment,
-	}
+	return timedRow(p.Workload+" "+p.Setting, p.VirtualNs,
+		driftComment(comment, p.PredictedNs, plan))
 }
 
 // AblatePacking sweeps the packed-image and kernel-fusion levers on both

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+
+	"gpclust/internal/faults"
+	"gpclust/internal/graph"
+	"gpclust/internal/metrics"
+	"gpclust/internal/sched"
+	"gpclust/internal/unionfind"
+)
+
+// Shared rendering and scoring helpers for the ablation sweeps. Every sweep
+// that emits AblationRows with a virtual-clock value, a cost-model drift
+// annotation, or a recovery annotation goes through these, so the table
+// format stays uniform across AblatePacking, AblateAutoTune, AblateFaults
+// and AblateLSH.
+
+// timedRow is one virtual-clock outcome rendered in seconds.
+func timedRow(label string, virtualNs float64, comment string) AblationRow {
+	return AblationRow{Label: label, Value: s(virtualNs), Unit: "s", Comment: comment}
+}
+
+// driftComment appends the cost model's prediction drift to a row comment
+// when the point was priced (predictedNs > 0); unpriced points pass through.
+func driftComment(comment string, predictedNs float64, plan sched.PlanReport) string {
+	if predictedNs <= 0 {
+		return comment
+	}
+	return fmt.Sprintf("%s, drift %.0f%%", comment, 100*plan.DriftFrac())
+}
+
+// recoveryComment appends the recovery counters to a row comment when any
+// fault recovery fired; fault-free rows pass through.
+func recoveryComment(comment string, rec faults.Recovery) string {
+	if !rec.Any() {
+		return comment
+	}
+	return fmt.Sprintf("%s (%s)", comment, rec)
+}
+
+// componentLabels labels each vertex of a CSR graph with its connected
+// component — the partition SW-verified homology graphs induce before any
+// clustering heuristic runs, and the basis the LSH ablation scores final
+// cluster quality on.
+func componentLabels(g *graph.Graph) []int32 {
+	n := len(g.Offsets) - 1
+	uf := unionfind.New(n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Adj[g.Offsets[u]:g.Offsets[u+1]] {
+			uf.Union(u, int(v))
+		}
+	}
+	return uf.Labels()
+}
+
+// pairF1 is the harmonic mean of pairwise PPV and sensitivity of the test
+// partition against the benchmark partition (Section IV-D's confusion,
+// folded to one score).
+func pairF1(test, bench []int32, n int) float64 {
+	c := metrics.PairConfusion(test, bench, n)
+	ppv, se := c.PPV(), c.Sensitivity()
+	if ppv+se == 0 {
+		return 0
+	}
+	return 2 * ppv * se / (ppv + se)
+}

@@ -1,0 +1,165 @@
+package minwise
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSequenceSignaturesMatchNaiveMin pins the signature matrix to the
+// definition: the minimum of Apply over each set, EmptySig for empty sets.
+func TestSequenceSignaturesMatchNaiveMin(t *testing.T) {
+	f := NewFamily(7, 42)
+	rng := rand.New(rand.NewSource(1))
+	sets := make([][]uint32, 9)
+	for i := range sets {
+		if i == 4 {
+			continue // one empty set in the middle
+		}
+		set := make([]uint32, 1+rng.Intn(40))
+		for k := range set {
+			set[k] = uint32(rng.Intn(1 << 30))
+		}
+		sets[i] = set
+	}
+	g := f.SequenceSignatures(sets)
+	if g.C != 7 || g.N != 9 {
+		t.Fatalf("signature shape C=%d N=%d, want 7x9", g.C, g.N)
+	}
+	for j, h := range f.Pairs {
+		for i, set := range sets {
+			want := EmptySig
+			for _, v := range set {
+				if x := h.Apply(v); x < want {
+					want = x
+				}
+			}
+			if got := g.At(j, i); got != want {
+				t.Fatalf("sig[%d][%d] = %d, want %d", j, i, got, want)
+			}
+		}
+	}
+	if !g.Empty(4) {
+		t.Fatal("empty set not reported Empty")
+	}
+	if g.Empty(0) {
+		t.Fatal("non-empty set reported Empty")
+	}
+}
+
+// TestBandKeyDistinguishesRows: band keys must depend on every row of the
+// band and on the band index, and agree for equal signature columns.
+func TestBandKeyDistinguishesRows(t *testing.T) {
+	g := Signatures{C: 4, N: 2, Vals: []uint32{
+		10, 10, // row 0
+		20, 20, // row 1
+		30, 31, // row 2
+		40, 40, // row 3
+	}}
+	if g.BandKey(0, 0, 2) != g.BandKey(1, 0, 2) {
+		t.Fatal("equal band 0 columns produced different keys")
+	}
+	if g.BandKey(0, 1, 2) == g.BandKey(1, 1, 2) {
+		t.Fatal("band 1 differs in row 2 but keys collided")
+	}
+	if g.BandKey(0, 0, 2) == g.BandKey(0, 1, 2) {
+		t.Fatal("different bands of one column produced the same key")
+	}
+}
+
+// TestBandCollisionProbMonotone sweeps the analytic S-curve over a Jaccard
+// grid for a spread of (rows, bands) shapes: strictly increasing in j, with
+// the 0 and 1 endpoints exact.
+func TestBandCollisionProbMonotone(t *testing.T) {
+	shapes := []struct{ rows, bands int }{
+		{1, 1}, {1, 32}, {2, 16}, {4, 8}, {3, 64}, {8, 4},
+	}
+	for _, s := range shapes {
+		if p := BandCollisionProb(0, s.rows, s.bands); p != 0 {
+			t.Fatalf("P(0) = %g for %dx%d, want 0", p, s.bands, s.rows)
+		}
+		if p := BandCollisionProb(1, s.rows, s.bands); p != 1 {
+			t.Fatalf("P(1) = %g for %dx%d, want 1", p, s.bands, s.rows)
+		}
+		prev := 0.0
+		for j := 0.01; j < 1; j += 0.01 {
+			p := BandCollisionProb(j, s.rows, s.bands)
+			// Strictly increasing until the curve saturates at 1 within
+			// float precision (many-band shapes hit 1.0 well before j=1).
+			if p < prev || (p == prev && p < 1-1e-12) {
+				t.Fatalf("P not increasing for %dx%d at j=%.2f: %g <= %g",
+					s.bands, s.rows, j, p, prev)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("P out of range for %dx%d at j=%.2f: %g", s.bands, s.rows, j, p)
+			}
+			prev = p
+		}
+	}
+}
+
+// TestBandCollisionEmpiricalMonotone is the satellite property test on real
+// signature pairs: synthetic set pairs of increasing Jaccard overlap must
+// show a (weakly) increasing measured band-collision rate, and the measured
+// rate must track the analytic curve at the pairs' exact Jaccard index.
+func TestBandCollisionEmpiricalMonotone(t *testing.T) {
+	const (
+		rows, bands = 2, 16
+		trials      = 400 // independent families per overlap level
+		setLen      = 60
+	)
+	rng := rand.New(rand.NewSource(7))
+	base := make([]uint32, setLen)
+	seen := map[uint32]bool{}
+	for i := range base {
+		for {
+			v := uint32(rng.Intn(1 << 30))
+			if !seen[v] {
+				seen[v] = true
+				base[i] = v
+				break
+			}
+		}
+	}
+	fresh := func() uint32 {
+		for {
+			v := uint32(rng.Intn(1 << 30))
+			if !seen[v] {
+				seen[v] = true
+				return v
+			}
+		}
+	}
+
+	prevRate := -1.0
+	for _, shared := range []int{6, 15, 30, 45, 57} {
+		// b keeps `shared` of base's elements and replaces the rest.
+		b := make([]uint32, setLen)
+		copy(b, base[:shared])
+		for i := shared; i < setLen; i++ {
+			b[i] = fresh()
+		}
+		j := Jaccard(base, b)
+		collide := 0
+		for trial := 0; trial < trials; trial++ {
+			f := NewFamily(rows*bands, int64(1000+trial))
+			g := f.SequenceSignatures([][]uint32{base, b})
+			for band := 0; band < bands; band++ {
+				if g.BandKey(0, band, rows) == g.BandKey(1, band, rows) {
+					collide++
+					break
+				}
+			}
+		}
+		rate := float64(collide) / float64(trials)
+		if rate < prevRate {
+			t.Fatalf("empirical collision rate fell as Jaccard rose: %g after %g (shared=%d)",
+				rate, prevRate, shared)
+		}
+		prevRate = rate
+		want := BandCollisionProb(j, rows, bands)
+		if diff := rate - want; diff < -0.12 || diff > 0.12 {
+			t.Fatalf("collision rate %.3f far from analytic %.3f at J=%.3f (shared=%d)",
+				rate, want, j, shared)
+		}
+	}
+}

@@ -50,6 +50,46 @@ func TestChaosSweepBothSchedulers(t *testing.T) {
 	}
 }
 
+// TestChaosSweepLSHFilter extends the sweep to the on-device LSH filter:
+// random fault schedules now hit the signature, band-hash, sort and bucket
+// kernels (and their copies) before verification ever runs, and the build
+// must still recover to the bit-identical fault-free edge set — the filter's
+// ladder retries the idempotent pipeline or degrades to the host LSH path.
+func TestChaosSweepLSHFilter(t *testing.T) {
+	seqs := testMetagenome(t, 60)
+	base := DefaultConfig()
+	base.Filter = FilterLSH
+	host, _, err := Build(seqs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := int64(1); seed <= 20; seed++ {
+		sch := faults.RandSchedule(seed, 5)
+		inj := faults.NewInjector(sch)
+		cfg := base
+		cfg.GPU = true
+		// Must hold the resident signature matrix (256 hashes × ~60 eligible
+		// sequences) while still forcing several band-stage spans.
+		cfg.GPUBatchWords = 40_000
+		cfg.Device = gpusim.MustNew(gpusim.K20Config())
+		cfg.Device.SetFaultInjector(inj)
+		g, st, err := Build(seqs, cfg)
+		if err != nil {
+			t.Fatalf("seed %d (schedule %q): %v", seed, sch.String(), err)
+		}
+		graphsEqual(t, "lsh", host, g)
+		failed := inj.TotalFailures() > 0
+		if st.Faults.Any() != failed {
+			t.Fatalf("seed %d: Faults.Any()=%v but injector failed %d ops (schedule %q)",
+				seed, st.Faults.Any(), inj.TotalFailures(), sch.String())
+		}
+		if err := cfg.Device.LeakCheck(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 // TestChaosSWRecoveryLadder drives each rung of the pGraph ladder.
 func TestChaosSWRecoveryLadder(t *testing.T) {
 	seqs := testMetagenome(t, 80)

@@ -578,18 +578,12 @@ func runSWBatchesPipelinedOn(dev *gpusim.Device, table *gpusim.Buffer, plans []s
 // the scores with the exact comparison the host path uses. The Stats
 // breakdown (filter, kernels, Data_c→g, Data_g→c) is this stage's share of
 // the device's virtual clock.
-func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats) ([]graph.Edge, error) {
-	dev := cfg.Device
-	if dev == nil {
-		dev = gpusim.MustNew(gpusim.K20Config())
-	}
-	host0 := dev.HostTime()
+func verifyGPU(seqs []seq.Sequence, pairs []pairKey, cfg Config, st *Stats, host0 float64) ([]graph.Edge, error) {
+	dev := cfg.Device // Build resolved the device before the filter ran
+	// Metrics from here cover verification only: the filter phase (host
+	// charges, or the LSH pass's own device traffic) is already on the
+	// clock, and host0 predates it so TotalNs spans the whole build.
 	m0 := dev.Metrics()
-	// The CPU filter ran before this point; put it on the virtual clock.
-	chargeHost(dev, cfg.Obs, "filter", st.FilterNs)
-	if cfg.Obs.Enabled() {
-		cfg.Obs.Span(obs.TrackPhases, "filter", host0, dev.HostTime())
-	}
 	verifyPhase := startVerifyPhase(dev, cfg.Obs)
 
 	var edges []graph.Edge

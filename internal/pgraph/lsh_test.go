@@ -1,0 +1,312 @@
+package pgraph
+
+import (
+	"errors"
+	"testing"
+
+	"gpclust/internal/align"
+	"gpclust/internal/faults"
+	"gpclust/internal/gpusim"
+	"gpclust/internal/seq"
+)
+
+// lshSettings are the banding shapes the equivalence tests sweep: the
+// conservative preset, the tuned default, and a deliberately aggressive
+// high-precision shape.
+var lshSettings = []struct {
+	label       string
+	bands, rows int
+}{
+	{"conservative", ConservativeBands, 0},
+	{"default", 0, 0},
+	{"16x2", 16, 2},
+}
+
+func lshConfig(bands, rows int) Config {
+	cfg := DefaultConfig()
+	cfg.Filter = FilterLSH
+	cfg.LSHBands = bands
+	cfg.LSHRows = rows
+	return cfg
+}
+
+// TestLSHConservativeSupersetOfExact: any pair the exact suffix filter emits
+// shares an exact MinExactMatch-residue substring, hence a shingle, hence a
+// conservative LSH bucket — the superset guarantee the cascade's
+// bit-identity rests on.
+func TestLSHConservativeSupersetOfExact(t *testing.T) {
+	seqs := testMetagenome(t, 120)
+	cfg := DefaultConfig()
+	exact, _ := exactPairSet(seqs, cfg)
+	lsh, _ := lshPairsHost(seqs, cfg, lshParams{conservative: true})
+	for p := range exact {
+		if !lsh[p] {
+			a, b := p.unpack()
+			t.Fatalf("exact pair (%d,%d) missing from conservative LSH candidates", a, b)
+		}
+	}
+	if len(lsh) < len(exact) {
+		t.Fatalf("conservative LSH found %d pairs, exact found %d", len(lsh), len(exact))
+	}
+}
+
+// TestLSHDeviceMatchesHost: the device filter must produce the bit-identical
+// candidate set to the host path at every setting — same shingles, same
+// permutation family, same band keys, same buckets.
+func TestLSHDeviceMatchesHost(t *testing.T) {
+	seqs := testMetagenome(t, 80)
+	for _, s := range lshSettings {
+		cfg := lshConfig(s.bands, s.rows)
+		_, prm, err := resolveFilter(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := lshPairsHost(seqs, cfg, prm)
+		dev := gpusim.MustNew(gpusim.K20Config())
+		var st Stats
+		cfg.GPU = true
+		cfg.Device = dev
+		got, err := lshDeviceFilter(dev, seqs, cfg, prm, &st)
+		if err != nil {
+			t.Fatalf("%s: %v", s.label, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: device found %d candidates, host %d", s.label, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				a, b := p.unpack()
+				t.Fatalf("%s: host pair (%d,%d) missing on device", s.label, a, b)
+			}
+		}
+		if st.Faults.Any() {
+			t.Fatalf("%s: fault-free run recorded recovery %+v", s.label, st.Faults)
+		}
+	}
+}
+
+// TestCascadeConservativeMatchesExact: at the conservative preset the
+// cascade's survivor set equals the exact filter's pair set, so the built
+// graph is bit-identical — on the host backend and on the GPU.
+func TestCascadeConservativeMatchesExact(t *testing.T) {
+	seqs := testMetagenome(t, 100)
+	base := DefaultConfig()
+	want, wantSt, err := Build(seqs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cas := DefaultConfig()
+	cas.Filter = FilterCascade
+	cas.LSHBands = ConservativeBands
+	got, st, err := Build(seqs, cas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, "host cascade", want, got)
+	if st.Filter != FilterCascade {
+		t.Fatalf("Stats.Filter = %q, want %q", st.Filter, FilterCascade)
+	}
+	if st.Candidates != wantSt.Candidates {
+		t.Fatalf("cascade kept %d candidates, exact filter had %d", st.Candidates, wantSt.Candidates)
+	}
+
+	gpu := cas
+	gpu.GPU = true
+	gpu.Device = gpusim.MustNew(gpusim.K20Config())
+	got, _, err = Build(seqs, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, "gpu cascade", want, got)
+}
+
+// TestLSHFilterGraphsMatchHostGPU: at every banding shape, the LSH-filtered
+// build must be backend-independent — host and device runs accept the
+// identical edge set.
+func TestLSHFilterGraphsMatchHostGPU(t *testing.T) {
+	seqs := testMetagenome(t, 80)
+	for _, s := range lshSettings {
+		cfg := lshConfig(s.bands, s.rows)
+		want, _, err := Build(seqs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.GPU = true
+		cfg.Device = gpusim.MustNew(gpusim.K20Config())
+		got, st, err := Build(seqs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s.label, err)
+		}
+		graphsEqual(t, s.label, want, got)
+		if st.Filter != FilterLSH {
+			t.Fatalf("%s: Stats.Filter = %q", s.label, st.Filter)
+		}
+	}
+}
+
+// TestLSHAllocFailureFallsBackToHost: persistent malloc faults starve the
+// resident signature buffer; the ladder must degrade the whole filter to the
+// bit-identical host LSH path and count the fallback.
+func TestLSHAllocFailureFallsBackToHost(t *testing.T) {
+	seqs := testMetagenome(t, 60)
+	cfg := lshConfig(0, 0)
+	want, _, err := Build(seqs, cfg) // host reference
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sch, err := faults.Parse("malloc op=1 count=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu := lshConfig(0, 0)
+	gpu.GPU = true
+	gpu.Device = gpusim.MustNew(gpusim.K20Config())
+	gpu.Device.SetFaultInjector(faults.NewInjector(sch))
+	got, st, err := Build(seqs, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, "alloc-starved lsh", want, got)
+	if st.Faults.HostFallbacks < 1 {
+		t.Fatalf("expected a host fallback, recovery %+v", st.Faults)
+	}
+}
+
+// TestLSHNoHostFallbackFailsTyped: with the fallback disabled, the starved
+// filter must fail wrapping ErrRetryBudget.
+func TestLSHNoHostFallbackFailsTyped(t *testing.T) {
+	seqs := testMetagenome(t, 60)
+	sch, err := faults.Parse("malloc op=1 count=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lshConfig(0, 0)
+	cfg.GPU = true
+	cfg.NoHostFallback = true
+	cfg.FaultRetries = 2
+	cfg.Device = gpusim.MustNew(gpusim.K20Config())
+	cfg.Device.SetFaultInjector(faults.NewInjector(sch))
+	_, _, err = Build(seqs, cfg)
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("error %v does not wrap ErrRetryBudget", err)
+	}
+}
+
+// TestLSHBudgetTooSmall: a budget that cannot hold the conservative bucket
+// pass (or one banded sequence) is a planning error, not a device fault —
+// Build fails fast without retry noise.
+func TestLSHBudgetTooSmall(t *testing.T) {
+	seqs := testMetagenome(t, 60)
+	cfg := lshConfig(ConservativeBands, 0)
+	cfg.GPU = true
+	cfg.GPUBatchWords = 64
+	var st Stats
+	dev := gpusim.MustNew(gpusim.K20Config())
+	_, prm, err := resolveFilter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lshDeviceFilter(dev, seqs, cfg, prm, &st); err == nil {
+		t.Fatal("64-word budget accepted for the conservative pass")
+	}
+	if st.Faults.Any() {
+		t.Fatalf("planning failure charged recovery %+v", st.Faults)
+	}
+}
+
+// TestFilterValidation: Config.Filter/LSHBands/LSHRows combinations that
+// make no sense must be rejected before any work runs.
+func TestFilterValidation(t *testing.T) {
+	seqs := testMetagenome(t, 10)
+	bad := []Config{
+		func() Config { c := DefaultConfig(); c.Filter = "minhash"; return c }(),
+		func() Config { c := DefaultConfig(); c.LSHBands = 8; return c }(),
+		func() Config { c := DefaultConfig(); c.LSHRows = 2; return c }(),
+		func() Config {
+			c := DefaultConfig()
+			c.Filter = FilterLSH
+			c.LSHBands = ConservativeBands
+			c.LSHRows = 2
+			return c
+		}(),
+		func() Config { c := DefaultConfig(); c.Filter = FilterLSH; c.LSHBands = -7; return c }(),
+		func() Config { c := DefaultConfig(); c.Filter = FilterCascade; c.LSHRows = -1; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, _, err := Build(seqs, cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// The exact spelling and the empty default are both fine.
+	for _, f := range []string{"", FilterExact} {
+		cfg := DefaultConfig()
+		cfg.Filter = f
+		if _, st, err := Build(seqs, cfg); err != nil {
+			t.Fatal(err)
+		} else if st.Filter != FilterExact {
+			t.Fatalf("Stats.Filter = %q for Filter=%q", st.Filter, f)
+		}
+	}
+}
+
+// TestLSHPlanRecorded: a priced GPU LSH run must land a populated plan in
+// Stats.LSHPlan with a sane predicted-vs-actual window.
+func TestLSHPlanRecorded(t *testing.T) {
+	seqs := testMetagenome(t, 80)
+	cfg := lshConfig(0, 0)
+	cfg.GPU = true
+	cfg.PredictCost = true
+	cfg.Device = gpusim.MustNew(gpusim.K20Config())
+	_, st, err := Build(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := st.LSHPlan
+	if p.Batches < 1 || p.BudgetWords <= 0 {
+		t.Fatalf("LSH plan not populated: %+v", p)
+	}
+	if p.PredictedNs <= 0 || p.ActualNs <= 0 {
+		t.Fatalf("LSH plan not priced: %+v", p)
+	}
+	if d := p.DriftFrac(); d > 0.25 {
+		t.Fatalf("LSH cost-model drift %.0f%% above the gate: %+v", 100*d, p)
+	}
+	// The verification plan is independent and still reported.
+	if st.Plan.Batches < 1 {
+		t.Fatalf("verification plan missing: %+v", st.Plan)
+	}
+}
+
+// FuzzLSHCandidates is the recall oracle: for any valid sequence set, every
+// pair the exact suffix-array filter emits is found by LSH at the
+// conservative preset.
+func FuzzLSHCandidates(f *testing.F) {
+	f.Add("MKVLITGAGSGIGLEAARQLA", "GKVLITGAGSGIGLEAARQFA", "MSTNPKPQRKTKRNTNRRPQD")
+	f.Add("AAAAAAAAAAAAAAAA", "AAAAAAAAAAAAAAAA", "CCCCCCCCCCCCCCCC")
+	f.Add("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ", "APKYIAKQRQISFVKSHFSRQ", "")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		var seqs []seq.Sequence
+		for i, s := range []string{a, b, c} {
+			if s == "" {
+				continue
+			}
+			seqs = append(seqs, seq.Sequence{ID: string(rune('a' + i)), Residues: []byte(s)})
+		}
+		cfg := DefaultConfig()
+		for _, s := range seqs {
+			if align.ValidateSequence(s.Residues) != nil {
+				return // invalid alphabet; Build rejects these inputs
+			}
+		}
+		exact, _ := exactPairSet(seqs, cfg)
+		lsh, _ := lshPairsHost(seqs, cfg, lshParams{conservative: true})
+		for p := range exact {
+			if !lsh[p] {
+				x, y := p.unpack()
+				t.Fatalf("exact pair (%d,%d) missing from conservative LSH candidates", x, y)
+			}
+		}
+	})
+}

@@ -2,9 +2,7 @@ package pgraph
 
 import (
 	"fmt"
-	"math/bits"
 	"runtime"
-	"sort"
 	"sync"
 
 	"gpclust/internal/align"
@@ -30,6 +28,23 @@ type Config struct {
 	// Smith–Waterman score is at least this many points per residue of the
 	// shorter sequence ("significant sequence similarity", Section III).
 	MinScorePerResidue float64
+
+	// Filter selects the Phase-1 candidate backend: FilterExact (the
+	// generalized-suffix-structure filter; the default and the oracle),
+	// FilterLSH (MinHash/LSH banding over MinExactMatch-length shingles),
+	// or FilterCascade (the exact filter's pairs restricted to
+	// LSH-connected components — MMseqs2-style prefilter → cluster →
+	// refine survivors). On GPU builds the LSH pass runs on-device.
+	Filter string
+
+	// LSHBands/LSHRows shape the banding (Filter lsh/cascade only): bands
+	// of rows signature rows each, pair-collision probability
+	// 1-(1-J^rows)^bands. Zero means the tuned defaults; LSHBands ==
+	// ConservativeBands selects the conservative preset (bucket on raw
+	// shingles, LSHRows must be 0), whose candidates provably contain the
+	// exact filter's pairs.
+	LSHBands int
+	LSHRows  int
 
 	// Align configures the Smith–Waterman verification.
 	Align align.Params
@@ -158,6 +173,7 @@ type Stats struct {
 	Edges      int64
 
 	Backend    string  // verification backend: "host" or "gpu"
+	Filter     string  // candidate backend: "exact", "lsh" or "cascade"
 	Workers    int     // host alignment workers (host backend)
 	GPUBatches int     // device batches scheduled (gpu backend)
 	Divergence float64 // SW-kernel warp-divergence overhead (gpu backend)
@@ -188,6 +204,11 @@ type Stats struct {
 	// count, batch count, whether the auto-tuner chose it, and the
 	// predicted-vs-actual virtual time of the scheduling window.
 	Plan sched.PlanReport
+
+	// LSHPlan is the device LSH filter's plan (zero-valued unless a GPU
+	// build ran Filter lsh or cascade): its stage batches, word budget and
+	// predicted-vs-actual scheduling window.
+	LSHPlan sched.PlanReport
 }
 
 // Build constructs the sequence-similarity graph of the input: vertices are
@@ -217,28 +238,31 @@ func Build(seqs []seq.Sequence, cfg Config) (*graph.Graph, Stats, error) {
 	}
 	sw := sched.NewStopwatch()
 
-	// Phase 1: promising pairs via the generalized suffix structure.
-	idx := buildSuffixIndex(seqs)
-	pairSet := idx.candidatePairs(cfg.MinExactMatch, cfg.WindowCap)
-	st.Candidates = len(pairSet)
-	pairs := make([]pairKey, 0, len(pairSet))
-	for p := range pairSet {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
-	rounds := bits.Len(uint(len(idx.sym))) // prefix-doubling rounds
-	st.FilterNs = float64(int64(len(idx.sym))*int64(rounds)+int64(len(pairs))) * FilterNsPerOp
-
-	// Phase 2: Smith–Waterman verification, on the worker pool or the
-	// device. Both paths yield the identical accepted edge set.
+	// Phase 1 (candidate filter: exact, LSH banding or cascade) and Phase 2
+	// (Smith–Waterman verification, on the worker pool or the device). Both
+	// verification paths yield the identical accepted edge set for any
+	// filter's candidates.
 	var edges []graph.Edge
 	if cfg.GPU {
-		var err error
-		edges, err = verifyGPU(seqs, pairs, cfg, &st)
+		dev := cfg.Device
+		if dev == nil {
+			dev = gpusim.MustNew(gpusim.K20Config())
+			cfg.Device = dev
+		}
+		host0 := dev.HostTime()
+		pairs, err := runFilterGPU(dev, seqs, cfg, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		edges, err = verifyGPU(seqs, pairs, cfg, &st, host0)
 		if err != nil {
 			return nil, st, err
 		}
 	} else {
+		pairs, err := runFilterHost(seqs, cfg, &st)
+		if err != nil {
+			return nil, st, err
+		}
 		edges = verifyHost(seqs, pairs, cfg, &st)
 		if cfg.Obs.Enabled() {
 			// The host backend has no device clock: lay the stages out on a

@@ -1,0 +1,107 @@
+package thrust
+
+import (
+	"fmt"
+
+	"gpclust/internal/gpusim"
+)
+
+// LSH banding primitives. The candidate filter keeps the MinHash signature
+// matrix device-resident (column-major: all sequences' minima under
+// permutation j are contiguous, exactly minwise.Signatures.Vals), hashes each
+// band's rows into one 32-bit bucket key per sequence, sorts (band, key,
+// seq) records with SortPairs64, and marks bucket boundaries so the host can
+// emit candidate pairs per run. BandHash is bit-identical to
+// minwise.Signatures.BandKey so host- and device-generated buckets agree.
+
+// bandHashOps is the charged arithmetic cost of folding one signature word
+// into the FNV-1a accumulator: four xor+multiply byte rounds plus the shifts.
+const bandHashOps = 8
+
+// BandHash computes, for every sequence e in [0, ne), the 32-bit FNV-1a
+// bucket key of band `band` (rows consecutive signature rows starting at
+// band·rows) and writes it to out[outBase+e]. sigs holds the column-major
+// signature matrix (row j at words [j·ne, (j+1)·ne)); the function is
+// bit-identical to minwise.Signatures.BandKey over the same layout.
+func BandHash(d *gpusim.Device, st *gpusim.Stream, sigs *gpusim.Buffer, ne, band, rows int, out *gpusim.Buffer, outBase int) error {
+	if ne < 0 || band < 0 || rows <= 0 {
+		return fmt.Errorf("thrust: BandHash ne=%d band=%d rows=%d", ne, band, rows)
+	}
+	if need := (band*rows + rows) * ne; need > sigs.Len() {
+		return fmt.Errorf("thrust: BandHash band %d×%d rows needs %d signature words, buffer holds %d",
+			band, rows, need, sigs.Len())
+	}
+	if outBase < 0 || outBase+ne > out.Len() {
+		return fmt.Errorf("thrust: BandHash writing [%d,%d) into out of %d", outBase, outBase+ne, out.Len())
+	}
+	if ne == 0 {
+		return nil
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	grid, total := launchGeometry(ne)
+	d.NextKernelName("band_hash")
+	return launch(d, st, grid, blockDim, func(ctx *gpusim.ThreadCtx) {
+		gid := ctx.GlobalID()
+		s, t := sigs.Words(), out.Words()
+		count := 0
+		for e := gid; e < ne; e += total {
+			h := uint32(offset32)
+			for r := 0; r < rows; r++ {
+				v := s[(band*rows+r)*ne+e]
+				for sh := 0; sh < 32; sh += 8 {
+					h ^= (v >> sh) & 0xff
+					h *= prime32
+				}
+			}
+			t[outBase+e] = h
+			count++
+		}
+		if count > 0 {
+			// One coalesced row-read per band row, plus the key write.
+			for r := 0; r < rows; r++ {
+				ctx.GlobalRead(sigs, (band*rows+r)*ne+gid, count, total)
+			}
+			ctx.GlobalWrite(out, outBase+gid, count, total)
+			ctx.Ops(count * rows * bandHashOps)
+		}
+	})
+}
+
+// MarkBucketHeads writes flags[i] = 1 where record i opens a new bucket in
+// the sorted (keyHi, keyLo) stream — i == 0 or either key word differs from
+// record i-1 — and 0 elsewhere (the adjacent_difference step of bucket
+// grouping). Records must already be sorted by (keyHi, keyLo).
+func MarkBucketHeads(d *gpusim.Device, st *gpusim.Stream, keyHi, keyLo *gpusim.Buffer, n int, flags *gpusim.Buffer) error {
+	if n < 0 || n > keyHi.Len() || n > keyLo.Len() || n > flags.Len() {
+		return fmt.Errorf("thrust: MarkBucketHeads over %d records with buffers %d/%d/%d",
+			n, keyHi.Len(), keyLo.Len(), flags.Len())
+	}
+	if n == 0 {
+		return nil
+	}
+	grid, total := launchGeometry(n)
+	d.NextKernelName("bucket_heads")
+	return launch(d, st, grid, blockDim, func(ctx *gpusim.ThreadCtx) {
+		gid := ctx.GlobalID()
+		hi, lo, f := keyHi.Words(), keyLo.Words(), flags.Words()
+		count := 0
+		for i := gid; i < n; i += total {
+			if i == 0 || hi[i] != hi[i-1] || lo[i] != lo[i-1] {
+				f[i] = 1
+			} else {
+				f[i] = 0
+			}
+			count++
+		}
+		if count > 0 {
+			// Each record reads its own and its predecessor's key words.
+			ctx.GlobalRead(keyHi, gid, count*2, total)
+			ctx.GlobalRead(keyLo, gid, count*2, total)
+			ctx.GlobalWrite(flags, gid, count, total)
+			ctx.Ops(count * 3)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package thrust
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gpclust/internal/faults"
+	"gpclust/internal/gpusim"
+	"gpclust/internal/minwise"
+)
+
+// TestBandHashMatchesBandKey: the device band-hash kernel must be
+// bit-identical to minwise.Signatures.BandKey over the same column-major
+// signature matrix, for several (bands, rows) shapes and with a non-zero
+// output base.
+func TestBandHashMatchesBandKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range []struct{ bands, rows, ne int }{
+		{1, 1, 1}, {4, 2, 300}, {16, 2, 97}, {8, 4, 1024},
+	} {
+		g := minwise.Signatures{C: shape.bands * shape.rows, N: shape.ne,
+			Vals: make([]uint32, shape.bands*shape.rows*shape.ne)}
+		for i := range g.Vals {
+			g.Vals[i] = uint32(rng.Intn(1 << 31))
+		}
+		d := newDev(t)
+		sigs := upload(t, d, g.Vals)
+		out := d.MustMalloc(shape.bands * shape.ne)
+		for band := 0; band < shape.bands; band++ {
+			if err := BandHash(d, nil, sigs, shape.ne, band, shape.rows, out, band*shape.ne); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := download(t, d, out, shape.bands*shape.ne)
+		for band := 0; band < shape.bands; band++ {
+			for e := 0; e < shape.ne; e++ {
+				if want := g.BandKey(e, band, shape.rows); got[band*shape.ne+e] != want {
+					t.Fatalf("shape %dx%d ne=%d: key[band %d][seq %d] = %#x, want %#x",
+						shape.bands, shape.rows, shape.ne, band, e, got[band*shape.ne+e], want)
+				}
+			}
+		}
+		// Tiny matrices can't fill cache lines; judge coalescing only where
+		// the grid is saturated.
+		if eff := d.Metrics().CoalescingEfficiency(); shape.ne >= 1000 && eff < 0.9 {
+			t.Fatalf("BandHash coalescing efficiency = %v, want ≥ 0.9", eff)
+		}
+		sigs.Free()
+		out.Free()
+	}
+}
+
+// TestBandHashBounds: shape and range validation must reject bad calls
+// before touching the device.
+func TestBandHashBounds(t *testing.T) {
+	d := newDev(t)
+	sigs := d.MustMalloc(8) // 4 rows × ne=2
+	out := d.MustMalloc(4)
+	defer sigs.Free()
+	defer out.Free()
+	if err := BandHash(d, nil, sigs, 2, 2, 2, out, 0); err == nil {
+		t.Fatal("band past the signature matrix accepted")
+	}
+	if err := BandHash(d, nil, sigs, 2, 0, 0, out, 0); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+	if err := BandHash(d, nil, sigs, 2, 0, 2, out, 3); err == nil {
+		t.Fatal("out overflow accepted")
+	}
+	if err := BandHash(d, nil, sigs, 0, 0, 2, out, 0); err != nil {
+		t.Fatalf("zero-sequence BandHash failed: %v", err)
+	}
+}
+
+// TestMarkBucketHeadsMatchesHostScan: head flags must match the host
+// adjacent-difference over the sorted 64-bit keys.
+func TestMarkBucketHeadsMatchesHostScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 9001
+	hi := make([]uint32, n)
+	lo := make([]uint32, n)
+	// Few distinct keys so runs are long, sorted by construction.
+	cur := uint64(0)
+	for i := 0; i < n; i++ {
+		if rng.Intn(7) == 0 {
+			cur += uint64(1 + rng.Intn(1<<20))
+		}
+		hi[i] = uint32(cur >> 32)
+		lo[i] = uint32(cur)
+	}
+	d := newDev(t)
+	bh, bl := upload(t, d, hi), upload(t, d, lo)
+	flags := d.MustMalloc(n)
+	defer bh.Free()
+	defer bl.Free()
+	defer flags.Free()
+	if err := MarkBucketHeads(d, nil, bh, bl, n, flags); err != nil {
+		t.Fatal(err)
+	}
+	got := download(t, d, flags, n)
+	for i := 0; i < n; i++ {
+		want := uint32(0)
+		if i == 0 || hi[i] != hi[i-1] || lo[i] != lo[i-1] {
+			want = 1
+		}
+		if got[i] != want {
+			t.Fatalf("flag[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+	if err := MarkBucketHeads(d, nil, bh, bl, n+1, flags); err == nil {
+		t.Fatal("overflowing MarkBucketHeads accepted")
+	}
+	if err := MarkBucketHeads(d, nil, bh, bl, 0, flags); err != nil {
+		t.Fatalf("zero-length MarkBucketHeads failed: %v", err)
+	}
+}
+
+// TestLSHKernelsPropagateFaults: the LSH kernels are thin launches, so an
+// injected launch fault must wrap the typed fault errors, and a retry on
+// the same device must produce the correct keys (no residue).
+func TestLSHKernelsPropagateFaults(t *testing.T) {
+	sched, err := faults.Parse("kernel op=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDev(t)
+	d.SetFaultInjector(faults.NewInjector(sched))
+
+	const ne, rows = 512, 2
+	g := minwise.Signatures{C: rows, N: ne, Vals: make([]uint32, rows*ne)}
+	for i := range g.Vals {
+		g.Vals[i] = uint32(i * 2654435761)
+	}
+	sigs := upload(t, d, g.Vals)
+	out := d.MustMalloc(ne)
+	defer sigs.Free()
+	defer out.Free()
+
+	err = BandHash(d, nil, sigs, ne, 0, rows, out, 0)
+	if !errors.Is(err, gpusim.ErrLaunchFault) || !errors.Is(err, gpusim.ErrDeviceFault) {
+		t.Fatalf("BandHash error %v does not wrap the typed fault errors", err)
+	}
+	if err := BandHash(d, nil, sigs, ne, 0, rows, out, 0); err != nil {
+		t.Fatalf("retry after one-shot launch fault: %v", err)
+	}
+	got := download(t, d, out, ne)
+	for e := 0; e < ne; e++ {
+		if want := g.BandKey(e, 0, rows); got[e] != want {
+			t.Fatalf("key[%d] = %#x after retry, want %#x", e, got[e], want)
+		}
+	}
+}

@@ -1,16 +1,16 @@
 #!/usr/bin/env sh
 # Benchmark trajectory: runs the key testing.B benchmarks plus the pGraph
 # verification-backend ablation, the auto-tuned-vs-fixed batch-plan
-# ablation, and the packed-image/kernel-fusion ablation, and assembles
-# BENCH_pr8.json in the repo root, recording both virtual-clock and
-# wall-clock numbers so later PRs can diff performance against this one.
-# Run from the repository root.
+# ablation, the packed-image/kernel-fusion ablation, and the LSH
+# candidate-filter ablation, and assembles BENCH_pr9.json in the repo root,
+# recording both virtual-clock and wall-clock numbers so later PRs can diff
+# performance against this one. Run from the repository root.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -30,6 +30,9 @@ go run ./cmd/experiments -exp autotune -benchjson "$tmp/autotune.json"
 echo "== packed device images and kernel fusion (virtual clock)"
 go run ./cmd/experiments -exp packing -benchjson "$tmp/packing.json"
 
+echo "== LSH banding candidate filter (virtual clock)"
+go run ./cmd/experiments -exp lsh -benchjson "$tmp/lsh.json"
+
 awk '/^Benchmark/ {
     sub(/-[0-9]+$/, "", $1)
     printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"wall_ns_per_op\": %s}", sep, $1, $2, $3
@@ -38,7 +41,7 @@ awk '/^Benchmark/ {
 
 {
     echo '{'
-    echo '  "pr": 8,'
+    echo '  "pr": 9,'
     echo '  "go_bench": ['
     cat "$tmp/go_bench.json"
     echo '  ],'
@@ -47,13 +50,17 @@ awk '/^Benchmark/ {
     printf '  "autotune": '
     sed -e 's/^/  /' -e '1s/^  //' "$tmp/autotune.json" | sed -e '$s/$/,/'
     printf '  "packing": '
-    sed -e 's/^/  /' -e '1s/^  //' "$tmp/packing.json"
+    sed -e 's/^/  /' -e '1s/^  //' "$tmp/packing.json" | sed -e '$s/$/,/'
+    printf '  "lsh": '
+    sed -e 's/^/  /' -e '1s/^  //' "$tmp/lsh.json"
     echo '}'
 } > "$out"
 
 # Sanity-check the JSON and the acceptance criteria: the pipelined GPU
 # backend must beat the sequential one, the auto-tuned plan must beat every
-# fixed setting with the cost model inside its drift gate, and the
-# packed+fused layout must beat the unpacked one while shipping fewer bytes.
+# fixed setting with the cost model inside its drift gate, the packed+fused
+# layout must beat the unpacked one while shipping fewer bytes, and the LSH
+# sweep must hold the conservative bit-identity and the default shape's
+# recall-with-fewer-candidates operating point.
 go run ./scripts/benchcheck "$out"
 echo "== bench.sh: wrote $out"

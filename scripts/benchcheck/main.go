@@ -1,13 +1,17 @@
-// Benchcheck validates a BENCH_pr8.json produced by scripts/bench.sh: the
+// Benchcheck validates a BENCH_pr9.json produced by scripts/bench.sh: the
 // file must parse, every backend point must agree on the accepted edge
 // count, the pipelined GPU backend must post a lower virtual total than
 // the sequential one (the batched-SW PR's criterion), the auto-tune
 // ablation must show the cost-model plan winning — per workload the auto
 // point's virtual total is at or below every fixed setting's, all outputs
 // agree, and every priced point's prediction lands within 25% of the
-// measured scheduler window — and the packing ablation must show the
+// measured scheduler window — the packing ablation must show the
 // packed+fused layout beating unpacked+unfused per workload with the
-// gpclust image cutting the H2D byte volume by at least 30%.
+// gpclust image cutting the H2D byte volume by at least 30%, and the LSH
+// ablation must show the conservative cascade bit-identical to the exact
+// filter while the default banding shape holds ≥ 0.95 edge recall with
+// strictly fewer candidates than exact (every priced LSH plan inside the
+// drift gate).
 package main
 
 import (
@@ -36,6 +40,7 @@ type benchFile struct {
 	Backends []bench.PGraphBackendPoint `json:"pgraph_backends"`
 	Autotune []bench.AutoTunePoint      `json:"autotune"`
 	Packing  []bench.PackingPoint       `json:"packing"`
+	LSH      []bench.LSHPoint           `json:"lsh"`
 }
 
 // validate checks the whole file and never indexes before checking
@@ -85,7 +90,86 @@ func validate(f benchFile) error {
 	if err := validateAutotune(f.Autotune); err != nil {
 		return err
 	}
-	return validatePacking(f.Packing)
+	if err := validatePacking(f.Packing); err != nil {
+		return err
+	}
+	return validateLSH(f.LSH)
+}
+
+// lshRecallFloor is the LSH PR's operating-point gate: the default banding
+// shape must recover at least this fraction of the exact filter's edges.
+const lshRecallFloor = 0.95
+
+// validateLSH enforces the LSH candidate-filter PR's acceptance criteria on
+// the filter sweep.
+func validateLSH(points []bench.LSHPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("no lsh points")
+	}
+	var exact, def *bench.LSHPoint
+	sawConservative := false
+	for i := range points {
+		p := &points[i]
+		if p.Setting == "" || p.Filter == "" {
+			return fmt.Errorf("lsh point %d has no setting/filter", i)
+		}
+		if p.VirtualNs <= 0 {
+			return fmt.Errorf("lsh %q reports non-positive virtual total %.3f", p.Setting, p.VirtualNs)
+		}
+		if p.Candidates <= 0 {
+			return fmt.Errorf("lsh %q admitted %d candidates", p.Setting, p.Candidates)
+		}
+		if p.EdgeRecall < 0 || p.EdgeRecall > 1 || p.FScore < 0 || p.FScore > 1 {
+			return fmt.Errorf("lsh %q scores out of range (recall %.3f, F %.3f)",
+				p.Setting, p.EdgeRecall, p.FScore)
+		}
+		if p.Filter == "exact" {
+			if exact != nil {
+				return fmt.Errorf("lsh sweep has two exact baselines")
+			}
+			exact = p
+		}
+		if p.Default {
+			if def != nil {
+				return fmt.Errorf("lsh sweep has two default points")
+			}
+			def = p
+		}
+		if p.Conservative {
+			sawConservative = true
+			if !p.Identical || p.EdgeRecall != 1 || p.FScore != 1 {
+				return fmt.Errorf("lsh %q (conservative) is not bit-identical to the exact path (recall %.4f, F %.4f)",
+					p.Setting, p.EdgeRecall, p.FScore)
+			}
+		}
+		if p.PredictedNs > 0 {
+			if p.SchedNs <= 0 {
+				return fmt.Errorf("lsh %q prices a zero-length scheduler window", p.Setting)
+			}
+			if drift := math.Abs(p.PredictedNs-p.SchedNs) / p.SchedNs; drift > maxDriftFrac {
+				return fmt.Errorf("lsh %q cost-model drift %.0f%% exceeds %.0f%% (predicted %.3fms, measured %.3fms)",
+					p.Setting, 100*drift, 100*maxDriftFrac, p.PredictedNs/1e6, p.SchedNs/1e6)
+			}
+		}
+	}
+	if exact == nil {
+		return fmt.Errorf("lsh sweep has no exact baseline")
+	}
+	if !sawConservative {
+		return fmt.Errorf("lsh sweep has no conservative point")
+	}
+	if def == nil {
+		return fmt.Errorf("lsh sweep has no default point")
+	}
+	if def.EdgeRecall < lshRecallFloor {
+		return fmt.Errorf("lsh default %q edge recall %.4f below the %.2f floor",
+			def.Setting, def.EdgeRecall, lshRecallFloor)
+	}
+	if def.Candidates >= exact.Candidates {
+		return fmt.Errorf("lsh default %q admitted %d candidates, not below exact's %d",
+			def.Setting, def.Candidates, exact.Candidates)
+	}
+	return nil
 }
 
 // gpclustPackingCut is the packing PR's byte-volume gate: the gpclust packed
@@ -226,7 +310,7 @@ func validateAutotune(points []bench.AutoTunePoint) error {
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_pr8.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_pr9.json")
 		os.Exit(2)
 	}
 	blob, err := os.ReadFile(os.Args[1])
@@ -261,6 +345,22 @@ func main() {
 		fmt.Printf("benchcheck: ok — %s packed+fused %.1fms < unpacked %.1fms virtual, H2D bytes %.0f%% of unpacked\n",
 			w, best.VirtualNs/1e6, base.VirtualNs/1e6,
 			100*float64(best.H2DBytes)/float64(base.H2DBytes))
+	}
+	var lshExact bench.LSHPoint
+	for _, p := range f.LSH {
+		if p.Filter == "exact" {
+			lshExact = p
+		}
+	}
+	for _, p := range f.LSH {
+		if p.Default {
+			fmt.Printf("benchcheck: ok — lsh default %q: edge recall %.3f ≥ %.2f with %d candidates < exact's %d\n",
+				p.Setting, p.EdgeRecall, lshRecallFloor, p.Candidates, lshExact.Candidates)
+		}
+		if p.Conservative {
+			fmt.Printf("benchcheck: ok — %q bit-identical to the exact filter (%d candidates)\n",
+				p.Setting, p.Candidates)
+		}
 	}
 }
 

@@ -70,8 +70,11 @@ echo "== go test -tags invariants (runtime invariant sweep)"
 go test -tags invariants ./internal/core/... ./internal/unionfind/... ./internal/gpusim/...
 
 echo "== pgraph backend equivalence gate (GPU-SW must match host-SW bit for bit)"
-go test -run 'TestGoldenPipelineBackends' .
+go test -run 'TestGoldenPipelineBackends|TestGoldenCascadeConservative' .
 go test -run 'TestGPUMatchesHostEdges|TestGPUSmallDeviceMemoryLimit|TestGPUPipelinedLowerVirtualTotal' ./internal/pgraph/
+
+echo "== lsh filter equivalence gate (device LSH must match host; conservative cascade must match exact)"
+go test -run 'TestLSHDeviceMatchesHost|TestCascadeConservativeMatchesExact|TestLSHFilterGraphsMatchHostGPU|TestLSHConservativeSupersetOfExact' ./internal/pgraph/
 
 echo "== observability smoke (-trace/-metrics on both CLIs, trace JSON validated)"
 go run ./cmd/genseq -mode seqs -n 150 -fasta "$tmp_dir/orfs.fa" -truth "$tmp_dir/truth.tsv"
@@ -96,9 +99,10 @@ go test -run='^$' -fuzz=FuzzSegmentedSort -fuzztime=10s ./internal/thrust/
 go test -run='^$' -fuzz=FuzzPackResidues -fuzztime=10s ./internal/thrust/
 go test -run='^$' -fuzz=FuzzUnionFind -fuzztime=10s ./internal/unionfind/
 go test -run='^$' -fuzz=FuzzSWBatch -fuzztime=10s ./internal/pgraph/
+go test -run='^$' -fuzz=FuzzLSHCandidates -fuzztime=10s ./internal/pgraph/
 go test -run='^$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/faults/
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/... ./internal/faults/... ./internal/sched/... ./internal/obs/... ./internal/unionfind/...
+go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/... ./internal/faults/... ./internal/sched/... ./internal/obs/... ./internal/unionfind/... ./internal/minwise/...
 
 echo "== ci.sh: all green"
