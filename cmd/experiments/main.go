@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig5|quality|qualityscaling|largescale|memory|theory|pgraph|autotune|packing|lsh|faults|ablations|all")
+		exp          = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig5|quality|qualityscaling|largescale|memory|theory|pgraph|autotune|packing|lsh|faults|serve|ablations|all")
 		scale20k     = flag.Float64("scale20k", 1.0, "scale of the paper's 20K graph for Table I")
 		scale2m      = flag.Float64("scale2m", 0.02, "scale of the paper's 2M graph for Tables I–II")
 		scaleQuality = flag.Float64("scalequality", 0.005, "scale of the 2M graph for Tables III–IV / Figure 5")
@@ -166,6 +166,15 @@ func main() {
 		rows, err := bench.AblateFaults(*scale20k, perfOpts)
 		fatal(err)
 		bench.RenderAblation(out, "fault injection and recovery (identical clustering under device faults)", rows)
+	case "serve":
+		rows, point, err := bench.AblateServe(*pgraphN)
+		fatal(err)
+		bench.RenderAblation(out, "resident incremental serving (gpclust-serve vs from-scratch re-cluster)", rows)
+		if *benchJSON != "" {
+			blob, err := json.MarshalIndent(point, "", "  ")
+			fatal(err)
+			fatal(os.WriteFile(*benchJSON, append(blob, '\n'), 0o644))
+		}
 	case "ablations":
 		runAblations(out, *scaleQuality, perfOpts, *minSize)
 	case "all":
@@ -260,6 +269,10 @@ func runAblations(out *os.File, qualityScale float64, perfOpts core.Options, min
 	rows, _, err = bench.AblatePGraphBackend(0, 0)
 	fatal(err)
 	bench.RenderAblation(out, "pGraph Smith-Waterman verification backends (Table I trajectory)", rows)
+
+	rows, _, err = bench.AblateServe(0)
+	fatal(err)
+	bench.RenderAblation(out, "resident incremental serving (gpclust-serve vs from-scratch re-cluster)", rows)
 
 	rows, err = bench.AblateShingleParams(qualityScale, bench.QualityOptions(), minSize)
 	fatal(err)

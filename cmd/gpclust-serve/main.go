@@ -1,0 +1,109 @@
+// Command gpclust-serve keeps a clustered protein corpus resident and serves
+// concurrent family queries and incremental inserts over HTTP. It clusters
+// the -in corpus once at startup, then answers:
+//
+//	POST /assign   one FASTA record  → the resident family it belongs to
+//	POST /cluster  FASTA records     → incremental insert (no re-cluster)
+//	GET  /dump?member=N              → every member of N's family
+//	GET  /metrics                    → OpenMetrics (latency histograms,
+//	                                   queue depth, pass/merge counters)
+//	GET  /healthz                    → liveness
+//
+// Admission is bounded: when the request queue is full the server answers
+// 503 with a Retry-After hint instead of queueing without bound. Queued
+// requests are coalesced into single device scoring passes, so concurrent
+// clients share GPU batches. Incremental inserts commit exactly the
+// partition a from-scratch re-cluster of the union corpus would produce
+// (the LSH filter is per-sequence, so candidate discovery is insertion-
+// order independent).
+//
+// Usage:
+//
+//	gpclust-serve -in orfs.fa
+//	gpclust-serve -in orfs.fa -addr :8844 -gpu -queue 512
+//	gpclust-serve -in orfs.fa -bands conservative
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+
+	"gpclust/internal/pgraph"
+	"gpclust/internal/seq"
+	"gpclust/internal/serve"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input FASTA corpus clustered at startup (required)")
+		addr     = flag.String("addr", "localhost:8844", "HTTP listen address")
+		queue    = flag.Int("queue", 0, "admission queue capacity (0 = library default; full queue answers 503)")
+		coalesce = flag.Int("coalesce", 0, "max requests merged into one device pass (0 = library default)")
+		gpu      = flag.Bool("gpu", false, "verify candidate pairs on the simulated GPU (batched Smith-Waterman)")
+		minMatch = flag.Int("minmatch", 12, "shingle length for LSH candidate discovery")
+		score    = flag.Float64("score", 1.2, "Smith-Waterman score threshold per residue of the shorter sequence")
+		bands    = flag.String("bands", "", "LSH band count, or \"conservative\" to bucket on raw shingles (default: the tuned shape)")
+		rows     = flag.Int("rows", 0, "LSH signature rows per band (default: the tuned shape)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "gpclust-serve: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	lshBands, err := parseBands(*bands)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpclust-serve:", err)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	fatal(err)
+	corpus, err := seq.ReadFASTA(f)
+	fatal(f.Close())
+	fatal(err)
+
+	pcfg := pgraph.DefaultConfig()
+	pcfg.Filter = pgraph.FilterLSH
+	pcfg.MinExactMatch = *minMatch
+	pcfg.MinScorePerResidue = *score
+	pcfg.LSHBands = lshBands
+	pcfg.LSHRows = *rows
+	pcfg.GPU = *gpu
+	s, err := serve.New(serve.Config{Pgraph: pcfg, QueueCap: *queue, MaxCoalesce: *coalesce})
+	fatal(err)
+	defer s.Close()
+
+	res, err := s.Cluster(corpus)
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "gpclust-serve: %d sequences resident in %d families; serving on http://%s\n",
+		len(res.Indices), res.Families, *addr)
+	fatal(http.ListenAndServe(*addr, s.Handler()))
+}
+
+// parseBands maps the -bands value to Config.LSHBands the same way the
+// pgraph CLI does: empty keeps the library default, "conservative" selects
+// the raw-shingle bucket preset, a positive integer fixes the band count.
+func parseBands(s string) (int, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "conservative":
+		return pgraph.ConservativeBands, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("-bands must be \"conservative\" or a positive band count, got %q", s)
+	}
+	return n, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpclust-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+
+	"gpclust/internal/obs"
+	"gpclust/internal/pgraph"
+	"gpclust/internal/seq"
+	"gpclust/internal/serve"
+)
+
+// ServePoint is the outcome of the resident-serving ablation: a corpus is
+// clustered once, the remainder trickles in through incremental /cluster
+// requests with interleaved assign queries, and the final resident partition
+// is scored against a from-scratch pgraph.Build of the union corpus. The
+// counters come from the server's own obs instruments, so the sweep doubles
+// as a smoke test of the serving metrics; no wall-clock values are reported
+// (request latency is a property of the host machine, not the algorithm).
+type ServePoint struct {
+	Sequences int   `json:"sequences"` // resident after all inserts
+	Base      int   `json:"base"`      // clustered at startup
+	Inserted  int   `json:"inserted"`  // incremental insert requests
+	Assigns   int   `json:"assigns"`   // interleaved family queries
+	Passes    int64 `json:"passes"`    // coalesced scheduler passes
+	Pairs     int64 `json:"pairs"`     // candidate pairs scored
+	Edges     int64 `json:"edges"`     // pairs accepted as homologous
+	Merges    int64 `json:"merges"`    // family merges committed
+	Families  int   `json:"families"`  // resident families at the end
+	Identical bool  `json:"identical"` // partition == from-scratch re-cluster
+}
+
+// partitionsEqual reports whether two labelings induce the same partition
+// (bijective class correspondence; label values are arbitrary roots).
+func partitionsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int32]int32{}
+	rev := map[int32]int32{}
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok && m != b[i] {
+			return false
+		}
+		if m, ok := rev[b[i]]; ok && m != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+// AblateServe drives gpclust-serve's resident path on a deterministic
+// metagenome: cluster the first half at startup, insert the rest in small
+// incremental batches with an assign query per batch, then compare the
+// resident partition against a from-scratch Build of the whole corpus.
+// n is the ORF count (0: a 240-ORF default).
+func AblateServe(n int) ([]AblationRow, ServePoint, error) {
+	if n <= 0 {
+		n = 240
+	}
+	mgCfg := seq.DefaultMetagenomeConfig(n)
+	mgCfg.Seed = 7
+	mg, err := seq.GenerateMetagenome(mgCfg)
+	if err != nil {
+		return nil, ServePoint{}, err
+	}
+	corpus := mg.Seqs
+
+	pcfg := pgraph.DefaultConfig()
+	pcfg.Filter = pgraph.FilterLSH
+	rec := obs.New()
+	s, err := serve.New(serve.Config{Pgraph: pcfg, Obs: rec})
+	if err != nil {
+		return nil, ServePoint{}, err
+	}
+	defer s.Close()
+
+	base := len(corpus) / 2
+	if _, err := s.Cluster(corpus[:base]); err != nil {
+		return nil, ServePoint{}, fmt.Errorf("bench: serve bootstrap: %w", err)
+	}
+	const chunk = 8
+	assigns := 0
+	for lo := base; lo < len(corpus); lo += chunk {
+		hi := lo + chunk
+		if hi > len(corpus) {
+			hi = len(corpus)
+		}
+		if _, err := s.Cluster(corpus[lo:hi]); err != nil {
+			return nil, ServePoint{}, fmt.Errorf("bench: serve insert %d..%d: %w", lo, hi, err)
+		}
+		// Query with an already-resident member: must land in its family.
+		if res, err := s.Assign(corpus[lo%base]); err != nil {
+			return nil, ServePoint{}, fmt.Errorf("bench: serve assign: %w", err)
+		} else if !res.Assigned {
+			return nil, ServePoint{}, fmt.Errorf("bench: resident member %d not assigned to its own family", lo%base)
+		}
+		assigns++
+	}
+
+	// From-scratch reference over the same corpus, same configuration.
+	g, _, err := pgraph.Build(corpus, pcfg)
+	if err != nil {
+		return nil, ServePoint{}, fmt.Errorf("bench: serve reference build: %w", err)
+	}
+
+	st := s.Stats()
+	counter := func(name string) int64 { return rec.Counter(name, "").Value() }
+	p := ServePoint{
+		Sequences: st.Sequences,
+		Base:      base,
+		Inserted:  len(corpus) - base,
+		Assigns:   assigns,
+		Passes:    counter("serve_passes_total"),
+		Pairs:     counter("serve_pairs_total"),
+		Edges:     counter("serve_edges_total"),
+		Merges:    counter("serve_merges_total"),
+		Families:  st.Families,
+		Identical: partitionsEqual(s.Partition(), componentLabels(g)),
+	}
+
+	equiv := "partition DIVERGED from from-scratch re-cluster"
+	if p.Identical {
+		equiv = "partition identical to from-scratch re-cluster"
+	}
+	rows := []AblationRow{
+		{"resident corpus", float64(p.Sequences), "seqs",
+			fmt.Sprintf("%d clustered at startup + %d incremental over %d requests", p.Base, p.Inserted, counter("serve_requests_total"))},
+		{"scheduler passes", float64(p.Passes), "", fmt.Sprintf("%d device/host scoring passes for %d cluster + %d assign requests", p.Passes, 1+(p.Inserted+chunk-1)/chunk, p.Assigns)},
+		{"candidate pairs", float64(p.Pairs), "", fmt.Sprintf("LSH candidates scored; %d accepted as edges", p.Edges)},
+		{"family merges", float64(p.Merges), "", fmt.Sprintf("%d families remain", p.Families)},
+		{"equivalence", b2f(p.Identical), "", equiv},
+	}
+	return rows, p, nil
+}
+
+func b2f(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
+}

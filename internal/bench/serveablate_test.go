@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+func TestAblateServe(t *testing.T) {
+	rows, p, err := AblateServe(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if p.Sequences != 120 || p.Base != 60 || p.Inserted != 60 {
+		t.Fatalf("corpus split wrong: %+v", p)
+	}
+	if p.Passes < int64(1+p.Assigns) {
+		t.Fatalf("passes = %d for %d requests", p.Passes, 1+p.Inserted+p.Assigns)
+	}
+	if p.Pairs <= 0 || p.Edges <= 0 || p.Edges > p.Pairs {
+		t.Fatalf("degenerate pair/edge counts: %+v", p)
+	}
+	if p.Families <= 0 || p.Families > p.Sequences {
+		t.Fatalf("families = %d out of range", p.Families)
+	}
+	if !p.Identical {
+		t.Fatal("incremental partition diverged from the from-scratch re-cluster")
+	}
+}
+
+func TestPartitionsEqual(t *testing.T) {
+	if !partitionsEqual([]int32{0, 0, 2, 2}, []int32{5, 5, 1, 1}) {
+		t.Error("relabeled identical partition reported unequal")
+	}
+	if partitionsEqual([]int32{0, 0, 2}, []int32{0, 1, 2}) {
+		t.Error("split class reported equal")
+	}
+	if partitionsEqual([]int32{0, 1}, []int32{0, 0}) {
+		t.Error("merged class reported equal")
+	}
+	if partitionsEqual([]int32{0}, []int32{0, 0}) {
+		t.Error("length mismatch reported equal")
+	}
+}

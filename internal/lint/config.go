@@ -48,6 +48,7 @@ func DefaultConfig() *Config {
 			"internal/thrust",
 			"internal/unionfind",
 			"internal/pgraph",
+			"internal/serve",
 		},
 		Generator: []string{
 			"internal/seq",

@@ -60,16 +60,23 @@ func (g *Gauge) Value() float64 {
 // Histogram is a fixed-bucket histogram: bounds are the inclusive upper
 // bucket bounds, ascending; an implicit +Inf bucket catches the rest.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []int64 // len(bounds)+1; last is the +Inf bucket
-	sum    float64
-	total  int64
+	mu      sync.Mutex
+	bounds  []float64
+	counts  []int64 // len(bounds)+1; last is the +Inf bucket
+	sum     float64
+	total   int64
+	dropped atomic.Int64 // non-finite observations discarded by Observe
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values (NaN, ±Inf) are dropped —
+// one NaN folded into sum would poison the exported _sum sample forever and
+// break any scraper doing rate() over it — and tallied in Dropped instead.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.dropped.Add(1)
 		return
 	}
 	h.mu.Lock()
@@ -89,6 +96,49 @@ func (h *Histogram) Count() int64 {
 	return h.total
 }
 
+// Sum returns the sum of every observed value.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Dropped returns how many non-finite observations were discarded.
+func (h *Histogram) Dropped() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
+}
+
+// Quantile returns an upper bound on the q-quantile of the observed values:
+// the bucket bound the cumulative count crosses q·total at (+Inf for values
+// beyond the last bound, 0 on an empty histogram). Fixed buckets cannot
+// interpolate, so this is the usual conservative histogram-quantile read —
+// the SLO gates assert against it.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		if float64(cum) >= rank {
+			return b
+		}
+	}
+	return math.Inf(1)
+}
+
 // DefBucketsNs is the default bucket layout for virtual-clock durations:
 // 0.1ms to 10s in roughly 1-3-10 steps.
 var DefBucketsNs = []float64{1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10}
@@ -103,9 +153,14 @@ type family struct {
 	h    *Histogram
 }
 
-// lookup returns the named family, creating it on first use. It returns nil
-// on a nil recorder or a kind clash.
-func (r *Recorder) lookup(name, help, kind string) *family {
+// lookup returns the named family, creating it on first use. A new family
+// gets its instrument from init while r.mmu is still held: allocating after
+// the lock is released (the old shape) let two goroutines racing on first
+// use each install an instrument, with one overwritten and its observations
+// silently lost — and let an export between registration and installation
+// see a half-built family. lookup returns nil on a nil recorder or a kind
+// clash.
+func (r *Recorder) lookup(name, help, kind string, init func(*family)) *family {
 	if r == nil {
 		return nil
 	}
@@ -121,6 +176,7 @@ func (r *Recorder) lookup(name, help, kind string) *family {
 		r.byName = make(map[string]*family)
 	}
 	f := &family{name: name, help: help, kind: kind}
+	init(f)
 	r.byName[name] = f
 	r.families = append(r.families, f)
 	return f
@@ -128,24 +184,18 @@ func (r *Recorder) lookup(name, help, kind string) *family {
 
 // Counter returns (registering on first use) the named counter.
 func (r *Recorder) Counter(name, help string) *Counter {
-	f := r.lookup(name, help, "counter")
+	f := r.lookup(name, help, "counter", func(f *family) { f.c = &Counter{} })
 	if f == nil {
 		return nil
-	}
-	if f.c == nil {
-		f.c = &Counter{}
 	}
 	return f.c
 }
 
 // Gauge returns (registering on first use) the named gauge.
 func (r *Recorder) Gauge(name, help string) *Gauge {
-	f := r.lookup(name, help, "gauge")
+	f := r.lookup(name, help, "gauge", func(f *family) { f.g = &Gauge{} })
 	if f == nil {
 		return nil
-	}
-	if f.g == nil {
-		f.g = &Gauge{}
 	}
 	return f.g
 }
@@ -153,14 +203,13 @@ func (r *Recorder) Gauge(name, help string) *Gauge {
 // Histogram returns (registering on first use) the named histogram; bounds
 // apply only on first registration and must be ascending.
 func (r *Recorder) Histogram(name, help string, bounds []float64) *Histogram {
-	f := r.lookup(name, help, "histogram")
-	if f == nil {
-		return nil
-	}
-	if f.h == nil {
+	f := r.lookup(name, help, "histogram", func(f *family) {
 		b := make([]float64, len(bounds))
 		copy(b, bounds)
 		f.h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+	})
+	if f == nil {
+		return nil
 	}
 	return f.h
 }
@@ -187,6 +236,24 @@ func (r *Recorder) WriteOpenMetrics(w io.Writer) error {
 }
 
 func (f *family) write(buf *bytes.Buffer) {
+	// A family whose instrument is missing must export nothing rather than
+	// panic: lookup installs instruments under the registry lock now, but
+	// write stays defensive — the export loop runs outside that lock, and a
+	// nil dereference here would take the whole /metrics endpoint down.
+	switch f.kind {
+	case "counter":
+		if f.c == nil {
+			return
+		}
+	case "gauge":
+		if f.g == nil {
+			return
+		}
+	case "histogram":
+		if f.h == nil {
+			return
+		}
+	}
 	if f.help != "" {
 		buf.WriteString("# HELP " + f.name + " " + f.help + "\n")
 	}

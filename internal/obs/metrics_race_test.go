@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Regression tests for the registry's concurrent first-use paths. The old
+// lookup released the registry lock before the kind-specific instrument was
+// installed, so (a) two goroutines racing on first registration could each
+// allocate the instrument — one was overwritten and its observations lost —
+// and (b) an export running in the window saw a family with a nil instrument
+// and panicked. These tests hammer exactly those windows; run them under
+// -race (the CI sweep does).
+
+// TestConcurrentFirstRegistration races many goroutines on the first use of
+// one counter, one gauge and one histogram name each; every observation must
+// land on the single shared instrument.
+func TestConcurrentFirstRegistration(t *testing.T) {
+	const goroutines = 64
+	for round := 0; round < 50; round++ {
+		r := New()
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				r.Counter("c", "counter").Inc()
+				r.Gauge("g", "gauge").Set(1)
+				r.Histogram("h", "histogram", DefBucketsNs).Observe(2e5)
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if got := r.Counter("c", "").Value(); got != goroutines {
+			t.Fatalf("round %d: counter observed %d increments, want %d (first-use registration raced)",
+				round, got, goroutines)
+		}
+		if got := r.Histogram("h", "", DefBucketsNs).Count(); got != goroutines {
+			t.Fatalf("round %d: histogram observed %d values, want %d (first-use registration raced)",
+				round, got, goroutines)
+		}
+		if got := r.Gauge("g", "").Value(); got != 1 {
+			t.Fatalf("round %d: gauge = %v, want 1", round, got)
+		}
+	}
+}
+
+// TestExportDuringConcurrentRegistration runs WriteOpenMetrics continuously
+// while goroutines register fresh families, mixing in kind clashes; every
+// export must stay panic-free and well-terminated.
+func TestExportDuringConcurrentRegistration(t *testing.T) {
+	r := New()
+	const names = 200
+	stop := make(chan struct{})
+	exported := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for {
+			select {
+			case <-stop:
+				exported <- firstErr
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WriteOpenMetrics(&buf); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if !strings.HasSuffix(buf.String(), "# EOF\n") && firstErr == nil {
+				firstErr = fmt.Errorf("export not EOF-terminated: %q", buf.String())
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < names; i++ {
+				r.Counter(fmt.Sprintf("c%d", i), "counter").Inc()
+				r.Gauge(fmt.Sprintf("g%d", i), "gauge").Set(float64(i))
+				r.Histogram(fmt.Sprintf("h%d", i), "histogram", DefBucketsNs).Observe(1e6)
+				// Kind clash: must return a safe nil, never corrupt "c<i>".
+				r.Gauge(fmt.Sprintf("c%d", i), "clash").Set(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-exported; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < names; i++ {
+		if got := r.Counter(fmt.Sprintf("c%d", i), "").Value(); got != 8 {
+			t.Fatalf("counter c%d = %d, want 8", i, got)
+		}
+	}
+}
+
+// TestWriteSkipsNilInstrumentFamily pins the defensive export path: a family
+// registered without its instrument (unreachable through the public API
+// since the locked-allocation fix, simulated directly here) exports nothing
+// instead of panicking WriteOpenMetrics.
+func TestWriteSkipsNilInstrumentFamily(t *testing.T) {
+	r := New()
+	r.Counter("ok", "fine").Inc()
+	r.mmu.Lock()
+	for _, kind := range []string{"counter", "gauge", "histogram"} {
+		f := &family{name: "hollow_" + kind, kind: kind}
+		r.byName[f.name] = f
+		r.families = append(r.families, f)
+	}
+	r.mmu.Unlock()
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "hollow_") {
+		t.Fatalf("nil-instrument families leaked into the export:\n%s", out)
+	}
+	if !strings.Contains(out, "ok_total 1\n") {
+		t.Fatalf("healthy family missing from export:\n%s", out)
+	}
+}
+
+// TestHistogramDropsNonFinite: NaN and ±Inf observations must not reach sum
+// (one NaN would poison the exported _sum forever); they are tallied in
+// Dropped and the export stays finite.
+func TestHistogramDropsNonFinite(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "latency", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(50)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2 (non-finite values must not count)", got)
+	}
+	if got := h.Sum(); got != 55 {
+		t.Fatalf("Sum = %v, want 55", got)
+	}
+	if got := h.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// le="+Inf" is the legitimate catch-all bucket label; anything else
+	// non-finite (a NaN sum, an Inf sample) is the poisoning regression.
+	cleaned := strings.ReplaceAll(buf.String(), `le="+Inf"`, "")
+	if strings.Contains(cleaned, "NaN") || strings.Contains(cleaned, "Inf") {
+		t.Fatalf("non-finite value leaked into the export:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "lat_sum 55\n") {
+		t.Fatalf("export sum wrong:\n%s", buf.String())
+	}
+}
+
+// TestHistogramQuantile pins the conservative bucket-bound quantile read the
+// SLO gates assert against.
+func TestHistogramQuantile(t *testing.T) {
+	var h *Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v, want 0", got)
+	}
+	r := New()
+	h = r.Histogram("q", "", []float64{10, 100, 1000})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+	for i := 0; i < 98; i++ {
+		h.Observe(5) // le=10 bucket
+	}
+	h.Observe(50)   // le=100
+	h.Observe(5000) // +Inf
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("p50 = %v, want 10", got)
+	}
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("p99 = %v, want 100", got)
+	}
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Fatalf("p100 = %v, want +Inf", got)
+	}
+}

@@ -123,15 +123,42 @@ func exactPairSet(seqs []seq.Sequence, cfg Config) (map[pairKey]bool, float64) {
 	return set, ns
 }
 
-// shingleSets returns, per sequence, its sorted distinct MinExactMatch-length
-// k-mer shingles (31-bit FNV-1a over the raw residue bytes; sequences
-// shorter than k get an empty set), the total shingle count, and the window
-// op count (each window hashes k bytes) for pricing.
-func shingleSets(seqs []seq.Sequence, k int) (sets [][]uint32, total int, ops int64) {
+// shingleOne returns the sorted distinct k-length k-mer shingles of one
+// residue string (31-bit FNV-1a over the raw residue bytes; nil when the
+// string is shorter than k). seen is caller-provided scratch, cleared on
+// entry. Both the batch filter and the incremental serving index go through
+// this function, so their shingle sets are bit-identical by construction.
+func shingleOne(r []byte, k int, seen map[uint32]bool) []uint32 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
+	if len(r) < k {
+		return nil
+	}
+	clear(seen)
+	set := make([]uint32, 0, len(r)-k+1)
+	for w := 0; w+k <= len(r); w++ {
+		h := uint64(offset64)
+		for _, b := range r[w : w+k] {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		v := uint32(h^(h>>32)) & 0x7fffffff
+		if !seen[v] {
+			seen[v] = true
+			set = append(set, v)
+		}
+	}
+	sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+	return set
+}
+
+// shingleSets returns, per sequence, its sorted distinct MinExactMatch-length
+// k-mer shingles (sequences shorter than k get an empty set), the total
+// shingle count, and the window op count (each window hashes k bytes) for
+// pricing.
+func shingleSets(seqs []seq.Sequence, k int) (sets [][]uint32, total int, ops int64) {
 	sets = make([][]uint32, len(seqs))
 	seen := make(map[uint32]bool)
 	for i, s := range seqs {
@@ -139,23 +166,8 @@ func shingleSets(seqs []seq.Sequence, k int) (sets [][]uint32, total int, ops in
 		if len(r) < k {
 			continue
 		}
-		clear(seen)
-		set := make([]uint32, 0, len(r)-k+1)
-		for w := 0; w+k <= len(r); w++ {
-			h := uint64(offset64)
-			for _, b := range r[w : w+k] {
-				h ^= uint64(b)
-				h *= prime64
-			}
-			v := uint32(h^(h>>32)) & 0x7fffffff
-			if !seen[v] {
-				seen[v] = true
-				set = append(set, v)
-			}
-		}
-		sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
-		sets[i] = set
-		total += len(set)
+		sets[i] = shingleOne(r, k, seen)
+		total += len(sets[i])
 		ops += int64(len(r)-k+1) * int64(k)
 	}
 	return sets, total, ops

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"gpclust/internal/minwise"
+	"gpclust/internal/pgraph"
+)
+
+// lshIndex is the resident candidate index: the batch LSH filter's band
+// buckets (or, at the conservative preset, its raw-shingle buckets) kept
+// alive between requests so each new sequence is bucketed once, against the
+// members already resident. Because a sequence's band keys depend only on
+// its own shingle set, inserting sequences one at a time emits exactly the
+// pair set the batch filter computes over the union corpus — the
+// equivalence pinned by pgraph's TestIncrementalLSHMatchesBatchFilter.
+//
+// The index is owned by the server's scheduler goroutine; it is not safe
+// for concurrent use.
+type lshIndex struct {
+	shape pgraph.LSHShape
+	fam   minwise.Family
+	k     int // shingle length (Config.MinExactMatch)
+
+	banded []map[uint32][]int32 // banded shapes: one bucket map per band
+	cons   map[uint32][]int32   // conservative preset: bucket per raw shingle
+
+	// undo logs every bucket append since the last mark, so a failed insert
+	// pass can be rolled back without rebuilding the index.
+	undo []undoRec
+}
+
+type undoRec struct {
+	band int // -1: conservative bucket
+	key  uint32
+}
+
+func newLSHIndex(shape pgraph.LSHShape, k int) *lshIndex {
+	ix := &lshIndex{shape: shape, fam: shape.Family(), k: k}
+	if shape.Conservative {
+		ix.cons = make(map[uint32][]int32)
+	} else {
+		ix.banded = make([]map[uint32][]int32, shape.Bands)
+		for b := range ix.banded {
+			ix.banded[b] = make(map[uint32][]int32)
+		}
+	}
+	return ix
+}
+
+// shingles returns the sequence's shingle set (nil: ineligible, never
+// bucketed — exactly the batch filter's treatment of short sequences).
+func (ix *lshIndex) shingles(residues []byte) []uint32 {
+	return pgraph.ShingleSet(residues, ix.k)
+}
+
+// buckets yields the (band, key) bucket coordinates of one non-empty
+// shingle set.
+func (ix *lshIndex) buckets(set []uint32) []undoRec {
+	if ix.shape.Conservative {
+		recs := make([]undoRec, len(set))
+		for i, v := range set {
+			recs[i] = undoRec{band: -1, key: v}
+		}
+		return recs
+	}
+	keys := ix.shape.BandKeys(ix.fam, set)
+	recs := make([]undoRec, len(keys))
+	for b, k := range keys {
+		recs[b] = undoRec{band: b, key: k}
+	}
+	return recs
+}
+
+func (ix *lshIndex) bucket(r undoRec) []int32 {
+	if r.band < 0 {
+		return ix.cons[r.key]
+	}
+	return ix.banded[r.band][r.key]
+}
+
+func (ix *lshIndex) put(r undoRec, id int32) {
+	if r.band < 0 {
+		ix.cons[r.key] = append(ix.cons[r.key], id)
+	} else {
+		ix.banded[r.band][r.key] = append(ix.banded[r.band][r.key], id)
+	}
+}
+
+// candidates returns the distinct resident members sharing a bucket with
+// the set, without inserting anything — the assign path.
+func (ix *lshIndex) candidates(set []uint32) []int32 {
+	if len(set) == 0 {
+		return nil
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, r := range ix.buckets(set) {
+		for _, m := range ix.bucket(r) {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// insert buckets a new member and returns its distinct candidates among the
+// members already resident (exactly the pairs the batch filter would emit
+// for it). Every append is undo-logged; empty sets insert nothing.
+func (ix *lshIndex) insert(id int32, set []uint32) []int32 {
+	if len(set) == 0 {
+		return nil
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, r := range ix.buckets(set) {
+		for _, m := range ix.bucket(r) {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+		ix.put(r, id)
+		ix.undo = append(ix.undo, r)
+	}
+	return out
+}
+
+// mark snapshots the undo position; rollback(mark) unwinds every insert
+// made since, in reverse, deleting buckets that become empty.
+func (ix *lshIndex) mark() int { return len(ix.undo) }
+
+func (ix *lshIndex) rollback(mark int) {
+	for i := len(ix.undo) - 1; i >= mark; i-- {
+		r := ix.undo[i]
+		if r.band < 0 {
+			b := ix.cons[r.key]
+			if len(b) <= 1 {
+				delete(ix.cons, r.key)
+			} else {
+				ix.cons[r.key] = b[:len(b)-1]
+			}
+		} else {
+			b := ix.banded[r.band][r.key]
+			if len(b) <= 1 {
+				delete(ix.banded[r.band], r.key)
+			} else {
+				ix.banded[r.band][r.key] = b[:len(b)-1]
+			}
+		}
+	}
+	ix.undo = ix.undo[:mark]
+}
+
+// commit forgets the undo history up to the current position (the inserts
+// are now permanent); the log never grows across successful passes.
+func (ix *lshIndex) commit() { ix.undo = ix.undo[:0] }

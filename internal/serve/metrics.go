@@ -1,0 +1,45 @@
+package serve
+
+import "gpclust/internal/obs"
+
+// metrics bundles the server's instruments, registered once at startup so
+// the hot paths never touch the registry's name map.
+type metrics struct {
+	assignLatency  *obs.Histogram // wall ns per assign request, admission to response
+	clusterLatency *obs.Histogram // wall ns per cluster request
+	queueDepth     *obs.Gauge
+	queueCap       *obs.Gauge
+	sequences      *obs.Gauge
+	families       *obs.Gauge
+	requests       *obs.Counter
+	rejected       *obs.Counter
+	failed         *obs.Counter
+	passes         *obs.Counter
+	batches        *obs.Counter // device batches across all passes
+	pairs          *obs.Counter // candidate pairs scored
+	edges          *obs.Counter // pairs accepted by the SW threshold
+	merges         *obs.Counter // unions that joined two families
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+}
+
+func newMetrics(r *obs.Recorder) *metrics {
+	return &metrics{
+		assignLatency:  r.Histogram("serve_assign_latency_ns", "assign request latency (wall ns)", obs.DefBucketsNs),
+		clusterLatency: r.Histogram("serve_cluster_latency_ns", "cluster request latency (wall ns)", obs.DefBucketsNs),
+		queueDepth:     r.Gauge("serve_queue_depth", "requests waiting for the scheduler"),
+		queueCap:       r.Gauge("serve_queue_capacity", "admission queue capacity"),
+		sequences:      r.Gauge("serve_sequences", "committed resident sequences"),
+		families:       r.Gauge("serve_families", "resident families (components)"),
+		requests:       r.Counter("serve_requests_total", "requests admitted"),
+		rejected:       r.Counter("serve_rejected_total", "requests rejected by backpressure"),
+		failed:         r.Counter("serve_failed_total", "requests failed by a pass error"),
+		passes:         r.Counter("serve_passes_total", "coalesced scheduler passes"),
+		batches:        r.Counter("serve_batches_total", "device batches run by passes"),
+		pairs:          r.Counter("serve_pairs_total", "candidate pairs scored"),
+		edges:          r.Counter("serve_edges_total", "pairs accepted as homologous"),
+		merges:         r.Counter("serve_merges_total", "family merges committed"),
+		cacheHits:      r.Counter("serve_cache_hits_total", "assign cache hits"),
+		cacheMisses:    r.Counter("serve_cache_misses_total", "assign cache misses"),
+	}
+}

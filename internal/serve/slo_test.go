@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gpclust/internal/seq"
+)
+
+// TestServeSLO is the serving smoke gate: ≥1000 concurrent clients mixing
+// assign queries and incremental cluster inserts against a resident corpus,
+// asserting (a) the p99 latency read from the histogram stays inside the
+// bucket range, (b) zero observations were dropped and every successful
+// request was recorded, and (c) the final partition equals a from-scratch
+// re-cluster of the union corpus. Runs under -race in CI (scripts/ci.sh).
+func TestServeSLO(t *testing.T) {
+	const (
+		baseSeqs       = 60
+		insertClients  = 300
+		assignClients  = 700
+		totalClients   = insertClients + assignClients
+		clusterResults = insertClients + 1 // the bootstrap Cluster counts too
+	)
+	corpus := testMetagenome(t, baseSeqs+insertClients)
+	base, inserts := corpus[:baseSeqs], corpus[baseSeqs:]
+
+	cfg := serveConfig()
+	cfg.QueueCap = 128 // small enough that backpressure actually fires
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Cluster(base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-client outcome slots (index-only writes from the goroutines).
+	insertIdx := make([][]int, insertClients)
+	insertErr := make([]error, insertClients)
+	assignErr := make([]error, assignClients)
+	var wg sync.WaitGroup
+	wg.Add(totalClients)
+	for c := 0; c < insertClients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for {
+				res, err := s.Cluster(inserts[c : c+1])
+				if err == ErrOverloaded {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				insertErr[c] = err
+				if err == nil {
+					insertIdx[c] = res.Indices
+				}
+				return
+			}
+		}(c)
+	}
+	for c := 0; c < assignClients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			q := corpus[c%len(corpus)]
+			for {
+				_, err := s.Assign(q)
+				if err == ErrOverloaded {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				assignErr[c] = err
+				return
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range insertErr {
+		if err != nil {
+			t.Fatalf("insert client %d: %v", c, err)
+		}
+	}
+	for c, err := range assignErr {
+		if err != nil {
+			t.Fatalf("assign client %d: %v", c, err)
+		}
+	}
+
+	// (a) Latency SLO: p99 must land in a finite bucket (≤ 10s wall).
+	for _, h := range []struct {
+		name string
+		h    interface{ Quantile(float64) float64 }
+	}{
+		{"serve_assign_latency_ns", s.met.assignLatency},
+		{"serve_cluster_latency_ns", s.met.clusterLatency},
+	} {
+		if p99 := h.h.Quantile(0.99); p99 > 1e10 {
+			t.Errorf("%s p99 = %g ns, beyond the bucket range", h.name, p99)
+		}
+	}
+
+	// (b) Zero dropped metrics: every successful request observed exactly
+	// once, nothing non-finite.
+	if got := s.met.assignLatency.Count(); got != int64(assignClients) {
+		t.Errorf("assign latency observations = %d, want %d (dropped under concurrency)", got, assignClients)
+	}
+	if got := s.met.clusterLatency.Count(); got != int64(clusterResults) {
+		t.Errorf("cluster latency observations = %d, want %d (dropped under concurrency)", got, clusterResults)
+	}
+	if d := s.met.assignLatency.Dropped() + s.met.clusterLatency.Dropped(); d != 0 {
+		t.Errorf("%d non-finite latency observations dropped", d)
+	}
+	// Cache hits answer without admission, so admitted + hits covers all clients.
+	if got := s.met.requests.Value() + s.met.cacheHits.Value(); got < int64(totalClients) {
+		t.Errorf("admitted+cached %d requests, want ≥ %d", got, totalClients)
+	}
+
+	// (c) Incremental ≡ from-scratch over the union corpus, arranged by the
+	// indices the concurrent inserts actually received.
+	arranged := make([]seq.Sequence, s.Stats().Sequences)
+	copy(arranged, base)
+	for c, ids := range insertIdx {
+		if len(ids) != 1 {
+			t.Fatalf("insert client %d got indices %v", c, ids)
+		}
+		arranged[ids[0]] = inserts[c]
+	}
+	samePartition(t, "SLO corpus vs from-scratch", refPartition(t, arranged, cfg.Pgraph), s.Partition())
+}

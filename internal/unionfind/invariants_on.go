@@ -10,8 +10,9 @@ import "fmt"
 // (the property Union's ordered CAS linking maintains). Compiled only under
 // -tags invariants; Freeze calls it before copying the partition out.
 func assertAcyclic(c *Concurrent) {
-	for i := range c.parent {
-		if p := int(c.parent[i].Load()); p > i {
+	parent := c.arr()
+	for i := range parent {
+		if p := int(parent[i].Load()); p > i {
 			panic(fmt.Sprintf("unionfind: parent[%d] = %d points upward: the ordered-link invariant is violated", i, p))
 		}
 	}

@@ -34,7 +34,7 @@ func TestFreezeAssertsAcyclicAfterConcurrentUnions(t *testing.T) {
 // parent pointer and checks the invariant trips.
 func TestAssertAcyclicCatchesUpwardLink(t *testing.T) {
 	c := NewConcurrent(8)
-	c.parent[2].Store(5)
+	c.arr()[2].Store(5)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("assertAcyclic did not catch the upward link")

@@ -25,7 +25,8 @@ go run ./cmd/gpclint -tags invariants ./...
 
 echo "== gpclint -tests (determinism-critical packages, test files included)"
 go run ./cmd/gpclint -tests ./internal/core ./internal/faults ./internal/minwise \
-    ./internal/obs ./internal/sched ./internal/thrust ./internal/unionfind ./internal/pgraph
+    ./internal/obs ./internal/sched ./internal/thrust ./internal/unionfind ./internal/pgraph \
+    ./internal/serve
 # gpusim runs in its own invocation: loading it as a test root next to
 # packages whose tests import it makes the loader mix its test variant with
 # the plain one and fail type-checking.
@@ -102,7 +103,10 @@ go test -run='^$' -fuzz=FuzzSWBatch -fuzztime=10s ./internal/pgraph/
 go test -run='^$' -fuzz=FuzzLSHCandidates -fuzztime=10s ./internal/pgraph/
 go test -run='^$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/faults/
 
+echo "== serve SLO smoke (1000 concurrent clients, race detector on)"
+go test -race -run TestServeSLO ./internal/serve/
+
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/... ./internal/faults/... ./internal/sched/... ./internal/obs/... ./internal/unionfind/... ./internal/minwise/...
+go test -race ./internal/core/... ./internal/pgraph/... ./internal/gpusim/... ./internal/faults/... ./internal/sched/... ./internal/obs/... ./internal/unionfind/... ./internal/minwise/... ./internal/serve/...
 
 echo "== ci.sh: all green"
